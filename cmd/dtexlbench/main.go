@@ -1,0 +1,97 @@
+// Command dtexlbench regenerates the paper's tables and figures, plus
+// the ablations beyond the paper. Each experiment prints the same
+// rows/series the paper reports (see DESIGN.md's experiment index and
+// EXPERIMENTS.md for paper-vs-measured).
+//
+// Usage:
+//
+//	dtexlbench -exp fig16                 # one figure at paper resolution
+//	dtexlbench -exp all -scale 2 -par 0   # everything, half scale, parallel
+//	dtexlbench -exp fig17 -benchmarks TRu,GTr -v
+//	dtexlbench -exp abl-nuca -csv         # ablation, CSV output
+//	dtexlbench -exp fig16 -svg plots/     # also emit an SVG figure
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"dtexl/internal/sim"
+)
+
+func main() {
+	var (
+		exp     = flag.String("exp", "all", "experiment id (fig1, fig2, fig11-fig18, tab1, tab2, abl-*, bg-imr) or 'all'")
+		scale   = flag.Int("scale", 1, "divide the Table II resolution by this factor (1 = full 1960x768)")
+		benches = flag.String("benchmarks", "", "comma-separated Table I aliases (default: full suite)")
+		seed    = flag.Uint64("seed", 1, "scene generator seed")
+		frames  = flag.Int("frames", 1, "animation frames per simulation (warm caches)")
+		verbose = flag.Bool("v", false, "print per-simulation progress")
+		csv     = flag.Bool("csv", false, "emit CSV instead of aligned text")
+		par     = flag.Int("par", 0, "concurrent simulations for -exp all (0 = GOMAXPROCS, 1 = serial)")
+		svgDir  = flag.String("svg", "", "also write each experiment as <dir>/<id>.svg")
+	)
+	flag.Parse()
+
+	if *scale < 1 {
+		fmt.Fprintln(os.Stderr, "dtexlbench: -scale must be >= 1")
+		os.Exit(1)
+	}
+	opt := sim.ScaledOptions(*scale)
+	opt.Seed = *seed
+	opt.Frames = *frames
+	if *benches != "" {
+		opt.Benchmarks = strings.Split(*benches, ",")
+	}
+
+	r := sim.NewRunner(opt)
+	r.CSV = *csv
+	if *verbose {
+		r.Progress = func(line string) { fmt.Fprintln(os.Stderr, line) }
+	}
+
+	ids := []string{*exp}
+	if *exp == "all" {
+		ids = sim.ExperimentIDs()
+		// Pre-run the figure simulations in parallel; the experiment
+		// renderers below then assemble tables from the cache.
+		r.Parallelism = *par
+		if err := r.WarmAll(); err != nil {
+			fmt.Fprintln(os.Stderr, "dtexlbench:", err)
+			os.Exit(1)
+		}
+	}
+	for i, id := range ids {
+		if i > 0 {
+			fmt.Println()
+		}
+		if err := r.RunExperiment(id, os.Stdout); err != nil {
+			fmt.Fprintln(os.Stderr, "dtexlbench:", err)
+			os.Exit(1)
+		}
+		if *svgDir != "" && id != "tab1" && id != "tab2" {
+			if err := writeSVG(r, *svgDir, id); err != nil {
+				fmt.Fprintln(os.Stderr, "dtexlbench:", err)
+				os.Exit(1)
+			}
+		}
+	}
+}
+
+// writeSVG renders one experiment's figure into dir/<id>.svg. Simulation
+// results are memoized in the Runner, so this reuses the runs the text
+// rendering just did.
+func writeSVG(r *sim.Runner, dir, id string) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	f, err := os.Create(filepath.Join(dir, id+".svg"))
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	return r.RenderSVG(id, f)
+}

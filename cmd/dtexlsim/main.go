@@ -1,0 +1,166 @@
+// Command dtexlsim runs one frame of one benchmark under one policy and
+// prints its metrics — the single-configuration entry point into the
+// simulator.
+//
+// Usage:
+//
+//	dtexlsim -bench TRu -policy DTexL [-width 1960 -height 768] [-seed 1]
+//	dtexlsim -list
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+
+	"dtexl"
+
+	"dtexl/internal/core"
+	"dtexl/internal/pipeline"
+	"dtexl/internal/sim"
+)
+
+func main() {
+	var (
+		bench      = flag.String("bench", "TRu", "Table I benchmark alias")
+		policy     = flag.String("policy", "baseline", "policy name (see -list)")
+		width      = flag.Int("width", 0, "screen width in pixels (0 = Table II 1960)")
+		height     = flag.Int("height", 0, "screen height in pixels (0 = Table II 768)")
+		seed       = flag.Uint64("seed", 1, "scene generator seed")
+		frames     = flag.Int("frames", 1, "animation frames to simulate with warm caches")
+		upperBound = flag.Bool("upperbound", false, "run the Fig. 16 single-SC 4x-L1 bound")
+		lateZ      = flag.Bool("latez", false, "disable Early-Z (shader-written depth path)")
+		prefetch   = flag.Bool("prefetch", false, "enable decoupled texture prefetching")
+		nuca       = flag.Bool("nuca", false, "shared address-interleaved L1 texture caches (S-NUCA)")
+		scene      = flag.String("scene", "", "replay a scene trace (JSON) instead of generating -bench")
+		timeline   = flag.String("timeline", "", "write a per-tile, per-SC execution timeline CSV (coupled runs)")
+		dumpScene  = flag.String("dump-scene", "", "write the generated scene as a JSON trace and exit")
+		list       = flag.Bool("list", false, "list benchmarks and policies, then exit")
+	)
+	flag.Parse()
+
+	if *list {
+		fmt.Println("Benchmarks (Table I):")
+		for _, b := range dtexl.Benchmarks() {
+			typ := "3D"
+			if b.Is2D {
+				typ = "2D"
+			}
+			fmt.Printf("  %-4s %-32s %-9s %s  %.1f MiB textures\n", b.Alias, b.Name, b.Genre, typ, b.TextureFootprintMiB)
+		}
+		fmt.Println("Policies:")
+		for _, p := range dtexl.Policies() {
+			fmt.Printf("  %s\n", p)
+		}
+		return
+	}
+
+	if *dumpScene != "" {
+		f, err := os.Create(*dumpScene)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "dtexlsim:", err)
+			os.Exit(1)
+		}
+		if err := dtexl.ExportScene(*bench, *width, *height, *seed, 0, f); err != nil {
+			fmt.Fprintln(os.Stderr, "dtexlsim:", err)
+			os.Exit(1)
+		}
+		if err := f.Close(); err != nil {
+			fmt.Fprintln(os.Stderr, "dtexlsim:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("wrote scene trace %s\n", *dumpScene)
+		return
+	}
+
+	if *timeline != "" {
+		if err := writeTimeline(*timeline, *bench, *policy, *width, *height, *seed); err != nil {
+			fmt.Fprintln(os.Stderr, "dtexlsim:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("wrote timeline %s\n", *timeline)
+		return
+	}
+
+	res, err := dtexl.Run(dtexl.Config{
+		Benchmark:  *bench,
+		Policy:     *policy,
+		Width:      *width,
+		Height:     *height,
+		Seed:       *seed,
+		Frames:     *frames,
+		UpperBound: *upperBound,
+		LateZ:      *lateZ,
+		Prefetch:   *prefetch,
+		NUCA:       *nuca,
+		ScenePath:  *scene,
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "dtexlsim:", err)
+		os.Exit(1)
+	}
+
+	fmt.Printf("benchmark        %s\n", res.Benchmark)
+	fmt.Printf("policy           %s\n", res.Policy)
+	fmt.Printf("frame cycles     %d\n", res.Cycles)
+	fmt.Printf("FPS              %.2f\n", res.FPS)
+	fmt.Printf("L2 accesses      %d\n", res.L2Accesses)
+	fmt.Printf("L1 tex hit rate  %.4f\n", res.L1TexHitRate)
+	fmt.Printf("DRAM accesses    %d\n", res.DRAMAccesses)
+	fmt.Printf("quads shaded     %d\n", res.QuadsShaded)
+	fmt.Printf("quads culled     %d (Early-Z)\n", res.QuadsCulled)
+	fmt.Printf("time imbalance   %.2f%% (per-tile mean deviation)\n", 100*res.TimeImbalance)
+	fmt.Printf("quad imbalance   %.2f%%\n", 100*res.QuadImbalance)
+	fmt.Printf("energy           %.4f mJ\n", res.EnergyJoules*1e3)
+
+	keys := make([]string, 0, len(res.Energy))
+	for k := range res.Energy {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	total := res.EnergyJoules * 1e9
+	for _, k := range keys {
+		fmt.Printf("  %-9s %6.2f%%\n", k, 100*res.Energy[k]/total)
+	}
+}
+
+// writeTimeline runs one coupled simulation with timeline collection and
+// writes tile,tx,ty,gate,finish_sc0..3 rows.
+func writeTimeline(path, bench, policy string, width, height int, seed uint64) error {
+	pol, err := core.PolicyByName(policy)
+	if err != nil {
+		return err
+	}
+	if pol.Decoupled {
+		return fmt.Errorf("timelines are defined for coupled runs; %s is decoupled", pol.Name)
+	}
+	opt := sim.DefaultOptions()
+	if width > 0 {
+		opt.Width = width
+	}
+	if height > 0 {
+		opt.Height = height
+	}
+	opt.Seed = seed
+	res, err := sim.RunOneWith(bench, pol, opt, func(cfg *pipeline.Config) {
+		cfg.CollectTimeline = true
+	})
+	if err != nil {
+		return err
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	fmt.Fprintln(f, "tile,tx,ty,gate,finish_sc0,finish_sc1,finish_sc2,finish_sc3")
+	for _, tt := range res.Metrics.Timeline {
+		fmt.Fprintf(f, "%d,%d,%d,%d", tt.Seq, tt.TX, tt.TY, tt.Gate)
+		for _, fin := range tt.Finish {
+			fmt.Fprintf(f, ",%d", fin)
+		}
+		fmt.Fprintln(f)
+	}
+	return nil
+}

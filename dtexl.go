@@ -1,0 +1,263 @@
+// Package dtexl is a cycle-approximate simulator of a Tile-Based-
+// Rendering mobile GPU, built to reproduce "DTexL: Decoupled Raster
+// Pipeline for Texture Locality" (MICRO 2022).
+//
+// The package exposes the evaluation's vocabulary directly: pick one of
+// the Table I benchmarks, pick a policy — the paper's baseline, DTexL,
+// any Fig. 8 subtile mapping, or any Fig. 6 quad grouping — and Run one
+// frame. The Result carries the metrics every figure of the paper is
+// built from: FPS, total L2 accesses, per-tile load imbalance, and the
+// GPU energy estimate.
+//
+//	res, err := dtexl.Run(dtexl.Config{Benchmark: "TRu", Policy: "DTexL"})
+//
+// For regenerating whole figures, see cmd/dtexlbench and the Benchmark*
+// functions in bench_test.go; DESIGN.md maps every table and figure of
+// the paper to its harness.
+package dtexl
+
+import (
+	"fmt"
+	"io"
+	"os"
+
+	"dtexl/internal/core"
+	"dtexl/internal/pipeline"
+	"dtexl/internal/render"
+	"dtexl/internal/sim"
+	"dtexl/internal/trace"
+)
+
+// Config selects one simulation.
+type Config struct {
+	// Benchmark is a Table I alias ("CCS", "SoD", "TRu", "SWa", "CRa",
+	// "RoK", "DDS", "Snp", "Mze", "GTr").
+	Benchmark string
+	// Policy is a named policy: "baseline", "baseline-decoupled",
+	// "DTexL", a Fig. 8 mapping ("Zorder-const", "HLB-flp2", ...), or a
+	// Fig. 6 grouping ("FG-xshift2", "CG-square", ...). See Policies.
+	Policy string
+	// Width, Height is the screen resolution; zero means the paper's
+	// 1960x768 (Table II).
+	Width, Height int
+	// Seed selects the deterministic synthetic frame; zero means 1.
+	Seed uint64
+	// Frames simulates that many consecutive animation frames (a panning
+	// camera) with warm caches; 0 or 1 simulates a single frame. Metrics
+	// aggregate over all frames and FPS averages.
+	Frames int
+	// UpperBound rewrites the machine into Fig. 16's bound: one shader
+	// core with a 4x-capacity texture L1.
+	UpperBound bool
+	// LateZ disables Early-Z, as when shaders write depth (§II-A): all
+	// covered quads are shaded and depth resolves before blending.
+	LateZ bool
+	// Prefetch enables the decoupled access/execute texture prefetcher
+	// (orthogonal to DTexL; see the abl-prefetch experiment).
+	Prefetch bool
+	// NUCA replaces the private L1 texture caches with a shared,
+	// address-interleaved organization (the replication-free alternative
+	// the paper cites; see the abl-nuca experiment).
+	NUCA bool
+	// ScenePath, when set, replays a scene trace (see ExportScene) instead
+	// of generating Benchmark's synthetic frame; the resolution follows
+	// the trace and Width/Height/Seed/Frames are ignored.
+	ScenePath string
+}
+
+// Result reports one simulated frame.
+type Result struct {
+	Benchmark string
+	Policy    string
+
+	// Cycles is total frame time in GPU cycles; FPS = clock / Cycles.
+	Cycles int64
+	FPS    float64
+
+	// L2Accesses is the paper's texture-locality metric (Figs. 2/11/16).
+	L2Accesses uint64
+	// L1TexHitRate is the aggregate hit rate of the private texture L1s.
+	L1TexHitRate float64
+	DRAMAccesses uint64
+
+	QuadsShaded uint64
+	QuadsCulled uint64
+	// FragmentsShaded counts live SIMD lanes; edge quads run with helper
+	// lanes masked, so this is below 4x QuadsShaded.
+	FragmentsShaded uint64
+
+	// TimeImbalance and QuadImbalance are the mean per-tile deviations of
+	// SC execution time and quad counts (fractions of the mean; Figs.
+	// 12/14/15). They are zero for decoupled or single-SC runs.
+	TimeImbalance float64
+	QuadImbalance float64
+
+	// EnergyJoules is the estimated total GPU energy for the frame;
+	// Energy breaks it down by component (nanojoules).
+	EnergyJoules float64
+	Energy       map[string]float64
+}
+
+// Run simulates one frame under cfg.
+func Run(cfg Config) (*Result, error) {
+	return run(cfg, nil)
+}
+
+// RenderPPM simulates one frame under cfg, writes the rendered image as
+// a binary PPM (P6) to w, and returns the frame's metrics. The image is
+// a pure function of the scene: every policy renders the identical frame
+// (the §III-C correctness invariant), so this is mainly useful for
+// inspecting the synthetic workloads and validating pipeline changes.
+func RenderPPM(cfg Config, w io.Writer) (*Result, error) {
+	width, height := cfg.Width, cfg.Height
+	if width <= 0 {
+		width = sim.DefaultOptions().Width
+	}
+	if height <= 0 {
+		height = sim.DefaultOptions().Height
+	}
+	fb := render.NewFramebuffer(width, height)
+	res, err := run(cfg, fb)
+	if err != nil {
+		return nil, err
+	}
+	if err := fb.WritePPM(w); err != nil {
+		return nil, err
+	}
+	return res, nil
+}
+
+func run(cfg Config, fb *render.Framebuffer) (*Result, error) {
+	if cfg.Benchmark == "" && cfg.ScenePath == "" {
+		return nil, fmt.Errorf("dtexl: Benchmark must be set (one of %v), or ScenePath", trace.Aliases())
+	}
+	polName := cfg.Policy
+	if polName == "" {
+		polName = "baseline"
+	}
+	pol, err := core.PolicyByName(polName)
+	if err != nil {
+		return nil, err
+	}
+	opt := sim.DefaultOptions()
+	if cfg.Width > 0 {
+		opt.Width = cfg.Width
+	}
+	if cfg.Height > 0 {
+		opt.Height = cfg.Height
+	}
+	if cfg.Seed != 0 {
+		opt.Seed = cfg.Seed
+	}
+	opt.Frames = cfg.Frames
+	mutate := func(pc *pipeline.Config) {
+		if cfg.UpperBound {
+			core.ApplyUpperBound(pc)
+		}
+		pc.LateZ = cfg.LateZ
+		pc.TexturePrefetch = cfg.Prefetch
+		pc.Hierarchy.NUCA = cfg.NUCA
+		pc.RenderTarget = fb
+	}
+	var rr *sim.RunResult
+	if cfg.ScenePath != "" {
+		f, ferr := os.Open(cfg.ScenePath)
+		if ferr != nil {
+			return nil, ferr
+		}
+		scene, serr := trace.ReadScene(f)
+		f.Close()
+		if serr != nil {
+			return nil, serr
+		}
+		if fb != nil && (fb.W != scene.Width || fb.H != scene.Height) {
+			return nil, fmt.Errorf("dtexl: scene trace is %dx%d; set Width/Height to match for rendering", scene.Width, scene.Height)
+		}
+		rr, err = sim.RunScene(scene, pol, mutate)
+	} else {
+		rr, err = sim.RunOneWith(cfg.Benchmark, pol, opt, mutate)
+	}
+	if err != nil {
+		return nil, err
+	}
+	m := rr.Metrics
+	name := cfg.Benchmark
+	if cfg.ScenePath != "" {
+		name = cfg.ScenePath
+	}
+	return &Result{
+		Benchmark:       name,
+		Policy:          pol.Name,
+		Cycles:          m.Cycles,
+		FPS:             m.FPS,
+		L2Accesses:      m.L2Accesses(),
+		L1TexHitRate:    m.L1Tex.HitRate(),
+		DRAMAccesses:    m.Events.DRAMAccesses,
+		QuadsShaded:     m.Events.QuadsShaded,
+		QuadsCulled:     m.Events.QuadsCulled,
+		FragmentsShaded: m.Events.FragmentsShaded,
+		TimeImbalance:   m.MeanTileTimeDeviation(),
+		QuadImbalance:   m.MeanTileQuadDeviation(),
+		EnergyJoules:    rr.Energy.Total() * 1e-9,
+		Energy: map[string]float64{
+			"static":   rr.Energy.Static,
+			"alu":      rr.Energy.ALU,
+			"l1":       rr.Energy.L1,
+			"sampling": rr.Energy.Sampling,
+			"l2":       rr.Energy.L2,
+			"dram":     rr.Energy.DRAM,
+			"vertex":   rr.Energy.Vertex,
+			"flush":    rr.Energy.Flush,
+			"raster":   rr.Energy.Raster,
+		},
+	}, nil
+}
+
+// BenchmarkInfo describes one Table I workload.
+type BenchmarkInfo struct {
+	Alias               string
+	Name                string
+	Genre               string
+	Is2D                bool
+	InstallsMillions    int
+	TextureFootprintMiB float64
+}
+
+// Benchmarks lists the Table I suite in table order.
+func Benchmarks() []BenchmarkInfo {
+	var out []BenchmarkInfo
+	for _, p := range trace.Profiles() {
+		out = append(out, BenchmarkInfo{
+			Alias:               p.Alias,
+			Name:                p.Name,
+			Genre:               p.Genre,
+			Is2D:                p.Is2D,
+			InstallsMillions:    p.Installs,
+			TextureFootprintMiB: p.TextureFootprintMiB,
+		})
+	}
+	return out
+}
+
+// Policies lists every named policy accepted by Config.Policy.
+func Policies() []string { return core.PolicyNames() }
+
+// ExportScene writes the synthetic frame a Config would simulate as a
+// JSON scene trace, replayable later via Config.ScenePath — or editable
+// and replaced with an externally captured draw stream.
+func ExportScene(benchmark string, width, height int, seed uint64, frame int, w io.Writer) error {
+	prof, err := trace.ProfileByAlias(benchmark)
+	if err != nil {
+		return err
+	}
+	if width <= 0 {
+		width = sim.DefaultOptions().Width
+	}
+	if height <= 0 {
+		height = sim.DefaultOptions().Height
+	}
+	if seed == 0 {
+		seed = 1
+	}
+	return trace.WriteScene(w, trace.GenerateFrame(prof, width, height, seed, frame))
+}

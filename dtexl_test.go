@@ -1,0 +1,191 @@
+package dtexl
+
+import (
+	"io"
+	"os"
+	"testing"
+)
+
+const (
+	testW = 256
+	testH = 128
+)
+
+func TestRunDefaults(t *testing.T) {
+	res, err := Run(Config{Benchmark: "TRu", Width: testW, Height: testH})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Policy != "baseline" {
+		t.Errorf("default policy = %s", res.Policy)
+	}
+	if res.FPS <= 0 || res.Cycles <= 0 || res.L2Accesses == 0 {
+		t.Errorf("bad result: %+v", res)
+	}
+	if res.L1TexHitRate <= 0 || res.L1TexHitRate >= 1 {
+		t.Errorf("hit rate = %v", res.L1TexHitRate)
+	}
+	if res.EnergyJoules <= 0 {
+		t.Errorf("energy = %v", res.EnergyJoules)
+	}
+	if res.FragmentsShaded == 0 || res.FragmentsShaded > 4*res.QuadsShaded {
+		t.Errorf("fragments = %d for %d quads", res.FragmentsShaded, res.QuadsShaded)
+	}
+	// Helper lanes exist: fragment count must be strictly below 4x quads.
+	if res.FragmentsShaded == 4*res.QuadsShaded {
+		t.Error("no partially covered quads — edge masking is not working")
+	}
+	var sum float64
+	for _, v := range res.Energy {
+		sum += v
+	}
+	if sum*1e-9 < res.EnergyJoules*0.999 || sum*1e-9 > res.EnergyJoules*1.001 {
+		t.Errorf("energy components (%v nJ) do not sum to total (%v J)", sum, res.EnergyJoules)
+	}
+}
+
+func TestRunValidation(t *testing.T) {
+	if _, err := Run(Config{}); err == nil {
+		t.Error("empty config accepted")
+	}
+	if _, err := Run(Config{Benchmark: "nope", Width: testW, Height: testH}); err == nil {
+		t.Error("unknown benchmark accepted")
+	}
+	if _, err := Run(Config{Benchmark: "TRu", Policy: "nope", Width: testW, Height: testH}); err == nil {
+		t.Error("unknown policy accepted")
+	}
+}
+
+func TestDTexLBeatsBaseline(t *testing.T) {
+	base, err := Run(Config{Benchmark: "GTr", Width: testW, Height: testH})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dtexl, err := Run(Config{Benchmark: "GTr", Policy: "DTexL", Width: testW, Height: testH})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dtexl.FPS <= base.FPS {
+		t.Errorf("DTexL FPS (%v) not above baseline (%v)", dtexl.FPS, base.FPS)
+	}
+	if dtexl.L2Accesses >= base.L2Accesses {
+		t.Errorf("DTexL L2 (%d) not below baseline (%d)", dtexl.L2Accesses, base.L2Accesses)
+	}
+	if dtexl.EnergyJoules >= base.EnergyJoules {
+		t.Errorf("DTexL energy (%v) not below baseline (%v)", dtexl.EnergyJoules, base.EnergyJoules)
+	}
+}
+
+func TestUpperBoundRun(t *testing.T) {
+	ub, err := Run(Config{Benchmark: "SWa", UpperBound: true, Width: testW, Height: testH})
+	if err != nil {
+		t.Fatal(err)
+	}
+	base, err := Run(Config{Benchmark: "SWa", Width: testW, Height: testH})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ub.L2Accesses >= base.L2Accesses {
+		t.Errorf("upper bound L2 (%d) not below baseline (%d)", ub.L2Accesses, base.L2Accesses)
+	}
+}
+
+func TestBenchmarksTable(t *testing.T) {
+	bs := Benchmarks()
+	if len(bs) != 10 {
+		t.Fatalf("%d benchmarks", len(bs))
+	}
+	if bs[0].Alias != "CCS" || bs[0].InstallsMillions != 1000 {
+		t.Errorf("first row = %+v", bs[0])
+	}
+}
+
+func TestPoliciesListed(t *testing.T) {
+	ps := Policies()
+	want := map[string]bool{"baseline": false, "DTexL": false, "HLB-flp2": false, "CG-square": false}
+	for _, p := range ps {
+		if _, ok := want[p]; ok {
+			want[p] = true
+		}
+	}
+	for name, seen := range want {
+		if !seen {
+			t.Errorf("policy %q missing from Policies()", name)
+		}
+	}
+}
+
+func TestLateZCostsPerformance(t *testing.T) {
+	early, err := Run(Config{Benchmark: "Mze", Width: testW, Height: testH})
+	if err != nil {
+		t.Fatal(err)
+	}
+	late, err := Run(Config{Benchmark: "Mze", LateZ: true, Width: testW, Height: testH})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if late.QuadsCulled != 0 {
+		t.Errorf("Late-Z culled %d quads", late.QuadsCulled)
+	}
+	if late.QuadsShaded <= early.QuadsShaded {
+		t.Error("Late-Z did not shade more quads")
+	}
+	if late.FPS >= early.FPS {
+		t.Error("Late-Z not slower than Early-Z")
+	}
+}
+
+func TestSeedChangesScene(t *testing.T) {
+	a, err := Run(Config{Benchmark: "CCS", Seed: 1, Width: testW, Height: testH})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run(Config{Benchmark: "CCS", Seed: 2, Width: testW, Height: testH})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Cycles == b.Cycles && a.L2Accesses == b.L2Accesses {
+		t.Error("different seeds produced identical results")
+	}
+}
+
+func TestSceneTraceRoundTripThroughPublicAPI(t *testing.T) {
+	dir := t.TempDir()
+	path := dir + "/scene.json"
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ExportScene("SWa", testW, testH, 1, 0, f); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	// Replaying the exported trace must reproduce the generated run
+	// exactly.
+	gen, err := Run(Config{Benchmark: "SWa", Width: testW, Height: testH})
+	if err != nil {
+		t.Fatal(err)
+	}
+	replay, err := Run(Config{ScenePath: path})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if replay.Cycles != gen.Cycles || replay.L2Accesses != gen.L2Accesses ||
+		replay.QuadsShaded != gen.QuadsShaded {
+		t.Errorf("trace replay diverged: %d/%d cycles, %d/%d L2",
+			replay.Cycles, gen.Cycles, replay.L2Accesses, gen.L2Accesses)
+	}
+	if replay.Benchmark != path {
+		t.Errorf("replay label = %q", replay.Benchmark)
+	}
+}
+
+func TestSceneTraceErrors(t *testing.T) {
+	if _, err := Run(Config{ScenePath: "/does/not/exist.json"}); err == nil {
+		t.Error("missing trace accepted")
+	}
+	if err := ExportScene("nope", testW, testH, 1, 0, io.Discard); err == nil {
+		t.Error("unknown benchmark accepted")
+	}
+}

@@ -1,0 +1,62 @@
+package dtexl_test
+
+import (
+	"fmt"
+
+	"dtexl"
+)
+
+// The smallest complete use: one benchmark, one policy, one frame.
+func ExampleRun() {
+	res, err := dtexl.Run(dtexl.Config{
+		Benchmark: "TRu",
+		Policy:    "DTexL",
+		Width:     256, // paper resolution is 1960x768; small here for speed
+		Height:    128,
+	})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println(res.Benchmark, res.Policy, res.FPS > 0, res.L2Accesses > 0)
+	// Output: TRu DTexL true true
+}
+
+// Comparing the paper's proposal against its baseline.
+func ExampleRun_comparison() {
+	cfg := dtexl.Config{Benchmark: "GTr", Width: 256, Height: 128}
+	base, err := dtexl.Run(cfg)
+	if err != nil {
+		panic(err)
+	}
+	cfg.Policy = "DTexL"
+	prop, err := dtexl.Run(cfg)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("DTexL is faster:", prop.FPS > base.FPS)
+	fmt.Println("DTexL cuts L2 accesses:", prop.L2Accesses < base.L2Accesses)
+	// Output:
+	// DTexL is faster: true
+	// DTexL cuts L2 accesses: true
+}
+
+// The benchmark suite mirrors the paper's Table I.
+func ExampleBenchmarks() {
+	for _, b := range dtexl.Benchmarks()[:3] {
+		fmt.Printf("%s: %s (%.1f MiB textures)\n", b.Alias, b.Name, b.TextureFootprintMiB)
+	}
+	// Output:
+	// CCS: Candy Crush Saga (2.4 MiB textures)
+	// SoD: Sonic Dash (1.4 MiB textures)
+	// TRu: Temple Run (0.4 MiB textures)
+}
+
+// Policy names follow the paper's figures.
+func ExamplePolicies() {
+	names := map[string]bool{}
+	for _, p := range dtexl.Policies() {
+		names[p] = true
+	}
+	fmt.Println(names["baseline"], names["DTexL"], names["HLB-flp2"], names["CG-square"])
+	// Output: true true true true
+}

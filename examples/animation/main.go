@@ -1,0 +1,45 @@
+// Animation: simulate several consecutive frames of a panning camera
+// with warm caches. The shared L2 retains part of the texture working
+// set that consecutive frames re-reference, trimming per-frame DRAM
+// traffic, while DTexL's L1-level advantage is per-frame and persists.
+//
+//	go run ./examples/animation
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"dtexl"
+)
+
+func main() {
+	const (
+		game   = "SoD" // Sonic Dash: a side-scroller, fitting the panning camera
+		width  = 980
+		height = 384
+		frames = 5
+	)
+
+	fmt.Printf("%s animation, %d frames at %dx%d\n\n", game, frames, width, height)
+	fmt.Printf("%-10s %12s %12s %14s\n", "run", "avg FPS", "L2/frame", "DRAM/frame")
+	for _, policy := range []string{"baseline", "DTexL"} {
+		// Single cold frame vs the full warm animation.
+		one, err := dtexl.Run(dtexl.Config{Benchmark: game, Policy: policy, Width: width, Height: height})
+		if err != nil {
+			log.Fatal(err)
+		}
+		anim, err := dtexl.Run(dtexl.Config{Benchmark: game, Policy: policy, Width: width, Height: height, Frames: frames})
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-10s %12.1f %12d %14d   (cold frame)\n", policy, one.FPS, one.L2Accesses, one.DRAMAccesses)
+		fmt.Printf("%-10s %12.1f %12d %14d   (%d warm frames)\n", "",
+			anim.FPS, anim.L2Accesses/uint64(frames), anim.DRAMAccesses/uint64(frames), frames)
+	}
+	fmt.Println("\nWarm frames fetch less from DRAM: the part of the texture set the")
+	fmt.Println("1 MiB L2 can retain next to the framebuffer traffic persists across")
+	fmt.Println("frames. The L1-replication effect DTexL attacks is per-frame, so")
+	fmt.Println("its L2-access advantage fully survives warming — matching the")
+	fmt.Println("paper's observation that DTexL changes L2 accesses, not L2 misses.")
+}

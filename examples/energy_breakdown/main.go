@@ -1,0 +1,70 @@
+// Energy breakdown: where does DTexL's energy saving come from? Run the
+// baseline, the decoupled baseline, and DTexL on one game and print the
+// per-component energy — static energy falls with execution time and L2
+// energy falls with L2 accesses, while the compute components stay put
+// (§V-C3 of the paper).
+//
+//	go run ./examples/energy_breakdown
+package main
+
+import (
+	"fmt"
+	"log"
+	"sort"
+
+	"dtexl"
+)
+
+func main() {
+	const (
+		game   = "GTr" // Gravitytetris: the paper's best case (10.6% saving)
+		width  = 980
+		height = 384
+	)
+
+	policies := []string{"baseline", "baseline-decoupled", "DTexL"}
+	results := make(map[string]*dtexl.Result, len(policies))
+	for _, p := range policies {
+		res, err := dtexl.Run(dtexl.Config{Benchmark: game, Policy: p, Width: width, Height: height})
+		if err != nil {
+			log.Fatal(err)
+		}
+		results[p] = res
+	}
+
+	components := make([]string, 0, len(results["baseline"].Energy))
+	for c := range results["baseline"].Energy {
+		components = append(components, c)
+	}
+	sort.Strings(components)
+
+	fmt.Printf("GPU energy breakdown on %s (%dx%d), in microjoules\n\n", game, width, height)
+	fmt.Printf("%-10s", "component")
+	for _, p := range policies {
+		fmt.Printf("%20s", p)
+	}
+	fmt.Println()
+	for _, c := range components {
+		fmt.Printf("%-10s", c)
+		for _, p := range policies {
+			fmt.Printf("%20.1f", results[p].Energy[c]*1e-3)
+		}
+		fmt.Println()
+	}
+	fmt.Printf("%-10s", "TOTAL")
+	for _, p := range policies {
+		fmt.Printf("%20.1f", results[p].EnergyJoules*1e6)
+	}
+	fmt.Println()
+
+	base := results["baseline"].EnergyJoules
+	fmt.Println()
+	for _, p := range policies[1:] {
+		fmt.Printf("%-20s saves %5.2f%% total energy (speedup %.2fx)\n",
+			p, 100*(1-results[p].EnergyJoules/base),
+			results[p].FPS/results["baseline"].FPS)
+	}
+	fmt.Println("\nNote how 'static' shrinks with frame time and 'l2' shrinks with")
+	fmt.Println("L2 accesses, while 'alu'/'l1'/'sampling' are invariant: the same")
+	fmt.Println("quads execute the same shader work under every scheduler.")
+}

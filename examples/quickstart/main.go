@@ -1,0 +1,54 @@
+// Quickstart: simulate one frame of a Table I game under the paper's
+// baseline and under DTexL, and compare the headline metrics — the
+// smallest end-to-end use of the public API.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"dtexl"
+)
+
+func main() {
+	// Half the Table II resolution keeps the example snappy; drop the
+	// Width/Height overrides to run the paper's full 1960x768.
+	const (
+		game   = "TRu" // Temple Run
+		width  = 980
+		height = 384
+	)
+
+	baseline, err := dtexl.Run(dtexl.Config{
+		Benchmark: game,
+		Policy:    "baseline", // FG-xshift2, Z-order, coupled barriers
+		Width:     width,
+		Height:    height,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	proposed, err := dtexl.Run(dtexl.Config{
+		Benchmark: game,
+		Policy:    "DTexL", // CG-square, Hilbert order, HLB-flp2, decoupled
+		Width:     width,
+		Height:    height,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("Benchmark: %s (%dx%d)\n\n", game, width, height)
+	fmt.Printf("%-22s %14s %14s\n", "", "baseline", "DTexL")
+	fmt.Printf("%-22s %14.1f %14.1f\n", "FPS", baseline.FPS, proposed.FPS)
+	fmt.Printf("%-22s %14d %14d\n", "L2 accesses", baseline.L2Accesses, proposed.L2Accesses)
+	fmt.Printf("%-22s %13.1f%% %13.1f%%\n", "L1 texture hit rate", 100*baseline.L1TexHitRate, 100*proposed.L1TexHitRate)
+	fmt.Printf("%-22s %13.2fm %13.2fm\n", "energy (mJ)", baseline.EnergyJoules*1e3, proposed.EnergyJoules*1e3)
+	fmt.Println()
+	fmt.Printf("speedup:      %.2fx\n", proposed.FPS/baseline.FPS)
+	fmt.Printf("L2 decrease:  %.1f%%\n", 100*(1-float64(proposed.L2Accesses)/float64(baseline.L2Accesses)))
+	fmt.Printf("energy saved: %.1f%%\n", 100*(1-proposed.EnergyJoules/baseline.EnergyJoules))
+}

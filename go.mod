@@ -1,0 +1,3 @@
+module dtexl
+
+go 1.22

@@ -1,0 +1,176 @@
+// Package cache models the GPU's on-chip cache hierarchy: set-associative
+// LRU caches with 64-byte lines (Table II), plus the composition of
+// private per-SC L1 texture caches backed by a shared L2 backed by DRAM.
+//
+// The caches are purely functional state machines over addresses: they
+// track contents and counts. Timing (hit/miss latencies) is carried in
+// each cache's configuration and composed by Hierarchy.
+package cache
+
+import "fmt"
+
+// Config describes one cache.
+type Config struct {
+	Name       string
+	SizeBytes  int   // total capacity
+	LineBytes  int   // line (block) size; Table II uses 64
+	Ways       int   // associativity
+	HitLatency int64 // cycles for a hit in this cache
+}
+
+// Validate reports a configuration error, if any.
+func (c Config) Validate() error {
+	switch {
+	case c.SizeBytes <= 0 || c.LineBytes <= 0 || c.Ways <= 0:
+		return fmt.Errorf("cache %q: non-positive geometry %+v", c.Name, c)
+	case c.SizeBytes%(c.LineBytes*c.Ways) != 0:
+		return fmt.Errorf("cache %q: size %d not divisible by ways*line (%d*%d)",
+			c.Name, c.SizeBytes, c.Ways, c.LineBytes)
+	case c.LineBytes&(c.LineBytes-1) != 0:
+		return fmt.Errorf("cache %q: line size %d not a power of two", c.Name, c.LineBytes)
+	}
+	sets := c.SizeBytes / (c.LineBytes * c.Ways)
+	if sets&(sets-1) != 0 {
+		return fmt.Errorf("cache %q: set count %d not a power of two", c.Name, sets)
+	}
+	return nil
+}
+
+// Stats holds access counters for one cache.
+type Stats struct {
+	Accesses  uint64
+	Hits      uint64
+	Misses    uint64
+	Evictions uint64
+}
+
+// HitRate returns hits/accesses (0 when no accesses).
+func (s Stats) HitRate() float64 {
+	if s.Accesses == 0 {
+		return 0
+	}
+	return float64(s.Hits) / float64(s.Accesses)
+}
+
+type way struct {
+	tag     uint64
+	valid   bool
+	lastUse uint64
+}
+
+// Cache is a set-associative cache with true-LRU replacement.
+type Cache struct {
+	cfg       Config
+	sets      [][]way
+	setMask   uint64
+	lineShift uint
+	tick      uint64
+	stats     Stats
+}
+
+// New builds a cache from cfg. It panics on invalid configuration, which
+// is a programming error (configurations are static).
+func New(cfg Config) *Cache {
+	if err := cfg.Validate(); err != nil {
+		panic(err)
+	}
+	numSets := cfg.SizeBytes / (cfg.LineBytes * cfg.Ways)
+	sets := make([][]way, numSets)
+	backing := make([]way, numSets*cfg.Ways)
+	for i := range sets {
+		sets[i], backing = backing[:cfg.Ways], backing[cfg.Ways:]
+	}
+	shift := uint(0)
+	for 1<<shift != cfg.LineBytes {
+		shift++
+	}
+	return &Cache{
+		cfg:       cfg,
+		sets:      sets,
+		setMask:   uint64(numSets - 1),
+		lineShift: shift,
+	}
+}
+
+// Config returns the cache's configuration.
+func (c *Cache) Config() Config { return c.cfg }
+
+// Stats returns a copy of the cache's counters.
+func (c *Cache) Stats() Stats { return c.stats }
+
+// NumSets returns the number of sets.
+func (c *Cache) NumSets() int { return len(c.sets) }
+
+// Access looks up the line containing addr, allocating it on a miss
+// (allocate-on-miss, true LRU). It returns whether the access hit.
+func (c *Cache) Access(addr uint64) bool {
+	c.tick++
+	c.stats.Accesses++
+	line := addr >> c.lineShift
+	set := c.sets[line&c.setMask]
+	tag := line >> uint64OfBits(c.setMask)
+	// Hit path.
+	for i := range set {
+		if set[i].valid && set[i].tag == tag {
+			set[i].lastUse = c.tick
+			c.stats.Hits++
+			return true
+		}
+	}
+	// Miss: fill the LRU (or first invalid) way.
+	c.stats.Misses++
+	victim := 0
+	for i := range set {
+		if !set[i].valid {
+			victim = i
+			break
+		}
+		if set[i].lastUse < set[victim].lastUse {
+			victim = i
+		}
+	}
+	if set[victim].valid {
+		c.stats.Evictions++
+	}
+	set[victim] = way{tag: tag, valid: true, lastUse: c.tick}
+	return false
+}
+
+// Contains reports whether the line holding addr is resident, without
+// touching LRU state or counters.
+func (c *Cache) Contains(addr uint64) bool {
+	line := addr >> c.lineShift
+	set := c.sets[line&c.setMask]
+	tag := line >> uint64OfBits(c.setMask)
+	for i := range set {
+		if set[i].valid && set[i].tag == tag {
+			return true
+		}
+	}
+	return false
+}
+
+// Reset invalidates all contents and zeroes the counters.
+func (c *Cache) Reset() {
+	for _, set := range c.sets {
+		for i := range set {
+			set[i] = way{}
+		}
+	}
+	c.tick = 0
+	c.stats = Stats{}
+}
+
+// LineBytes returns the line size.
+func (c *Cache) LineBytes() int { return c.cfg.LineBytes }
+
+// uint64OfBits returns the number of set bits in a (2^k - 1) mask, i.e.
+// the index width of the set field.
+func uint64OfBits(mask uint64) uint {
+	n := uint(0)
+	for mask != 0 {
+		n++
+		mask >>= 1
+	}
+	return n
+}

@@ -1,0 +1,35 @@
+package cache
+
+import (
+	"encoding/binary"
+	"testing"
+)
+
+// FuzzCacheInvariants feeds arbitrary access streams to a small cache and
+// checks the counter and content invariants (run with
+// `go test -fuzz FuzzCache`).
+func FuzzCacheInvariants(f *testing.F) {
+	f.Add([]byte{0, 1, 2, 3, 4, 5, 6, 7})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		c := New(Config{Name: "fz", SizeBytes: 1 << 10, LineBytes: 64, Ways: 2, HitLatency: 1})
+		for i := 0; i+4 <= len(data); i += 4 {
+			addr := uint64(binary.LittleEndian.Uint32(data[i:]))
+			hit := c.Access(addr)
+			// An access always leaves its line resident.
+			if !c.Contains(addr) {
+				t.Fatalf("line %#x absent right after access", addr)
+			}
+			// A hit implies it was already resident; re-access must hit.
+			if hit && !c.Access(addr) {
+				t.Fatalf("line %#x hit then missed immediately", addr)
+			}
+		}
+		s := c.Stats()
+		if s.Hits+s.Misses != s.Accesses {
+			t.Fatalf("counter mismatch: %+v", s)
+		}
+		if s.Evictions > s.Misses {
+			t.Fatalf("more evictions than misses: %+v", s)
+		}
+	})
+}

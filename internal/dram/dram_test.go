@@ -1,0 +1,95 @@
+package dram
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestRowHitAndMissLatency(t *testing.T) {
+	m := New(DefaultConfig())
+	// First touch of a row: row miss.
+	if lat := m.Access(0); lat != 100 {
+		t.Errorf("cold access latency = %d, want 100", lat)
+	}
+	// Same row again: open-row hit.
+	if lat := m.Access(64); lat != 50 {
+		t.Errorf("open-row latency = %d, want 50", lat)
+	}
+	s := m.Stats()
+	if s.Accesses != 2 || s.RowHits != 1 || s.RowMisses != 1 {
+		t.Errorf("stats = %+v", s)
+	}
+}
+
+func TestRowConflictSameBank(t *testing.T) {
+	cfg := DefaultConfig()
+	m := New(cfg)
+	rowStride := uint64(cfg.RowBytes * cfg.Banks) // same bank, next row
+	m.Access(0)
+	if lat := m.Access(rowStride); lat != cfg.RowMissLat {
+		t.Errorf("row conflict latency = %d, want %d", lat, cfg.RowMissLat)
+	}
+	// The original row is now closed.
+	if lat := m.Access(0); lat != cfg.RowMissLat {
+		t.Errorf("reopened row latency = %d, want %d", lat, cfg.RowMissLat)
+	}
+}
+
+func TestDifferentBanksDoNotConflict(t *testing.T) {
+	cfg := DefaultConfig()
+	m := New(cfg)
+	m.Access(0)                                    // bank 0
+	m.Access(uint64(cfg.RowBytes))                 // bank 1
+	if lat := m.Access(32); lat != cfg.RowHitLat { // bank 0, same row: still open
+		t.Errorf("bank 0 row closed by bank 1 access: lat = %d", lat)
+	}
+}
+
+func TestLatencyAlwaysInTableIIRange(t *testing.T) {
+	cfg := DefaultConfig()
+	f := func(addrs []uint32) bool {
+		m := New(cfg)
+		for _, a := range addrs {
+			lat := m.Access(uint64(a))
+			if lat < cfg.RowHitLat || lat > cfg.RowMissLat {
+				return false
+			}
+		}
+		s := m.Stats()
+		return s.RowHits+s.RowMisses == s.Accesses
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestReset(t *testing.T) {
+	m := New(DefaultConfig())
+	m.Access(0)
+	m.Access(0)
+	m.Reset()
+	if m.Stats() != (Stats{}) {
+		t.Error("stats survived Reset")
+	}
+	if lat := m.Access(0); lat != 100 {
+		t.Errorf("row survived Reset: lat = %d", lat)
+	}
+}
+
+func TestNewPanicsOnBadGeometry(t *testing.T) {
+	bad := []Config{
+		{Banks: 0, RowBytes: 2048, RowHitLat: 50, RowMissLat: 100},
+		{Banks: 3, RowBytes: 2048, RowHitLat: 50, RowMissLat: 100},
+		{Banks: 8, RowBytes: 1000, RowHitLat: 50, RowMissLat: 100},
+	}
+	for _, cfg := range bad {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("config %+v accepted", cfg)
+				}
+			}()
+			New(cfg)
+		}()
+	}
+}

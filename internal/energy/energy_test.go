@@ -1,0 +1,123 @@
+package energy
+
+import (
+	"testing"
+	"testing/quick"
+
+	"dtexl/internal/pipeline"
+)
+
+func sampleEvents() pipeline.EventCounts {
+	return pipeline.EventCounts{
+		ALUInstructions: 5_000_000,
+		TextureSamples:  460_000,
+		L1TexAccesses:   1_000_000,
+		L2Accesses:      534_000,
+		DRAMAccesses:    50_000,
+		VertexFetches:   10_000,
+		QuadsShaded:     184_000,
+		QuadsCulled:     338_000,
+		FlushedLines:    23_000,
+		FrameCycles:     1_900_000,
+	}
+}
+
+func TestEstimatePositive(t *testing.T) {
+	b := DefaultModel().Estimate(sampleEvents())
+	if b.Total() <= 0 {
+		t.Fatal("non-positive total energy")
+	}
+	for name, v := range map[string]float64{
+		"static": b.Static, "alu": b.ALU, "l1": b.L1, "sampling": b.Sampling,
+		"l2": b.L2, "dram": b.DRAM, "vertex": b.Vertex, "flush": b.Flush, "raster": b.Raster,
+	} {
+		if v <= 0 {
+			t.Errorf("component %s = %v", name, v)
+		}
+	}
+}
+
+func TestCalibratedShares(t *testing.T) {
+	// The documented calibration: static ~30%, ALU ~30%, L1 ~12%, L2 small.
+	b := DefaultModel().Estimate(sampleEvents())
+	tot := b.Total()
+	check := func(name string, v, lo, hi float64) {
+		share := v / tot
+		if share < lo || share > hi {
+			t.Errorf("%s share = %.3f, want in [%.2f, %.2f]", name, share, lo, hi)
+		}
+	}
+	check("static", b.Static, 0.20, 0.40)
+	check("alu", b.ALU, 0.20, 0.40)
+	check("l1", b.L1, 0.06, 0.20)
+	check("l2", b.L2, 0.01, 0.08)
+	check("dram", b.DRAM, 0.04, 0.18)
+}
+
+func TestMonotoneInEvents(t *testing.T) {
+	// Property: energy is monotone in every event count.
+	m := DefaultModel()
+	base := m.Estimate(sampleEvents()).Total()
+	f := func(extraL2 uint16, extraCycles uint16) bool {
+		ev := sampleEvents()
+		ev.L2Accesses += uint64(extraL2)
+		ev.FrameCycles += uint64(extraCycles)
+		return m.Estimate(ev).Total() >= base
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestLinearity(t *testing.T) {
+	// Doubling every event count doubles the energy.
+	m := DefaultModel()
+	ev := sampleEvents()
+	e1 := m.Estimate(ev).Total()
+	ev2 := pipeline.EventCounts{
+		ALUInstructions: ev.ALUInstructions * 2,
+		TextureSamples:  ev.TextureSamples * 2,
+		L1TexAccesses:   ev.L1TexAccesses * 2,
+		L2Accesses:      ev.L2Accesses * 2,
+		DRAMAccesses:    ev.DRAMAccesses * 2,
+		VertexFetches:   ev.VertexFetches * 2,
+		QuadsShaded:     ev.QuadsShaded * 2,
+		QuadsCulled:     ev.QuadsCulled * 2,
+		FlushedLines:    ev.FlushedLines * 2,
+		FrameCycles:     ev.FrameCycles * 2,
+	}
+	e2 := m.Estimate(ev2).Total()
+	if e2 < 1.99*e1 || e2 > 2.01*e1 {
+		t.Errorf("doubled events: energy %v -> %v", e1, e2)
+	}
+}
+
+func TestZeroEventsZeroEnergy(t *testing.T) {
+	if got := DefaultModel().Estimate(pipeline.EventCounts{}).Total(); got != 0 {
+		t.Errorf("zero events -> %v nJ", got)
+	}
+}
+
+func TestTotalJoules(t *testing.T) {
+	b := Breakdown{Static: 1e9} // 1e9 nJ = 1 J
+	if got := TotalJoules(b); got != 1 {
+		t.Errorf("TotalJoules = %v", got)
+	}
+}
+
+func TestFasterFrameSavesStaticEnergy(t *testing.T) {
+	// The paper's energy mechanism: same work in fewer cycles -> less
+	// static energy -> lower total.
+	m := DefaultModel()
+	ev := sampleEvents()
+	slow := m.Estimate(ev).Total()
+	ev.FrameCycles = ev.FrameCycles * 8 / 10
+	fast := m.Estimate(ev).Total()
+	if fast >= slow {
+		t.Error("shorter frame did not reduce energy")
+	}
+	// And the saving equals exactly the static delta.
+	if slow-fast != m.StaticPerCycle*float64(1_900_000-1_900_000*8/10) {
+		t.Error("saving is not the static component")
+	}
+}

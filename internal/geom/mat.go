@@ -1,0 +1,118 @@
+package geom
+
+import "math"
+
+// Mat4 is a 4x4 matrix stored row-major: M[row][col]. It multiplies
+// column vectors: v' = M.MulVec4(v).
+type Mat4 [4][4]float64
+
+// Identity returns the 4x4 identity matrix.
+func Identity() Mat4 {
+	return Mat4{
+		{1, 0, 0, 0},
+		{0, 1, 0, 0},
+		{0, 0, 1, 0},
+		{0, 0, 0, 1},
+	}
+}
+
+// Mul returns the matrix product m * n.
+func (m Mat4) Mul(n Mat4) Mat4 {
+	var r Mat4
+	for i := 0; i < 4; i++ {
+		for j := 0; j < 4; j++ {
+			s := 0.0
+			for k := 0; k < 4; k++ {
+				s += m[i][k] * n[k][j]
+			}
+			r[i][j] = s
+		}
+	}
+	return r
+}
+
+// MulVec4 returns m * v.
+func (m Mat4) MulVec4(v Vec4) Vec4 {
+	return Vec4{
+		m[0][0]*v.X + m[0][1]*v.Y + m[0][2]*v.Z + m[0][3]*v.W,
+		m[1][0]*v.X + m[1][1]*v.Y + m[1][2]*v.Z + m[1][3]*v.W,
+		m[2][0]*v.X + m[2][1]*v.Y + m[2][2]*v.Z + m[2][3]*v.W,
+		m[3][0]*v.X + m[3][1]*v.Y + m[3][2]*v.Z + m[3][3]*v.W,
+	}
+}
+
+// Translate returns a translation matrix by (x, y, z).
+func Translate(x, y, z float64) Mat4 {
+	m := Identity()
+	m[0][3], m[1][3], m[2][3] = x, y, z
+	return m
+}
+
+// ScaleUniform returns a scaling matrix with per-axis factors.
+func ScaleUniform(x, y, z float64) Mat4 {
+	m := Identity()
+	m[0][0], m[1][1], m[2][2] = x, y, z
+	return m
+}
+
+// RotateZ returns a rotation matrix about the z axis by theta radians.
+func RotateZ(theta float64) Mat4 {
+	c, s := math.Cos(theta), math.Sin(theta)
+	m := Identity()
+	m[0][0], m[0][1] = c, -s
+	m[1][0], m[1][1] = s, c
+	return m
+}
+
+// RotateY returns a rotation matrix about the y axis by theta radians.
+func RotateY(theta float64) Mat4 {
+	c, s := math.Cos(theta), math.Sin(theta)
+	m := Identity()
+	m[0][0], m[0][2] = c, s
+	m[2][0], m[2][2] = -s, c
+	return m
+}
+
+// Perspective returns a perspective projection matrix with the given
+// vertical field of view (radians), aspect ratio (width/height), and
+// near/far clip distances. Depth maps to [0,1] with near at 0, the
+// convention the Early-Z unit expects.
+func Perspective(fovY, aspect, near, far float64) Mat4 {
+	f := 1 / math.Tan(fovY/2)
+	var m Mat4
+	m[0][0] = f / aspect
+	m[1][1] = f
+	m[2][2] = far / (far - near)
+	m[2][3] = -far * near / (far - near)
+	m[3][2] = 1
+	return m
+}
+
+// Orthographic returns an orthographic projection matrix mapping the box
+// [l,r]x[b,t]x[n,f] to NDC with depth in [0,1].
+func Orthographic(l, r, b, t, n, f float64) Mat4 {
+	var m Mat4
+	m[0][0] = 2 / (r - l)
+	m[0][3] = -(r + l) / (r - l)
+	m[1][1] = 2 / (t - b)
+	m[1][3] = -(t + b) / (t - b)
+	m[2][2] = 1 / (f - n)
+	m[2][3] = -n / (f - n)
+	m[3][3] = 1
+	return m
+}
+
+// Viewport maps NDC ([-1,1]^2, depth [0,1]) to screen-space pixels for a
+// width x height frame, with y flipped so +y points down.
+type Viewport struct {
+	Width, Height float64
+}
+
+// ToScreen converts an NDC point to screen space. Depth passes through.
+func (vp Viewport) ToScreen(ndc Vec3) Vec3 {
+	return Vec3{
+		X: (ndc.X + 1) * 0.5 * vp.Width,
+		Y: (1 - (ndc.Y+1)*0.5) * vp.Height,
+		Z: ndc.Z,
+	}
+}

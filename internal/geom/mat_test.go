@@ -1,0 +1,136 @@
+package geom
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestIdentityMul(t *testing.T) {
+	id := Identity()
+	v := Vec4{1, 2, 3, 1}
+	if got := id.MulVec4(v); got != v {
+		t.Errorf("I*v = %v, want %v", got, v)
+	}
+	m := Translate(1, 2, 3)
+	if got := id.Mul(m); got != m {
+		t.Errorf("I*M != M")
+	}
+	if got := m.Mul(id); got != m {
+		t.Errorf("M*I != M")
+	}
+}
+
+func TestTranslate(t *testing.T) {
+	m := Translate(10, -5, 2)
+	got := m.MulVec4(Point4(Vec3{1, 1, 1}))
+	want := Vec4{11, -4, 3, 1}
+	if got != want {
+		t.Errorf("Translate = %v, want %v", got, want)
+	}
+	// Direction vectors (w=0) must be unaffected by translation.
+	dir := m.MulVec4(Vec4{1, 0, 0, 0})
+	if dir != (Vec4{1, 0, 0, 0}) {
+		t.Errorf("Translate on direction = %v", dir)
+	}
+}
+
+func TestScaleUniform(t *testing.T) {
+	m := ScaleUniform(2, 3, 4)
+	got := m.MulVec4(Point4(Vec3{1, 1, 1}))
+	if got != (Vec4{2, 3, 4, 1}) {
+		t.Errorf("Scale = %v", got)
+	}
+}
+
+func TestRotateZ(t *testing.T) {
+	m := RotateZ(math.Pi / 2)
+	got := m.MulVec4(Vec4{1, 0, 0, 1})
+	if !almost(got.X, 0) || !almost(got.Y, 1) || !almost(got.Z, 0) {
+		t.Errorf("RotateZ(90) * x-hat = %v", got)
+	}
+}
+
+func TestRotateY(t *testing.T) {
+	m := RotateY(math.Pi / 2)
+	got := m.MulVec4(Vec4{1, 0, 0, 1})
+	if !almost(got.X, 0) || !almost(got.Y, 0) || !almost(got.Z, -1) {
+		t.Errorf("RotateY(90) * x-hat = %v", got)
+	}
+}
+
+func TestMatMulAssociative(t *testing.T) {
+	a := RotateZ(0.3)
+	b := Translate(1, 2, 3)
+	c := ScaleUniform(2, 2, 2)
+	ab_c := a.Mul(b).Mul(c)
+	a_bc := a.Mul(b.Mul(c))
+	for i := 0; i < 4; i++ {
+		for j := 0; j < 4; j++ {
+			if !almost(ab_c[i][j], a_bc[i][j]) {
+				t.Fatalf("associativity failed at [%d][%d]: %v vs %v", i, j, ab_c[i][j], a_bc[i][j])
+			}
+		}
+	}
+}
+
+func TestMatVecLinear(t *testing.T) {
+	m := RotateZ(0.7).Mul(Translate(3, -1, 2))
+	f := func(x1, y1, z1, x2, y2, z2 float64) bool {
+		a := Vec4{math.Mod(x1, 1e3), math.Mod(y1, 1e3), math.Mod(z1, 1e3), 1}
+		b := Vec4{math.Mod(x2, 1e3), math.Mod(y2, 1e3), math.Mod(z2, 1e3), 0}
+		lhs := m.MulVec4(a.Add(b))
+		rhs := m.MulVec4(a).Add(m.MulVec4(b))
+		return almost(lhs.X, rhs.X) && almost(lhs.Y, rhs.Y) && almost(lhs.Z, rhs.Z) && almost(lhs.W, rhs.W)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPerspectiveDepthRange(t *testing.T) {
+	p := Perspective(math.Pi/3, 16.0/9.0, 1, 100)
+	near := p.MulVec4(Vec4{0, 0, 1, 1}).PerspectiveDivide()
+	far := p.MulVec4(Vec4{0, 0, 100, 1}).PerspectiveDivide()
+	if !almost(near.Z, 0) {
+		t.Errorf("near depth = %v, want 0", near.Z)
+	}
+	if !almost(far.Z, 1) {
+		t.Errorf("far depth = %v, want 1", far.Z)
+	}
+	// Depth must be monotonically increasing with distance.
+	mid := p.MulVec4(Vec4{0, 0, 10, 1}).PerspectiveDivide()
+	if !(mid.Z > near.Z && mid.Z < far.Z) {
+		t.Errorf("depth not monotone: near=%v mid=%v far=%v", near.Z, mid.Z, far.Z)
+	}
+}
+
+func TestOrthographicMapsCorners(t *testing.T) {
+	m := Orthographic(-2, 2, -1, 1, 0, 10)
+	lo := m.MulVec4(Vec4{-2, -1, 0, 1})
+	hi := m.MulVec4(Vec4{2, 1, 10, 1})
+	if !almost(lo.X, -1) || !almost(lo.Y, -1) || !almost(lo.Z, 0) {
+		t.Errorf("ortho low corner = %v", lo)
+	}
+	if !almost(hi.X, 1) || !almost(hi.Y, 1) || !almost(hi.Z, 1) {
+		t.Errorf("ortho high corner = %v", hi)
+	}
+}
+
+func TestViewportToScreen(t *testing.T) {
+	vp := Viewport{Width: 640, Height: 480}
+	// NDC center -> screen center.
+	c := vp.ToScreen(Vec3{0, 0, 0.5})
+	if !almost(c.X, 320) || !almost(c.Y, 240) || !almost(c.Z, 0.5) {
+		t.Errorf("center = %v", c)
+	}
+	// NDC (-1, +1) is the top-left corner in the y-down convention.
+	tl := vp.ToScreen(Vec3{-1, 1, 0})
+	if !almost(tl.X, 0) || !almost(tl.Y, 0) {
+		t.Errorf("top-left = %v", tl)
+	}
+	br := vp.ToScreen(Vec3{1, -1, 0})
+	if !almost(br.X, 640) || !almost(br.Y, 480) {
+		t.Errorf("bottom-right = %v", br)
+	}
+}

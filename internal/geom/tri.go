@@ -1,0 +1,152 @@
+package geom
+
+import "math"
+
+// AABB is an axis-aligned 2D bounding box over screen coordinates with
+// inclusive Min and exclusive Max, matching half-open pixel ranges.
+type AABB struct {
+	MinX, MinY float64
+	MaxX, MaxY float64
+}
+
+// Empty reports whether the box contains no area.
+func (b AABB) Empty() bool { return b.MaxX <= b.MinX || b.MaxY <= b.MinY }
+
+// Intersect returns the intersection of b and o (possibly empty).
+func (b AABB) Intersect(o AABB) AABB {
+	return AABB{
+		MinX: math.Max(b.MinX, o.MinX),
+		MinY: math.Max(b.MinY, o.MinY),
+		MaxX: math.Min(b.MaxX, o.MaxX),
+		MaxY: math.Min(b.MaxY, o.MaxY),
+	}
+}
+
+// Triangle is a screen-space triangle carrying the per-vertex attributes
+// the fragment stage interpolates: depth and texture coordinates.
+// P holds screen positions with Z = depth in [0,1].
+type Triangle struct {
+	P  [3]Vec3
+	UV [3]Vec2
+}
+
+// Bounds returns the screen-space bounding box of the triangle.
+func (t *Triangle) Bounds() AABB {
+	minX := math.Min(t.P[0].X, math.Min(t.P[1].X, t.P[2].X))
+	minY := math.Min(t.P[0].Y, math.Min(t.P[1].Y, t.P[2].Y))
+	maxX := math.Max(t.P[0].X, math.Max(t.P[1].X, t.P[2].X))
+	maxY := math.Max(t.P[0].Y, math.Max(t.P[1].Y, t.P[2].Y))
+	return AABB{MinX: minX, MinY: minY, MaxX: maxX, MaxY: maxY}
+}
+
+// SignedArea2 returns twice the signed area of the triangle in screen
+// space (positive for counter-clockwise in the y-down convention used
+// here when vertices wind clockwise on screen).
+func (t *Triangle) SignedArea2() float64 {
+	a := Vec2{t.P[1].X - t.P[0].X, t.P[1].Y - t.P[0].Y}
+	b := Vec2{t.P[2].X - t.P[0].X, t.P[2].Y - t.P[0].Y}
+	return a.Cross(b)
+}
+
+// Degenerate reports whether the triangle has (near-)zero area and can be
+// skipped by the rasterizer.
+func (t *Triangle) Degenerate() bool {
+	return math.Abs(t.SignedArea2()) < 1e-12
+}
+
+// EdgeSetup holds the precomputed edge-function coefficients for point-in-
+// triangle tests and barycentric interpolation, plus copies of the
+// per-vertex attributes it interpolates. Build once per primitive,
+// evaluate per sample: this mirrors the fixed-function triangle setup in
+// hardware rasterizers. The setup is self-contained (it does not alias
+// the source Triangle), so it can be stored and moved freely.
+type EdgeSetup struct {
+	// Edge functions E_i(x,y) = A_i*x + B_i*y + C_i, one per edge.
+	A, B, C [3]float64
+	invArea float64 // 1 / (2 * signed area), sign-normalized
+	z       [3]float64
+	uv      [3]Vec2
+}
+
+// Setup computes the edge functions for t. Triangles of either winding
+// are accepted; the coefficients are normalized so that interior points
+// have all E_i >= 0. Returns false for degenerate triangles.
+func (t *Triangle) Setup() (EdgeSetup, bool) {
+	area2 := t.SignedArea2()
+	if math.Abs(area2) < 1e-12 {
+		return EdgeSetup{}, false
+	}
+	var e EdgeSetup
+	for i := 0; i < 3; i++ {
+		e.z[i] = t.P[i].Z
+		e.uv[i] = t.UV[i]
+	}
+	sign := 1.0
+	if area2 < 0 {
+		sign = -1.0
+	}
+	// Edge i is opposite vertex i: connects vertex (i+1)%3 to (i+2)%3.
+	for i := 0; i < 3; i++ {
+		p1 := t.P[(i+1)%3]
+		p2 := t.P[(i+2)%3]
+		e.A[i] = sign * (p1.Y - p2.Y)
+		e.B[i] = sign * (p2.X - p1.X)
+		e.C[i] = sign * (p1.X*p2.Y - p2.X*p1.Y)
+	}
+	e.invArea = 1 / (sign * area2)
+	return e, true
+}
+
+// Inside reports whether screen point (x, y) lies inside the triangle
+// (edge-inclusive).
+func (e *EdgeSetup) Inside(x, y float64) bool {
+	for i := 0; i < 3; i++ {
+		if e.A[i]*x+e.B[i]*y+e.C[i] < 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// Barycentric returns the barycentric coordinates of (x, y) with respect
+// to the triangle's vertices. Coordinates sum to 1; points outside the
+// triangle yield negative components.
+func (e *EdgeSetup) Barycentric(x, y float64) (l0, l1, l2 float64) {
+	l0 = (e.A[0]*x + e.B[0]*y + e.C[0]) * e.invArea
+	l1 = (e.A[1]*x + e.B[1]*y + e.C[1]) * e.invArea
+	l2 = 1 - l0 - l1
+	return
+}
+
+// DepthAt interpolates the triangle's depth at screen point (x, y).
+func (e *EdgeSetup) DepthAt(x, y float64) float64 {
+	l0, l1, l2 := e.Barycentric(x, y)
+	return l0*e.z[0] + l1*e.z[1] + l2*e.z[2]
+}
+
+// UVAt interpolates the triangle's texture coordinates at screen point
+// (x, y). Interpolation is affine (screen-linear); the synthetic scenes
+// use modest depth ranges for which perspective correction does not
+// change cache-line footprints materially.
+func (e *EdgeSetup) UVAt(x, y float64) Vec2 {
+	l0, l1, l2 := e.Barycentric(x, y)
+	return Vec2{
+		X: l0*e.uv[0].X + l1*e.uv[1].X + l2*e.uv[2].X,
+		Y: l0*e.uv[0].Y + l1*e.uv[1].Y + l2*e.uv[2].Y,
+	}
+}
+
+// UVFootprint returns |d(uv)/d(x)| and |d(uv)/d(y)| in texture-coordinate
+// units per pixel. For an affine mapping these derivatives are constant
+// across the triangle, which is what the LOD computation needs.
+func (e *EdgeSetup) UVFootprint() (dudx, dvdx, dudy, dvdy float64) {
+	for i := 0; i < 3; i++ {
+		u := e.uv[i].X
+		v := e.uv[i].Y
+		dudx += e.A[i] * e.invArea * u
+		dvdx += e.A[i] * e.invArea * v
+		dudy += e.B[i] * e.invArea * u
+		dvdy += e.B[i] * e.invArea * v
+	}
+	return
+}

@@ -1,0 +1,182 @@
+package geom
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func rightTriangle() Triangle {
+	return Triangle{
+		P:  [3]Vec3{{0, 0, 0}, {10, 0, 0.5}, {0, 10, 1}},
+		UV: [3]Vec2{{0, 0}, {1, 0}, {0, 1}},
+	}
+}
+
+func TestTriangleBounds(t *testing.T) {
+	tr := rightTriangle()
+	b := tr.Bounds()
+	if b.MinX != 0 || b.MinY != 0 || b.MaxX != 10 || b.MaxY != 10 {
+		t.Errorf("Bounds = %+v", b)
+	}
+}
+
+func TestAABBIntersect(t *testing.T) {
+	a := AABB{0, 0, 10, 10}
+	b := AABB{5, 5, 20, 20}
+	got := a.Intersect(b)
+	if got.MinX != 5 || got.MinY != 5 || got.MaxX != 10 || got.MaxY != 10 {
+		t.Errorf("Intersect = %+v", got)
+	}
+	if got.Empty() {
+		t.Error("non-empty intersection reported empty")
+	}
+	c := AABB{20, 20, 30, 30}
+	if !a.Intersect(c).Empty() {
+		t.Error("disjoint boxes reported non-empty")
+	}
+}
+
+func TestEdgeSetupInside(t *testing.T) {
+	tr := rightTriangle()
+	e, ok := tr.Setup()
+	if !ok {
+		t.Fatal("setup failed on valid triangle")
+	}
+	if !e.Inside(1, 1) {
+		t.Error("interior point reported outside")
+	}
+	if e.Inside(9, 9) {
+		t.Error("exterior point reported inside")
+	}
+	// Vertices lie on edges; edge-inclusive test must accept them.
+	for i, p := range tr.P {
+		if !e.Inside(p.X, p.Y) {
+			t.Errorf("vertex %d reported outside", i)
+		}
+	}
+}
+
+func TestEdgeSetupWindingInvariant(t *testing.T) {
+	tr := rightTriangle()
+	rev := Triangle{
+		P:  [3]Vec3{tr.P[0], tr.P[2], tr.P[1]},
+		UV: [3]Vec2{tr.UV[0], tr.UV[2], tr.UV[1]},
+	}
+	e1, ok1 := tr.Setup()
+	e2, ok2 := rev.Setup()
+	if !ok1 || !ok2 {
+		t.Fatal("setup failed")
+	}
+	pts := []Vec2{{1, 1}, {5, 4}, {9, 9}, {-1, 0}, {3, 3}}
+	for _, p := range pts {
+		if e1.Inside(p.X, p.Y) != e2.Inside(p.X, p.Y) {
+			t.Errorf("winding changed inclusion at %v", p)
+		}
+	}
+}
+
+func TestDegenerate(t *testing.T) {
+	tr := Triangle{P: [3]Vec3{{0, 0, 0}, {5, 5, 0}, {10, 10, 0}}}
+	if !tr.Degenerate() {
+		t.Error("collinear triangle not reported degenerate")
+	}
+	if _, ok := tr.Setup(); ok {
+		t.Error("Setup accepted degenerate triangle")
+	}
+}
+
+func TestBarycentricSumsToOne(t *testing.T) {
+	tr := rightTriangle()
+	e, _ := tr.Setup()
+	f := func(x, y float64) bool {
+		x = math.Mod(x, 100)
+		y = math.Mod(y, 100)
+		l0, l1, l2 := e.Barycentric(x, y)
+		return almost(l0+l1+l2, 1)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestBarycentricAtVertices(t *testing.T) {
+	tr := rightTriangle()
+	e, _ := tr.Setup()
+	want := [3][3]float64{{1, 0, 0}, {0, 1, 0}, {0, 0, 1}}
+	for i, p := range tr.P {
+		l0, l1, l2 := e.Barycentric(p.X, p.Y)
+		got := [3]float64{l0, l1, l2}
+		for j := 0; j < 3; j++ {
+			if !almost(got[j], want[i][j]) {
+				t.Errorf("vertex %d: bary = %v", i, got)
+			}
+		}
+	}
+}
+
+func TestDepthInterpolation(t *testing.T) {
+	tr := rightTriangle()
+	e, _ := tr.Setup()
+	if got := e.DepthAt(0, 0); !almost(got, 0) {
+		t.Errorf("depth at v0 = %v", got)
+	}
+	if got := e.DepthAt(10, 0); !almost(got, 0.5) {
+		t.Errorf("depth at v1 = %v", got)
+	}
+	if got := e.DepthAt(5, 0); !almost(got, 0.25) {
+		t.Errorf("depth at edge midpoint = %v", got)
+	}
+}
+
+func TestUVInterpolation(t *testing.T) {
+	tr := rightTriangle()
+	e, _ := tr.Setup()
+	uv := e.UVAt(5, 5) // midpoint of hypotenuse
+	if !almost(uv.X, 0.5) || !almost(uv.Y, 0.5) {
+		t.Errorf("UV at hypotenuse midpoint = %v", uv)
+	}
+	uv0 := e.UVAt(0, 0)
+	if !almost(uv0.X, 0) || !almost(uv0.Y, 0) {
+		t.Errorf("UV at v0 = %v", uv0)
+	}
+}
+
+func TestUVFootprintConstantDerivatives(t *testing.T) {
+	// UV maps 10 screen pixels to 1 UV unit, so du/dx = 0.1, dv/dy = 0.1.
+	tr := rightTriangle()
+	e, _ := tr.Setup()
+	dudx, dvdx, dudy, dvdy := e.UVFootprint()
+	if !almost(dudx, 0.1) || !almost(dvdx, 0) || !almost(dudy, 0) || !almost(dvdy, 0.1) {
+		t.Errorf("footprint = %v %v %v %v", dudx, dvdx, dudy, dvdy)
+	}
+}
+
+func TestInsideMatchesBarycentric(t *testing.T) {
+	// Property: Inside(x,y) iff all barycentric coordinates >= 0 (within eps),
+	// for randomized triangles and points.
+	rng := rand.New(rand.NewSource(42))
+	for iter := 0; iter < 200; iter++ {
+		tr := Triangle{
+			P: [3]Vec3{
+				{rng.Float64() * 50, rng.Float64() * 50, 0},
+				{rng.Float64() * 50, rng.Float64() * 50, 0},
+				{rng.Float64() * 50, rng.Float64() * 50, 0},
+			},
+		}
+		e, ok := tr.Setup()
+		if !ok {
+			continue
+		}
+		for p := 0; p < 20; p++ {
+			x := rng.Float64() * 50
+			y := rng.Float64() * 50
+			l0, l1, l2 := e.Barycentric(x, y)
+			baryInside := l0 >= -1e-9 && l1 >= -1e-9 && l2 >= -1e-9
+			if e.Inside(x, y) != baryInside {
+				t.Fatalf("mismatch at (%v,%v): inside=%v bary=(%v,%v,%v)", x, y, e.Inside(x, y), l0, l1, l2)
+			}
+		}
+	}
+}

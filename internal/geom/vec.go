@@ -1,0 +1,130 @@
+// Package geom provides the small linear-algebra and triangle-setup
+// substrate used by the graphics pipeline: vectors, 4x4 matrices,
+// screen-space triangles with edge functions and barycentric
+// interpolation, and axis-aligned bounding boxes.
+//
+// Conventions: right-handed clip space, row-vector * matrix is NOT used;
+// matrices multiply column vectors (v' = M * v). Screen space has the
+// origin at the top-left pixel, +x right, +y down, matching the raster
+// pipeline's tile addressing.
+package geom
+
+import "math"
+
+// Vec2 is a 2-component float64 vector (UV coordinates, screen points).
+type Vec2 struct {
+	X, Y float64
+}
+
+// Add returns v + w.
+func (v Vec2) Add(w Vec2) Vec2 { return Vec2{v.X + w.X, v.Y + w.Y} }
+
+// Sub returns v - w.
+func (v Vec2) Sub(w Vec2) Vec2 { return Vec2{v.X - w.X, v.Y - w.Y} }
+
+// Scale returns s*v.
+func (v Vec2) Scale(s float64) Vec2 { return Vec2{v.X * s, v.Y * s} }
+
+// Dot returns the dot product of v and w.
+func (v Vec2) Dot(w Vec2) float64 { return v.X*w.X + v.Y*w.Y }
+
+// Cross returns the z component of the 3D cross product of v and w,
+// i.e. the signed area of the parallelogram they span.
+func (v Vec2) Cross(w Vec2) float64 { return v.X*w.Y - v.Y*w.X }
+
+// Len returns the Euclidean length of v.
+func (v Vec2) Len() float64 { return math.Hypot(v.X, v.Y) }
+
+// Vec3 is a 3-component float64 vector (positions, normals, colors).
+type Vec3 struct {
+	X, Y, Z float64
+}
+
+// Add returns v + w.
+func (v Vec3) Add(w Vec3) Vec3 { return Vec3{v.X + w.X, v.Y + w.Y, v.Z + w.Z} }
+
+// Sub returns v - w.
+func (v Vec3) Sub(w Vec3) Vec3 { return Vec3{v.X - w.X, v.Y - w.Y, v.Z - w.Z} }
+
+// Scale returns s*v.
+func (v Vec3) Scale(s float64) Vec3 { return Vec3{v.X * s, v.Y * s, v.Z * s} }
+
+// Dot returns the dot product of v and w.
+func (v Vec3) Dot(w Vec3) float64 { return v.X*w.X + v.Y*w.Y + v.Z*w.Z }
+
+// Cross returns the cross product v × w.
+func (v Vec3) Cross(w Vec3) Vec3 {
+	return Vec3{
+		v.Y*w.Z - v.Z*w.Y,
+		v.Z*w.X - v.X*w.Z,
+		v.X*w.Y - v.Y*w.X,
+	}
+}
+
+// Len returns the Euclidean length of v.
+func (v Vec3) Len() float64 { return math.Sqrt(v.Dot(v)) }
+
+// Normalize returns v scaled to unit length. The zero vector is returned
+// unchanged.
+func (v Vec3) Normalize() Vec3 {
+	l := v.Len()
+	if l == 0 {
+		return v
+	}
+	return v.Scale(1 / l)
+}
+
+// Vec4 is a 4-component homogeneous vector.
+type Vec4 struct {
+	X, Y, Z, W float64
+}
+
+// Add returns v + w.
+func (v Vec4) Add(w Vec4) Vec4 { return Vec4{v.X + w.X, v.Y + w.Y, v.Z + w.Z, v.W + w.W} }
+
+// Sub returns v - w.
+func (v Vec4) Sub(w Vec4) Vec4 { return Vec4{v.X - w.X, v.Y - w.Y, v.Z - w.Z, v.W - w.W} }
+
+// Scale returns s*v.
+func (v Vec4) Scale(s float64) Vec4 { return Vec4{v.X * s, v.Y * s, v.Z * s, v.W * s} }
+
+// Dot returns the dot product of v and w.
+func (v Vec4) Dot(w Vec4) float64 { return v.X*w.X + v.Y*w.Y + v.Z*w.Z + v.W*w.W }
+
+// XYZ drops the W component.
+func (v Vec4) XYZ() Vec3 { return Vec3{v.X, v.Y, v.Z} }
+
+// PerspectiveDivide returns the normalized-device-coordinate point v/w.
+// A w of zero yields the unmodified XYZ to avoid NaN propagation; callers
+// clip such vertices beforehand.
+func (v Vec4) PerspectiveDivide() Vec3 {
+	if v.W == 0 {
+		return v.XYZ()
+	}
+	inv := 1 / v.W
+	return Vec3{v.X * inv, v.Y * inv, v.Z * inv}
+}
+
+// Point4 promotes a Vec3 position to homogeneous coordinates (w=1).
+func Point4(v Vec3) Vec4 { return Vec4{v.X, v.Y, v.Z, 1} }
+
+// Lerp2 linearly interpolates between a and b by t in [0,1].
+func Lerp2(a, b Vec2, t float64) Vec2 {
+	return Vec2{a.X + (b.X-a.X)*t, a.Y + (b.Y-a.Y)*t}
+}
+
+// Lerp3 linearly interpolates between a and b by t in [0,1].
+func Lerp3(a, b Vec3, t float64) Vec3 {
+	return Vec3{a.X + (b.X-a.X)*t, a.Y + (b.Y-a.Y)*t, a.Z + (b.Z-a.Z)*t}
+}
+
+// Clamp limits x to the closed interval [lo, hi].
+func Clamp(x, lo, hi float64) float64 {
+	if x < lo {
+		return lo
+	}
+	if x > hi {
+		return hi
+	}
+	return x
+}

@@ -1,0 +1,150 @@
+package geom
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+const eps = 1e-9
+
+func almost(a, b float64) bool { return math.Abs(a-b) < 1e-6 }
+
+func TestVec2Ops(t *testing.T) {
+	a := Vec2{1, 2}
+	b := Vec2{3, -1}
+	if got := a.Add(b); got != (Vec2{4, 1}) {
+		t.Errorf("Add = %v", got)
+	}
+	if got := a.Sub(b); got != (Vec2{-2, 3}) {
+		t.Errorf("Sub = %v", got)
+	}
+	if got := a.Scale(2); got != (Vec2{2, 4}) {
+		t.Errorf("Scale = %v", got)
+	}
+	if got := a.Dot(b); got != 1 {
+		t.Errorf("Dot = %v", got)
+	}
+	if got := a.Cross(b); got != -7 {
+		t.Errorf("Cross = %v", got)
+	}
+	if got := (Vec2{3, 4}).Len(); !almost(got, 5) {
+		t.Errorf("Len = %v", got)
+	}
+}
+
+func TestVec3Ops(t *testing.T) {
+	a := Vec3{1, 0, 0}
+	b := Vec3{0, 1, 0}
+	if got := a.Cross(b); got != (Vec3{0, 0, 1}) {
+		t.Errorf("Cross = %v", got)
+	}
+	if got := a.Dot(b); got != 0 {
+		t.Errorf("Dot = %v", got)
+	}
+	v := Vec3{0, 3, 4}
+	if got := v.Normalize().Len(); !almost(got, 1) {
+		t.Errorf("Normalize length = %v", got)
+	}
+	zero := Vec3{}
+	if got := zero.Normalize(); got != zero {
+		t.Errorf("Normalize(0) = %v", got)
+	}
+	if got := a.Add(b).Sub(b); got != a {
+		t.Errorf("Add/Sub roundtrip = %v", got)
+	}
+	if got := a.Scale(3); got != (Vec3{3, 0, 0}) {
+		t.Errorf("Scale = %v", got)
+	}
+}
+
+func TestVec3CrossAnticommutative(t *testing.T) {
+	f := func(ax, ay, az, bx, by, bz float64) bool {
+		a := Vec3{math.Mod(ax, 100), math.Mod(ay, 100), math.Mod(az, 100)}
+		b := Vec3{math.Mod(bx, 100), math.Mod(by, 100), math.Mod(bz, 100)}
+		c1 := a.Cross(b)
+		c2 := b.Cross(a).Scale(-1)
+		return almost(c1.X, c2.X) && almost(c1.Y, c2.Y) && almost(c1.Z, c2.Z)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestVec3CrossOrthogonal(t *testing.T) {
+	f := func(ax, ay, az, bx, by, bz float64) bool {
+		// Keep magnitudes small to bound floating-point error.
+		a := Vec3{math.Mod(ax, 100), math.Mod(ay, 100), math.Mod(az, 100)}
+		b := Vec3{math.Mod(bx, 100), math.Mod(by, 100), math.Mod(bz, 100)}
+		c := a.Cross(b)
+		return math.Abs(c.Dot(a)) < 1e-6 && math.Abs(c.Dot(b)) < 1e-6
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestVec4PerspectiveDivide(t *testing.T) {
+	v := Vec4{2, 4, 6, 2}
+	if got := v.PerspectiveDivide(); got != (Vec3{1, 2, 3}) {
+		t.Errorf("PerspectiveDivide = %v", got)
+	}
+	// w=0 must not produce NaN.
+	v0 := Vec4{1, 2, 3, 0}
+	got := v0.PerspectiveDivide()
+	if math.IsNaN(got.X) || got != (Vec3{1, 2, 3}) {
+		t.Errorf("PerspectiveDivide w=0 = %v", got)
+	}
+}
+
+func TestVec4Ops(t *testing.T) {
+	a := Vec4{1, 2, 3, 4}
+	b := Vec4{4, 3, 2, 1}
+	if got := a.Add(b); got != (Vec4{5, 5, 5, 5}) {
+		t.Errorf("Add = %v", got)
+	}
+	if got := a.Sub(b); got != (Vec4{-3, -1, 1, 3}) {
+		t.Errorf("Sub = %v", got)
+	}
+	if got := a.Dot(b); got != 20 {
+		t.Errorf("Dot = %v", got)
+	}
+	if got := a.Scale(2).XYZ(); got != (Vec3{2, 4, 6}) {
+		t.Errorf("Scale/XYZ = %v", got)
+	}
+	if got := Point4(Vec3{1, 2, 3}); got != (Vec4{1, 2, 3, 1}) {
+		t.Errorf("Point4 = %v", got)
+	}
+}
+
+func TestLerp(t *testing.T) {
+	a2, b2 := Vec2{0, 0}, Vec2{2, 4}
+	if got := Lerp2(a2, b2, 0.5); got != (Vec2{1, 2}) {
+		t.Errorf("Lerp2 = %v", got)
+	}
+	a3, b3 := Vec3{0, 0, 0}, Vec3{2, 4, 8}
+	if got := Lerp3(a3, b3, 0.25); got != (Vec3{0.5, 1, 2}) {
+		t.Errorf("Lerp3 = %v", got)
+	}
+	if got := Lerp2(a2, b2, 0); got != a2 {
+		t.Errorf("Lerp2 t=0 = %v", got)
+	}
+	if got := Lerp2(a2, b2, 1); got != b2 {
+		t.Errorf("Lerp2 t=1 = %v", got)
+	}
+}
+
+func TestClamp(t *testing.T) {
+	cases := []struct{ x, lo, hi, want float64 }{
+		{5, 0, 10, 5},
+		{-1, 0, 10, 0},
+		{11, 0, 10, 10},
+		{0, 0, 10, 0},
+		{10, 0, 10, 10},
+	}
+	for _, c := range cases {
+		if got := Clamp(c.x, c.lo, c.hi); got != c.want {
+			t.Errorf("Clamp(%v,%v,%v) = %v, want %v", c.x, c.lo, c.hi, got, c.want)
+		}
+	}
+}

@@ -1,0 +1,446 @@
+package pipeline
+
+import (
+	"fmt"
+
+	"dtexl/internal/cache"
+	"dtexl/internal/stats"
+	"dtexl/internal/tileorder"
+	"dtexl/internal/trace"
+)
+
+// Run simulates one frame of scene under cfg and returns its metrics.
+func Run(scene *trace.Scene, cfg Config) (*Metrics, error) {
+	ms, err := RunFrames([]*trace.Scene{scene}, cfg)
+	if err != nil {
+		return nil, err
+	}
+	return ms[0], nil
+}
+
+// RunFrames simulates a sequence of frames (an animation) against a
+// single memory hierarchy, so the caches stay warm across frames exactly
+// as on hardware: the shared L2 retains the texture working set that
+// consecutive frames re-reference. Returns one Metrics per frame, with
+// per-frame (not cumulative) traffic counts.
+func RunFrames(scenes []*trace.Scene, cfg Config) ([]*Metrics, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if len(scenes) == 0 {
+		return nil, fmt.Errorf("pipeline: no frames to simulate")
+	}
+	hier := cache.NewHierarchy(cfg.Hierarchy)
+	out := make([]*Metrics, 0, len(scenes))
+	var prevL1, prevL2 cache.Stats
+	var prevDRAM uint64
+	for i, scene := range scenes {
+		m, err := runFrame(scene, cfg, hier)
+		if err != nil {
+			return nil, fmt.Errorf("pipeline: frame %d: %w", i, err)
+		}
+		// Convert cumulative hierarchy counters to per-frame deltas.
+		l1, l2 := m.L1Tex, m.L2
+		m.L1Tex = statsDelta(l1, prevL1)
+		m.L2 = statsDelta(l2, prevL2)
+		m.Events.L2Accesses = m.L2.Accesses
+		dram := m.Events.DRAMAccesses
+		m.Events.DRAMAccesses = dram - prevDRAM
+		prevL1, prevL2, prevDRAM = l1, l2, dram
+		out = append(out, m)
+	}
+	return out, nil
+}
+
+func statsDelta(cur, prev cache.Stats) cache.Stats {
+	return cache.Stats{
+		Accesses:  cur.Accesses - prev.Accesses,
+		Hits:      cur.Hits - prev.Hits,
+		Misses:    cur.Misses - prev.Misses,
+		Evictions: cur.Evictions - prev.Evictions,
+	}
+}
+
+// runFrame simulates one frame against an existing hierarchy. Cache
+// counters in the result are cumulative over the hierarchy's lifetime;
+// RunFrames converts them to per-frame deltas.
+func runFrame(scene *trace.Scene, cfg Config, hier *cache.Hierarchy) (*Metrics, error) {
+	if scene.Width != cfg.Width || scene.Height != cfg.Height {
+		return nil, fmt.Errorf("pipeline: scene is %dx%d but config is %dx%d",
+			scene.Width, scene.Height, cfg.Width, cfg.Height)
+	}
+
+	// Phase 1: Geometry Pipeline + Tiling Engine (whole frame, §II-A).
+	geo := RunGeometry(scene, hier, cfg)
+	binning := BinPrimitives(geo.Primitives, hier, cfg)
+
+	// Phase 2: Raster Pipeline over the tile sequence.
+	ex := newExecutor(cfg, hier, geo.Primitives, binning)
+	if cfg.Decoupled {
+		ex.runDecoupled()
+	} else {
+		ex.runCoupled()
+	}
+
+	m := &Metrics{
+		Config:            cfg,
+		GeometryCycles:    geo.Cycles + binning.Cycles,
+		RasterCycles:      ex.frameEnd,
+		PerSCQuads:        make([]uint64, cfg.NumSC),
+		PerSCBusy:         make([]int64, cfg.NumSC),
+		TileTimeDeviation: ex.tileTimeDev,
+		TileQuadDeviation: ex.tileQuadDev,
+		Timeline:          ex.timeline,
+	}
+	m.Cycles = m.GeometryCycles + m.RasterCycles
+	m.FPS = cfg.ClockHz / float64(m.Cycles)
+
+	ev := &ex.es.events
+	ev.VertexFetches = geo.VertexFetches
+	ev.L2Accesses = hier.L2.Stats().Accesses
+	ev.DRAMAccesses = hier.DRAM.Stats().Accesses
+	ev.FrameCycles = uint64(m.Cycles)
+	var busy int64
+	for i, sc := range ex.scs {
+		m.PerSCQuads[i] = sc.quadsRetired
+		m.PerSCBusy[i] = sc.busy
+		busy += sc.busy
+	}
+	ev.SCBusyCycles = uint64(busy)
+	idle := int64(cfg.NumSC)*ex.frameEnd - busy
+	if idle < 0 {
+		idle = 0
+	}
+	ev.SCIdleCycles = uint64(idle)
+	m.Events = *ev
+	m.L1Tex = hier.L1TexStats()
+	m.L2 = hier.L2.Stats()
+	return m, nil
+}
+
+// executor drives the Raster Pipeline's back end: the shader cores and
+// the blend/flush bookkeeping, under either barrier discipline.
+type executor struct {
+	cfg      Config
+	hier     *cache.Hierarchy
+	raster   *rasterizer
+	seq      []tileorder.Point
+	scs      []*scState
+	es       *engineState
+	tilesX   int
+	frameEnd int64
+
+	tileTimeDev []float64
+	tileQuadDev []float64
+	timeline    []TileTiming
+
+	// decoupled-mode bookkeeping
+	tiles         []*tileWork
+	rasterDone    []int64
+	tileRemaining []int
+	tileFinish    []int64
+	lo, hi        int
+	lastRasterEnd int64
+}
+
+func newExecutor(cfg Config, hier *cache.Hierarchy, prims []Primitive, b *Binning) *executor {
+	ex := &executor{
+		cfg:    cfg,
+		hier:   hier,
+		raster: newRasterizer(cfg, prims, b, hier),
+		seq:    TileSequence(cfg),
+		tilesX: cfg.TilesX(),
+	}
+	ex.scs = make([]*scState, cfg.NumSC)
+	for i := range ex.scs {
+		ex.scs[i] = &scState{id: i}
+	}
+	ex.es = &engineState{cfg: cfg, hier: hier}
+	return ex
+}
+
+// tileFlushLines is the number of color-buffer cache lines per tile.
+func (ex *executor) tileFlushLines() int {
+	return ex.cfg.TileSize * ex.cfg.TileSize * 4 / 64
+}
+
+// flush writes `lines` color-buffer lines of tile tw starting at cycle
+// `at`, returning the completion time. Flushes are posted writes: the
+// write buffer drains one line per cycle, so the latency is the line
+// count, while the traffic still flows through the tile cache toward L2
+// and DRAM (Fig. 5) for the traffic and energy accounting.
+func (ex *executor) flush(tw *tileWork, bank int, lines int, at int64) int64 {
+	tileIdx := tw.ty*ex.tilesX + tw.tx
+	tileBytes := ex.cfg.TileSize * ex.cfg.TileSize * 4
+	base := uint64(framebufferBase) + uint64(tileIdx*tileBytes) + uint64(bank*lines*64)
+	for i := 0; i < lines; i++ {
+		ex.hier.TileAccess(base + uint64(i*64))
+	}
+	ex.es.events.FlushedLines += uint64(lines)
+	return at + int64(lines)
+}
+
+// ---------------------------------------------------------------------
+// Coupled (baseline) execution: Fig. 4.
+// ---------------------------------------------------------------------
+
+func (ex *executor) runCoupled() {
+	n := len(ex.seq)
+	gates := make([]int64, n+1) // gate[i] = when tile i's fragment work may start
+	var rasterPrev int64
+	var gatePrev int64
+	var flushPrev int64
+
+	for i, pt := range ex.seq {
+		tw := ex.raster.rasterizeTile(i, pt)
+		ex.es.events.QuadsShaded += uint64(len(tw.quads))
+		ex.es.events.QuadsCulled += tw.culled
+		ex.es.events.FragmentsShaded += tw.fragments
+
+		// The rasterizer runs ahead of the fragment stage, bounded by the
+		// quad FIFO (FIFODepth tiles).
+		rasterStart := rasterPrev
+		if i >= ex.cfg.FIFODepth && gates[i-ex.cfg.FIFODepth] > rasterStart {
+			rasterStart = gates[i-ex.cfg.FIFODepth]
+		}
+		rasterDone := rasterStart + tw.rasterCycles
+		rasterPrev = rasterDone
+
+		gate := gatePrev
+		if i > 0 {
+			gate += ex.cfg.TileBarrierCycles
+		}
+		if rasterDone > gate {
+			gate = rasterDone
+		}
+		gates[i] = gate
+
+		// Barrier: all SCs align to the gate, then drain this tile.
+		before := make([]uint64, len(ex.scs))
+		for si, sc := range ex.scs {
+			if sc.clock < gate {
+				sc.clock = gate
+			}
+			sc.setInput(tw, gate)
+			before[si] = sc.quadsRetired
+		}
+		ex.drainAll()
+
+		// Per-tile imbalance metrics (Figs. 12, 14, 15).
+		times := make([]float64, len(ex.scs))
+		quads := make([]float64, len(ex.scs))
+		var maxFinish int64 = gate
+		for si, sc := range ex.scs {
+			if sc.quadsRetired > before[si] {
+				times[si] = float64(sc.lastRetire - gate)
+				if sc.lastRetire > maxFinish {
+					maxFinish = sc.lastRetire
+				}
+			}
+			quads[si] = float64(len(tw.perSC[si]))
+		}
+		if ex.cfg.NumSC > 1 {
+			ex.tileTimeDev = append(ex.tileTimeDev, stats.MeanDeviation(times))
+			ex.tileQuadDev = append(ex.tileQuadDev, stats.MeanDeviation(quads))
+		}
+		if ex.cfg.CollectTimeline {
+			tt := TileTiming{Seq: i, TX: pt.X, TY: pt.Y, Gate: gate, Finish: make([]int64, len(ex.scs))}
+			for si, sc := range ex.scs {
+				if sc.quadsRetired > before[si] {
+					tt.Finish[si] = sc.lastRetire
+				} else {
+					tt.Finish[si] = gate
+				}
+			}
+			ex.timeline = append(ex.timeline, tt)
+		}
+
+		// Whole-tile color flush. The single Color Buffer serializes the
+		// flush chain: tile t+1's flush cannot begin before tile t's
+		// completes (§III-E change #1 makes this per-bank instead). The
+		// fragment stage of the next tile is gated only by its own
+		// barrier; the quad FIFO in front of Blending absorbs the flush
+		// window.
+		flushStart := maxFinish
+		if flushPrev > flushStart {
+			flushStart = flushPrev
+		}
+		flushPrev = ex.flush(tw, 0, ex.tileFlushLines(), flushStart)
+		gatePrev = maxFinish
+		if flushPrev > ex.frameEnd {
+			ex.frameEnd = flushPrev
+		}
+	}
+}
+
+// drainAll advances SCs (always the one with the smallest clock) until
+// none has pending work.
+func (ex *executor) drainAll() {
+	for {
+		var best *scState
+		for _, sc := range ex.scs {
+			if !sc.pending() {
+				continue
+			}
+			if best == nil || sc.clock < best.clock {
+				best = sc
+			}
+		}
+		if best == nil {
+			return
+		}
+		if !best.step(ex.es) {
+			panic("pipeline: coupled executor deadlocked")
+		}
+	}
+}
+
+// ---------------------------------------------------------------------
+// Decoupled (DTexL) execution: Fig. 10.
+// ---------------------------------------------------------------------
+
+func (ex *executor) runDecoupled() {
+	n := len(ex.seq)
+	ex.tiles = make([]*tileWork, n)
+	ex.rasterDone = make([]int64, n)
+	ex.tileRemaining = make([]int, n)
+	ex.tileFinish = make([]int64, n)
+
+	// Per-SC stream state.
+	scTile := make([]int, len(ex.scs))    // current tile index per SC
+	scFlush := make([]int64, len(ex.scs)) // completion of the SC's last bank flush
+	for i := range scTile {
+		scTile[i] = -1
+	}
+
+	ex.es.retire = func(sc *scState, tw *tileWork, at int64) {
+		ex.tileRemaining[tw.seq]--
+		if ex.tileRemaining[tw.seq] == 0 {
+			ex.tileFinish[tw.seq] = at
+			ex.advanceLo()
+		}
+	}
+	defer func() { ex.es.retire = nil }()
+
+	ex.extendWindow()
+
+	// advance moves sc's input to its next non-empty subtile stream,
+	// returning false when it must wait for the window.
+	advance := func(sc *scState) bool {
+		if sc.inTile != nil && len(sc.inTile.perSC[sc.id]) > 0 {
+			// Bank flush of the subtile just drained (16 lines, §III-E).
+			scFlush[sc.id] = ex.flush(sc.inTile, sc.id, ex.tileFlushLines()/len(ex.scs), sc.lastRetire)
+			sc.inTile = nil
+		}
+		for {
+			next := scTile[sc.id] + 1
+			if next >= ex.hi {
+				if !ex.extendWindow() {
+					return false
+				}
+				if next >= ex.hi {
+					return false
+				}
+			}
+			scTile[sc.id] = next
+			tw := ex.tiles[next]
+			if tw == nil || len(tw.perSC[sc.id]) == 0 {
+				continue // nothing for this SC in that tile
+			}
+			gate := ex.rasterDone[next]
+			if scFlush[sc.id] > gate {
+				gate = scFlush[sc.id]
+			}
+			sc.setInput(tw, gate)
+			return true
+		}
+	}
+
+	for {
+		// Feed drained SCs.
+		anyPending := false
+		for _, sc := range ex.scs {
+			if !sc.pending() {
+				advance(sc)
+			}
+			if sc.pending() {
+				anyPending = true
+			}
+		}
+		if !anyPending {
+			if ex.lo >= n && ex.hi >= n {
+				break
+			}
+			if !ex.extendWindow() && ex.lo >= n {
+				break
+			}
+			continue
+		}
+		var best *scState
+		for _, sc := range ex.scs {
+			if !sc.pending() {
+				continue
+			}
+			if best == nil || sc.clock < best.clock {
+				best = sc
+			}
+		}
+		if !best.step(ex.es) {
+			panic("pipeline: decoupled executor deadlocked")
+		}
+	}
+
+	for _, sc := range ex.scs {
+		if sc.clock > ex.frameEnd {
+			ex.frameEnd = sc.clock
+		}
+	}
+	for _, f := range scFlush {
+		if f > ex.frameEnd {
+			ex.frameEnd = f
+		}
+	}
+	if ex.lastRasterEnd > ex.frameEnd {
+		ex.frameEnd = ex.lastRasterEnd
+	}
+}
+
+// extendWindow rasterizes tiles up to the FIFO bound and returns whether
+// it made progress.
+func (ex *executor) extendWindow() bool {
+	n := len(ex.seq)
+	progressed := false
+	for ex.hi < n && ex.hi < ex.lo+ex.cfg.FIFODepth {
+		i := ex.hi
+		tw := ex.raster.rasterizeTile(i, ex.seq[i])
+		ex.es.events.QuadsShaded += uint64(len(tw.quads))
+		ex.es.events.QuadsCulled += tw.culled
+		ex.es.events.FragmentsShaded += tw.fragments
+
+		start := ex.lastRasterEnd
+		if i >= ex.cfg.FIFODepth && ex.tileFinish[i-ex.cfg.FIFODepth] > start {
+			start = ex.tileFinish[i-ex.cfg.FIFODepth]
+		}
+		ex.rasterDone[i] = start + tw.rasterCycles
+		ex.lastRasterEnd = ex.rasterDone[i]
+
+		ex.tiles[i] = tw
+		ex.tileRemaining[i] = len(tw.quads)
+		if len(tw.quads) == 0 {
+			ex.tileFinish[i] = ex.rasterDone[i]
+		}
+		ex.hi++
+		ex.advanceLo()
+		progressed = true
+	}
+	return progressed
+}
+
+// advanceLo slides the window past fully retired tiles, releasing their
+// work units.
+func (ex *executor) advanceLo() {
+	for ex.lo < ex.hi && ex.tileRemaining[ex.lo] == 0 {
+		ex.tiles[ex.lo] = nil
+		ex.lo++
+	}
+}

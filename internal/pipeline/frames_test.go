@@ -1,0 +1,111 @@
+package pipeline
+
+import (
+	"testing"
+
+	"dtexl/internal/trace"
+)
+
+func animScenes(t *testing.T, alias string, cfg Config, frames int) []*trace.Scene {
+	t.Helper()
+	p, err := trace.ProfileByAlias(alias)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return trace.GenerateAnimation(p, cfg.Width, cfg.Height, 1, frames)
+}
+
+func TestRunFramesWarmsTheL2(t *testing.T) {
+	// Consecutive animation frames share most of their texture working
+	// set; with the L2 kept warm, later frames must fetch less from DRAM
+	// than the cold first frame.
+	cfg := testConfig()
+	scenes := animScenes(t, "TRu", cfg, 3)
+	ms, err := RunFrames(scenes, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ms) != 3 {
+		t.Fatalf("%d frame metrics", len(ms))
+	}
+	if ms[1].Events.DRAMAccesses >= ms[0].Events.DRAMAccesses {
+		t.Errorf("frame 1 DRAM accesses (%d) not below cold frame 0 (%d)",
+			ms[1].Events.DRAMAccesses, ms[0].Events.DRAMAccesses)
+	}
+	if ms[2].Events.DRAMAccesses >= ms[0].Events.DRAMAccesses {
+		t.Errorf("frame 2 DRAM accesses (%d) not below cold frame 0 (%d)",
+			ms[2].Events.DRAMAccesses, ms[0].Events.DRAMAccesses)
+	}
+}
+
+func TestRunFramesDeltasArePerFrame(t *testing.T) {
+	// Per-frame counters must be deltas, not cumulative: the sum over
+	// frames must match a manual accumulation, and every frame must do
+	// real work.
+	cfg := testConfig()
+	scenes := animScenes(t, "SWa", cfg, 3)
+	ms, err := RunFrames(scenes, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, m := range ms {
+		if m.Events.QuadsShaded == 0 || m.L2.Accesses == 0 {
+			t.Errorf("frame %d recorded no work", i)
+		}
+		if m.L2.Hits+m.L2.Misses != m.L2.Accesses {
+			t.Errorf("frame %d: L2 delta inconsistent: %+v", i, m.L2)
+		}
+		if m.Events.L2Accesses != m.L2.Accesses {
+			t.Errorf("frame %d: event/stat L2 mismatch", i)
+		}
+	}
+}
+
+func TestRunFramesEmptyInput(t *testing.T) {
+	if _, err := RunFrames(nil, testConfig()); err == nil {
+		t.Error("empty frame list accepted")
+	}
+}
+
+func TestAnimationFramesDiffer(t *testing.T) {
+	cfg := testConfig()
+	scenes := animScenes(t, "CRa", cfg, 2)
+	// The camera moved: the frames' draw data must differ.
+	same := true
+	a, b := scenes[0], scenes[1]
+	if len(a.Draws) != len(b.Draws) {
+		same = false
+	} else {
+	outer:
+		for i := range a.Draws {
+			if len(a.Draws[i].Vertices) != len(b.Draws[i].Vertices) {
+				same = false
+				break
+			}
+			for j := range a.Draws[i].Vertices {
+				if a.Draws[i].Vertices[j] != b.Draws[i].Vertices[j] {
+					same = false
+					break outer
+				}
+			}
+		}
+	}
+	if same {
+		t.Error("animation frames are identical")
+	}
+	// But they share the same textures (the whole point of warm caches).
+	if a.Textures[0].Base != b.Textures[0].Base {
+		t.Error("animation frames use different texture allocations")
+	}
+}
+
+func TestAnimationDeterministic(t *testing.T) {
+	cfg := testConfig()
+	a := animScenes(t, "GTr", cfg, 2)
+	b := animScenes(t, "GTr", cfg, 2)
+	for f := range a {
+		if a[f].TriangleCount() != b[f].TriangleCount() {
+			t.Fatalf("frame %d differs between generations", f)
+		}
+	}
+}

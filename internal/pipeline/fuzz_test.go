@@ -1,0 +1,141 @@
+package pipeline
+
+import (
+	"testing"
+
+	"dtexl/internal/geom"
+	"dtexl/internal/render"
+	"dtexl/internal/sched"
+	"dtexl/internal/texture"
+	"dtexl/internal/tileorder"
+	"dtexl/internal/trace"
+)
+
+// randomScene builds an arbitrary little scene from an RNG: random
+// triangle soup over a couple of textures with mixed filters, alphas and
+// shader profiles — nastier than the profile generators because nothing
+// is tuned.
+func randomScene(rng *trace.RNG, w, h int) *trace.Scene {
+	texs := []*texture.Texture{
+		texture.New(0, 0x1000_0000, 128, 128),
+		texture.New(1, 0x1100_0000, 64, 64),
+	}
+	s := &trace.Scene{Width: w, Height: h, Textures: texs}
+	ortho := geom.Orthographic(0, float64(w), float64(h), 0, 0, 1)
+	nDraws := 1 + rng.Intn(6)
+	vbase := uint64(0x4000_0000)
+	for d := 0; d < nDraws; d++ {
+		nTris := 1 + rng.Intn(8)
+		var verts []trace.Vertex
+		var idx []int
+		for i := 0; i < nTris; i++ {
+			for v := 0; v < 3; v++ {
+				verts = append(verts, trace.Vertex{
+					Pos: geom.Vec3{
+						// Positions may fall off-screen (negative or beyond),
+						// exercising clipping paths.
+						X: rng.Range(-50, float64(w)+50),
+						Y: rng.Range(-50, float64(h)+50),
+						Z: rng.Float64(),
+					},
+					UV: geom.Vec2{X: rng.Range(-2, 2), Y: rng.Range(-2, 2)},
+				})
+				idx = append(idx, len(verts)-1)
+			}
+		}
+		alpha := 1.0
+		if rng.Float64() < 0.3 {
+			alpha = rng.Range(0.2, 0.9)
+		}
+		s.Draws = append(s.Draws, trace.DrawCommand{
+			Transform:  ortho,
+			VertexBase: vbase,
+			Vertices:   verts,
+			Indices:    idx,
+			Tex:        texs[rng.Intn(len(texs))],
+			Shader: trace.ShaderProfile{
+				Instructions: rng.IntRange(1, 40),
+				Samples:      rng.IntRange(1, 4),
+			},
+			Filter:         texture.Filter(rng.Intn(3)),
+			UVJitterTexels: rng.Range(0, 4),
+			Alpha:          alpha,
+		})
+		vbase += uint64(len(verts)*trace.VertexBytes + 0xffff)
+	}
+	return s
+}
+
+// TestFuzzInvariants runs randomized scenes through many configurations
+// and checks every cross-configuration invariant at once.
+func TestFuzzInvariants(t *testing.T) {
+	rng := trace.NewRNG(2024)
+	base := testConfig()
+	base.Width, base.Height = 192, 96
+	iterations := 25
+	if testing.Short() {
+		iterations = 8
+	}
+	for iter := 0; iter < iterations; iter++ {
+		scene := randomScene(rng, base.Width, base.Height)
+
+		type variant struct {
+			name string
+			mut  func(*Config)
+		}
+		variants := []variant{
+			{"baseline", func(*Config) {}},
+			{"cg-square-dec", func(c *Config) { c.Grouping = sched.CGSquare; c.Decoupled = true }},
+			{"hlb-flp2", func(c *Config) {
+				c.Grouping = sched.CGSquare
+				c.TileOrder = tileorder.HilbertRect
+				c.Assignment = sched.Flp2
+				c.Decoupled = true
+			}},
+			{"cg-tri-sorder", func(c *Config) {
+				c.Grouping = sched.CGTri
+				c.TileOrder = tileorder.SOrder
+				c.Assignment = sched.Flp1
+			}},
+			{"precise-binning", func(c *Config) { c.PreciseBinning = true }},
+		}
+
+		var refShaded, refCulled, refFrag uint64
+		var refImg *render.Framebuffer
+		for vi, v := range variants {
+			cfg := base
+			v.mut(&cfg)
+			fb := render.NewFramebuffer(cfg.Width, cfg.Height)
+			cfg.RenderTarget = fb
+			m, err := Run(scene, cfg)
+			if err != nil {
+				t.Fatalf("iter %d %s: %v", iter, v.name, err)
+			}
+			if m.Cycles <= 0 {
+				t.Fatalf("iter %d %s: non-positive cycles", iter, v.name)
+			}
+			if vi == 0 {
+				refShaded, refCulled, refFrag = m.Events.QuadsShaded, m.Events.QuadsCulled, m.Events.FragmentsShaded
+				refImg = fb
+				continue
+			}
+			if m.Events.QuadsShaded != refShaded || m.Events.QuadsCulled != refCulled {
+				t.Fatalf("iter %d %s: shaded/culled %d/%d, want %d/%d",
+					iter, v.name, m.Events.QuadsShaded, m.Events.QuadsCulled, refShaded, refCulled)
+			}
+			if m.Events.FragmentsShaded != refFrag {
+				t.Fatalf("iter %d %s: fragments %d, want %d", iter, v.name, m.Events.FragmentsShaded, refFrag)
+			}
+			if !fb.Equal(refImg) {
+				t.Fatalf("iter %d %s: image differs from baseline", iter, v.name)
+			}
+			var sum uint64
+			for _, q := range m.PerSCQuads {
+				sum += q
+			}
+			if sum != m.Events.QuadsShaded {
+				t.Fatalf("iter %d %s: per-SC quads do not sum", iter, v.name)
+			}
+		}
+	}
+}

@@ -1,0 +1,121 @@
+package pipeline
+
+import (
+	"math"
+
+	"dtexl/internal/cache"
+	"dtexl/internal/geom"
+	"dtexl/internal/texture"
+	"dtexl/internal/trace"
+)
+
+// Primitive is a screen-space triangle ready for rasterization, with all
+// the state the Raster Pipeline needs: edge setup, texture binding,
+// filtering, shader profile and the (per-primitive constant) LOD.
+type Primitive struct {
+	Setup  geom.EdgeSetup
+	Bounds geom.AABB
+	Tex    *texture.Texture
+	Filter texture.Filter
+	Shader trace.ShaderProfile
+	LOD    float64
+	// UVJitter is the per-quad pseudo-random sampling offset amplitude in
+	// texels (dependent texture reads), inherited from the draw.
+	UVJitter float64
+	// Alpha is the primitive's opacity; below 1 it blends and does not
+	// write depth.
+	Alpha float64
+	// ID indexes the primitive in frame order; its attribute record lives
+	// at primAttrBase + ID*primAttrBytes in the Parameter Buffer.
+	ID int
+}
+
+// primAttrBytes is the Parameter Buffer attribute record per primitive:
+// three vertices of position+attributes, padded (two cache lines).
+const primAttrBytes = 128
+
+// geometryCostPerVertex is the Vertex Stage's compute cost (transform +
+// assembly) per vertex in cycles, on top of vertex-fetch latency.
+const geometryCostPerVertex = 4
+
+// GeometryResult is the Geometry Pipeline's output: the frame's
+// primitives in program order plus the phase's timing.
+type GeometryResult struct {
+	Primitives []Primitive
+	Cycles     int64
+	// VertexFetches counts vertex-cache reads issued.
+	VertexFetches uint64
+}
+
+// RunGeometry executes the Geometry Pipeline (Vertex Stage + Primitive
+// Assembly) on a scene: fetch vertices through the vertex cache,
+// transform to clip space, perspective-divide, viewport-map, and assemble
+// screen-space triangles. Degenerate and fully off-screen triangles are
+// dropped, as the Tiling Engine would never bin them.
+func RunGeometry(scene *trace.Scene, hier *cache.Hierarchy, cfg Config) GeometryResult {
+	var res GeometryResult
+	vp := geom.Viewport{Width: float64(cfg.Width), Height: float64(cfg.Height)}
+	screen := geom.AABB{MinX: 0, MinY: 0, MaxX: float64(cfg.Width), MaxY: float64(cfg.Height)}
+	var cycles int64
+
+	for _, draw := range scene.Draws {
+		// Transform each referenced vertex once (a post-transform cache of
+		// unbounded size, the common modeling simplification).
+		transformed := make([]geom.Vec3, len(draw.Vertices))
+		fetched := make([]bool, len(draw.Vertices))
+		for _, ix := range draw.Indices {
+			if fetched[ix] {
+				continue
+			}
+			fetched[ix] = true
+			addr := draw.VertexBase + uint64(ix*trace.VertexBytes)
+			cycles += hier.VertexAccess(addr)
+			res.VertexFetches++
+			cycles += geometryCostPerVertex
+			clip := draw.Transform.MulVec4(geom.Point4(draw.Vertices[ix].Pos))
+			transformed[ix] = vp.ToScreen(clip.PerspectiveDivide())
+		}
+		for i := 0; i+2 < len(draw.Indices); i += 3 {
+			i0, i1, i2 := draw.Indices[i], draw.Indices[i+1], draw.Indices[i+2]
+			tri := geom.Triangle{
+				P:  [3]geom.Vec3{transformed[i0], transformed[i1], transformed[i2]},
+				UV: [3]geom.Vec2{draw.Vertices[i0].UV, draw.Vertices[i1].UV, draw.Vertices[i2].UV},
+			}
+			setup, ok := tri.Setup()
+			if !ok {
+				continue // degenerate
+			}
+			bounds := tri.Bounds()
+			if bounds.Intersect(screen).Empty() {
+				continue // fully off-screen
+			}
+			dudx, dvdx, dudy, dvdy := setup.UVFootprint()
+			lod := texture.LOD(dudx, dvdx, dudy, dvdy, draw.Tex.Width, draw.Tex.Height)
+			res.Primitives = append(res.Primitives, Primitive{
+				Setup:    setup,
+				Bounds:   bounds,
+				Tex:      draw.Tex,
+				Filter:   draw.Filter,
+				Shader:   draw.Shader,
+				LOD:      clampLOD(lod, draw.Tex.Levels),
+				UVJitter: draw.UVJitterTexels,
+				Alpha:    alphaOf(draw.Alpha),
+				ID:       len(res.Primitives),
+			})
+		}
+	}
+	res.Cycles = cycles
+	return res
+}
+
+func clampLOD(lod float64, levels int) float64 {
+	return math.Min(lod, float64(levels-1))
+}
+
+// alphaOf normalizes a draw's opacity: the zero value means opaque.
+func alphaOf(a float64) float64 {
+	if a <= 0 || a > 1 {
+		return 1
+	}
+	return a
+}

@@ -1,0 +1,124 @@
+package pipeline
+
+import (
+	"testing"
+
+	"dtexl/internal/render"
+)
+
+func TestIMRSmoke(t *testing.T) {
+	cfg := testConfig()
+	scene := testScene(t, "TRu", cfg)
+	m, err := RunIMR(scene, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Cycles <= 0 || m.Events.QuadsShaded == 0 {
+		t.Fatalf("IMR produced no work: %+v", m.Events)
+	}
+	// Full screen coverage still holds.
+	minQuads := uint64(cfg.Width * cfg.Height / 4)
+	if m.Events.QuadsShaded < minQuads {
+		t.Errorf("IMR shaded %d quads, below screen coverage %d", m.Events.QuadsShaded, minQuads)
+	}
+}
+
+func TestIMRShadesSameQuadsAsTBR(t *testing.T) {
+	// Same scene, same Z discipline: the set of visible quads is an
+	// architecture-independent property of the scene.
+	cfg := testConfig()
+	scene := testScene(t, "SWa", cfg)
+	tbr, err := Run(scene, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	imr, err := RunIMR(scene, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if imr.Events.QuadsShaded != tbr.Events.QuadsShaded {
+		t.Errorf("IMR shaded %d quads, TBR %d", imr.Events.QuadsShaded, tbr.Events.QuadsShaded)
+	}
+	if imr.Events.QuadsCulled != tbr.Events.QuadsCulled {
+		t.Errorf("IMR culled %d, TBR %d", imr.Events.QuadsCulled, tbr.Events.QuadsCulled)
+	}
+	if imr.Events.FragmentsShaded != tbr.Events.FragmentsShaded {
+		t.Errorf("IMR fragments %d, TBR %d", imr.Events.FragmentsShaded, tbr.Events.FragmentsShaded)
+	}
+}
+
+func TestIMRHasMoreExternalTraffic(t *testing.T) {
+	// The TBR motivation (§II, Antochi et al.): keeping the Z/Color
+	// buffers on-chip cuts external (DRAM) traffic substantially. The
+	// effect needs framebuffer >> L2 as at real resolutions; the test
+	// screen is 1/8 scale, so scale the L2 down proportionally (both
+	// architectures get the same machine).
+	cfg := testConfig()
+	cfg.Hierarchy.L2.SizeBytes = 128 << 10
+	scene := testScene(t, "CCS", cfg)
+	tbr, err := Run(scene, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	imr, err := RunIMR(scene, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ratio := float64(imr.Events.DRAMAccesses) / float64(tbr.Events.DRAMAccesses)
+	if ratio < 1.3 {
+		t.Errorf("IMR/TBR DRAM traffic ratio = %.2f, want well above 1 (paper background: ~1.96)", ratio)
+	}
+}
+
+func TestIMRValidation(t *testing.T) {
+	cfg := testConfig()
+	scene := testScene(t, "SWa", cfg)
+	bad := cfg
+	bad.Width = 0
+	if _, err := RunIMR(scene, bad); err == nil {
+		t.Error("invalid config accepted")
+	}
+	mismatch := cfg
+	mismatch.Width *= 2
+	if _, err := RunIMR(scene, mismatch); err == nil {
+		t.Error("scene/config mismatch accepted")
+	}
+}
+
+func TestIMRRendersSameImageAsTBR(t *testing.T) {
+	// The two architectures resolve identical frames: per-pixel winners
+	// and blend order depend only on the scene.
+	cfg := testConfig()
+	scene := testScene(t, "SoD", cfg)
+	tbrFB := render.NewFramebuffer(cfg.Width, cfg.Height)
+	ctbr := cfg
+	ctbr.RenderTarget = tbrFB
+	if _, err := Run(scene, ctbr); err != nil {
+		t.Fatal(err)
+	}
+	imrFB := render.NewFramebuffer(cfg.Width, cfg.Height)
+	cimr := cfg
+	cimr.RenderTarget = imrFB
+	if _, err := RunIMR(scene, cimr); err != nil {
+		t.Fatal(err)
+	}
+	if !tbrFB.Equal(imrFB) {
+		t.Error("IMR rendered a different image than TBR")
+	}
+}
+
+func TestIMRDeterministic(t *testing.T) {
+	cfg := testConfig()
+	scene := testScene(t, "CRa", cfg)
+	a, err := RunIMR(scene, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := RunIMR(scene, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Cycles != b.Cycles || a.Events != b.Events {
+		t.Error("IMR results differ between identical runs")
+	}
+}

@@ -1,0 +1,57 @@
+package pipeline
+
+import (
+	"testing"
+
+	"dtexl/internal/sched"
+)
+
+func TestLateZShadesEverything(t *testing.T) {
+	cfg := testConfig()
+	scene := testScene(t, "Mze", cfg) // 3D: Early-Z normally culls a lot
+	early, err := Run(scene, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lz := cfg
+	lz.LateZ = true
+	late, err := Run(scene, lz)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if late.Events.QuadsCulled != 0 {
+		t.Errorf("Late-Z culled %d quads at the raster stage", late.Events.QuadsCulled)
+	}
+	wantShaded := early.Events.QuadsShaded + early.Events.QuadsCulled
+	if late.Events.QuadsShaded != wantShaded {
+		t.Errorf("Late-Z shaded %d quads, want all %d covered quads", late.Events.QuadsShaded, wantShaded)
+	}
+	// Paying overdraw in full must cost time.
+	if late.Cycles <= early.Cycles {
+		t.Errorf("Late-Z (%d cycles) not slower than Early-Z (%d)", late.Cycles, early.Cycles)
+	}
+}
+
+func TestLateZStillBenefitsFromDTexL(t *testing.T) {
+	// The scheduler's locality argument is orthogonal to the Z mode.
+	cfg := testConfig()
+	cfg.LateZ = true
+	scene := testScene(t, "TRu", cfg)
+	base, err := Run(scene, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dt := cfg
+	dt.Grouping = sched.CGSquare
+	dt.Decoupled = true
+	prop, err := Run(scene, dt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if prop.L2Accesses() >= base.L2Accesses() {
+		t.Errorf("DTexL under Late-Z: L2 %d not below baseline %d", prop.L2Accesses(), base.L2Accesses())
+	}
+	if prop.Cycles >= base.Cycles {
+		t.Errorf("DTexL under Late-Z: cycles %d not below baseline %d", prop.Cycles, base.Cycles)
+	}
+}

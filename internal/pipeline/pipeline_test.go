@@ -1,0 +1,472 @@
+package pipeline
+
+import (
+	"testing"
+
+	"dtexl/internal/cache"
+	"dtexl/internal/sched"
+	"dtexl/internal/tileorder"
+	"dtexl/internal/trace"
+)
+
+// testConfig returns a small-resolution configuration for fast tests.
+func testConfig() Config {
+	cfg := DefaultConfig()
+	cfg.Width, cfg.Height = 256, 128
+	return cfg
+}
+
+func testScene(t *testing.T, alias string, cfg Config) *trace.Scene {
+	t.Helper()
+	p, err := trace.ProfileByAlias(alias)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return trace.GenerateScene(p, cfg.Width, cfg.Height, 1)
+}
+
+func TestRunSmoke(t *testing.T) {
+	cfg := testConfig()
+	scene := testScene(t, "TRu", cfg)
+	m, err := Run(scene, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Cycles <= 0 || m.FPS <= 0 {
+		t.Errorf("cycles=%d fps=%v", m.Cycles, m.FPS)
+	}
+	if m.Events.QuadsShaded == 0 {
+		t.Error("no quads shaded")
+	}
+	if m.Events.L2Accesses == 0 || m.Events.L1TexAccesses == 0 {
+		t.Error("no memory traffic recorded")
+	}
+	if m.Events.ALUInstructions == 0 {
+		t.Error("no ALU work recorded")
+	}
+	// A frame covers the screen: at least one quad per screen quad must
+	// survive (the background alone guarantees this for 3D scenes).
+	minQuads := uint64(cfg.Width * cfg.Height / 4)
+	if m.Events.QuadsShaded < minQuads {
+		t.Errorf("shaded quads %d below full-screen coverage %d", m.Events.QuadsShaded, minQuads)
+	}
+}
+
+func TestRunDeterministic(t *testing.T) {
+	cfg := testConfig()
+	scene := testScene(t, "SWa", cfg)
+	a, err := Run(scene, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run(scene, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Cycles != b.Cycles || a.Events != b.Events {
+		t.Error("same scene and config produced different results")
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	scene := testScene(t, "SWa", testConfig())
+	bad := testConfig()
+	bad.NumSC = 3
+	if _, err := Run(scene, bad); err == nil {
+		t.Error("NumSC=3 accepted")
+	}
+	bad = testConfig()
+	bad.Width = 0
+	if _, err := Run(scene, bad); err == nil {
+		t.Error("zero width accepted")
+	}
+	bad = testConfig()
+	bad.TileSize = 30
+	if _, err := Run(scene, bad); err == nil {
+		t.Error("tile size 30 accepted")
+	}
+	// Mismatched scene/config resolutions.
+	cfg := testConfig()
+	cfg.Width *= 2
+	if _, err := Run(scene, cfg); err == nil {
+		t.Error("scene/config resolution mismatch accepted")
+	}
+	bad = testConfig()
+	bad.Hierarchy.NumSC = 1
+	if _, err := Run(scene, bad); err == nil {
+		t.Error("NumSC/Hierarchy.NumSC mismatch accepted")
+	}
+}
+
+// shadedQuadsInvariant: the set of shaded quads is a function of the
+// scene and tile geometry only — scheduling must never change what gets
+// drawn, only where and when (§III: correctness of the pipeline).
+func TestShadedQuadsInvariantAcrossSchedulers(t *testing.T) {
+	cfg := testConfig()
+	scene := testScene(t, "TRu", cfg)
+	var want uint64
+	for i, g := range []sched.Grouping{sched.FGXShift2, sched.CGSquare, sched.CGYRect, sched.CGTri} {
+		for _, dec := range []bool{false, true} {
+			c := cfg
+			c.Grouping = g
+			c.Decoupled = dec
+			m, err := Run(scene, c)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if i == 0 && !dec {
+				want = m.Events.QuadsShaded
+				continue
+			}
+			if m.Events.QuadsShaded != want {
+				t.Errorf("grouping %v decoupled=%v shaded %d quads, want %d", g, dec, m.Events.QuadsShaded, want)
+			}
+		}
+	}
+}
+
+// Tile order must not change the shaded quad count either (tiles are
+// independent, §III-C).
+func TestShadedQuadsInvariantAcrossTileOrders(t *testing.T) {
+	cfg := testConfig()
+	scene := testScene(t, "SWa", cfg)
+	var want uint64
+	for i, ord := range tileorder.Kinds() {
+		c := cfg
+		c.TileOrder = ord
+		m, err := Run(scene, c)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if i == 0 {
+			want = m.Events.QuadsShaded
+		} else if m.Events.QuadsShaded != want {
+			t.Errorf("order %v shaded %d quads, want %d", ord, m.Events.QuadsShaded, want)
+		}
+	}
+}
+
+func TestPerSCQuadsSumToShaded(t *testing.T) {
+	cfg := testConfig()
+	scene := testScene(t, "CCS", cfg)
+	for _, g := range []sched.Grouping{sched.FGXShift2, sched.CGSquare} {
+		c := cfg
+		c.Grouping = g
+		m, err := Run(scene, c)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var sum uint64
+		for _, q := range m.PerSCQuads {
+			sum += q
+		}
+		if sum != m.Events.QuadsShaded {
+			t.Errorf("%v: per-SC quads sum %d != shaded %d", g, sum, m.Events.QuadsShaded)
+		}
+	}
+}
+
+func TestCoarseGroupingReducesL2Accesses(t *testing.T) {
+	// The paper's Fig. 11 headline: CG-square cuts L2 accesses hard
+	// relative to FG-xshift2.
+	cfg := testConfig()
+	scene := testScene(t, "TRu", cfg)
+	fg, err := Run(scene, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := cfg
+	c.Grouping = sched.CGSquare
+	cg, err := Run(scene, c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cg.L2Accesses() >= fg.L2Accesses() {
+		t.Errorf("CG-square L2 accesses (%d) not below FG-xshift2 (%d)", cg.L2Accesses(), fg.L2Accesses())
+	}
+}
+
+func TestCoarseGroupingIncreasesQuadImbalance(t *testing.T) {
+	// Fig. 12/15: coarse grouping has much higher per-tile quad deviation.
+	cfg := testConfig()
+	scene := testScene(t, "TRu", cfg)
+	fg, err := Run(scene, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := cfg
+	c.Grouping = sched.CGSquare
+	cg, err := Run(scene, c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cg.MeanTileQuadDeviation() <= fg.MeanTileQuadDeviation() {
+		t.Errorf("CG quad deviation (%v) not above FG (%v)",
+			cg.MeanTileQuadDeviation(), fg.MeanTileQuadDeviation())
+	}
+	if cg.MeanTileTimeDeviation() <= fg.MeanTileTimeDeviation() {
+		t.Errorf("CG time deviation (%v) not above FG (%v)",
+			cg.MeanTileTimeDeviation(), fg.MeanTileTimeDeviation())
+	}
+}
+
+func TestDecouplingImprovesPerformance(t *testing.T) {
+	// Fig. 17: decoupling speeds up both FG and CG configurations.
+	cfg := testConfig()
+	scene := testScene(t, "TRu", cfg)
+	for _, g := range []sched.Grouping{sched.FGXShift2, sched.CGSquare} {
+		coupled := cfg
+		coupled.Grouping = g
+		mc, err := Run(scene, coupled)
+		if err != nil {
+			t.Fatal(err)
+		}
+		dec := coupled
+		dec.Decoupled = true
+		md, err := Run(scene, dec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if md.Cycles >= mc.Cycles {
+			t.Errorf("%v: decoupled cycles (%d) not below coupled (%d)", g, md.Cycles, mc.Cycles)
+		}
+	}
+}
+
+func TestUpperBoundHasFewestL2Accesses(t *testing.T) {
+	// Fig. 16's bound: 1 SC with a 4x L1 must beat every 4-SC mapping.
+	cfg := testConfig()
+	scene := testScene(t, "SWa", cfg)
+	base, err := Run(scene, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ub := cfg
+	ub.NumSC = 1
+	ub.Hierarchy.NumSC = 1
+	ub.Hierarchy.L1Tex.SizeBytes *= 4
+	mb, err := Run(scene, ub)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mb.L2Accesses() >= base.L2Accesses() {
+		t.Errorf("upper bound L2 (%d) not below baseline (%d)", mb.L2Accesses(), base.L2Accesses())
+	}
+	if mb.Events.QuadsShaded != base.Events.QuadsShaded {
+		t.Errorf("upper bound shaded %d quads, baseline %d", mb.Events.QuadsShaded, base.Events.QuadsShaded)
+	}
+}
+
+func TestEarlyZCulls3DScenes(t *testing.T) {
+	cfg := testConfig()
+	scene := testScene(t, "Mze", cfg) // 3D: random depth order
+	m, err := Run(scene, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Events.QuadsCulled == 0 {
+		t.Error("3D scene had zero Early-Z culls")
+	}
+}
+
+func Test2DScenesCullLittle(t *testing.T) {
+	// 2D painter's-order scenes defeat Early-Z almost entirely.
+	cfg := testConfig()
+	scene2d := testScene(t, "CCS", cfg)
+	m2d, err := Run(scene2d, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	scene3d := testScene(t, "Mze", cfg)
+	m3d, err := Run(scene3d, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cullRate := func(m *Metrics) float64 {
+		total := m.Events.QuadsShaded + m.Events.QuadsCulled
+		return float64(m.Events.QuadsCulled) / float64(total)
+	}
+	if cullRate(m2d) >= cullRate(m3d) {
+		t.Errorf("2D cull rate (%v) not below 3D (%v)", cullRate(m2d), cullRate(m3d))
+	}
+}
+
+func TestFlushTrafficIndependentOfBarriers(t *testing.T) {
+	// Decoupling changes flush *timing*, not traffic: same lines flushed.
+	cfg := testConfig()
+	scene := testScene(t, "SWa", cfg)
+	mc, err := Run(scene, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dec := cfg
+	dec.Decoupled = true
+	md, err := Run(scene, dec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mc.Events.FlushedLines != md.Events.FlushedLines {
+		t.Errorf("flush lines differ: coupled %d, decoupled %d", mc.Events.FlushedLines, md.Events.FlushedLines)
+	}
+}
+
+func TestBusyCyclesIndependentOfBarriers(t *testing.T) {
+	// The same quads run the same instructions whichever barrier is used;
+	// only idle time changes.
+	cfg := testConfig()
+	scene := testScene(t, "GTr", cfg)
+	mc, err := Run(scene, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dec := cfg
+	dec.Decoupled = true
+	md, err := Run(scene, dec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mc.Events.ALUInstructions != md.Events.ALUInstructions {
+		t.Errorf("ALU work differs: %d vs %d", mc.Events.ALUInstructions, md.Events.ALUInstructions)
+	}
+	if md.Events.SCIdleCycles >= mc.Events.SCIdleCycles {
+		t.Errorf("decoupled idle (%d) not below coupled idle (%d)",
+			md.Events.SCIdleCycles, mc.Events.SCIdleCycles)
+	}
+}
+
+func TestZBuffer(t *testing.T) {
+	z := NewZBuffer(4)
+	if !z.TestAndSet(0, 0, 0.5) {
+		t.Error("first write failed depth test")
+	}
+	if z.TestAndSet(0, 0, 0.7) {
+		t.Error("farther fragment passed")
+	}
+	if !z.TestAndSet(0, 0, 0.3) {
+		t.Error("closer fragment failed")
+	}
+	if z.DepthAt(0, 0) != 0.3 {
+		t.Errorf("depth = %v", z.DepthAt(0, 0))
+	}
+	z.Reset()
+	if !z.TestAndSet(0, 0, 0.99) {
+		t.Error("reset did not clear depth")
+	}
+}
+
+func TestSegLen(t *testing.T) {
+	// 10 instructions over 2 samples -> 3 segments: 4, 3, 3.
+	if got := segLen(10, 2, 0); got != 4 {
+		t.Errorf("seg0 = %d", got)
+	}
+	if got := segLen(10, 2, 1); got != 3 {
+		t.Errorf("seg1 = %d", got)
+	}
+	if got := segLen(10, 2, 2); got != 3 {
+		t.Errorf("seg2 = %d", got)
+	}
+	// Total must always equal the instruction count.
+	for instr := int16(1); instr < 60; instr++ {
+		for samples := int8(0); samples < 5; samples++ {
+			var sum int64
+			for st := int8(0); st <= samples; st++ {
+				sum += segLen(instr, samples, st)
+			}
+			if sum != int64(instr) {
+				t.Fatalf("instr=%d samples=%d: segments sum to %d", instr, samples, sum)
+			}
+		}
+	}
+}
+
+func TestGeometryDropsDegenerateAndOffscreen(t *testing.T) {
+	cfg := testConfig()
+	hier := cache.NewHierarchy(cfg.Hierarchy)
+	scene := testScene(t, "SWa", cfg)
+	geo := RunGeometry(scene, hier, cfg)
+	if len(geo.Primitives) == 0 {
+		t.Fatal("no primitives")
+	}
+	screenW, screenH := float64(cfg.Width), float64(cfg.Height)
+	for _, p := range geo.Primitives {
+		if p.Bounds.MaxX < 0 || p.Bounds.MinX > screenW || p.Bounds.MaxY < 0 || p.Bounds.MinY > screenH {
+			t.Fatalf("off-screen primitive survived: %+v", p.Bounds)
+		}
+	}
+	if geo.Cycles <= 0 || geo.VertexFetches == 0 {
+		t.Error("geometry phase recorded no work")
+	}
+}
+
+func TestBinningCoversPrimitiveBounds(t *testing.T) {
+	cfg := testConfig()
+	hier := cache.NewHierarchy(cfg.Hierarchy)
+	scene := testScene(t, "SWa", cfg)
+	geo := RunGeometry(scene, hier, cfg)
+	b := BinPrimitives(geo.Primitives, hier, cfg)
+	// The background primitive (ID 0 or 1) covers the whole screen, so
+	// every tile's list must be non-empty.
+	for ty := 0; ty < b.TilesY; ty++ {
+		for tx := 0; tx < b.TilesX; tx++ {
+			if len(b.List(tx, ty)) == 0 {
+				t.Fatalf("tile (%d,%d) has no primitives", tx, ty)
+			}
+		}
+	}
+}
+
+func TestMetricsFPS(t *testing.T) {
+	cfg := testConfig()
+	scene := testScene(t, "SWa", cfg)
+	m, err := Run(scene, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := cfg.ClockHz / float64(m.Cycles)
+	if m.FPS != want {
+		t.Errorf("FPS = %v, want %v", m.FPS, want)
+	}
+	if m.RasterCycles <= 0 || m.GeometryCycles <= 0 {
+		t.Error("phase cycle split missing")
+	}
+	if m.Cycles != m.GeometryCycles+m.RasterCycles {
+		t.Error("cycles != geometry + raster")
+	}
+}
+
+func TestTimelineCollection(t *testing.T) {
+	cfg := testConfig()
+	cfg.CollectTimeline = true
+	scene := testScene(t, "SWa", cfg)
+	m, err := Run(scene, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(m.Timeline) != cfg.TilesX()*cfg.TilesY() {
+		t.Fatalf("timeline has %d entries, want %d", len(m.Timeline), cfg.TilesX()*cfg.TilesY())
+	}
+	var prevGate int64 = -1
+	for _, tt := range m.Timeline {
+		if tt.Gate < prevGate {
+			t.Fatalf("tile %d gate %d before previous gate %d", tt.Seq, tt.Gate, prevGate)
+		}
+		prevGate = tt.Gate
+		if len(tt.Finish) != cfg.NumSC {
+			t.Fatalf("tile %d has %d finishes", tt.Seq, len(tt.Finish))
+		}
+		for sc, f := range tt.Finish {
+			if f < tt.Gate {
+				t.Fatalf("tile %d SC %d finished at %d before gate %d", tt.Seq, sc, f, tt.Gate)
+			}
+		}
+	}
+	// Without the flag, no timeline is collected.
+	cfg.CollectTimeline = false
+	m2, err := Run(scene, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(m2.Timeline) != 0 {
+		t.Error("timeline collected without the flag")
+	}
+}

@@ -1,0 +1,108 @@
+package pipeline
+
+import (
+	"testing"
+
+	"dtexl/internal/sched"
+)
+
+func TestPrefetchRoughlyNeutralOrBetter(t *testing.T) {
+	// Moving fills earlier helps when ports are free; when they are
+	// saturated, prefetching a warp's later samples can delay another
+	// warp's first fill (priority inversion), so allow a small loss but
+	// no real regression.
+	cfg := testConfig()
+	scene := testScene(t, "TRu", cfg)
+	demand, err := Run(scene, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pf := cfg
+	pf.TexturePrefetch = true
+	prefetched, err := Run(scene, pf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if prefetched.Cycles > demand.Cycles*102/100 {
+		t.Errorf("prefetch regressed the frame: %d vs %d", prefetched.Cycles, demand.Cycles)
+	}
+	// Same work, same traffic: the prefetcher fetches exactly the demand
+	// stream, just earlier.
+	if prefetched.Events.L1TexAccesses != demand.Events.L1TexAccesses {
+		t.Errorf("prefetch changed L1 traffic: %d vs %d",
+			prefetched.Events.L1TexAccesses, demand.Events.L1TexAccesses)
+	}
+	if prefetched.Events.QuadsShaded != demand.Events.QuadsShaded {
+		t.Error("prefetch changed the shaded quad count")
+	}
+}
+
+func TestPrefetchCannotSubstituteForDTexL(t *testing.T) {
+	// The paper's related-work positioning: prefetching (Arnau et al.) is
+	// orthogonal to DTexL. With one L1 fill port, the baseline's
+	// replication-heavy miss stream is bandwidth-bound, so prefetching
+	// alone recovers far less than scheduling for locality does.
+	cfg := testConfig()
+	cfg.Decoupled = true // isolate the memory effect from the barriers
+	scene := testScene(t, "TRu", cfg)
+
+	base, err := Run(scene, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pf := cfg
+	pf.TexturePrefetch = true
+	basePF, err := Run(scene, pf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dt := cfg
+	dt.Grouping = sched.CGSquare
+	dtexl, err := Run(scene, dt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gainPF := float64(base.Cycles) / float64(basePF.Cycles)
+	gainDT := float64(base.Cycles) / float64(dtexl.Cycles)
+	if gainDT <= gainPF {
+		t.Errorf("scheduling gain (%.3f) not above prefetching gain (%.3f): fill bandwidth should bound the prefetcher", gainDT, gainPF)
+	}
+	// And prefetching does not reduce L2 accesses at all — it is a
+	// latency tool, not a locality tool.
+	if basePF.L2Accesses() < base.L2Accesses()*99/100 {
+		t.Errorf("prefetching changed L2 accesses materially: %d vs %d", basePF.L2Accesses(), base.L2Accesses())
+	}
+}
+
+func TestPrefetchComposesWithDTexL(t *testing.T) {
+	// Orthogonal means composable: DTexL + prefetch is at least as fast
+	// as DTexL alone.
+	cfg := testConfig()
+	cfg.Grouping = sched.CGSquare
+	cfg.Decoupled = true
+	scene := testScene(t, "GTr", cfg)
+	alone, err := Run(scene, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pf := cfg
+	pf.TexturePrefetch = true
+	both, err := Run(scene, pf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if both.Cycles > alone.Cycles {
+		t.Errorf("prefetch hurt DTexL: %d vs %d", both.Cycles, alone.Cycles)
+	}
+}
+
+func TestPrefetchPreservesImage(t *testing.T) {
+	cfg := testConfig()
+	ref := renderFrame(t, "CRa", cfg)
+	pf := cfg
+	pf.TexturePrefetch = true
+	img := renderFrame(t, "CRa", pf)
+	if !ref.Equal(img) {
+		t.Error("prefetching changed the rendered image")
+	}
+}

@@ -1,0 +1,291 @@
+package pipeline
+
+import (
+	"dtexl/internal/cache"
+	"dtexl/internal/render"
+	"dtexl/internal/sched"
+	"dtexl/internal/texture"
+	"dtexl/internal/tileorder"
+)
+
+// sampleUVStride is the texel offset between consecutive samples of the
+// same quad, modeling layered materials (diffuse + detail/normal layers)
+// that sample nearby but distinct texture regions.
+const sampleUVStride = 8
+
+// quadWork is one quad (2x2 fragment warp) emitted by the rasterizer
+// after Early-Z, with its SC assignment and shader workload.
+type quadWork struct {
+	sc        int8
+	samples   int8
+	instr     int16
+	firstSpan int32 // index into tileWork.spans; one span per sample
+}
+
+// span is the cache-line footprint of one texture sample.
+type span struct {
+	off int32
+	n   int32
+}
+
+// tileWork is everything the Raster Pipeline produced for one tile: the
+// surviving quads (in rasterization order), their sample footprints, and
+// the front-end timing.
+type tileWork struct {
+	seq    int // index in the frame's tile sequence
+	tx, ty int
+	quads  []quadWork
+	spans  []span
+	lines  []uint64
+	// perSC partitions quad indices by shader core, preserving order.
+	perSC [][]int32
+	// rasterCycles is the front-end cost: tile fetch + rasterization +
+	// Early-Z, before the quads reach the shader cores.
+	rasterCycles int64
+	// culled counts quads fully rejected by Early-Z.
+	culled uint64
+	// fragments counts live SIMD lanes across all emitted quads.
+	fragments uint64
+}
+
+// popcount4 counts the set bits of a 4-bit mask.
+func popcount4(m uint8) int {
+	return int(m&1 + m>>1&1 + m>>2&1 + m>>3&1)
+}
+
+// rasterizer turns binned primitives into tileWork, tile by tile, in the
+// configured traversal order. It owns the Z-Buffer (tile-sized, reset per
+// tile) and the Subtile assigner state (which depends on the tile walk).
+type rasterizer struct {
+	cfg      Config
+	prims    []Primitive
+	binning  *Binning
+	hier     *cache.Hierarchy
+	zbuf     *ZBuffer
+	assigner *sched.Assigner
+	samplers [3]texture.Sampler
+}
+
+func newRasterizer(cfg Config, prims []Primitive, b *Binning, hier *cache.Hierarchy) *rasterizer {
+	r := &rasterizer{
+		cfg:      cfg,
+		prims:    prims,
+		binning:  b,
+		hier:     hier,
+		zbuf:     NewZBuffer(cfg.TileSize),
+		assigner: sched.NewAssigner(cfg.Assignment, cfg.Grouping),
+	}
+	r.samplers[texture.Bilinear] = texture.Sampler{Filter: texture.Bilinear}
+	r.samplers[texture.Trilinear] = texture.Sampler{Filter: texture.Trilinear}
+	r.samplers[texture.Aniso2x] = texture.Sampler{Filter: texture.Aniso2x}
+	return r
+}
+
+// rasterizeTile produces the work unit for the tile at pt (the seq-th
+// tile of the walk). Must be called in tile-sequence order: the Subtile
+// assigner is stateful.
+func (r *rasterizer) rasterizeTile(seq int, pt tileorder.Point) *tileWork {
+	cfg := &r.cfg
+	tw := &tileWork{seq: seq, tx: pt.X, ty: pt.Y, perSC: make([][]int32, cfg.NumSC)}
+	perm := r.assigner.Next(pt)
+	r.zbuf.Reset()
+
+	ts := cfg.TileSize
+	qside := cfg.QuadsPerTileSide()
+	ox := pt.X * ts // tile origin in screen pixels
+	oy := pt.Y * ts
+
+	// The Tile Fetcher reads this tile's primitive list and attributes.
+	tw.rasterCycles += r.binning.FetchTileCost(pt.X, pt.Y, r.prims, r.hier)
+
+	quadsTested := 0
+	for _, pi := range r.binning.List(pt.X, pt.Y) {
+		p := &r.prims[pi]
+		// Quad range of the primitive's bbox clipped to this tile and to
+		// the physical screen (edge tiles may extend past it).
+		qx0, qy0, qx1, qy1 := quadRange(p, ox, oy, ts, cfg.Width, cfg.Height)
+		if qx0 > qx1 || qy0 > qy1 {
+			continue
+		}
+		sampler := &r.samplers[p.Filter]
+		opaque := p.Alpha >= 1
+		for qy := qy0; qy <= qy1; qy++ {
+			for qx := qx0; qx <= qx1; qx++ {
+				quadsTested++
+				px := ox + qx*2 // quad's top-left pixel in screen coords
+				py := oy + qy*2
+				// Coverage + Early-Z over the quad's four pixels. A quad
+				// is covered if any pixel center is inside the triangle,
+				// and survives if any covered pixel passes the depth
+				// test; only covered-but-occluded quads count as culled.
+				// Transparent fragments test but never write depth.
+				covered := false
+				alive := false
+				var passMask, coverMask uint8
+				for dy := 0; dy < 2; dy++ {
+					for dx := 0; dx < 2; dx++ {
+						x := float64(px+dx) + 0.5
+						y := float64(py+dy) + 0.5
+						if !p.Setup.Inside(x, y) {
+							continue
+						}
+						covered = true
+						coverMask |= 1 << uint(dy*2+dx)
+						d := p.Setup.DepthAt(x, y)
+						var pass bool
+						if opaque {
+							pass = r.zbuf.TestAndSet(qx*2+dx, qy*2+dy, d)
+						} else {
+							pass = r.zbuf.Pass(qx*2+dx, qy*2+dy, d)
+						}
+						if pass {
+							alive = true
+							passMask |= 1 << uint(dy*2+dx)
+						}
+					}
+				}
+				if !covered {
+					continue
+				}
+				if !alive {
+					if !cfg.LateZ {
+						tw.culled++
+						continue
+					}
+					// Late-Z: occluded quads are shaded anyway; the Z
+					// resolution moves behind the fragment stage.
+					alive = true
+				}
+				if cfg.RenderTarget != nil && passMask != 0 {
+					resolveColor(cfg.RenderTarget, p, px, py, passMask)
+				}
+				// Fragments actually shaded: the visible lanes under
+				// Early-Z, or every covered lane under Late-Z (the SIMD
+				// quad always executes, but only these lanes are live).
+				if cfg.LateZ {
+					tw.fragments += uint64(popcount4(coverMask))
+				} else {
+					tw.fragments += uint64(popcount4(passMask))
+				}
+				// Shared texture state for the whole quad: sampled at the
+				// quad center; the texture unit coalesces the four
+				// fragments' accesses. Dependent-read jitter perturbs the
+				// sample position per quad; it depends only on screen
+				// position and primitive, never on scheduling.
+				cxf := float64(px) + 1.0
+				cyf := float64(py) + 1.0
+				uv := p.Setup.UVAt(cxf, cyf)
+				jx, jy := quadJitter(px, py, p.ID)
+				uv.X += jx * p.UVJitter / float64(p.Tex.Width)
+				uv.Y += jy * p.UVJitter / float64(p.Tex.Height)
+				firstSpan := int32(len(tw.spans))
+				for s := 0; s < p.Shader.Samples; s++ {
+					du := float64(s*sampleUVStride) / float64(p.Tex.Width)
+					lines := sampler.Footprint(p.Tex, uv.X+du, uv.Y, p.LOD)
+					off := int32(len(tw.lines))
+					tw.lines = append(tw.lines, lines...)
+					tw.spans = append(tw.spans, span{off: off, n: int32(len(lines))})
+				}
+				sc := perm[cfg.Grouping.SubtileOf(qx, qy, qside, qside)] % cfg.NumSC
+				tw.perSC[sc] = append(tw.perSC[sc], int32(len(tw.quads)))
+				tw.quads = append(tw.quads, quadWork{
+					sc:        int8(sc),
+					samples:   int8(p.Shader.Samples),
+					instr:     int16(p.Shader.Instructions),
+					firstSpan: firstSpan,
+				})
+			}
+		}
+	}
+	// Rasterizer throughput plus the four parallel Early-Z units (1
+	// quad/cycle each).
+	tw.rasterCycles += int64(float64(quadsTested) / cfg.RasterRate)
+	tw.rasterCycles += int64(len(tw.quads) / 4)
+	return tw
+}
+
+// resolveColor shades the depth-passing pixels of the quad at (px, py)
+// into the render target: per-pixel filtered texture samples averaged
+// across the shader's sample layers, alpha-blended over the destination.
+// Colors are a pure function of scene and position, so the image cannot
+// depend on scheduling; resolving in rasterization (= primitive) order
+// gives the blend ordering the real Blending unit preserves. Shared by
+// the TBR rasterizer and the IMR machine: both must render the same
+// frame.
+func resolveColor(rt *render.Framebuffer, p *Primitive, px, py int, passMask uint8) {
+	jx, jy := quadJitter(px, py, p.ID)
+	for dy := 0; dy < 2; dy++ {
+		for dx := 0; dx < 2; dx++ {
+			if passMask&(1<<uint(dy*2+dx)) == 0 {
+				continue
+			}
+			x := float64(px+dx) + 0.5
+			y := float64(py+dy) + 0.5
+			uv := p.Setup.UVAt(x, y)
+			uv.X += jx * p.UVJitter / float64(p.Tex.Width)
+			uv.Y += jy * p.UVJitter / float64(p.Tex.Height)
+			var sr, sg, sb int
+			n := p.Shader.Samples
+			if n < 1 {
+				n = 1
+			}
+			for s := 0; s < n; s++ {
+				du := float64(s*sampleUVStride) / float64(p.Tex.Width)
+				c := texture.SampleColor(p.Tex, uv.X+du, uv.Y, p.LOD, p.Filter)
+				sr += int(c.R())
+				sg += int(c.G())
+				sb += int(c.B())
+			}
+			src := render.RGBA(uint8(sr/n), uint8(sg/n), uint8(sb/n), 0xff)
+			rt.Set(px+dx, py+dy, render.Over(src, rt.At(px+dx, py+dy), p.Alpha))
+		}
+	}
+}
+
+// quadJitter returns a deterministic pseudo-random offset in [-1, 1]^2
+// for the quad at screen pixel (px, py) of primitive id. It is a pure
+// function of position, so every scheduler sees identical addresses.
+func quadJitter(px, py, id int) (float64, float64) {
+	h := uint64(px)*0x9e3779b97f4a7c15 ^ uint64(py)*0xc2b2ae3d27d4eb4f ^ uint64(id)*0x165667b19e3779f9
+	h ^= h >> 29
+	h *= 0xbf58476d1ce4e5b9
+	h ^= h >> 32
+	jx := float64(uint32(h))/float64(1<<32)*2 - 1
+	jy := float64(uint32(h>>32))/float64(1<<32)*2 - 1
+	return jx, jy
+}
+
+// quadRange clips primitive p's bounds to the tile at pixel origin
+// (ox, oy) and to the screen, returning an inclusive quad-coordinate
+// range within the tile.
+func quadRange(p *Primitive, ox, oy, tileSize, screenW, screenH int) (qx0, qy0, qx1, qy1 int) {
+	minX := int(p.Bounds.MinX)
+	minY := int(p.Bounds.MinY)
+	maxX := int(p.Bounds.MaxX)
+	maxY := int(p.Bounds.MaxY)
+	if minX < ox {
+		minX = ox
+	}
+	if minY < oy {
+		minY = oy
+	}
+	hi := ox + tileSize - 1
+	if hi > screenW-1 {
+		hi = screenW - 1
+	}
+	if maxX > hi {
+		maxX = hi
+	}
+	hi = oy + tileSize - 1
+	if hi > screenH-1 {
+		hi = screenH - 1
+	}
+	if maxY > hi {
+		maxY = hi
+	}
+	qx0 = (minX - ox) / 2
+	qy0 = (minY - oy) / 2
+	qx1 = (maxX - ox) / 2
+	qy1 = (maxY - oy) / 2
+	return
+}

@@ -1,0 +1,160 @@
+package pipeline
+
+import (
+	"testing"
+
+	"dtexl/internal/render"
+	"dtexl/internal/sched"
+	"dtexl/internal/tileorder"
+)
+
+// renderFrame runs the scene under cfg with a framebuffer attached and
+// returns the image.
+func renderFrame(t *testing.T, alias string, cfg Config) *render.Framebuffer {
+	t.Helper()
+	scene := testScene(t, alias, cfg)
+	fb := render.NewFramebuffer(cfg.Width, cfg.Height)
+	cfg.RenderTarget = fb
+	if _, err := Run(scene, cfg); err != nil {
+		t.Fatal(err)
+	}
+	return fb
+}
+
+func TestImageIdenticalAcrossSchedulers(t *testing.T) {
+	// The paper's correctness constraint (§III-C): scheduling may reorder
+	// work across tiles and cores but must never change the rendered
+	// image. Every grouping, assignment, order and barrier discipline
+	// must produce bit-identical frames.
+	cfg := testConfig()
+	ref := renderFrame(t, "SoD", cfg)
+	variants := []func(*Config){
+		func(c *Config) { c.Grouping = sched.CGSquare },
+		func(c *Config) { c.Grouping = sched.CGTri; c.Decoupled = true },
+		func(c *Config) { c.TileOrder = tileorder.HilbertRect; c.Assignment = sched.Flp2 },
+		func(c *Config) { c.TileOrder = tileorder.SOrder; c.Grouping = sched.CGYRect; c.Decoupled = true },
+		func(c *Config) { c.TileOrder = tileorder.Scanline },
+		func(c *Config) { c.LateZ = true },
+		func(c *Config) { c.WarpSlots = 2 },
+	}
+	for i, mutate := range variants {
+		c := cfg
+		mutate(&c)
+		img := renderFrame(t, "SoD", c)
+		if !ref.Equal(img) {
+			t.Errorf("variant %d rendered a different image (hash %x vs %x)", i, img.Hash(), ref.Hash())
+		}
+	}
+}
+
+func TestImageIdenticalUpperBound(t *testing.T) {
+	// Even the single-SC bound renders the same frame.
+	cfg := testConfig()
+	ref := renderFrame(t, "SWa", cfg)
+	ub := cfg
+	ub.NumSC = 1
+	ub.Hierarchy.NumSC = 1
+	ub.Hierarchy.L1Tex.SizeBytes *= 4
+	img := renderFrame(t, "SWa", ub)
+	if !ref.Equal(img) {
+		t.Error("upper-bound machine rendered a different image")
+	}
+}
+
+func TestImageNonTrivial(t *testing.T) {
+	// The frame must actually contain content: not a constant image.
+	cfg := testConfig()
+	img := renderFrame(t, "CRa", cfg)
+	first := img.At(0, 0)
+	diverse := false
+	for y := 0; y < cfg.Height && !diverse; y += 7 {
+		for x := 0; x < cfg.Width; x += 7 {
+			if img.At(x, y) != first {
+				diverse = true
+				break
+			}
+		}
+	}
+	if !diverse {
+		t.Error("rendered frame is a constant color")
+	}
+	// Every pixel must have been written (background covers the screen):
+	// alpha is forced to 0xff by blending.
+	for y := 0; y < cfg.Height; y += 3 {
+		for x := 0; x < cfg.Width; x += 3 {
+			if img.At(x, y).A() != 0xff {
+				t.Fatalf("pixel (%d,%d) never shaded", x, y)
+			}
+		}
+	}
+}
+
+func TestRenderingDoesNotPerturbMetrics(t *testing.T) {
+	cfg := testConfig()
+	scene := testScene(t, "GTr", cfg)
+	plain, err := Run(scene, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := cfg
+	c.RenderTarget = render.NewFramebuffer(cfg.Width, cfg.Height)
+	rendered, err := Run(scene, c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plain.Cycles != rendered.Cycles || plain.Events != rendered.Events {
+		t.Error("attaching a render target changed simulation results")
+	}
+}
+
+func TestTransparencyBlends(t *testing.T) {
+	// Rendering the same scene with object draws half-transparent vs
+	// opaque must change the image: transparency blends.
+	cfg := testConfig()
+	scene := testScene(t, "CCS", cfg)
+	for i := 1; i < len(scene.Draws); i++ {
+		scene.Draws[i].Alpha = 0.5
+	}
+	fb1 := render.NewFramebuffer(cfg.Width, cfg.Height)
+	c1 := cfg
+	c1.RenderTarget = fb1
+	if _, err := Run(scene, c1); err != nil {
+		t.Fatal(err)
+	}
+	for i := range scene.Draws {
+		scene.Draws[i].Alpha = 1
+	}
+	fb2 := render.NewFramebuffer(cfg.Width, cfg.Height)
+	c2 := cfg
+	c2.RenderTarget = fb2
+	if _, err := Run(scene, c2); err != nil {
+		t.Fatal(err)
+	}
+	if fb1.Equal(fb2) {
+		t.Error("forcing opacity did not change the image: transparency is not blending")
+	}
+}
+
+func TestTransparentPrimitivesDoNotOccludeButAreOccluded(t *testing.T) {
+	// A 3D scene with transparency: transparent quads shade when visible
+	// but never cull later opaque work. Force every object transparent
+	// and check more quads shade than the all-opaque version (no culling
+	// between objects).
+	cfg := testConfig()
+	scene := testScene(t, "Mze", cfg)
+	opaqueRun, err := Run(scene, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i < len(scene.Draws); i++ { // keep background opaque
+		scene.Draws[i].Alpha = 0.5
+	}
+	transRun, err := Run(scene, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if transRun.Events.QuadsShaded <= opaqueRun.Events.QuadsShaded {
+		t.Errorf("all-transparent scene shaded %d quads, opaque %d: transparency should disable culling",
+			transRun.Events.QuadsShaded, opaqueRun.Events.QuadsShaded)
+	}
+}

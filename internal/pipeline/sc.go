@@ -1,0 +1,254 @@
+package pipeline
+
+import (
+	"dtexl/internal/cache"
+)
+
+// warpState is one resident quad-warp in a shader core. A quad executes
+// stages 0..samples: each stage runs a slice of the ALU instructions and,
+// except for the last, issues one texture sample whose latency parks the
+// warp until the data returns.
+type warpState struct {
+	tile  *tileWork
+	quad  int32
+	stage int8  // next stage to execute (0..samples)
+	ready int64 // cycle at which the warp may issue again
+	// prefetched marks that the quad's texture lines were fetched at
+	// admission (decoupled prefetch); fills holds each sample's fill
+	// completion time.
+	prefetched bool
+	fills      [4]int64
+}
+
+// scState is an in-order, single-issue, fine-grained multithreaded shader
+// core: one ALU instruction per cycle from whichever resident warp is
+// ready; switch-on-sample. Texture latency is hidden exactly to the
+// extent other warps have instructions to issue — which is how periods of
+// low occupancy (tile drain under coupled barriers) expose memory
+// latency (§V-C2).
+type scState struct {
+	id    int
+	clock int64
+	busy  int64 // cycles spent issuing instructions
+	warps []warpState
+	// fillFree is when each L1 fill port becomes free again. The small
+	// per-SC texture L1 has a limited number of outstanding misses
+	// (MSHRs); misses beyond that queue, so a stream with a high miss
+	// rate saturates its fill ports and exposes memory latency even with
+	// spare warps — the effect that turns the caching win into a
+	// performance win (§V-C2).
+	fillFree []int64
+
+	// input stream: quads this SC still has to admit, as (tile, index
+	// into tile.perSC[id]) supplied by the executor.
+	inTile *tileWork
+	inPos  int
+	inGate int64 // earliest cycle input quads may be admitted
+
+	quadsRetired uint64
+	lastRetire   int64
+	// rrNext is the round-robin warp scheduler's rotation pointer.
+	rrNext int
+}
+
+// setInput points the SC at its quad queue for one tile. gate is the
+// earliest admission time (the barrier/availability time).
+func (sc *scState) setInput(tw *tileWork, gate int64) {
+	sc.inTile = tw
+	sc.inPos = 0
+	sc.inGate = gate
+}
+
+// hasInput reports whether un-admitted quads remain in the current input.
+func (sc *scState) hasInput() bool {
+	return sc.inTile != nil && sc.inPos < len(sc.inTile.perSC[sc.id])
+}
+
+// pending reports whether the SC still has any work: resident warps or
+// un-admitted input.
+func (sc *scState) pending() bool {
+	return len(sc.warps) > 0 || sc.hasInput()
+}
+
+// segLen returns the ALU instruction count of stage `stage` for a quad
+// with the given totals: instructions are split evenly across the
+// samples+1 compute segments, remainder to the first.
+func segLen(instr int16, samples, stage int8) int64 {
+	segs := int64(samples) + 1
+	base := int64(instr) / segs
+	if stage == 0 {
+		return base + int64(instr)%segs
+	}
+	return base
+}
+
+// step advances the SC by one scheduling decision and returns false if it
+// is blocked (nothing resident, nothing admissible — the executor must
+// resolve a gate first). The SC issues work for, or jumps its clock to,
+// the earliest actionable event.
+func (sc *scState) step(e *engineState) bool {
+	// Admit as many quads as fit: warp slots are filled greedily so
+	// latency hiding is maximal.
+	for len(sc.warps) < e.cfg.WarpSlots && sc.hasInput() && sc.inGate <= sc.clock {
+		q := sc.inTile.perSC[sc.id][sc.inPos]
+		sc.inPos++
+		w := warpState{tile: sc.inTile, quad: q, ready: sc.clock}
+		if e.cfg.TexturePrefetch {
+			sc.prefetch(e, &w)
+		}
+		sc.warps = append(sc.warps, w)
+	}
+
+	// Pick a resident warp to issue from, per the warp-scheduling policy.
+	// The policy only arbitrates among warps that are ready *now*; the
+	// earliest-ready warp always determines how far the clock may jump.
+	best := -1
+	for i := range sc.warps {
+		if best < 0 || sc.warps[i].ready < sc.warps[best].ready {
+			best = i
+		}
+	}
+
+	if best >= 0 && sc.warps[best].ready <= sc.clock {
+		pick := best
+		switch e.cfg.WarpSched {
+		case WarpSchedRoundRobin:
+			n := len(sc.warps)
+			for off := 0; off < n; off++ {
+				i := (sc.rrNext + off) % n
+				if sc.warps[i].ready <= sc.clock {
+					pick = i
+					sc.rrNext = (i + 1) % n
+					break
+				}
+			}
+		case WarpSchedYoungest:
+			for i := len(sc.warps) - 1; i >= 0; i-- {
+				if sc.warps[i].ready <= sc.clock {
+					pick = i
+					break
+				}
+			}
+		}
+		sc.exec(e, pick)
+		return true
+	}
+
+	// Nothing issuable now: advance the clock to the next event (warp
+	// ready or input gate opening onto a free slot).
+	next := int64(-1)
+	if best >= 0 {
+		next = sc.warps[best].ready
+	}
+	if sc.hasInput() && len(sc.warps) < e.cfg.WarpSlots && sc.inGate > sc.clock {
+		if next < 0 || sc.inGate < next {
+			next = sc.inGate
+		}
+	}
+	if next <= sc.clock {
+		return false // blocked: executor must supply input or a new gate
+	}
+	sc.clock = next
+	return true
+}
+
+// exec runs one stage of warp w: its compute segment and, if stages
+// remain, its next texture sample.
+func (sc *scState) exec(e *engineState, wi int) {
+	w := &sc.warps[wi]
+	q := &w.tile.quads[w.quad]
+	seg := segLen(q.instr, q.samples, w.stage)
+	sc.clock += seg
+	sc.busy += seg
+	e.events.ALUInstructions += uint64(seg)
+
+	if w.stage < q.samples {
+		var ready int64
+		if w.prefetched {
+			// Fills were issued at admission; the sample only waits for
+			// its data if the fill has not landed yet.
+			ready = sc.clock + e.cfg.SampleOverhead + e.cfg.Hierarchy.L1Tex.HitLatency
+			if f := w.fills[w.stage]; f > ready {
+				ready = f
+			}
+		} else {
+			sp := w.tile.spans[q.firstSpan+int32(w.stage)]
+			ready = sc.accessSample(e, w.tile, sp)
+		}
+		w.stage++
+		w.ready = ready
+		return
+	}
+
+	// Final segment done: retire the quad into blending.
+	if e.retire != nil {
+		e.retire(sc, w.tile, sc.clock)
+	}
+	sc.quadsRetired++
+	sc.lastRetire = sc.clock
+	sc.warps[wi] = sc.warps[len(sc.warps)-1]
+	sc.warps = sc.warps[:len(sc.warps)-1]
+}
+
+// accessSample walks one sample's cache lines at the current clock and
+// returns when its data is complete: hits pipeline under the base
+// latency; misses queue on the SC's L1 fill ports.
+func (sc *scState) accessSample(e *engineState, tw *tileWork, sp span) int64 {
+	if sc.fillFree == nil {
+		sc.fillFree = make([]int64, e.cfg.L1FillPorts)
+	}
+	hitLat := e.cfg.Hierarchy.L1Tex.HitLatency
+	ready := sc.clock + e.cfg.SampleOverhead + hitLat
+	for _, line := range tw.lines[sp.off : sp.off+sp.n] {
+		lat, miss := e.hier.TextureAccessInfo(sc.id, line)
+		if !miss {
+			// Pipelined hit: local hits are covered by the base latency;
+			// NUCA remote hits add interconnect latency without occupying
+			// a fill port.
+			if t := sc.clock + e.cfg.SampleOverhead + lat; t > ready {
+				ready = t
+			}
+			continue
+		}
+		// Miss: grab the earliest-free fill port.
+		port := 0
+		for p := 1; p < len(sc.fillFree); p++ {
+			if sc.fillFree[p] < sc.fillFree[port] {
+				port = p
+			}
+		}
+		start := sc.clock
+		if sc.fillFree[port] > start {
+			start = sc.fillFree[port]
+		}
+		sc.fillFree[port] = start + lat
+		if sc.fillFree[port] > ready {
+			ready = sc.fillFree[port]
+		}
+	}
+	e.events.L1TexAccesses += uint64(sp.n)
+	e.events.TextureSamples++
+	return ready
+}
+
+// prefetch issues all of warp w's texture fills at admission time, so
+// the fills overlap the warp's compute segments (decoupled
+// access/execute prefetching). Traffic and fill-port occupancy are
+// identical to demand fetching; only the start times move earlier.
+func (sc *scState) prefetch(e *engineState, w *warpState) {
+	q := &w.tile.quads[w.quad]
+	for s := int8(0); s < q.samples; s++ {
+		sp := w.tile.spans[q.firstSpan+int32(s)]
+		w.fills[s] = sc.accessSample(e, w.tile, sp)
+	}
+	w.prefetched = true
+}
+
+// engineState is the shared execution context the SCs run against.
+type engineState struct {
+	cfg    Config
+	hier   *cache.Hierarchy
+	events EventCounts
+	// retire is invoked at each quad completion (blending bookkeeping).
+	retire func(sc *scState, tw *tileWork, at int64)
+}

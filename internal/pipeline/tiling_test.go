@@ -1,0 +1,135 @@
+package pipeline
+
+import (
+	"testing"
+
+	"dtexl/internal/cache"
+	"dtexl/internal/geom"
+	"dtexl/internal/texture"
+	"dtexl/internal/trace"
+)
+
+// thinDiagonalScene builds one long, thin diagonal triangle crossing many
+// tiles — the worst case for bounding-box binning.
+func thinDiagonalScene(cfg Config) *trace.Scene {
+	w, h := float64(cfg.Width), float64(cfg.Height)
+	tex := texture.New(0, 0x1000_0000, 64, 64)
+	return &trace.Scene{
+		Width: cfg.Width, Height: cfg.Height,
+		Textures: []*texture.Texture{tex},
+		Draws: []trace.DrawCommand{{
+			Transform:  geom.Orthographic(0, w, h, 0, 0, 1),
+			VertexBase: 0x4000_0000,
+			Vertices: []trace.Vertex{
+				{Pos: geom.Vec3{X: 2, Y: 2, Z: 0.5}},
+				{Pos: geom.Vec3{X: 10, Y: 2, Z: 0.5}},
+				{Pos: geom.Vec3{X: w - 2, Y: h - 2, Z: 0.5}},
+			},
+			Indices: []int{0, 1, 2},
+			Tex:     tex,
+			Shader:  trace.ShaderProfile{Instructions: 8, Samples: 1},
+			Filter:  texture.Bilinear,
+			Alpha:   1,
+		}},
+	}
+}
+
+func TestPreciseBinningShedsFalsePositives(t *testing.T) {
+	cfg := testConfig()
+	scene := thinDiagonalScene(cfg)
+	hier := cache.NewHierarchy(cfg.Hierarchy)
+	geo := RunGeometry(scene, hier, cfg)
+
+	bbox := BinPrimitives(geo.Primitives, cache.NewHierarchy(cfg.Hierarchy), cfg)
+	pc := cfg
+	pc.PreciseBinning = true
+	precise := BinPrimitives(geo.Primitives, cache.NewHierarchy(pc.Hierarchy), pc)
+
+	count := func(b *Binning) int {
+		n := 0
+		for _, l := range b.Lists {
+			n += len(l)
+		}
+		return n
+	}
+	nb, np := count(bbox), count(precise)
+	if np >= nb {
+		t.Errorf("precise binning (%d entries) not below bbox (%d) for a thin diagonal", np, nb)
+	}
+	// Precise lists must be a subset of bbox lists per tile.
+	for i := range bbox.Lists {
+		set := map[int32]bool{}
+		for _, pi := range bbox.Lists[i] {
+			set[pi] = true
+		}
+		for _, pi := range precise.Lists[i] {
+			if !set[pi] {
+				t.Fatalf("tile %d: precise binning added primitive %d missing from bbox binning", i, pi)
+			}
+		}
+	}
+}
+
+func TestPreciseBinningPreservesRendering(t *testing.T) {
+	// Shedding false positives must not change what is drawn.
+	cfg := testConfig()
+	scene := testScene(t, "CRa", cfg)
+	plain, err := Run(scene, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pc := cfg
+	pc.PreciseBinning = true
+	precise, err := Run(scene, pc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plain.Events.QuadsShaded != precise.Events.QuadsShaded ||
+		plain.Events.QuadsCulled != precise.Events.QuadsCulled {
+		t.Errorf("precise binning changed shading: %d/%d vs %d/%d",
+			precise.Events.QuadsShaded, precise.Events.QuadsCulled,
+			plain.Events.QuadsShaded, plain.Events.QuadsCulled)
+	}
+	ref := renderFrame(t, "CRa", cfg)
+	img := renderFrame(t, "CRa", pc)
+	if !ref.Equal(img) {
+		t.Error("precise binning changed the rendered image")
+	}
+}
+
+func TestTileOverlapsExact(t *testing.T) {
+	tri := geom.Triangle{P: [3]geom.Vec3{{X: 0, Y: 0}, {X: 64, Y: 0}, {X: 0, Y: 64}}}
+	setup, ok := tri.Setup()
+	if !ok {
+		t.Fatal("setup failed")
+	}
+	p := &Primitive{Setup: setup}
+	// Tile (0,0) with 32px tiles clearly overlaps.
+	if !tileOverlaps(p, 0, 0, 32) {
+		t.Error("overlapping tile rejected")
+	}
+	// Tile (1,1): the triangle's hypotenuse passes exactly through the
+	// corner (32,32) -> still touches.
+	if !tileOverlaps(p, 1, 1, 32) {
+		t.Error("corner-touching tile rejected")
+	}
+	// Tile (2,2) (64..96) is fully outside.
+	if tileOverlaps(p, 2, 2, 32) {
+		t.Error("disjoint tile accepted")
+	}
+}
+
+func TestBinningCycleCosts(t *testing.T) {
+	cfg := testConfig()
+	hier := cache.NewHierarchy(cfg.Hierarchy)
+	scene := testScene(t, "SWa", cfg)
+	geo := RunGeometry(scene, hier, cfg)
+	b := BinPrimitives(geo.Primitives, hier, cfg)
+	if b.Cycles <= 0 {
+		t.Error("binning recorded no cost")
+	}
+	cost := b.FetchTileCost(0, 0, geo.Primitives, hier)
+	if cost <= 0 {
+		t.Error("tile fetch recorded no cost")
+	}
+}

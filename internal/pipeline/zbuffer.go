@@ -1,0 +1,48 @@
+package pipeline
+
+import "math"
+
+// ZBuffer is the on-chip, tile-sized depth buffer used by the Early-Z
+// stage. It is banked four ways by Subtile in hardware; since Subtiles
+// are disjoint pixel sets, a single array models all banks exactly.
+type ZBuffer struct {
+	side  int
+	depth []float64
+}
+
+// NewZBuffer allocates a depth buffer for a side x side pixel tile.
+func NewZBuffer(side int) *ZBuffer {
+	z := &ZBuffer{side: side, depth: make([]float64, side*side)}
+	z.Reset()
+	return z
+}
+
+// Reset clears all depths to the far plane, as happens when the Raster
+// Pipeline advances to a new tile.
+func (z *ZBuffer) Reset() {
+	for i := range z.depth {
+		z.depth[i] = math.Inf(1)
+	}
+}
+
+// TestAndSet performs the Early-Z test for the pixel at tile-local
+// (x, y): it passes if d is strictly closer than the stored depth, and
+// updates the buffer when it passes.
+func (z *ZBuffer) TestAndSet(x, y int, d float64) bool {
+	i := y*z.side + x
+	if d < z.depth[i] {
+		z.depth[i] = d
+		return true
+	}
+	return false
+}
+
+// Pass reports whether depth d would pass the test at tile-local (x, y)
+// without updating the buffer — the comparison transparent fragments use
+// (they test against opaque depth but never write it).
+func (z *ZBuffer) Pass(x, y int, d float64) bool {
+	return d < z.depth[y*z.side+x]
+}
+
+// DepthAt returns the stored depth for tile-local (x, y).
+func (z *ZBuffer) DepthAt(x, y int) float64 { return z.depth[y*z.side+x] }

@@ -1,0 +1,238 @@
+// Package plot renders the evaluation's tables as SVG figures — bar
+// charts for the Fig. 1/2/11-13/16-18 style results and box plots for
+// the Fig. 14/15 violins — so a reproduction run can be compared with
+// the paper's figures visually. Pure stdlib: the SVG is emitted
+// directly.
+package plot
+
+import (
+	"fmt"
+	"io"
+	"math"
+)
+
+// palette holds the series colors (colorblind-safe defaults).
+var palette = []string{
+	"#4477aa", "#ee6677", "#228833", "#ccbb44", "#66ccee",
+	"#aa3377", "#bbbbbb", "#222255", "#225555", "#555522",
+}
+
+// Series is one bar group member across all categories.
+type Series struct {
+	Name   string
+	Values []float64
+}
+
+// BarChart is a grouped bar chart: one group per category (benchmark),
+// one bar per series (configuration) within each group.
+type BarChart struct {
+	Title      string
+	YLabel     string
+	Categories []string
+	Series     []Series
+	// RefLine, if non-zero, draws a dashed horizontal reference (e.g. 1.0
+	// for normalized values).
+	RefLine float64
+}
+
+const (
+	chartW  = 960
+	chartH  = 420
+	marginL = 70
+	marginR = 20
+	marginT = 56
+	marginB = 48
+)
+
+func esc(s string) string {
+	out := ""
+	for _, r := range s {
+		switch r {
+		case '&':
+			out += "&amp;"
+		case '<':
+			out += "&lt;"
+		case '>':
+			out += "&gt;"
+		case '"':
+			out += "&quot;"
+		default:
+			out += string(r)
+		}
+	}
+	return out
+}
+
+// WriteSVG renders the chart.
+func (c *BarChart) WriteSVG(w io.Writer) error {
+	if len(c.Categories) == 0 || len(c.Series) == 0 {
+		return fmt.Errorf("plot: empty chart %q", c.Title)
+	}
+	for _, s := range c.Series {
+		if len(s.Values) != len(c.Categories) {
+			return fmt.Errorf("plot: series %q has %d values for %d categories",
+				s.Name, len(s.Values), len(c.Categories))
+		}
+	}
+	maxV := c.RefLine
+	for _, s := range c.Series {
+		for _, v := range s.Values {
+			if v > maxV {
+				maxV = v
+			}
+		}
+	}
+	if maxV <= 0 {
+		maxV = 1
+	}
+	maxV *= 1.08
+
+	plotW := float64(chartW - marginL - marginR)
+	plotH := float64(chartH - marginT - marginB)
+	x0, y0 := float64(marginL), float64(marginT)
+	yOf := func(v float64) float64 { return y0 + plotH - math.Max(v, 0)/maxV*plotH }
+
+	var b errWriter
+	b.w = w
+	b.printf(`<svg xmlns="http://www.w3.org/2000/svg" width="%d" height="%d" font-family="sans-serif">`+"\n", chartW, chartH)
+	b.printf(`<rect width="%d" height="%d" fill="white"/>`+"\n", chartW, chartH)
+	b.printf(`<text x="%d" y="22" font-size="15" font-weight="bold">%s</text>`+"\n", marginL, esc(c.Title))
+
+	// Legend.
+	lx := float64(marginL)
+	for i, s := range c.Series {
+		b.printf(`<rect x="%.1f" y="%d" width="10" height="10" fill="%s"/>`+"\n", lx, 32, palette[i%len(palette)])
+		b.printf(`<text x="%.1f" y="%d" font-size="11">%s</text>`+"\n", lx+14, 41, esc(s.Name))
+		lx += 18 + 7*float64(len(s.Name)) + 14
+	}
+
+	// Y axis with 5 ticks.
+	b.printf(`<line x1="%.1f" y1="%.1f" x2="%.1f" y2="%.1f" stroke="black"/>`+"\n", x0, y0, x0, y0+plotH)
+	for t := 0; t <= 5; t++ {
+		v := maxV * float64(t) / 5
+		y := yOf(v)
+		b.printf(`<line x1="%.1f" y1="%.1f" x2="%.1f" y2="%.1f" stroke="#dddddd"/>`+"\n", x0, y, x0+plotW, y)
+		b.printf(`<text x="%.1f" y="%.1f" font-size="10" text-anchor="end">%.3g</text>`+"\n", x0-6, y+3, v)
+	}
+	b.printf(`<text x="14" y="%.1f" font-size="11" transform="rotate(-90 14 %.1f)" text-anchor="middle">%s</text>`+"\n",
+		y0+plotH/2, y0+plotH/2, esc(c.YLabel))
+
+	// Bars.
+	groupW := plotW / float64(len(c.Categories))
+	barW := groupW * 0.8 / float64(len(c.Series))
+	for ci, cat := range c.Categories {
+		gx := x0 + groupW*float64(ci) + groupW*0.1
+		for si, s := range c.Series {
+			v := s.Values[ci]
+			bx := gx + barW*float64(si)
+			by := yOf(v)
+			b.printf(`<rect x="%.1f" y="%.1f" width="%.1f" height="%.1f" fill="%s"><title>%s / %s: %.4g</title></rect>`+"\n",
+				bx, by, barW, y0+plotH-by, palette[si%len(palette)], esc(cat), esc(s.Name), v)
+		}
+		b.printf(`<text x="%.1f" y="%.1f" font-size="10" text-anchor="middle">%s</text>`+"\n",
+			x0+groupW*(float64(ci)+0.5), y0+plotH+14, esc(cat))
+	}
+
+	// Reference line.
+	if c.RefLine > 0 {
+		y := yOf(c.RefLine)
+		b.printf(`<line x1="%.1f" y1="%.1f" x2="%.1f" y2="%.1f" stroke="#cc0000" stroke-dasharray="5,4"/>`+"\n",
+			x0, y, x0+plotW, y)
+	}
+	// X axis baseline.
+	b.printf(`<line x1="%.1f" y1="%.1f" x2="%.1f" y2="%.1f" stroke="black"/>`+"\n", x0, y0+plotH, x0+plotW, y0+plotH)
+	b.printf("</svg>\n")
+	return b.err
+}
+
+// BoxEntry is one box of a box (violin summary) plot.
+type BoxEntry struct {
+	Label                    string
+	Min, Q1, Median, Q3, Max float64
+	Mean                     float64
+	// Group selects the color (e.g. one per configuration).
+	Group int
+}
+
+// BoxChart renders five-number summaries, the shape behind the paper's
+// Figs. 14 and 15 violins.
+type BoxChart struct {
+	Title  string
+	YLabel string
+	Boxes  []BoxEntry
+}
+
+// WriteSVG renders the box plot.
+func (c *BoxChart) WriteSVG(w io.Writer) error {
+	if len(c.Boxes) == 0 {
+		return fmt.Errorf("plot: empty box chart %q", c.Title)
+	}
+	maxV := 0.0
+	for _, e := range c.Boxes {
+		if e.Max > maxV {
+			maxV = e.Max
+		}
+	}
+	if maxV <= 0 {
+		maxV = 1
+	}
+	maxV *= 1.08
+
+	plotW := float64(chartW - marginL - marginR)
+	plotH := float64(chartH - marginT - marginB)
+	x0, y0 := float64(marginL), float64(marginT)
+	yOf := func(v float64) float64 { return y0 + plotH - math.Max(v, 0)/maxV*plotH }
+
+	var b errWriter
+	b.w = w
+	b.printf(`<svg xmlns="http://www.w3.org/2000/svg" width="%d" height="%d" font-family="sans-serif">`+"\n", chartW, chartH)
+	b.printf(`<rect width="%d" height="%d" fill="white"/>`+"\n", chartW, chartH)
+	b.printf(`<text x="%d" y="22" font-size="15" font-weight="bold">%s</text>`+"\n", marginL, esc(c.Title))
+	b.printf(`<line x1="%.1f" y1="%.1f" x2="%.1f" y2="%.1f" stroke="black"/>`+"\n", x0, y0, x0, y0+plotH)
+	for t := 0; t <= 5; t++ {
+		v := maxV * float64(t) / 5
+		y := yOf(v)
+		b.printf(`<line x1="%.1f" y1="%.1f" x2="%.1f" y2="%.1f" stroke="#dddddd"/>`+"\n", x0, y, x0+plotW, y)
+		b.printf(`<text x="%.1f" y="%.1f" font-size="10" text-anchor="end">%.3g</text>`+"\n", x0-6, y+3, v)
+	}
+	b.printf(`<text x="14" y="%.1f" font-size="11" transform="rotate(-90 14 %.1f)" text-anchor="middle">%s</text>`+"\n",
+		y0+plotH/2, y0+plotH/2, esc(c.YLabel))
+
+	slotW := plotW / float64(len(c.Boxes))
+	boxW := slotW * 0.5
+	for i, e := range c.Boxes {
+		cx := x0 + slotW*(float64(i)+0.5)
+		color := palette[e.Group%len(palette)]
+		// Whiskers.
+		b.printf(`<line x1="%.1f" y1="%.1f" x2="%.1f" y2="%.1f" stroke="%s"/>`+"\n", cx, yOf(e.Min), cx, yOf(e.Max), color)
+		b.printf(`<line x1="%.1f" y1="%.1f" x2="%.1f" y2="%.1f" stroke="%s"/>`+"\n", cx-boxW/4, yOf(e.Min), cx+boxW/4, yOf(e.Min), color)
+		b.printf(`<line x1="%.1f" y1="%.1f" x2="%.1f" y2="%.1f" stroke="%s"/>`+"\n", cx-boxW/4, yOf(e.Max), cx+boxW/4, yOf(e.Max), color)
+		// Box q1..q3.
+		b.printf(`<rect x="%.1f" y="%.1f" width="%.1f" height="%.1f" fill="%s" fill-opacity="0.45" stroke="%s"><title>%s: min %.3g q1 %.3g med %.3g mean %.3g q3 %.3g max %.3g</title></rect>`+"\n",
+			cx-boxW/2, yOf(e.Q3), boxW, math.Max(yOf(e.Q1)-yOf(e.Q3), 1), color, color,
+			esc(e.Label), e.Min, e.Q1, e.Median, e.Mean, e.Q3, e.Max)
+		// Median.
+		b.printf(`<line x1="%.1f" y1="%.1f" x2="%.1f" y2="%.1f" stroke="%s" stroke-width="2"/>`+"\n",
+			cx-boxW/2, yOf(e.Median), cx+boxW/2, yOf(e.Median), color)
+		// Mean marker.
+		b.printf(`<circle cx="%.1f" cy="%.1f" r="2.5" fill="%s"/>`+"\n", cx, yOf(e.Mean), color)
+		b.printf(`<text x="%.1f" y="%.1f" font-size="9" text-anchor="middle">%s</text>`+"\n",
+			cx, y0+plotH+13, esc(e.Label))
+	}
+	b.printf(`<line x1="%.1f" y1="%.1f" x2="%.1f" y2="%.1f" stroke="black"/>`+"\n", x0, y0+plotH, x0+plotW, y0+plotH)
+	b.printf("</svg>\n")
+	return b.err
+}
+
+// errWriter accumulates the first write error.
+type errWriter struct {
+	w   io.Writer
+	err error
+}
+
+func (e *errWriter) printf(format string, args ...any) {
+	if e.err != nil {
+		return
+	}
+	_, e.err = fmt.Fprintf(e.w, format, args...)
+}

@@ -1,0 +1,148 @@
+package plot
+
+import (
+	"bytes"
+	"encoding/xml"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+func sampleBar() *BarChart {
+	return &BarChart{
+		Title:      "Speedup",
+		YLabel:     "x over baseline",
+		Categories: []string{"CCS", "TRu", "Avg"},
+		Series: []Series{
+			{Name: "DTexL", Values: []float64{1.27, 1.13, 1.24}},
+			{Name: "decoupled", Values: []float64{1.06, 1.04, 1.05}},
+		},
+		RefLine: 1,
+	}
+}
+
+// parseSVG checks the output is well-formed XML.
+func parseSVG(t *testing.T, data []byte) {
+	t.Helper()
+	dec := xml.NewDecoder(bytes.NewReader(data))
+	for {
+		_, err := dec.Token()
+		if err != nil {
+			if err.Error() == "EOF" {
+				return
+			}
+			t.Fatalf("SVG is not well-formed XML: %v", err)
+		}
+	}
+}
+
+func TestBarChartSVG(t *testing.T) {
+	var buf bytes.Buffer
+	if err := sampleBar().WriteSVG(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	parseSVG(t, buf.Bytes())
+	// 3 categories x 2 series = 6 bars plus the background rect and
+	// legend swatches.
+	if got := strings.Count(out, "<rect"); got < 6+1+2 {
+		t.Errorf("only %d rects", got)
+	}
+	for _, want := range []string{"Speedup", "CCS", "TRu", "DTexL", "stroke-dasharray"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("SVG missing %q", want)
+		}
+	}
+}
+
+func TestBarChartValidation(t *testing.T) {
+	empty := &BarChart{Title: "x"}
+	if err := empty.WriteSVG(&bytes.Buffer{}); err == nil {
+		t.Error("empty chart accepted")
+	}
+	bad := sampleBar()
+	bad.Series[0].Values = bad.Series[0].Values[:1]
+	if err := bad.WriteSVG(&bytes.Buffer{}); err == nil {
+		t.Error("ragged series accepted")
+	}
+}
+
+func TestBarHeightsScaleWithValues(t *testing.T) {
+	c := &BarChart{
+		Title:      "t",
+		Categories: []string{"a", "b"},
+		Series:     []Series{{Name: "s", Values: []float64{1, 2}}},
+	}
+	var buf bytes.Buffer
+	if err := c.WriteSVG(&buf); err != nil {
+		t.Fatal(err)
+	}
+	// The taller bar's y must be smaller (SVG y grows downward). Extract
+	// the two data-bar rects by their title children.
+	out := buf.String()
+	iA := strings.Index(out, "<title>a / s")
+	iB := strings.Index(out, "<title>b / s")
+	if iA < 0 || iB < 0 {
+		t.Fatal("bar titles missing")
+	}
+	yOf := func(i int) float64 {
+		seg := out[:i]
+		j := strings.LastIndex(seg, `y="`)
+		seg = seg[j+3:]
+		v, err := strconv.ParseFloat(seg[:strings.Index(seg, `"`)], 64)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return v
+	}
+	// SVG y grows downward: the value-2 bar's top must sit above (smaller
+	// y than) the value-1 bar's.
+	if yOf(iB) >= yOf(iA) {
+		t.Errorf("bar for 2 (y=%v) not taller than bar for 1 (y=%v)", yOf(iB), yOf(iA))
+	}
+}
+
+func TestBoxChartSVG(t *testing.T) {
+	c := &BoxChart{
+		Title:  "Imbalance",
+		YLabel: "%",
+		Boxes: []BoxEntry{
+			{Label: "CCS/FG", Min: 0, Q1: 1, Median: 2, Mean: 2.5, Q3: 4, Max: 30, Group: 0},
+			{Label: "CCS/CG", Min: 0, Q1: 12, Median: 18, Mean: 20, Q3: 26, Max: 100, Group: 1},
+		},
+	}
+	var buf bytes.Buffer
+	if err := c.WriteSVG(&buf); err != nil {
+		t.Fatal(err)
+	}
+	parseSVG(t, buf.Bytes())
+	out := buf.String()
+	if strings.Count(out, "<circle") != 2 {
+		t.Error("mean markers missing")
+	}
+	if !strings.Contains(out, "CCS/FG") || !strings.Contains(out, "med 18") {
+		t.Error("labels or tooltips missing")
+	}
+}
+
+func TestBoxChartValidation(t *testing.T) {
+	if err := (&BoxChart{Title: "x"}).WriteSVG(&bytes.Buffer{}); err == nil {
+		t.Error("empty box chart accepted")
+	}
+}
+
+func TestEscaping(t *testing.T) {
+	c := &BarChart{
+		Title:      `a<b&"c"`,
+		Categories: []string{"x"},
+		Series:     []Series{{Name: "<s>", Values: []float64{1}}},
+	}
+	var buf bytes.Buffer
+	if err := c.WriteSVG(&buf); err != nil {
+		t.Fatal(err)
+	}
+	parseSVG(t, buf.Bytes())
+	if strings.Contains(buf.String(), "a<b") {
+		t.Error("title not escaped")
+	}
+}

@@ -1,0 +1,135 @@
+// Package render provides the color side of the pipeline: an RGBA8
+// framebuffer the Blending stage resolves into, and a PPM writer for
+// inspecting rendered frames. Rendering is optional in the simulator —
+// timing and traffic never depend on it — but it pins down the pipeline's
+// correctness: whatever the scheduler, tile order or barrier
+// architecture, the resolved image must be identical (§III-C: quad
+// reordering across tiles never violates pipeline correctness).
+package render
+
+import (
+	"fmt"
+	"io"
+)
+
+// Color is an RGBA8 color packed as 0xRRGGBBAA.
+type Color uint32
+
+// RGBA builds a packed color.
+func RGBA(r, g, b, a uint8) Color {
+	return Color(uint32(r)<<24 | uint32(g)<<16 | uint32(b)<<8 | uint32(a))
+}
+
+// R returns the red channel.
+func (c Color) R() uint8 { return uint8(c >> 24) }
+
+// G returns the green channel.
+func (c Color) G() uint8 { return uint8(c >> 16) }
+
+// B returns the blue channel.
+func (c Color) B() uint8 { return uint8(c >> 8) }
+
+// A returns the alpha channel.
+func (c Color) A() uint8 { return uint8(c) }
+
+// Lerp blends c toward d by t in [0,1] per channel.
+func (c Color) Lerp(d Color, t float64) Color {
+	mix := func(a, b uint8) uint8 {
+		return uint8(float64(a) + (float64(b)-float64(a))*t + 0.5)
+	}
+	return RGBA(mix(c.R(), d.R()), mix(c.G(), d.G()), mix(c.B(), d.B()), mix(c.A(), d.A()))
+}
+
+// Over composites src over dst with the given source opacity (classic
+// alpha blending as performed by the Blending unit).
+func Over(src, dst Color, alpha float64) Color {
+	blend := func(s, d uint8) uint8 {
+		return uint8(float64(s)*alpha + float64(d)*(1-alpha) + 0.5)
+	}
+	return RGBA(blend(src.R(), dst.R()), blend(src.G(), dst.G()), blend(src.B(), dst.B()), 0xff)
+}
+
+// Framebuffer is the full-frame color target the per-tile Color Buffers
+// are flushed into.
+type Framebuffer struct {
+	W, H int
+	pix  []Color
+}
+
+// NewFramebuffer allocates a cleared framebuffer.
+func NewFramebuffer(w, h int) *Framebuffer {
+	if w <= 0 || h <= 0 {
+		panic(fmt.Sprintf("render: invalid framebuffer %dx%d", w, h))
+	}
+	return &Framebuffer{W: w, H: h, pix: make([]Color, w*h)}
+}
+
+// Set writes the pixel at (x, y); out-of-bounds writes are dropped, as
+// clipped fragments never reach the Color Buffer.
+func (f *Framebuffer) Set(x, y int, c Color) {
+	if x < 0 || x >= f.W || y < 0 || y >= f.H {
+		return
+	}
+	f.pix[y*f.W+x] = c
+}
+
+// At reads the pixel at (x, y); out-of-bounds reads return zero.
+func (f *Framebuffer) At(x, y int) Color {
+	if x < 0 || x >= f.W || y < 0 || y >= f.H {
+		return 0
+	}
+	return f.pix[y*f.W+x]
+}
+
+// Clear fills the framebuffer with c.
+func (f *Framebuffer) Clear(c Color) {
+	for i := range f.pix {
+		f.pix[i] = c
+	}
+}
+
+// Equal reports whether two framebuffers hold identical images.
+func (f *Framebuffer) Equal(o *Framebuffer) bool {
+	if f.W != o.W || f.H != o.H {
+		return false
+	}
+	for i := range f.pix {
+		if f.pix[i] != o.pix[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Hash returns an FNV-1a digest of the image, for cheap identity checks
+// across many configurations.
+func (f *Framebuffer) Hash() uint64 {
+	h := uint64(1469598103934665603)
+	for _, p := range f.pix {
+		for shift := 0; shift < 32; shift += 8 {
+			h ^= uint64(uint8(p >> shift))
+			h *= 1099511628211
+		}
+	}
+	return h
+}
+
+// WritePPM encodes the image as a binary PPM (P6), dropping alpha.
+func (f *Framebuffer) WritePPM(w io.Writer) error {
+	if _, err := fmt.Fprintf(w, "P6\n%d %d\n255\n", f.W, f.H); err != nil {
+		return err
+	}
+	row := make([]byte, f.W*3)
+	for y := 0; y < f.H; y++ {
+		for x := 0; x < f.W; x++ {
+			c := f.pix[y*f.W+x]
+			row[x*3] = c.R()
+			row[x*3+1] = c.G()
+			row[x*3+2] = c.B()
+		}
+		if _, err := w.Write(row); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,126 @@
+package render
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestColorChannels(t *testing.T) {
+	c := RGBA(1, 2, 3, 4)
+	if c.R() != 1 || c.G() != 2 || c.B() != 3 || c.A() != 4 {
+		t.Errorf("channels = %d %d %d %d", c.R(), c.G(), c.B(), c.A())
+	}
+}
+
+func TestColorRoundTrip(t *testing.T) {
+	f := func(r, g, b, a uint8) bool {
+		c := RGBA(r, g, b, a)
+		return c.R() == r && c.G() == g && c.B() == b && c.A() == a
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestLerpEndpoints(t *testing.T) {
+	a := RGBA(0, 0, 0, 0)
+	b := RGBA(255, 255, 255, 255)
+	if a.Lerp(b, 0) != a {
+		t.Error("Lerp(0) != a")
+	}
+	if a.Lerp(b, 1) != b {
+		t.Error("Lerp(1) != b")
+	}
+	mid := a.Lerp(b, 0.5)
+	if mid.R() < 126 || mid.R() > 129 {
+		t.Errorf("midpoint R = %d", mid.R())
+	}
+}
+
+func TestOver(t *testing.T) {
+	src := RGBA(200, 100, 0, 255)
+	dst := RGBA(0, 100, 200, 255)
+	// Fully opaque: src wins (alpha forced to 0xff).
+	if got := Over(src, dst, 1); got.R() != 200 || got.B() != 0 {
+		t.Errorf("opaque over = %v", got)
+	}
+	// Fully transparent: dst survives.
+	if got := Over(src, dst, 0); got.R() != 0 || got.B() != 200 {
+		t.Errorf("transparent over = %v", got)
+	}
+	half := Over(src, dst, 0.5)
+	if half.R() < 99 || half.R() > 101 {
+		t.Errorf("half over R = %d", half.R())
+	}
+}
+
+func TestFramebufferSetAt(t *testing.T) {
+	f := NewFramebuffer(4, 3)
+	c := RGBA(9, 8, 7, 6)
+	f.Set(2, 1, c)
+	if f.At(2, 1) != c {
+		t.Error("Set/At roundtrip failed")
+	}
+	// Out-of-bounds access is safe and inert.
+	f.Set(-1, 0, c)
+	f.Set(4, 0, c)
+	f.Set(0, 3, c)
+	if f.At(-1, 0) != 0 || f.At(4, 0) != 0 {
+		t.Error("out-of-bounds At != 0")
+	}
+}
+
+func TestFramebufferClearEqualHash(t *testing.T) {
+	a := NewFramebuffer(8, 8)
+	b := NewFramebuffer(8, 8)
+	if !a.Equal(b) || a.Hash() != b.Hash() {
+		t.Error("fresh framebuffers differ")
+	}
+	a.Set(3, 3, RGBA(1, 1, 1, 1))
+	if a.Equal(b) || a.Hash() == b.Hash() {
+		t.Error("modified framebuffer compares equal")
+	}
+	a.Clear(0)
+	if !a.Equal(b) {
+		t.Error("cleared framebuffer differs")
+	}
+	c := NewFramebuffer(8, 4)
+	if a.Equal(c) {
+		t.Error("different sizes compare equal")
+	}
+}
+
+func TestNewFramebufferPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("no panic for 0x0 framebuffer")
+		}
+	}()
+	NewFramebuffer(0, 0)
+}
+
+func TestWritePPM(t *testing.T) {
+	f := NewFramebuffer(2, 2)
+	f.Set(0, 0, RGBA(255, 0, 0, 255))
+	f.Set(1, 1, RGBA(0, 0, 255, 255))
+	var buf bytes.Buffer
+	if err := f.WritePPM(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.Bytes()
+	if !strings.HasPrefix(string(out), "P6\n2 2\n255\n") {
+		t.Fatalf("bad header: %q", out[:12])
+	}
+	pix := out[len("P6\n2 2\n255\n"):]
+	if len(pix) != 12 {
+		t.Fatalf("payload = %d bytes", len(pix))
+	}
+	if pix[0] != 255 || pix[1] != 0 || pix[2] != 0 {
+		t.Errorf("pixel (0,0) = %v", pix[:3])
+	}
+	if pix[9] != 0 || pix[11] != 255 {
+		t.Errorf("pixel (1,1) = %v", pix[9:12])
+	}
+}

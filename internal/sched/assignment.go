@@ -1,0 +1,163 @@
+package sched
+
+import (
+	"fmt"
+
+	"dtexl/internal/tileorder"
+)
+
+// Assignment selects how Subtile labels are (re)assigned to shader cores
+// as the tile sequence progresses (§III-D, Fig. 8).
+type Assignment int
+
+const (
+	// ConstAssign keeps the same label->SC mapping for every tile
+	// (Figs. 8a, 8c, 8g).
+	ConstAssign Assignment = iota
+	// Flp1 mirrors the mapping across the edge shared with the previous
+	// tile, so adjacent Subtiles of consecutive tiles land on the same SC
+	// (Figs. 8b, 8d). One SC ends up always owning the shared edge.
+	Flp1
+	// Flp2 is Flp1 plus, on every even->odd tile transition, a swap of the
+	// two SCs on the non-shared side, so no SC is permanently favored
+	// (Figs. 8e, 8h).
+	Flp2
+	// Flp3 is Flp1 plus a 180-degree rotation of all four Subtiles every
+	// 16 tiles (Fig. 8f).
+	Flp3
+
+	numAssignments
+)
+
+var assignmentNames = [numAssignments]string{"const", "flp1", "flp2", "flp3"}
+
+// String returns the figure-style suffix of the assignment policy.
+func (a Assignment) String() string {
+	if a >= 0 && int(a) < len(assignmentNames) {
+		return assignmentNames[a]
+	}
+	return fmt.Sprintf("sched.Assignment(%d)", int(a))
+}
+
+// Assignments returns all assignment policies.
+func Assignments() []Assignment {
+	return []Assignment{ConstAssign, Flp1, Flp2, Flp3}
+}
+
+// Perm maps a Subtile label to the shader core that renders it.
+type Perm [NumSubtiles]int
+
+// IdentityPerm assigns label i to SC i.
+func IdentityPerm() Perm { return Perm{0, 1, 2, 3} }
+
+// compose returns the permutation p∘q: (p∘q)[i] = p[q[i]].
+func compose(p Perm, q [NumSubtiles]int) Perm {
+	var r Perm
+	for i := 0; i < NumSubtiles; i++ {
+		r[i] = p[q[i]]
+	}
+	return r
+}
+
+// Assigner walks a frame's tile sequence and produces the label->SC
+// permutation for each tile. It is stateful: flip policies depend on the
+// path taken through the frame.
+type Assigner struct {
+	policy   Assignment
+	grouping Grouping
+	perm     Perm
+	idx      int
+	prev     tileorder.Point
+	started  bool
+}
+
+// NewAssigner returns an Assigner for one frame. Call Next once per tile,
+// in tile-sequence order.
+func NewAssigner(policy Assignment, grouping Grouping) *Assigner {
+	return &Assigner{policy: policy, grouping: grouping, perm: IdentityPerm()}
+}
+
+// Next advances to the tile at cur and returns the Subtile label -> SC
+// permutation to use for it.
+func (a *Assigner) Next(cur tileorder.Point) Perm {
+	if a.policy == ConstAssign {
+		a.idx++
+		return IdentityPerm()
+	}
+	if !a.started {
+		a.started = true
+		a.prev = cur
+		a.idx++
+		return a.perm
+	}
+	dx := cur.X - a.prev.X
+	dy := cur.Y - a.prev.Y
+	// Mirror across every axis along which we moved. For the usual
+	// edge-adjacent steps this is exactly the paper's "flip along the
+	// shared edge"; for the occasional long or diagonal jumps of Z-order
+	// it mirrors along both axes, keeping the policy total.
+	if dx != 0 {
+		a.perm = compose(a.perm, a.grouping.MirrorH())
+	}
+	if dy != 0 {
+		a.perm = compose(a.perm, a.grouping.MirrorV())
+	}
+	switch a.policy {
+	case Flp2:
+		// On even->odd transitions additionally exchange the SCs on the
+		// non-shared side so edge ownership rotates among SCs (Fig. 8e).
+		if a.idx%2 == 0 {
+			a.perm = compose(a.perm, a.nonSharedSwap(dx, dy))
+		}
+	case Flp3:
+		// Rotate everything 180 degrees every 16 tiles (Fig. 8f).
+		if a.idx%16 == 0 {
+			a.perm = compose(a.perm, compose(Perm(a.grouping.MirrorH()), a.grouping.MirrorV()))
+		}
+	}
+	a.prev = cur
+	a.idx++
+	return a.perm
+}
+
+// nonSharedSwap returns the label permutation that exchanges the two
+// Subtiles on the side opposite the shared edge. For groupings where the
+// notion does not apply (mirror is identity) it returns the identity.
+func (a *Assigner) nonSharedSwap(dx, dy int) [NumSubtiles]int {
+	id := [NumSubtiles]int{0, 1, 2, 3}
+	switch a.grouping {
+	case CGSquare:
+		if dx != 0 {
+			// Moving horizontally: the shared edge is a column; swap the two
+			// labels of the opposite column vertically.
+			if dx > 0 {
+				return [NumSubtiles]int{0, 3, 2, 1} // swap right column labels 1,3
+			}
+			return [NumSubtiles]int{2, 1, 0, 3} // swap left column labels 0,2
+		}
+		if dy != 0 {
+			if dy > 0 {
+				return [NumSubtiles]int{0, 1, 3, 2} // swap bottom row labels 2,3
+			}
+			return [NumSubtiles]int{1, 0, 2, 3} // swap top row labels 0,1
+		}
+	case CGYRect:
+		// Vertical strips: the non-shared side is the strip farthest from
+		// the shared edge; swapping the two innermost strips rotates edge
+		// ownership (Fig. 8h).
+		if dx != 0 {
+			return [NumSubtiles]int{0, 2, 1, 3}
+		}
+	case CGXRect:
+		if dy != 0 {
+			return [NumSubtiles]int{0, 2, 1, 3}
+		}
+	}
+	return id
+}
+
+// SCOf is a convenience helper combining a grouping, a permutation and a
+// quad position: it returns the shader core for quad (qx, qy).
+func SCOf(g Grouping, p Perm, qx, qy, qw, qh int) int {
+	return p[g.SubtileOf(qx, qy, qw, qh)]
+}

@@ -1,0 +1,223 @@
+package sched
+
+import (
+	"testing"
+
+	"dtexl/internal/tileorder"
+)
+
+func isPerm(p Perm) bool {
+	var seen [NumSubtiles]bool
+	for _, v := range p {
+		if v < 0 || v >= NumSubtiles || seen[v] {
+			return false
+		}
+		seen[v] = true
+	}
+	return true
+}
+
+func TestAssignerAlwaysYieldsPermutations(t *testing.T) {
+	// Property: for every policy, grouping and tile order, the produced
+	// label->SC mapping is a permutation on every tile.
+	for _, policy := range Assignments() {
+		for _, g := range []Grouping{CGSquare, CGYRect, CGXRect, CGTri, FGXShift2} {
+			for _, ord := range tileorder.Kinds() {
+				seq := tileorder.Sequence(ord, 8, 6)
+				a := NewAssigner(policy, g)
+				for _, p := range seq {
+					perm := a.Next(p)
+					if !isPerm(perm) {
+						t.Fatalf("policy=%v grouping=%v order=%v: non-permutation %v at tile %v",
+							policy, g, ord, perm, p)
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestConstAssignIsIdentityEverywhere(t *testing.T) {
+	a := NewAssigner(ConstAssign, CGSquare)
+	for _, p := range tileorder.Sequence(tileorder.ZOrder, 4, 4) {
+		if perm := a.Next(p); perm != IdentityPerm() {
+			t.Fatalf("const assignment produced %v", perm)
+		}
+	}
+}
+
+func TestFlp1SharedEdgePropagation(t *testing.T) {
+	// Paper's Fig. 8d example: moving right from a tile with identity
+	// assignment, the SCs of the right column (labels 1, 3) must appear on
+	// the left column (labels 0, 2) of the next tile.
+	a := NewAssigner(Flp1, CGSquare)
+	p0 := a.Next(tileorder.Point{X: 0, Y: 0})
+	p1 := a.Next(tileorder.Point{X: 1, Y: 0})
+	if p1[0] != p0[1] || p1[2] != p0[3] {
+		t.Errorf("horizontal flip broken: tile0=%v tile1=%v", p0, p1)
+	}
+	// Moving down afterwards: bottom row SCs move to the top row.
+	p2 := a.Next(tileorder.Point{X: 1, Y: 1})
+	if p2[0] != p1[2] || p2[1] != p1[3] {
+		t.Errorf("vertical flip broken: tile1=%v tile2=%v", p1, p2)
+	}
+}
+
+func TestFlp1SharedEdgeAlwaysSameSC(t *testing.T) {
+	// Along an S-order walk (always edge-adjacent steps) with CG-square
+	// and Flp1, the Subtiles facing the shared edge of consecutive tiles
+	// must be assigned to the same SCs.
+	seq := tileorder.Sequence(tileorder.SOrder, 10, 6)
+	a := NewAssigner(Flp1, CGSquare)
+	perms := make([]Perm, len(seq))
+	for i, p := range seq {
+		perms[i] = a.Next(p)
+	}
+	for i := 1; i < len(seq); i++ {
+		dx := seq[i].X - seq[i-1].X
+		dy := seq[i].Y - seq[i-1].Y
+		switch {
+		case dx == 1: // moved right: prev right column == cur left column
+			if perms[i][0] != perms[i-1][1] || perms[i][2] != perms[i-1][3] {
+				t.Fatalf("step %d: right-move edge mismatch", i)
+			}
+		case dx == -1:
+			if perms[i][1] != perms[i-1][0] || perms[i][3] != perms[i-1][2] {
+				t.Fatalf("step %d: left-move edge mismatch", i)
+			}
+		case dy == 1:
+			if perms[i][0] != perms[i-1][2] || perms[i][1] != perms[i-1][3] {
+				t.Fatalf("step %d: down-move edge mismatch", i)
+			}
+		}
+	}
+}
+
+// edgeShareCounts returns, per SC, how many consecutive-tile transitions
+// give that SC a shared edge (its subtile in the new tile touches the
+// edge shared with the previous tile), for CG-square.
+func edgeShareCounts(policy Assignment, ord tileorder.Kind, w, h int) [NumSubtiles]int {
+	seq := tileorder.Sequence(ord, w, h)
+	a := NewAssigner(policy, CGSquare)
+	var counts [NumSubtiles]int
+	var prevPerm Perm
+	for i, p := range seq {
+		perm := a.Next(p)
+		if i > 0 {
+			dx := p.X - seq[i-1].X
+			dy := p.Y - seq[i-1].Y
+			var labels []int
+			switch {
+			case dx == 1 && dy == 0:
+				labels = []int{0, 2} // left column of new tile
+			case dx == -1 && dy == 0:
+				labels = []int{1, 3}
+			case dy == 1 && dx == 0:
+				labels = []int{0, 1} // top row of new tile
+			case dy == -1 && dx == 0:
+				labels = []int{2, 3}
+			}
+			for _, l := range labels {
+				// Shared edge only counts if the same SC also owned the
+				// matching subtile in the previous tile.
+				var prevLabel int
+				switch {
+				case dx == 1:
+					prevLabel = l + 1
+				case dx == -1:
+					prevLabel = l - 1
+				case dy == 1:
+					prevLabel = l + 2
+				default:
+					prevLabel = l - 2
+				}
+				if perm[l] == prevPerm[prevLabel] {
+					counts[perm[l]]++
+				}
+			}
+		}
+		prevPerm = perm
+	}
+	return counts
+}
+
+func TestFlp2IsFairerThanFlp1(t *testing.T) {
+	// The motivation for Flp2 (Fig. 8e): Flp1 permanently favors one SC
+	// for edge sharing; Flp2 spreads shared edges across SCs.
+	spread := func(c [NumSubtiles]int) int {
+		mn, mx := c[0], c[0]
+		for _, v := range c[1:] {
+			if v < mn {
+				mn = v
+			}
+			if v > mx {
+				mx = v
+			}
+		}
+		return mx - mn
+	}
+	c1 := edgeShareCounts(Flp1, tileorder.HilbertRect, 16, 16)
+	c2 := edgeShareCounts(Flp2, tileorder.HilbertRect, 16, 16)
+	if spread(c2) >= spread(c1) {
+		t.Errorf("flp2 spread %v (%d) not fairer than flp1 %v (%d)", c2, spread(c2), c1, spread(c1))
+	}
+}
+
+func TestFlp3RotatesEverySixteenTiles(t *testing.T) {
+	// Walk a straight horizontal line: without the 16-tile rotation the
+	// permutation would alternate with period 2. Flp3 must break that
+	// periodicity at tile 16.
+	a3 := NewAssigner(Flp3, CGSquare)
+	a1 := NewAssigner(Flp1, CGSquare)
+	var at16diff bool
+	for i := 0; i < 32; i++ {
+		p := tileorder.Point{X: i, Y: 0}
+		p3 := a3.Next(p)
+		p1 := a1.Next(p)
+		if i < 16 && p3 != p1 {
+			t.Fatalf("flp3 diverged from flp1 before tile 16 (tile %d)", i)
+		}
+		if i >= 16 && p3 != p1 {
+			at16diff = true
+		}
+	}
+	if !at16diff {
+		t.Error("flp3 never applied its 16-tile rotation")
+	}
+}
+
+func TestFlp2YRectReversesOnHorizontalMove(t *testing.T) {
+	a := NewAssigner(Flp1, CGYRect)
+	p0 := a.Next(tileorder.Point{X: 0, Y: 0})
+	p1 := a.Next(tileorder.Point{X: 1, Y: 0})
+	// Moving right: strip order reverses, so the new leftmost strip gets
+	// the SC of the previous rightmost strip.
+	if p1[0] != p0[3] || p1[3] != p0[0] {
+		t.Errorf("yrect horizontal flip broken: %v -> %v", p0, p1)
+	}
+	// Moving down: vertical mirror is identity for vertical strips.
+	p2 := a.Next(tileorder.Point{X: 1, Y: 1})
+	if p2 != p1 {
+		t.Errorf("yrect vertical move should not change assignment: %v -> %v", p1, p2)
+	}
+}
+
+func TestSCOf(t *testing.T) {
+	perm := Perm{3, 2, 1, 0}
+	// Quad (0,0) with CG-square is label 0, so SC must be perm[0] = 3.
+	if got := SCOf(CGSquare, perm, 0, 0, 16, 16); got != 3 {
+		t.Errorf("SCOf = %d, want 3", got)
+	}
+	if got := SCOf(CGSquare, perm, 15, 15, 16, 16); got != 0 {
+		t.Errorf("SCOf = %d, want 0", got)
+	}
+}
+
+func TestAssignmentString(t *testing.T) {
+	if Flp2.String() != "flp2" || ConstAssign.String() != "const" {
+		t.Error("assignment names wrong")
+	}
+	if Assignment(42).String() != "sched.Assignment(42)" {
+		t.Errorf("unknown assignment name = %q", Assignment(42).String())
+	}
+}

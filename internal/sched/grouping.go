@@ -1,0 +1,231 @@
+// Package sched implements the quad-scheduling design space of the paper:
+// the fine-grained and coarse-grained quad groupings of Fig. 6, which
+// partition a tile's quads into four Subtiles (one per Z/Color-buffer
+// bank), and the subtile-assignment policies of Fig. 8, which decide
+// which shader core renders each Subtile as the frame's tile sequence
+// progresses.
+package sched
+
+import "fmt"
+
+// NumSubtiles is the number of Subtiles per tile, equal to the number of
+// Z-Buffer / Color-Buffer banks and shader cores in the modeled GPU
+// (§II-A assumes four parallel raster pipelines).
+const NumSubtiles = 4
+
+// Grouping is a static mapping from quad coordinates within a tile to one
+// of the four Subtiles. Fine-grained groupings interleave neighbouring
+// quads across Subtiles to balance load; coarse-grained groupings keep
+// spatially adjacent quads together to preserve texture locality.
+type Grouping int
+
+const (
+	// FGChecker (Fig. 6a) tiles the 2x2 pattern [0 1 / 2 3]; no quad has a
+	// 4-adjacent or diagonal neighbour in the same Subtile... adjacent
+	// horizontal/vertical neighbours always differ.
+	FGChecker Grouping = iota
+	// FGXShift2 (Fig. 6b) interleaves columns 0,1,2,3 and shifts each row
+	// by two: no neighbour (including diagonals) shares a Subtile. This is
+	// the paper's load-balancing baseline.
+	FGXShift2
+	// FGXShift1 (Fig. 6c) shifts each row by one; at most two diagonal
+	// neighbours share a Subtile.
+	FGXShift1
+	// FGXShift3 (Fig. 6d) shifts each row by three (the mirror diagonal of
+	// FGXShift1).
+	FGXShift3
+	// FGVPair (Fig. 6e) interleaves 1x2 vertical quad pairs; at most two
+	// vertical neighbours share a Subtile.
+	FGVPair
+	// FGHPair (Fig. 6f) interleaves 2x1 horizontal quad pairs; at most two
+	// horizontal neighbours share a Subtile.
+	FGHPair
+	// CGSquare (Fig. 6i) splits the tile into 2x2 square quadrants — the
+	// paper's best coarse-grained grouping for texture locality.
+	CGSquare
+	// CGXRect (Fig. 6g) splits the tile into four full-width horizontal
+	// strips (rectangles elongated in x).
+	CGXRect
+	// CGYRect (Fig. 6h) splits the tile into four full-height vertical
+	// strips (rectangles elongated in y).
+	CGYRect
+	// CGTri (Fig. 6j) splits the tile into four triangles along its two
+	// diagonals.
+	CGTri
+
+	numGroupings
+)
+
+var groupingNames = [numGroupings]string{
+	"FG-checker", "FG-xshift2", "FG-xshift1", "FG-xshift3", "FG-vpair", "FG-hpair",
+	"CG-square", "CG-xrect", "CG-yrect", "CG-tri",
+}
+
+// String returns the figure-style name of the grouping.
+func (g Grouping) String() string {
+	if g >= 0 && int(g) < len(groupingNames) {
+		return groupingNames[g]
+	}
+	return fmt.Sprintf("sched.Grouping(%d)", int(g))
+}
+
+// Groupings returns all ten groupings in the order they appear in Fig. 6
+// (fine-grained first).
+func Groupings() []Grouping {
+	return []Grouping{
+		FGChecker, FGXShift2, FGXShift1, FGXShift3, FGVPair, FGHPair,
+		CGSquare, CGXRect, CGYRect, CGTri,
+	}
+}
+
+// FineGrained reports whether the grouping is one of the fine-grained
+// (load-balancing) interleavings.
+func (g Grouping) FineGrained() bool { return g <= FGHPair }
+
+// SubtileOf maps quad (qx, qy) inside a tile of qw x qh quads to its
+// Subtile label in [0, NumSubtiles). Tile dimensions must be multiples of
+// 4 so the four Subtiles are exactly equal-sized, matching the equal-size
+// buffer banks (§III-E).
+func (g Grouping) SubtileOf(qx, qy, qw, qh int) int {
+	switch g {
+	case FGChecker:
+		return qx&1 | (qy&1)<<1
+	case FGXShift2:
+		return (qx + 2*qy) & 3
+	case FGXShift1:
+		return (qx + qy) & 3
+	case FGXShift3:
+		return (qx + 3*qy) & 3
+	case FGVPair:
+		return qx&1 | ((qy>>1)&1)<<1
+	case FGHPair:
+		return (qx>>1)&1 | (qy&1)<<1
+	case CGSquare:
+		sx := 0
+		if qx >= qw/2 {
+			sx = 1
+		}
+		sy := 0
+		if qy >= qh/2 {
+			sy = 1
+		}
+		return sx | sy<<1
+	case CGXRect:
+		return qy / (qh / 4)
+	case CGYRect:
+		return qx / (qw / 4)
+	case CGTri:
+		return triSubtile(qx, qy, qw, qh)
+	default:
+		panic(fmt.Sprintf("sched: unknown grouping %d", int(g)))
+	}
+}
+
+// triSubtile splits the tile into four triangles by its diagonals:
+// label 0 = top, 1 = right, 2 = left, 3 = bottom. Cells whose center lies
+// exactly on a diagonal are split by x parity between the two adjacent
+// triangles so the partition stays exactly balanced.
+func triSubtile(qx, qy, qw, qh int) int {
+	// Work in doubled coordinates so cell centers are integers:
+	// cx = 2*qx + 1 - qw, cy = 2*qy + 1 - qh.
+	cx := 2*qx + 1 - qw
+	cy := 2*qy + 1 - qh
+	ax, ay := cx, cy
+	if ax < 0 {
+		ax = -ax
+	}
+	if ay < 0 {
+		ay = -ay
+	}
+	switch {
+	case ax > ay: // strictly left/right
+		if cx > 0 {
+			return 1
+		}
+		return 2
+	case ay > ax: // strictly top/bottom
+		if cy > 0 {
+			return 3
+		}
+		return 0
+	default: // on a diagonal: alternate by x parity
+		horizontal := qx%2 == 0
+		if horizontal {
+			if cx > 0 {
+				return 1
+			}
+			return 2
+		}
+		if cy > 0 {
+			return 3
+		}
+		return 0
+	}
+}
+
+// MirrorH returns the label permutation induced by mirroring the tile
+// horizontally (about the vertical axis): mh[label] is the label that
+// occupies the mirrored position. Fine-grained interleavings have no
+// meaningful geometric side, so they mirror to the identity.
+func (g Grouping) MirrorH() [NumSubtiles]int {
+	switch g {
+	case CGSquare:
+		return [NumSubtiles]int{1, 0, 3, 2}
+	case CGYRect:
+		return [NumSubtiles]int{3, 2, 1, 0}
+	case CGTri:
+		return [NumSubtiles]int{0, 2, 1, 3}
+	default: // FG groupings and CGXRect are invariant under horizontal mirror
+		return [NumSubtiles]int{0, 1, 2, 3}
+	}
+}
+
+// MirrorV returns the label permutation induced by mirroring the tile
+// vertically (about the horizontal axis).
+func (g Grouping) MirrorV() [NumSubtiles]int {
+	switch g {
+	case CGSquare:
+		return [NumSubtiles]int{2, 3, 0, 1}
+	case CGXRect:
+		return [NumSubtiles]int{3, 2, 1, 0}
+	case CGTri:
+		return [NumSubtiles]int{3, 1, 2, 0}
+	default:
+		return [NumSubtiles]int{0, 1, 2, 3}
+	}
+}
+
+// SharedEdgeLabels returns the Subtile labels that touch the given tile
+// edge ("left", "right", "top", "bottom"). Used by tests and by the
+// shared-edge locality analysis in the examples.
+func (g Grouping) SharedEdgeLabels(edge string, qw, qh int) []int {
+	seen := make(map[int]bool)
+	var out []int
+	add := func(l int) {
+		if !seen[l] {
+			seen[l] = true
+			out = append(out, l)
+		}
+	}
+	switch edge {
+	case "left":
+		for qy := 0; qy < qh; qy++ {
+			add(g.SubtileOf(0, qy, qw, qh))
+		}
+	case "right":
+		for qy := 0; qy < qh; qy++ {
+			add(g.SubtileOf(qw-1, qy, qw, qh))
+		}
+	case "top":
+		for qx := 0; qx < qw; qx++ {
+			add(g.SubtileOf(qx, 0, qw, qh))
+		}
+	case "bottom":
+		for qx := 0; qx < qw; qx++ {
+			add(g.SubtileOf(qx, qh-1, qw, qh))
+		}
+	default:
+		panic("sched: unknown edge " + edge)
+	}
+	return out
+}

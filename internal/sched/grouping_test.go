@@ -1,0 +1,308 @@
+package sched
+
+import (
+	"testing"
+)
+
+const (
+	testQW = 16
+	testQH = 16
+)
+
+func TestGroupingPartitionIsBalanced(t *testing.T) {
+	// Every grouping must split the quad grid into four exactly equal
+	// Subtiles: the Z/Color buffer banks are equal-sized (§III-E).
+	for _, g := range Groupings() {
+		for _, dim := range []struct{ w, h int }{{16, 16}, {8, 8}, {4, 4}} {
+			var counts [NumSubtiles]int
+			for qy := 0; qy < dim.h; qy++ {
+				for qx := 0; qx < dim.w; qx++ {
+					s := g.SubtileOf(qx, qy, dim.w, dim.h)
+					if s < 0 || s >= NumSubtiles {
+						t.Fatalf("%v: label %d out of range", g, s)
+					}
+					counts[s]++
+				}
+			}
+			want := dim.w * dim.h / NumSubtiles
+			for s, c := range counts {
+				if c != want {
+					t.Errorf("%v %dx%d: subtile %d has %d quads, want %d", g, dim.w, dim.h, s, c, want)
+				}
+			}
+		}
+	}
+}
+
+func TestFineGrainedFlag(t *testing.T) {
+	fg := map[Grouping]bool{
+		FGChecker: true, FGXShift2: true, FGXShift1: true, FGXShift3: true,
+		FGVPair: true, FGHPair: true,
+		CGSquare: false, CGXRect: false, CGYRect: false, CGTri: false,
+	}
+	for g, want := range fg {
+		if g.FineGrained() != want {
+			t.Errorf("%v.FineGrained() = %v, want %v", g, g.FineGrained(), want)
+		}
+	}
+}
+
+// sameSubtileNeighbors counts, over all quads, neighbours (in the given
+// offsets) that share the quad's Subtile.
+func sameSubtileNeighbors(g Grouping, offsets [][2]int) int {
+	count := 0
+	for qy := 0; qy < testQH; qy++ {
+		for qx := 0; qx < testQW; qx++ {
+			s := g.SubtileOf(qx, qy, testQW, testQH)
+			for _, off := range offsets {
+				nx, ny := qx+off[0], qy+off[1]
+				if nx < 0 || nx >= testQW || ny < 0 || ny >= testQH {
+					continue
+				}
+				if g.SubtileOf(nx, ny, testQW, testQH) == s {
+					count++
+				}
+			}
+		}
+	}
+	return count
+}
+
+var cardinal = [][2]int{{1, 0}, {-1, 0}, {0, 1}, {0, -1}}
+var diagonal = [][2]int{{1, 1}, {-1, 1}, {1, -1}, {-1, -1}}
+
+func TestFGCheckerAndXShift2HaveNoAdjacentSame(t *testing.T) {
+	// Fig. 6a/6b property: no 4-adjacent neighbour shares the Subtile.
+	for _, g := range []Grouping{FGChecker, FGXShift2} {
+		if n := sameSubtileNeighbors(g, cardinal); n != 0 {
+			t.Errorf("%v: %d cardinal same-subtile neighbours, want 0", g, n)
+		}
+	}
+	// FG-xshift2 additionally has no diagonal same-subtile neighbours.
+	if n := sameSubtileNeighbors(FGXShift2, diagonal); n != 0 {
+		t.Errorf("FG-xshift2: %d diagonal same-subtile neighbours, want 0", n)
+	}
+}
+
+func TestFGShiftDiagonalBound(t *testing.T) {
+	// Fig. 6c/6d property: cardinal neighbours never share; at most two
+	// diagonal neighbours do.
+	for _, g := range []Grouping{FGXShift1, FGXShift3} {
+		if n := sameSubtileNeighbors(g, cardinal); n != 0 {
+			t.Errorf("%v: cardinal same-subtile neighbours = %d, want 0", g, n)
+		}
+		for qy := 1; qy < testQH-1; qy++ {
+			for qx := 1; qx < testQW-1; qx++ {
+				s := g.SubtileOf(qx, qy, testQW, testQH)
+				same := 0
+				for _, off := range diagonal {
+					if g.SubtileOf(qx+off[0], qy+off[1], testQW, testQH) == s {
+						same++
+					}
+				}
+				if same > 2 {
+					t.Fatalf("%v: quad (%d,%d) has %d same-subtile diagonal neighbours", g, qx, qy, same)
+				}
+			}
+		}
+	}
+}
+
+func TestFGPairVerticalHorizontalBound(t *testing.T) {
+	// Fig. 6e/6f property: at most 2 vertical (resp. horizontal)
+	// neighbours share; the other cardinal direction never does.
+	if n := sameSubtileNeighbors(FGVPair, [][2]int{{1, 0}, {-1, 0}}); n != 0 {
+		t.Errorf("FG-vpair: horizontal same-subtile neighbours = %d, want 0", n)
+	}
+	if n := sameSubtileNeighbors(FGHPair, [][2]int{{0, 1}, {0, -1}}); n != 0 {
+		t.Errorf("FG-hpair: vertical same-subtile neighbours = %d, want 0", n)
+	}
+	for qy := 0; qy < testQH; qy++ {
+		for qx := 0; qx < testQW; qx++ {
+			s := FGVPair.SubtileOf(qx, qy, testQW, testQH)
+			same := 0
+			for _, off := range [][2]int{{0, 1}, {0, -1}} {
+				ny := qy + off[1]
+				if ny >= 0 && ny < testQH && FGVPair.SubtileOf(qx, ny, testQW, testQH) == s {
+					same++
+				}
+			}
+			if same > 1 {
+				t.Fatalf("FG-vpair: quad (%d,%d) has %d same-subtile vertical neighbours (pair size exceeded)", qx, qy, same)
+			}
+		}
+	}
+}
+
+func TestCGSquareQuadrants(t *testing.T) {
+	cases := []struct {
+		qx, qy int
+		want   int
+	}{
+		{0, 0, 0}, {7, 7, 0}, {8, 0, 1}, {15, 7, 1},
+		{0, 8, 2}, {7, 15, 2}, {8, 8, 3}, {15, 15, 3},
+	}
+	for _, c := range cases {
+		if got := CGSquare.SubtileOf(c.qx, c.qy, testQW, testQH); got != c.want {
+			t.Errorf("CG-square (%d,%d) = %d, want %d", c.qx, c.qy, got, c.want)
+		}
+	}
+}
+
+func TestCGRectStrips(t *testing.T) {
+	for qy := 0; qy < testQH; qy++ {
+		want := qy / 4
+		for qx := 0; qx < testQW; qx++ {
+			if got := CGXRect.SubtileOf(qx, qy, testQW, testQH); got != want {
+				t.Fatalf("CG-xrect (%d,%d) = %d, want %d", qx, qy, got, want)
+			}
+		}
+	}
+	for qx := 0; qx < testQW; qx++ {
+		want := qx / 4
+		for qy := 0; qy < testQH; qy++ {
+			if got := CGYRect.SubtileOf(qx, qy, testQW, testQH); got != want {
+				t.Fatalf("CG-yrect (%d,%d) = %d, want %d", qx, qy, got, want)
+			}
+		}
+	}
+}
+
+func TestCGTriRegions(t *testing.T) {
+	// Corners of each triangular region (centers far from the diagonals).
+	cases := []struct {
+		qx, qy int
+		want   int
+	}{
+		{7, 0, 0}, {8, 0, 0}, // top
+		{15, 7, 1}, {15, 8, 1}, // right
+		{0, 7, 2}, {0, 8, 2}, // left
+		{7, 15, 3}, {8, 15, 3}, // bottom
+	}
+	for _, c := range cases {
+		if got := CGTri.SubtileOf(c.qx, c.qy, testQW, testQH); got != c.want {
+			t.Errorf("CG-tri (%d,%d) = %d, want %d", c.qx, c.qy, got, c.want)
+		}
+	}
+}
+
+// contiguity measures how clustered a grouping is: the number of
+// same-subtile cardinal neighbour pairs. Coarse groupings must beat fine
+// groupings on this — that is the texture-locality argument of §III.
+func TestCoarseGroupingsAreMoreContiguous(t *testing.T) {
+	worstCG := 1 << 30
+	bestFG := -1
+	for _, g := range Groupings() {
+		n := sameSubtileNeighbors(g, cardinal)
+		if g.FineGrained() {
+			if n > bestFG {
+				bestFG = n
+			}
+		} else if n < worstCG {
+			worstCG = n
+		}
+	}
+	if worstCG <= bestFG {
+		t.Errorf("least contiguous CG (%d) not above most contiguous FG (%d)", worstCG, bestFG)
+	}
+}
+
+func TestMirrorsArePermutationsAndInvolutions(t *testing.T) {
+	for _, g := range Groupings() {
+		for _, m := range [][NumSubtiles]int{g.MirrorH(), g.MirrorV()} {
+			var seen [NumSubtiles]bool
+			for _, v := range m {
+				if v < 0 || v >= NumSubtiles || seen[v] {
+					t.Fatalf("%v: mirror %v is not a permutation", g, m)
+				}
+				seen[v] = true
+			}
+			for i := 0; i < NumSubtiles; i++ {
+				if m[m[i]] != i {
+					t.Fatalf("%v: mirror %v is not an involution", g, m)
+				}
+			}
+		}
+	}
+}
+
+func TestMirrorMatchesGeometry(t *testing.T) {
+	// MirrorH must agree with geometrically reflecting quad coordinates
+	// for the coarse groupings (where flipping is meaningful).
+	for _, g := range []Grouping{CGSquare, CGXRect, CGYRect, CGTri} {
+		mh := g.MirrorH()
+		mv := g.MirrorV()
+		for qy := 0; qy < testQH; qy++ {
+			for qx := 0; qx < testQW; qx++ {
+				s := g.SubtileOf(qx, qy, testQW, testQH)
+				hs := g.SubtileOf(testQW-1-qx, qy, testQW, testQH)
+				vs := g.SubtileOf(qx, testQH-1-qy, testQW, testQH)
+				if g != CGTri {
+					// CG-tri's diagonal tie-breaking is parity-based and not
+					// exactly mirror-symmetric on the diagonals themselves.
+					if mh[s] != hs {
+						t.Fatalf("%v: MirrorH mismatch at (%d,%d): perm says %d, geometry says %d", g, qx, qy, mh[s], hs)
+					}
+					if mv[s] != vs {
+						t.Fatalf("%v: MirrorV mismatch at (%d,%d)", g, qx, qy)
+					}
+				} else if mh[s] != hs && onDiagonal(qx, qy, testQW, testQH) == false {
+					t.Fatalf("CG-tri: MirrorH mismatch off-diagonal at (%d,%d)", qx, qy)
+				}
+			}
+		}
+	}
+}
+
+func onDiagonal(qx, qy, qw, qh int) bool {
+	cx := 2*qx + 1 - qw
+	cy := 2*qy + 1 - qh
+	if cx < 0 {
+		cx = -cx
+	}
+	if cy < 0 {
+		cy = -cy
+	}
+	return cx == cy
+}
+
+func TestSharedEdgeLabels(t *testing.T) {
+	// CG-square: left edge touches quadrants 0 and 2; right edge 1 and 3.
+	left := CGSquare.SharedEdgeLabels("left", testQW, testQH)
+	if len(left) != 2 || left[0] != 0 || left[1] != 2 {
+		t.Errorf("CG-square left edge labels = %v", left)
+	}
+	right := CGSquare.SharedEdgeLabels("right", testQW, testQH)
+	if len(right) != 2 || right[0] != 1 || right[1] != 3 {
+		t.Errorf("CG-square right edge labels = %v", right)
+	}
+	// CG-yrect: left edge is strip 0 only.
+	l := CGYRect.SharedEdgeLabels("left", testQW, testQH)
+	if len(l) != 1 || l[0] != 0 {
+		t.Errorf("CG-yrect left edge labels = %v", l)
+	}
+	// FG-xshift2: the top and bottom edges interleave all four subtiles,
+	// and the left/right edges alternate two (rows are shifted by 2).
+	for _, e := range []string{"top", "bottom"} {
+		if n := len(FGXShift2.SharedEdgeLabels(e, testQW, testQH)); n != 4 {
+			t.Errorf("FG-xshift2 %s edge touches %d subtiles, want 4", e, n)
+		}
+	}
+	for _, e := range []string{"left", "right"} {
+		if n := len(FGXShift2.SharedEdgeLabels(e, testQW, testQH)); n != 2 {
+			t.Errorf("FG-xshift2 %s edge touches %d subtiles, want 2", e, n)
+		}
+	}
+}
+
+func TestGroupingString(t *testing.T) {
+	if FGXShift2.String() != "FG-xshift2" {
+		t.Errorf("FGXShift2.String() = %q", FGXShift2.String())
+	}
+	if CGSquare.String() != "CG-square" {
+		t.Errorf("CGSquare.String() = %q", CGSquare.String())
+	}
+	if Grouping(99).String() != "sched.Grouping(99)" {
+		t.Errorf("unknown grouping name = %q", Grouping(99).String())
+	}
+}

@@ -1,0 +1,669 @@
+package sim
+
+import (
+	"fmt"
+	"io"
+	"runtime"
+	"strings"
+	"sync"
+
+	"dtexl/internal/core"
+	"dtexl/internal/stats"
+)
+
+// Table is a rendered experiment: one row per configuration/series, one
+// column per benchmark plus a final aggregate column, mirroring how the
+// paper's bar charts are organized.
+type Table struct {
+	ID     string // "fig11", "tab1", ...
+	Title  string
+	Metric string // meaning of the numbers
+	Cols   []string
+	Rows   []TableRow
+}
+
+// TableRow is one series of a Table.
+type TableRow struct {
+	Name   string
+	Values []float64
+}
+
+// RenderCSV writes the table as CSV: one header row of benchmark
+// columns, one record per series.
+func (t *Table) RenderCSV(w io.Writer) {
+	fmt.Fprintf(w, "# %s: %s (%s)\n", t.ID, t.Title, t.Metric)
+	fmt.Fprintf(w, "series,%s\n", strings.Join(t.Cols, ","))
+	for _, r := range t.Rows {
+		fmt.Fprint(w, r.Name)
+		for _, v := range r.Values {
+			fmt.Fprintf(w, ",%.6g", v)
+		}
+		fmt.Fprintln(w)
+	}
+}
+
+// Render pretty-prints the table.
+func (t *Table) Render(w io.Writer) {
+	fmt.Fprintf(w, "== %s: %s\n", t.ID, t.Title)
+	fmt.Fprintf(w, "   metric: %s\n", t.Metric)
+	fmt.Fprintf(w, "%-18s", "")
+	for _, c := range t.Cols {
+		fmt.Fprintf(w, "%9s", c)
+	}
+	fmt.Fprintln(w)
+	for _, r := range t.Rows {
+		fmt.Fprintf(w, "%-18s", r.Name)
+		for _, v := range r.Values {
+			fmt.Fprintf(w, "%9.3f", v)
+		}
+		fmt.Fprintln(w)
+	}
+}
+
+// ViolinTable carries the five-number summaries behind a violin plot
+// (Figs. 14 and 15).
+type ViolinTable struct {
+	ID     string
+	Title  string
+	Metric string
+	Rows   []ViolinRow
+}
+
+// ViolinRow is one violin: a benchmark under one configuration.
+type ViolinRow struct {
+	Bench   string
+	Config  string
+	Summary stats.Summary
+}
+
+// RenderCSV writes the violin summaries as CSV.
+func (t *ViolinTable) RenderCSV(w io.Writer) {
+	fmt.Fprintf(w, "# %s: %s (%s)\n", t.ID, t.Title, t.Metric)
+	fmt.Fprintln(w, "bench,config,min,q1,median,mean,q3,max")
+	for _, r := range t.Rows {
+		s := r.Summary
+		fmt.Fprintf(w, "%s,%s,%.6g,%.6g,%.6g,%.6g,%.6g,%.6g\n",
+			r.Bench, r.Config, s.Min, s.Q1, s.Median, s.Mean, s.Q3, s.Max)
+	}
+}
+
+// Render pretty-prints the violin summaries.
+func (t *ViolinTable) Render(w io.Writer) {
+	fmt.Fprintf(w, "== %s: %s\n", t.ID, t.Title)
+	fmt.Fprintf(w, "   metric: %s\n", t.Metric)
+	fmt.Fprintf(w, "%-6s %-12s %8s %8s %8s %8s %8s %8s\n",
+		"bench", "config", "min", "q1", "median", "mean", "q3", "max")
+	for _, r := range t.Rows {
+		s := r.Summary
+		fmt.Fprintf(w, "%-6s %-12s %8.2f %8.2f %8.2f %8.2f %8.2f %8.2f\n",
+			r.Bench, r.Config, s.Min, s.Q1, s.Median, s.Mean, s.Q3, s.Max)
+	}
+}
+
+// Runner executes experiments with memoized simulation runs, so figures
+// sharing configurations (e.g. Figs. 11 and 12, or 17 and 18) pay for
+// each run once.
+type Runner struct {
+	Opt Options
+	// Progress, if set, receives a line per completed simulation.
+	Progress func(string)
+	// CSV switches RunExperiment's output from aligned text to CSV.
+	CSV bool
+	// Parallelism bounds concurrent simulations in Warm (0 = GOMAXPROCS).
+	// Individual simulations are single-threaded and independent; results
+	// are deterministic regardless of completion order.
+	Parallelism int
+
+	mu    sync.Mutex
+	cache map[string]*RunResult
+}
+
+// NewRunner returns a Runner over the given options.
+func NewRunner(opt Options) *Runner {
+	return &Runner{Opt: opt, cache: make(map[string]*RunResult)}
+}
+
+func runKey(alias, pol string, ub bool) string {
+	return fmt.Sprintf("%s/%s/%v", alias, pol, ub)
+}
+
+func (r *Runner) run(alias string, pol core.Policy, ub bool) (*RunResult, error) {
+	key := runKey(alias, pol.Name, ub)
+	r.mu.Lock()
+	if res, ok := r.cache[key]; ok {
+		r.mu.Unlock()
+		return res, nil
+	}
+	r.mu.Unlock()
+	res, err := RunOne(alias, pol, r.Opt, ub)
+	if err != nil {
+		return nil, err
+	}
+	r.mu.Lock()
+	r.cache[key] = res
+	r.mu.Unlock()
+	if r.Progress != nil {
+		r.Progress(fmt.Sprintf("%-4s %-18s %8.1f fps  %9d L2 accesses", alias, pol.Name, res.Metrics.FPS, res.Metrics.L2Accesses()))
+	}
+	return res, nil
+}
+
+// runJob names one simulation for Warm.
+type runJob struct {
+	Alias      string
+	Policy     core.Policy
+	UpperBound bool
+}
+
+// Warm executes the given simulations concurrently (bounded by
+// Parallelism) and memoizes their results, so the figure functions that
+// follow assemble their tables from the cache. Experiments share many
+// configurations; Warm with the union of jobs parallelizes a whole
+// evaluation.
+func (r *Runner) Warm(jobs []runJob) error {
+	workers := r.Parallelism
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(jobs) {
+		workers = len(jobs)
+	}
+	if workers <= 1 {
+		for _, j := range jobs {
+			if _, err := r.run(j.Alias, j.Policy, j.UpperBound); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	work := make(chan runJob)
+	errs := make(chan error, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := range work {
+				if _, err := r.run(j.Alias, j.Policy, j.UpperBound); err != nil {
+					select {
+					case errs <- err:
+					default:
+					}
+					return
+				}
+			}
+		}()
+	}
+	for _, j := range jobs {
+		work <- j
+	}
+	close(work)
+	wg.Wait()
+	select {
+	case err := <-errs:
+		return err
+	default:
+		return nil
+	}
+}
+
+// WarmAll pre-runs every simulation the paper's figures need, in
+// parallel. RunExperiment calls afterwards hit the cache.
+func (r *Runner) WarmAll() error {
+	var jobs []runJob
+	seen := map[string]bool{}
+	add := func(alias string, pol core.Policy, ub bool) {
+		key := runKey(alias, pol.Name, ub)
+		if !seen[key] {
+			seen[key] = true
+			jobs = append(jobs, runJob{alias, pol, ub})
+		}
+	}
+	pols := []core.Policy{core.Baseline(), core.BaselineDecoupled(), dtexlAsHLBFlp2()}
+	pols = append(pols, core.GroupingPolicies()...)
+	pols = append(pols, core.Fig8Mappings()...)
+	for _, alias := range r.Opt.aliases() {
+		for _, pol := range pols {
+			add(alias, pol, false)
+		}
+		ub := core.Baseline()
+		ub.Name = "upper-bound"
+		add(alias, ub, true)
+	}
+	return r.Warm(jobs)
+}
+
+func withMean(vals []float64) []float64 { return append(vals, stats.Mean(vals)) }
+
+func withGeoMean(vals []float64) []float64 { return append(vals, stats.GeoMean(vals)) }
+
+func (r *Runner) cols() []string { return append(r.Opt.aliases(), "Avg") }
+
+// ---------------------------------------------------------------------
+// Motivation figures
+// ---------------------------------------------------------------------
+
+// Fig1 reproduces Figure 1: the normalized mean deviation of quads
+// (threads) per SC for a load-balancing scheduler (FG-xshift2) versus a
+// texture-locality scheduler (CG-square), per benchmark. Values are
+// normalized to the load-balancing scheduler.
+func (r *Runner) Fig1() (*Table, error) {
+	lb, tl, err := r.motivationPair()
+	if err != nil {
+		return nil, err
+	}
+	var lbRow, tlRow []float64
+	for i := range lb {
+		base := lb[i].Metrics.MeanTileQuadDeviation()
+		lbRow = append(lbRow, 1)
+		tlRow = append(tlRow, tl[i].Metrics.MeanTileQuadDeviation()/base)
+	}
+	return &Table{
+		ID:     "fig1",
+		Title:  "Thread-per-SC imbalance: load balancing vs texture locality",
+		Metric: "mean deviation of quads per SC, normalized to the LB scheduler",
+		Cols:   r.cols(),
+		Rows: []TableRow{
+			{Name: "LB (FG-xshift2)", Values: withMean(lbRow)},
+			{Name: "TL (CG-square)", Values: withMean(tlRow)},
+		},
+	}, nil
+}
+
+// Fig2 reproduces Figure 2: L2 accesses of the texture-locality scheduler
+// normalized to the load-balancing one.
+func (r *Runner) Fig2() (*Table, error) {
+	lb, tl, err := r.motivationPair()
+	if err != nil {
+		return nil, err
+	}
+	var row []float64
+	for i := range lb {
+		row = append(row, float64(tl[i].Metrics.L2Accesses())/float64(lb[i].Metrics.L2Accesses()))
+	}
+	return &Table{
+		ID:     "fig2",
+		Title:  "L2 accesses: texture-locality scheduler vs load balancing",
+		Metric: "L2 accesses normalized to the LB scheduler",
+		Cols:   r.cols(),
+		Rows:   []TableRow{{Name: "TL (CG-square)", Values: withMean(row)}},
+	}, nil
+}
+
+func (r *Runner) motivationPair() (lb, tl []*RunResult, err error) {
+	lbPol := core.Baseline()
+	tlPol, err := core.PolicyByName("CG-square")
+	if err != nil {
+		return nil, nil, err
+	}
+	for _, alias := range r.Opt.aliases() {
+		a, err := r.run(alias, lbPol, false)
+		if err != nil {
+			return nil, nil, err
+		}
+		b, err := r.run(alias, tlPol, false)
+		if err != nil {
+			return nil, nil, err
+		}
+		lb = append(lb, a)
+		tl = append(tl, b)
+	}
+	return lb, tl, nil
+}
+
+// ---------------------------------------------------------------------
+// Quad grouping exploration (Figs. 11 and 12)
+// ---------------------------------------------------------------------
+
+// Fig11 reproduces Figure 11: average L2 accesses of the Fig. 6 quad
+// groupings, normalized to FG-xshift2 per benchmark.
+func (r *Runner) Fig11() (*Table, error) {
+	return r.groupingTable("fig11",
+		"L2 accesses per quad grouping (fine- and coarse-grained)",
+		"L2 accesses normalized to FG-xshift2",
+		func(res, base *RunResult) float64 {
+			return float64(res.Metrics.L2Accesses()) / float64(base.Metrics.L2Accesses())
+		})
+}
+
+// Fig12 reproduces Figure 12: per-tile quad-distribution imbalance of the
+// Fig. 6 groupings, normalized to FG-xshift2.
+func (r *Runner) Fig12() (*Table, error) {
+	return r.groupingTable("fig12",
+		"Quad distribution imbalance per quad grouping",
+		"mean deviation of quads per SC, normalized to FG-xshift2",
+		func(res, base *RunResult) float64 {
+			return res.Metrics.MeanTileQuadDeviation() / base.Metrics.MeanTileQuadDeviation()
+		})
+}
+
+func (r *Runner) groupingTable(id, title, metric string, f func(res, base *RunResult) float64) (*Table, error) {
+	t := &Table{ID: id, Title: title, Metric: metric, Cols: r.cols()}
+	pols := core.GroupingPolicies()
+	for _, pol := range pols {
+		var row []float64
+		for _, alias := range r.Opt.aliases() {
+			base, err := r.run(alias, core.Baseline(), false)
+			if err != nil {
+				return nil, err
+			}
+			res, err := r.run(alias, pol, false)
+			if err != nil {
+				return nil, err
+			}
+			row = append(row, f(res, base))
+		}
+		t.Rows = append(t.Rows, TableRow{Name: pol.Name, Values: withMean(row)})
+	}
+	return t, nil
+}
+
+// ---------------------------------------------------------------------
+// Non-decoupled performance (Figs. 13, 14, 15)
+// ---------------------------------------------------------------------
+
+// Fig13 reproduces Figure 13: the speedup of the coarse-grained groupings
+// over FG-xshift2 in the NON-decoupled architecture — the null result
+// motivating the decoupled barriers.
+func (r *Runner) Fig13() (*Table, error) {
+	t := &Table{
+		ID:     "fig13",
+		Title:  "Speedup of CG groupings without decoupling",
+		Metric: "FPS speedup over FG-xshift2 (coupled)",
+		Cols:   r.cols(),
+	}
+	for _, name := range []string{"CG-square", "CG-yrect"} {
+		pol, err := core.PolicyByName(name)
+		if err != nil {
+			return nil, err
+		}
+		var row []float64
+		for _, alias := range r.Opt.aliases() {
+			base, err := r.run(alias, core.Baseline(), false)
+			if err != nil {
+				return nil, err
+			}
+			res, err := r.run(alias, pol, false)
+			if err != nil {
+				return nil, err
+			}
+			row = append(row, float64(base.Metrics.Cycles)/float64(res.Metrics.Cycles))
+		}
+		t.Rows = append(t.Rows, TableRow{Name: name, Values: withGeoMean(row)})
+	}
+	return t, nil
+}
+
+// Fig14 reproduces Figure 14: violins of per-tile SC execution-time
+// imbalance under FG-xshift2 vs CG-square (coupled).
+func (r *Runner) Fig14() (*ViolinTable, error) {
+	return r.violin("fig14",
+		"SC execution time imbalance per tile",
+		"per-tile mean deviation of SC execution time, % of mean",
+		func(res *RunResult) []float64 { return scale100(res.Metrics.TileTimeDeviation) })
+}
+
+// Fig15 reproduces Figure 15: violins of per-tile quad-count imbalance.
+func (r *Runner) Fig15() (*ViolinTable, error) {
+	return r.violin("fig15",
+		"Quad distribution imbalance per tile",
+		"per-tile mean deviation of quads per SC, % of mean",
+		func(res *RunResult) []float64 { return scale100(res.Metrics.TileQuadDeviation) })
+}
+
+func scale100(xs []float64) []float64 {
+	out := make([]float64, len(xs))
+	for i, x := range xs {
+		out[i] = 100 * x
+	}
+	return out
+}
+
+func (r *Runner) violin(id, title, metric string, f func(*RunResult) []float64) (*ViolinTable, error) {
+	t := &ViolinTable{ID: id, Title: title, Metric: metric}
+	cg, err := core.PolicyByName("CG-square")
+	if err != nil {
+		return nil, err
+	}
+	for _, alias := range r.Opt.aliases() {
+		for _, pol := range []core.Policy{core.Baseline(), cg} {
+			res, err := r.run(alias, pol, false)
+			if err != nil {
+				return nil, err
+			}
+			name := pol.Name
+			if name == "baseline" {
+				name = "FG-xshift2"
+			}
+			t.Rows = append(t.Rows, ViolinRow{
+				Bench:   alias,
+				Config:  name,
+				Summary: stats.Summarize(f(res)),
+			})
+		}
+	}
+	return t, nil
+}
+
+// ---------------------------------------------------------------------
+// DTexL evaluation (Figs. 16, 17, 18)
+// ---------------------------------------------------------------------
+
+// Fig16 reproduces Figure 16: the percentage decrease in total L2
+// accesses for the eight Fig. 8 subtile mappings and the single-SC upper
+// bound, all relative to the non-decoupled FG-xshift2 baseline.
+func (r *Runner) Fig16() (*Table, error) {
+	t := &Table{
+		ID:     "fig16",
+		Title:  "Decrease in L2 accesses per subtile mapping",
+		Metric: "% decrease in total L2 accesses vs non-decoupled FG-xshift2",
+		Cols:   r.cols(),
+	}
+	pols := core.Fig8Mappings()
+	for _, pol := range pols {
+		var row []float64
+		for _, alias := range r.Opt.aliases() {
+			base, err := r.run(alias, core.Baseline(), false)
+			if err != nil {
+				return nil, err
+			}
+			res, err := r.run(alias, pol, false)
+			if err != nil {
+				return nil, err
+			}
+			row = append(row, pctDecrease(base.Metrics.L2Accesses(), res.Metrics.L2Accesses()))
+		}
+		t.Rows = append(t.Rows, TableRow{Name: pol.Name, Values: withMean(row)})
+	}
+	// Upper bound: one SC with a 4x L1.
+	var row []float64
+	for _, alias := range r.Opt.aliases() {
+		base, err := r.run(alias, core.Baseline(), false)
+		if err != nil {
+			return nil, err
+		}
+		ubPol := core.Baseline()
+		ubPol.Name = "upper-bound"
+		ub, err := r.run(alias, ubPol, true)
+		if err != nil {
+			return nil, err
+		}
+		row = append(row, pctDecrease(base.Metrics.L2Accesses(), ub.Metrics.L2Accesses()))
+	}
+	t.Rows = append(t.Rows, TableRow{Name: "UpperBound", Values: withMean(row)})
+	return t, nil
+}
+
+func pctDecrease(base, v uint64) float64 {
+	return 100 * (1 - float64(v)/float64(base))
+}
+
+// Fig17 reproduces Figure 17: the FPS speedup of DTexL (HLB-flp2) and of
+// the decoupled FG-xshift2 over the non-decoupled baseline.
+func (r *Runner) Fig17() (*Table, error) {
+	t := &Table{
+		ID:     "fig17",
+		Title:  "Speedup with the decoupled architecture",
+		Metric: "FPS speedup over non-decoupled FG-xshift2",
+		Cols:   r.cols(),
+	}
+	for _, pol := range []core.Policy{dtexlAsHLBFlp2(), core.BaselineDecoupled()} {
+		var row []float64
+		for _, alias := range r.Opt.aliases() {
+			base, err := r.run(alias, core.Baseline(), false)
+			if err != nil {
+				return nil, err
+			}
+			res, err := r.run(alias, pol, false)
+			if err != nil {
+				return nil, err
+			}
+			row = append(row, float64(base.Metrics.Cycles)/float64(res.Metrics.Cycles))
+		}
+		t.Rows = append(t.Rows, TableRow{Name: pol.Name, Values: withGeoMean(row)})
+	}
+	return t, nil
+}
+
+// Fig18 reproduces Figure 18: the percentage decrease in total GPU energy
+// for the same two configurations.
+func (r *Runner) Fig18() (*Table, error) {
+	t := &Table{
+		ID:     "fig18",
+		Title:  "Decrease in total GPU energy",
+		Metric: "% decrease in total GPU energy vs non-decoupled FG-xshift2",
+		Cols:   r.cols(),
+	}
+	for _, pol := range []core.Policy{dtexlAsHLBFlp2(), core.BaselineDecoupled()} {
+		var row []float64
+		for _, alias := range r.Opt.aliases() {
+			base, err := r.run(alias, core.Baseline(), false)
+			if err != nil {
+				return nil, err
+			}
+			res, err := r.run(alias, pol, false)
+			if err != nil {
+				return nil, err
+			}
+			row = append(row, 100*(1-res.Energy.Total()/base.Energy.Total()))
+		}
+		t.Rows = append(t.Rows, TableRow{Name: pol.Name, Values: withMean(row)})
+	}
+	return t, nil
+}
+
+// dtexlAsHLBFlp2 returns the DTexL policy under its Fig. 17/18 label.
+func dtexlAsHLBFlp2() core.Policy {
+	p := core.DTexL()
+	p.Name = "DTexL(HLB-flp2)"
+	return p
+}
+
+// ExperimentIDs lists every implemented experiment: the paper's figures
+// and tables first, then the ablations beyond the paper.
+func ExperimentIDs() []string {
+	return []string{
+		"fig1", "fig2", "fig11", "fig12", "fig13", "fig14", "fig15",
+		"fig16", "fig17", "fig18", "tab1", "tab2",
+		"abl-tileorder", "abl-warps", "abl-l1size", "abl-fifo", "abl-tilesize", "abl-latez", "abl-prefetch", "abl-nuca", "abl-warpsched", "bg-imr",
+	}
+}
+
+// RunExperiment executes one experiment by ID and renders it to w (as
+// CSV when r.CSV is set; tab1/tab2 are text-only).
+func (r *Runner) RunExperiment(id string, w io.Writer) error {
+	table := renderTable
+	violin := renderViolin
+	if r.CSV {
+		table = renderTableCSV
+		violin = renderViolinCSV
+	}
+	switch strings.ToLower(id) {
+	case "fig1":
+		return table(r.Fig1())(w)
+	case "fig2":
+		return table(r.Fig2())(w)
+	case "fig11":
+		return table(r.Fig11())(w)
+	case "fig12":
+		return table(r.Fig12())(w)
+	case "fig13":
+		return table(r.Fig13())(w)
+	case "fig14":
+		return violin(r.Fig14())(w)
+	case "fig15":
+		return violin(r.Fig15())(w)
+	case "fig16":
+		return table(r.Fig16())(w)
+	case "fig17":
+		return table(r.Fig17())(w)
+	case "fig18":
+		return table(r.Fig18())(w)
+	case "tab1":
+		return r.Table1(w)
+	case "tab2":
+		return Table2(w)
+	case "abl-tileorder":
+		return table(r.AblTileOrder())(w)
+	case "abl-warps":
+		return table(r.AblWarpSlots())(w)
+	case "abl-l1size":
+		return table(r.AblL1Size())(w)
+	case "abl-fifo":
+		return table(r.AblFIFODepth())(w)
+	case "abl-tilesize":
+		return table(r.AblTileSize())(w)
+	case "abl-latez":
+		return table(r.AblLateZ())(w)
+	case "abl-prefetch":
+		return table(r.AblPrefetch())(w)
+	case "abl-nuca":
+		return table(r.AblNUCA())(w)
+	case "abl-warpsched":
+		return table(r.AblWarpSched())(w)
+	case "bg-imr":
+		return table(r.BgIMR())(w)
+	default:
+		return fmt.Errorf("sim: unknown experiment %q (known: %s)", id, strings.Join(ExperimentIDs(), ", "))
+	}
+}
+
+func renderTable(t *Table, err error) func(io.Writer) error {
+	return func(w io.Writer) error {
+		if err != nil {
+			return err
+		}
+		t.Render(w)
+		return nil
+	}
+}
+
+func renderViolin(t *ViolinTable, err error) func(io.Writer) error {
+	return func(w io.Writer) error {
+		if err != nil {
+			return err
+		}
+		t.Render(w)
+		return nil
+	}
+}
+
+func renderTableCSV(t *Table, err error) func(io.Writer) error {
+	return func(w io.Writer) error {
+		if err != nil {
+			return err
+		}
+		t.RenderCSV(w)
+		return nil
+	}
+}
+
+func renderViolinCSV(t *ViolinTable, err error) func(io.Writer) error {
+	return func(w io.Writer) error {
+		if err != nil {
+			return err
+		}
+		t.RenderCSV(w)
+		return nil
+	}
+}

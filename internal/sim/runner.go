@@ -1,0 +1,137 @@
+// Package sim drives complete experiments: it wires benchmarks (trace),
+// policies (core), the pipeline and the energy model together, and
+// implements one function per table and figure of the paper's evaluation
+// (see experiments.go and DESIGN.md's experiment index).
+package sim
+
+import (
+	"dtexl/internal/core"
+	"dtexl/internal/energy"
+	"dtexl/internal/pipeline"
+	"dtexl/internal/trace"
+)
+
+// Options selects the simulated machine size and workload inputs shared
+// by every experiment.
+type Options struct {
+	// Width, Height is the screen resolution. The paper's Table II
+	// resolution is 1960x768; smaller values run proportionally faster
+	// with the same qualitative behaviour.
+	Width, Height int
+	// Seed drives the deterministic scene generators.
+	Seed uint64
+	// Benchmarks are Table I aliases; empty means the full suite.
+	Benchmarks []string
+	// Frames is the number of animation frames to simulate per run with
+	// warm caches (0 or 1 = single frame). Metrics aggregate over frames.
+	Frames int
+}
+
+// DefaultOptions returns the paper's operating point over the full
+// benchmark suite.
+func DefaultOptions() Options {
+	return Options{Width: 1960, Height: 768, Seed: 1}
+}
+
+// ScaledOptions returns options at a fraction of the paper resolution —
+// the quick mode used by tests and -short benchmarks.
+func ScaledOptions(divisor int) Options {
+	o := DefaultOptions()
+	o.Width /= divisor
+	o.Height /= divisor
+	return o
+}
+
+// aliases resolves the benchmark list.
+func (o Options) aliases() []string {
+	if len(o.Benchmarks) > 0 {
+		return o.Benchmarks
+	}
+	return trace.Aliases()
+}
+
+// RunResult is one (benchmark, policy) simulation with its energy
+// estimate.
+type RunResult struct {
+	Bench   string
+	Policy  core.Policy
+	Metrics *pipeline.Metrics
+	Energy  energy.Breakdown
+}
+
+// RunOne simulates one benchmark under one policy. If upperBound is set,
+// the machine is rewritten to the Fig. 16 single-SC bound (the policy's
+// grouping is then irrelevant).
+func RunOne(alias string, pol core.Policy, opt Options, upperBound bool) (*RunResult, error) {
+	var mutate func(*pipeline.Config)
+	if upperBound {
+		mutate = func(cfg *pipeline.Config) { core.ApplyUpperBound(cfg) }
+	}
+	return RunOneWith(alias, pol, opt, mutate)
+}
+
+// aggregateMetrics folds per-frame metrics into one whole-animation
+// record: counts and cycles sum, per-tile imbalance samples concatenate,
+// FPS becomes frames per second over the whole run.
+func aggregateMetrics(ms []*pipeline.Metrics) *pipeline.Metrics {
+	if len(ms) == 1 {
+		return ms[0]
+	}
+	agg := &pipeline.Metrics{Config: ms[0].Config}
+	agg.PerSCQuads = make([]uint64, len(ms[0].PerSCQuads))
+	agg.PerSCBusy = make([]int64, len(ms[0].PerSCBusy))
+	for _, m := range ms {
+		agg.Cycles += m.Cycles
+		agg.GeometryCycles += m.GeometryCycles
+		agg.RasterCycles += m.RasterCycles
+		agg.Events.ALUInstructions += m.Events.ALUInstructions
+		agg.Events.TextureSamples += m.Events.TextureSamples
+		agg.Events.L1TexAccesses += m.Events.L1TexAccesses
+		agg.Events.L2Accesses += m.Events.L2Accesses
+		agg.Events.DRAMAccesses += m.Events.DRAMAccesses
+		agg.Events.VertexFetches += m.Events.VertexFetches
+		agg.Events.QuadsShaded += m.Events.QuadsShaded
+		agg.Events.QuadsCulled += m.Events.QuadsCulled
+		agg.Events.FlushedLines += m.Events.FlushedLines
+		agg.Events.SCBusyCycles += m.Events.SCBusyCycles
+		agg.Events.SCIdleCycles += m.Events.SCIdleCycles
+		agg.Events.FrameCycles += m.Events.FrameCycles
+		for i := range agg.PerSCQuads {
+			agg.PerSCQuads[i] += m.PerSCQuads[i]
+			agg.PerSCBusy[i] += m.PerSCBusy[i]
+		}
+		agg.TileTimeDeviation = append(agg.TileTimeDeviation, m.TileTimeDeviation...)
+		agg.TileQuadDeviation = append(agg.TileQuadDeviation, m.TileQuadDeviation...)
+		agg.L1Tex.Accesses += m.L1Tex.Accesses
+		agg.L1Tex.Hits += m.L1Tex.Hits
+		agg.L1Tex.Misses += m.L1Tex.Misses
+		agg.L1Tex.Evictions += m.L1Tex.Evictions
+		agg.L2.Accesses += m.L2.Accesses
+		agg.L2.Hits += m.L2.Hits
+		agg.L2.Misses += m.L2.Misses
+		agg.L2.Evictions += m.L2.Evictions
+	}
+	agg.FPS = ms[0].Config.ClockHz * float64(len(ms)) / float64(agg.Cycles)
+	return agg
+}
+
+// RunScene simulates one externally supplied scene (e.g. loaded from a
+// scene trace) under a policy; the machine resolution follows the scene.
+func RunScene(scene *trace.Scene, pol core.Policy, mutate func(*pipeline.Config)) (*RunResult, error) {
+	cfg := pipeline.DefaultConfig()
+	cfg.Width, cfg.Height = scene.Width, scene.Height
+	pol.Apply(&cfg)
+	if mutate != nil {
+		mutate(&cfg)
+	}
+	m, err := pipeline.Run(scene, cfg)
+	if err != nil {
+		return nil, err
+	}
+	return &RunResult{
+		Bench:   "scene",
+		Policy:  pol,
+		Metrics: m,
+		Energy:  energy.DefaultModel().Estimate(m.Events),
+	}, nil
+}

@@ -1,0 +1,125 @@
+package sim
+
+import (
+	"fmt"
+	"io"
+	"strings"
+
+	"dtexl/internal/plot"
+)
+
+// BarChart converts a result table into a plottable grouped bar chart.
+// Normalized and speedup metrics get a dashed reference line at 1.
+func (t *Table) BarChart() *plot.BarChart {
+	c := &plot.BarChart{
+		Title:      fmt.Sprintf("%s: %s", t.ID, t.Title),
+		YLabel:     t.Metric,
+		Categories: t.Cols,
+	}
+	if strings.Contains(t.Metric, "normalized") || strings.Contains(t.Metric, "speedup") ||
+		strings.Contains(t.Metric, "ratio") {
+		c.RefLine = 1
+	}
+	for _, r := range t.Rows {
+		c.Series = append(c.Series, plot.Series{Name: r.Name, Values: r.Values})
+	}
+	return c
+}
+
+// BoxChart converts violin summaries into a plottable box chart. Boxes
+// are colored by configuration.
+func (t *ViolinTable) BoxChart() *plot.BoxChart {
+	c := &plot.BoxChart{
+		Title:  fmt.Sprintf("%s: %s", t.ID, t.Title),
+		YLabel: t.Metric,
+	}
+	groups := map[string]int{}
+	for _, r := range t.Rows {
+		g, ok := groups[r.Config]
+		if !ok {
+			g = len(groups)
+			groups[r.Config] = g
+		}
+		c.Boxes = append(c.Boxes, plot.BoxEntry{
+			Label:  r.Bench + "/" + r.Config,
+			Min:    r.Summary.Min,
+			Q1:     r.Summary.Q1,
+			Median: r.Summary.Median,
+			Q3:     r.Summary.Q3,
+			Max:    r.Summary.Max,
+			Mean:   r.Summary.Mean,
+			Group:  g,
+		})
+	}
+	return c
+}
+
+// RenderSVG runs one experiment and writes it as an SVG figure. The text
+// tables (tab1, tab2) have no graphical form and are rejected.
+func (r *Runner) RenderSVG(id string, w io.Writer) error {
+	switch strings.ToLower(id) {
+	case "fig14":
+		t, err := r.Fig14()
+		if err != nil {
+			return err
+		}
+		return t.BoxChart().WriteSVG(w)
+	case "fig15":
+		t, err := r.Fig15()
+		if err != nil {
+			return err
+		}
+		return t.BoxChart().WriteSVG(w)
+	case "tab1", "tab2":
+		return fmt.Errorf("sim: %s is a text table with no SVG form", id)
+	}
+	t, err := r.tableFor(id)
+	if err != nil {
+		return err
+	}
+	return t.BarChart().WriteSVG(w)
+}
+
+// tableFor dispatches the bar-chart experiments by ID.
+func (r *Runner) tableFor(id string) (*Table, error) {
+	switch strings.ToLower(id) {
+	case "fig1":
+		return r.Fig1()
+	case "fig2":
+		return r.Fig2()
+	case "fig11":
+		return r.Fig11()
+	case "fig12":
+		return r.Fig12()
+	case "fig13":
+		return r.Fig13()
+	case "fig16":
+		return r.Fig16()
+	case "fig17":
+		return r.Fig17()
+	case "fig18":
+		return r.Fig18()
+	case "abl-tileorder":
+		return r.AblTileOrder()
+	case "abl-warps":
+		return r.AblWarpSlots()
+	case "abl-l1size":
+		return r.AblL1Size()
+	case "abl-fifo":
+		return r.AblFIFODepth()
+	case "abl-tilesize":
+		return r.AblTileSize()
+	case "abl-latez":
+		return r.AblLateZ()
+	case "abl-prefetch":
+		return r.AblPrefetch()
+	case "abl-nuca":
+		return r.AblNUCA()
+	case "abl-warpsched":
+		return r.AblWarpSched()
+	case "bg-imr":
+		return r.BgIMR()
+	default:
+		return nil, fmt.Errorf("sim: unknown experiment %q", id)
+	}
+}

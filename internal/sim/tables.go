@@ -1,0 +1,56 @@
+package sim
+
+import (
+	"fmt"
+	"io"
+
+	"dtexl/internal/pipeline"
+	"dtexl/internal/trace"
+)
+
+// Table1 reproduces Table I: the benchmark suite characterization, with
+// both the profile's nominal texture footprint and the footprint of the
+// actually generated scene.
+func (r *Runner) Table1(w io.Writer) error {
+	fmt.Fprintln(w, "== tab1: Evaluated benchmarks (Table I)")
+	fmt.Fprintf(w, "%-32s %-6s %9s %-9s %-5s %10s %10s %8s %7s\n",
+		"Benchmark", "Alias", "Installs", "Genre", "Type", "FootMiB", "GenMiB", "Tris", "Draws")
+	for _, p := range trace.Profiles() {
+		typ := "3D"
+		if p.Is2D {
+			typ = "2D"
+		}
+		scene := trace.GenerateScene(p, r.Opt.Width, r.Opt.Height, r.Opt.Seed)
+		fmt.Fprintf(w, "%-32s %-6s %8dM %-9s %-5s %10.1f %10.1f %8d %7d\n",
+			p.Name, p.Alias, p.Installs, p.Genre, typ,
+			p.TextureFootprintMiB,
+			float64(scene.TextureFootprintBytes())/(1<<20),
+			scene.TriangleCount(), len(scene.Draws))
+	}
+	return nil
+}
+
+// Table2 reproduces Table II: the GPU simulation parameters actually in
+// force (the defaults of the pipeline and cache packages).
+func Table2(w io.Writer) error {
+	cfg := pipeline.DefaultConfig()
+	h := cfg.Hierarchy
+	fmt.Fprintln(w, "== tab2: GPU simulation parameters (Table II)")
+	fmt.Fprintf(w, "Tech specs            %d MHz\n", int(cfg.ClockHz/1e6))
+	fmt.Fprintf(w, "Screen resolution     %dx%d\n", cfg.Width, cfg.Height)
+	fmt.Fprintf(w, "Tile size             %dx%d\n", cfg.TileSize, cfg.TileSize)
+	fmt.Fprintf(w, "Tile traversal order  %s (baseline)\n", cfg.TileOrder)
+	fmt.Fprintf(w, "Shader cores          %d (x%d warp slots, %d L1 fill port(s))\n",
+		cfg.NumSC, cfg.WarpSlots, cfg.L1FillPorts)
+	fmt.Fprintf(w, "Main memory           %d-%d cycles, %d banks\n",
+		h.DRAM.RowHitLat, h.DRAM.RowMissLat, h.DRAM.Banks)
+	fmt.Fprintf(w, "Vertex cache          %d-bytes/line, %dKiB, %d-way, %d cycle(s)\n",
+		h.Vertex.LineBytes, h.Vertex.SizeBytes>>10, h.Vertex.Ways, h.Vertex.HitLatency)
+	fmt.Fprintf(w, "Texture caches (%dx)   %d-bytes/line, %dKiB, %d-way, %d cycle(s)\n",
+		h.NumSC, h.L1Tex.LineBytes, h.L1Tex.SizeBytes>>10, h.L1Tex.Ways, h.L1Tex.HitLatency)
+	fmt.Fprintf(w, "Tile cache            %d-bytes/line, %dKiB, %d-way, %d cycle(s)\n",
+		h.Tile.LineBytes, h.Tile.SizeBytes>>10, h.Tile.Ways, h.Tile.HitLatency)
+	fmt.Fprintf(w, "L2 cache              %d-bytes/line, %dMiB, %d-way, %d cycles\n",
+		h.L2.LineBytes, h.L2.SizeBytes>>20, h.L2.Ways, h.L2.HitLatency)
+	return nil
+}

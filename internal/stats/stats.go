@@ -1,0 +1,165 @@
+// Package stats provides the small statistical toolkit the evaluation
+// uses: the paper's normalized mean-deviation imbalance metric, running
+// accumulators, and five-number summaries for the violin plots of
+// Figs. 14 and 15.
+package stats
+
+import (
+	"math"
+	"sort"
+)
+
+// MeanDeviation returns the mean absolute deviation of xs from their
+// mean, normalized to the mean (as a fraction; multiply by 100 for the
+// percentages the paper plots). This is the imbalance metric of Figs. 1,
+// 12, 14 and 15: deviation of per-SC quantities normalized to the mean of
+// all SCs. Returns 0 for empty input or zero mean.
+func MeanDeviation(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	mean := Mean(xs)
+	if mean == 0 {
+		return 0
+	}
+	dev := 0.0
+	for _, x := range xs {
+		dev += math.Abs(x - mean)
+	}
+	return dev / float64(len(xs)) / mean
+}
+
+// Mean returns the arithmetic mean of xs (0 for empty input).
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	s := 0.0
+	for _, x := range xs {
+		s += x
+	}
+	return s / float64(len(xs))
+}
+
+// GeoMean returns the geometric mean of xs, the conventional way to
+// average speedups. All inputs must be positive; non-positive inputs
+// contribute as if they were 1.
+func GeoMean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	s := 0.0
+	for _, x := range xs {
+		if x > 0 {
+			s += math.Log(x)
+		}
+	}
+	return math.Exp(s / float64(len(xs)))
+}
+
+// Summary is a five-number summary plus mean, the data behind a violin
+// plot entry.
+type Summary struct {
+	N        int
+	Min, Max float64
+	Mean     float64
+	Median   float64
+	Q1, Q3   float64
+}
+
+// Summarize computes a Summary of xs. An empty input yields a zero
+// Summary.
+func Summarize(xs []float64) Summary {
+	if len(xs) == 0 {
+		return Summary{}
+	}
+	sorted := append([]float64(nil), xs...)
+	sort.Float64s(sorted)
+	return Summary{
+		N:      len(sorted),
+		Min:    sorted[0],
+		Max:    sorted[len(sorted)-1],
+		Mean:   Mean(sorted),
+		Median: quantile(sorted, 0.5),
+		Q1:     quantile(sorted, 0.25),
+		Q3:     quantile(sorted, 0.75),
+	}
+}
+
+// quantile returns the q-quantile of sorted data using linear
+// interpolation between closest ranks.
+func quantile(sorted []float64, q float64) float64 {
+	if len(sorted) == 1 {
+		return sorted[0]
+	}
+	pos := q * float64(len(sorted)-1)
+	lo := int(math.Floor(pos))
+	hi := int(math.Ceil(pos))
+	if lo == hi {
+		return sorted[lo]
+	}
+	frac := pos - float64(lo)
+	return sorted[lo]*(1-frac) + sorted[hi]*frac
+}
+
+// Accumulator collects a stream of samples with O(1) memory for mean and
+// extrema plus the raw samples when retention is enabled (needed for
+// Summarize).
+type Accumulator struct {
+	n        int
+	sum      float64
+	min, max float64
+	keep     bool
+	samples  []float64
+}
+
+// NewAccumulator returns an accumulator. If keepSamples is true the raw
+// samples are retained so Summary() can compute quantiles.
+func NewAccumulator(keepSamples bool) *Accumulator {
+	return &Accumulator{keep: keepSamples}
+}
+
+// Add records one sample.
+func (a *Accumulator) Add(x float64) {
+	if a.n == 0 || x < a.min {
+		a.min = x
+	}
+	if a.n == 0 || x > a.max {
+		a.max = x
+	}
+	a.n++
+	a.sum += x
+	if a.keep {
+		a.samples = append(a.samples, x)
+	}
+}
+
+// N returns the number of samples recorded.
+func (a *Accumulator) N() int { return a.n }
+
+// Mean returns the mean of the recorded samples (0 if none).
+func (a *Accumulator) Mean() float64 {
+	if a.n == 0 {
+		return 0
+	}
+	return a.sum / float64(a.n)
+}
+
+// Min returns the smallest recorded sample (0 if none).
+func (a *Accumulator) Min() float64 { return a.min }
+
+// Max returns the largest recorded sample (0 if none).
+func (a *Accumulator) Max() float64 { return a.max }
+
+// Summary returns the five-number summary. It panics if the accumulator
+// was created without sample retention and samples were added, because
+// quantiles would silently be wrong.
+func (a *Accumulator) Summary() Summary {
+	if !a.keep && a.n > 0 {
+		panic("stats: Summary requires an accumulator with sample retention")
+	}
+	return Summarize(a.samples)
+}
+
+// Samples returns the retained raw samples (nil when retention is off).
+func (a *Accumulator) Samples() []float64 { return a.samples }

@@ -1,0 +1,70 @@
+package texture
+
+import (
+	"testing"
+)
+
+func TestTexelColorPureAndWrapping(t *testing.T) {
+	tex := New(3, 0, 64, 64)
+	a := tex.TexelColor(0, 5, 9)
+	b := tex.TexelColor(0, 5, 9)
+	if a != b {
+		t.Error("TexelColor not deterministic")
+	}
+	if tex.TexelColor(0, 5+64, 9-64) != a {
+		t.Error("TexelColor does not wrap like TexelAddr")
+	}
+	// Different textures give different colors (almost surely).
+	other := New(4, 1<<24, 64, 64)
+	if other.TexelColor(0, 5, 9) == a {
+		t.Error("distinct textures share texel colors")
+	}
+}
+
+func TestSampleColorDeterministic(t *testing.T) {
+	tex := New(0, 0, 128, 128)
+	for _, f := range []Filter{Bilinear, Trilinear, Aniso2x} {
+		a := SampleColor(tex, 0.37, 0.81, 1.2, f)
+		b := SampleColor(tex, 0.37, 0.81, 1.2, f)
+		if a != b {
+			t.Errorf("%v: SampleColor not deterministic", f)
+		}
+	}
+}
+
+func TestSampleColorSmoothness(t *testing.T) {
+	// Bilinear filtering: moving by a fraction of a texel must change the
+	// color by less than a texel-step jump would.
+	tex := New(0, 0, 64, 64)
+	texel := 1.0 / 64
+	c0 := SampleColor(tex, 0.5, 0.5, 0, Bilinear)
+	cTiny := SampleColor(tex, 0.5+texel/8, 0.5, 0, Bilinear)
+	diff := func(a, b uint8) int {
+		d := int(a) - int(b)
+		if d < 0 {
+			d = -d
+		}
+		return d
+	}
+	if diff(c0.R(), cTiny.R()) > 64 {
+		t.Errorf("1/8-texel step changed R by %d", diff(c0.R(), cTiny.R()))
+	}
+}
+
+func TestSampleColorUnknownFilterFallsBack(t *testing.T) {
+	tex := New(0, 0, 32, 32)
+	got := SampleColor(tex, 0.5, 0.5, 0, Filter(77))
+	want := SampleColor(tex, 0.5, 0.5, 0, Bilinear)
+	if got != want {
+		t.Error("unknown filter does not fall back to bilinear")
+	}
+}
+
+func TestSampleColorOpaqueAlpha(t *testing.T) {
+	tex := New(0, 0, 32, 32)
+	for _, f := range []Filter{Bilinear, Trilinear, Aniso2x} {
+		if a := SampleColor(tex, 0.2, 0.9, 0.5, f).A(); a != 0xff {
+			t.Errorf("%v: alpha = %d", f, a)
+		}
+	}
+}

@@ -1,0 +1,115 @@
+package texture
+
+import (
+	"fmt"
+	"math"
+)
+
+// Filter selects the texture filtering mode. The paper notes (§II-B,
+// citing Heckbert's survey) that adjacent quads re-access neighbouring
+// texels more aggressively under trilinear and anisotropic filtering than
+// under bilinear — richer footprints mean more sharing, hence more
+// replication when neighbours are split across SCs.
+type Filter int
+
+const (
+	// Bilinear samples the 2x2 texel neighbourhood at one mip level.
+	Bilinear Filter = iota
+	// Trilinear samples 2x2 neighbourhoods at the two mip levels
+	// bracketing the LOD.
+	Trilinear
+	// Aniso2x takes two trilinear probes spread along the anisotropy
+	// axis.
+	Aniso2x
+)
+
+var filterNames = map[Filter]string{Bilinear: "bilinear", Trilinear: "trilinear", Aniso2x: "aniso2x"}
+
+// String returns the lowercase filter name.
+func (f Filter) String() string {
+	if s, ok := filterNames[f]; ok {
+		return s
+	}
+	return fmt.Sprintf("texture.Filter(%d)", int(f))
+}
+
+// LOD computes the mip level-of-detail from screen-space UV derivatives
+// (in UV units per pixel) for a texture of the given dimensions, using
+// the standard max-axis formula.
+func LOD(dudx, dvdx, dudy, dvdy float64, texW, texH int) float64 {
+	ddx := math.Hypot(dudx*float64(texW), dvdx*float64(texH))
+	ddy := math.Hypot(dudy*float64(texW), dvdy*float64(texH))
+	d := math.Max(ddx, ddy)
+	if d <= 1 {
+		return 0
+	}
+	return math.Log2(d)
+}
+
+// Sampler generates the set of cache lines a texture sample touches. It
+// reuses an internal buffer across calls; the returned slice is only
+// valid until the next call.
+type Sampler struct {
+	Filter Filter
+	lines  []uint64
+}
+
+// Footprint appends to its internal buffer the distinct cache-line
+// addresses read when sampling tex at (u, v) (normalized coordinates)
+// with the given LOD, and returns them. The slice is reused by the next
+// call.
+func (s *Sampler) Footprint(tex *Texture, u, v, lod float64) []uint64 {
+	s.lines = s.lines[:0]
+	switch s.Filter {
+	case Bilinear:
+		level := int(math.Round(lod))
+		s.bilinear(tex, u, v, level)
+	case Trilinear:
+		base := int(math.Floor(lod))
+		s.bilinear(tex, u, v, base)
+		if frac := lod - math.Floor(lod); frac > 0 && base+1 < tex.Levels {
+			s.bilinear(tex, u, v, base+1)
+		}
+	case Aniso2x:
+		base := int(math.Floor(lod)) - 1 // sharper level, more texels
+		if base < 0 {
+			base = 0
+		}
+		// Two probes offset along u (the synthetic scenes' dominant
+		// anisotropy axis).
+		w, _ := tex.LevelDims(base)
+		du := 1.0 / float64(w)
+		s.bilinear(tex, u-du, v, base)
+		s.bilinear(tex, u+du, v, base)
+	default:
+		panic(fmt.Sprintf("texture: unknown filter %d", int(s.Filter)))
+	}
+	return s.lines
+}
+
+// bilinear adds the lines of the 2x2 texel neighbourhood around (u, v) at
+// the given level.
+func (s *Sampler) bilinear(tex *Texture, u, v float64, level int) {
+	w, h := tex.LevelDims(level)
+	// Texel-space position of the sample; -0.5 centers texels per GL.
+	tu := u*float64(w) - 0.5
+	tv := v*float64(h) - 0.5
+	x0 := int(math.Floor(tu))
+	y0 := int(math.Floor(tv))
+	for dy := 0; dy <= 1; dy++ {
+		for dx := 0; dx <= 1; dx++ {
+			s.addLine(tex.LineAddr(level, x0+dx, y0+dy))
+		}
+	}
+}
+
+// addLine appends addr if not already present (footprints are at most a
+// handful of lines, so linear dedup is the fast path).
+func (s *Sampler) addLine(addr uint64) {
+	for _, l := range s.lines {
+		if l == addr {
+			return
+		}
+	}
+	s.lines = append(s.lines, addr)
+}

@@ -1,0 +1,128 @@
+// Package texture models the texture memory objects the shader cores
+// sample: mip-mapped 2D textures laid out block-linearly in memory so
+// that one 64-byte cache line holds a 4x4 block of RGBA8 texels. This is
+// the standard mobile-GPU tiling that gives 2D spatial locality to a 1D
+// address space — and the substrate on which the paper's entire
+// texture-locality argument rests: screen-adjacent quads sample adjacent
+// texels, which share cache lines.
+package texture
+
+import (
+	"fmt"
+
+	"dtexl/internal/tileorder"
+)
+
+const (
+	// BytesPerTexel is the texel size (RGBA8).
+	BytesPerTexel = 4
+	// BlockDim is the side of the square texel block stored in one cache
+	// line: 4x4 texels * 4 B = 64 B.
+	BlockDim = 4
+	// LineBytes is the cache line size the layout targets.
+	LineBytes = BlockDim * BlockDim * BytesPerTexel
+)
+
+// Texture is a mip-mapped 2D texture. Width and Height must be powers of
+// two (as required by the block-linear Morton layout).
+type Texture struct {
+	ID       int
+	Base     uint64 // base address in the global GPU address space
+	Width    int    // mip 0 texels
+	Height   int
+	Levels   int      // number of mip levels
+	mipOff   []uint64 // byte offset of each level from Base
+	mipW     []int
+	mipH     []int
+	sizeByte uint64
+}
+
+// New creates a texture with a full mip chain down to 1x1. It panics on
+// non-power-of-two dimensions (a configuration error in the synthetic
+// scenes).
+func New(id int, base uint64, width, height int) *Texture {
+	if width <= 0 || height <= 0 || width&(width-1) != 0 || height&(height-1) != 0 {
+		panic(fmt.Sprintf("texture: dimensions %dx%d must be positive powers of two", width, height))
+	}
+	t := &Texture{ID: id, Base: base, Width: width, Height: height}
+	w, h := width, height
+	off := uint64(0)
+	for {
+		t.mipOff = append(t.mipOff, off)
+		t.mipW = append(t.mipW, w)
+		t.mipH = append(t.mipH, h)
+		off += uint64(levelBytes(w, h))
+		if w == 1 && h == 1 {
+			break
+		}
+		if w > 1 {
+			w >>= 1
+		}
+		if h > 1 {
+			h >>= 1
+		}
+	}
+	t.Levels = len(t.mipOff)
+	t.sizeByte = off
+	return t
+}
+
+// levelBytes returns the storage for one mip level, rounded up to whole
+// blocks (lines).
+func levelBytes(w, h int) int {
+	bw := (w + BlockDim - 1) / BlockDim
+	bh := (h + BlockDim - 1) / BlockDim
+	// Morton layout needs the square power-of-two bound over the blocks.
+	side := 1
+	for side < bw || side < bh {
+		side <<= 1
+	}
+	return side * side * LineBytes
+}
+
+// SizeBytes returns the total memory footprint of the texture including
+// all mip levels.
+func (t *Texture) SizeBytes() uint64 { return t.sizeByte }
+
+// LevelDims returns the texel dimensions of mip level l (clamped).
+func (t *Texture) LevelDims(l int) (w, h int) {
+	l = clampLevel(l, t.Levels)
+	return t.mipW[l], t.mipH[l]
+}
+
+// TexelAddr returns the address of texel (x, y) at mip level l. Out-of-
+// range coordinates wrap (GL_REPEAT) and the level is clamped, matching
+// the sampler's addressing rules.
+func (t *Texture) TexelAddr(l, x, y int) uint64 {
+	l = clampLevel(l, t.Levels)
+	w, h := t.mipW[l], t.mipH[l]
+	x = wrap(x, w)
+	y = wrap(y, h)
+	block := tileorder.MortonEncode(x/BlockDim, y/BlockDim)
+	inBlock := uint64((y%BlockDim)*BlockDim + x%BlockDim)
+	return t.Base + t.mipOff[l] + block*LineBytes + inBlock*BytesPerTexel
+}
+
+// LineAddr returns the cache-line address (line-aligned) of texel (x, y)
+// at level l.
+func (t *Texture) LineAddr(l, x, y int) uint64 {
+	return t.TexelAddr(l, x, y) &^ uint64(LineBytes-1)
+}
+
+func clampLevel(l, levels int) int {
+	if l < 0 {
+		return 0
+	}
+	if l >= levels {
+		return levels - 1
+	}
+	return l
+}
+
+func wrap(x, n int) int {
+	x %= n
+	if x < 0 {
+		x += n
+	}
+	return x
+}

@@ -1,0 +1,63 @@
+package tileorder
+
+import "testing"
+
+// FuzzMortonRoundTrip exercises the Z-order bit interleaving with
+// arbitrary coordinates (run with `go test -fuzz FuzzMorton`).
+func FuzzMortonRoundTrip(f *testing.F) {
+	f.Add(0, 0)
+	f.Add(61, 23)
+	f.Add(1<<20, 1<<19)
+	f.Fuzz(func(t *testing.T, x, y int) {
+		x &= 0x7fffffff
+		y &= 0x7fffffff
+		gx, gy := MortonDecode(MortonEncode(x, y))
+		if gx != x || gy != y {
+			t.Fatalf("roundtrip (%d,%d) -> (%d,%d)", x, y, gx, gy)
+		}
+	})
+}
+
+// FuzzHilbertRoundTrip exercises the Hilbert mapping over arbitrary
+// power-of-two grids and distances.
+func FuzzHilbertRoundTrip(f *testing.F) {
+	f.Add(uint8(3), 17)
+	f.Add(uint8(6), 1000)
+	f.Fuzz(func(t *testing.T, logN uint8, d int) {
+		n := 1 << (logN%10 + 1) // 2..1024
+		if d < 0 {
+			d = -d
+		}
+		d %= n * n
+		x, y := HilbertD2XY(n, d)
+		if x < 0 || x >= n || y < 0 || y >= n {
+			t.Fatalf("n=%d d=%d: out of range (%d,%d)", n, d, x, y)
+		}
+		if got := HilbertXY2D(n, x, y); got != d {
+			t.Fatalf("n=%d: roundtrip %d -> %d", n, d, got)
+		}
+	})
+}
+
+// FuzzSequencePermutation checks that every order is a permutation of any
+// small grid.
+func FuzzSequencePermutation(f *testing.F) {
+	f.Add(uint8(0), uint8(7), uint8(5))
+	f.Add(uint8(4), uint8(8), uint8(8))
+	f.Fuzz(func(t *testing.T, kind, w8, h8 uint8) {
+		k := Kind(int(kind) % len(Kinds()))
+		w := int(w8)%20 + 1
+		h := int(h8)%20 + 1
+		seq := Sequence(k, w, h)
+		if len(seq) != w*h {
+			t.Fatalf("%v %dx%d: %d cells", k, w, h, len(seq))
+		}
+		seen := make(map[Point]bool, len(seq))
+		for _, p := range seq {
+			if p.X < 0 || p.X >= w || p.Y < 0 || p.Y >= h || seen[p] {
+				t.Fatalf("%v %dx%d: bad cell %v", k, w, h, p)
+			}
+			seen[p] = true
+		}
+	})
+}

@@ -1,0 +1,52 @@
+package tileorder
+
+// HilbertD2XY converts a distance d along the Hilbert curve filling an
+// n x n grid (n a power of two) to cell coordinates. This is the
+// classical iterative formulation (Lam & Shapiro); it uses only integer
+// operations, so unlike the floating-point formulation discussed in the
+// paper it is exact for any grid the Tiling Engine can produce.
+func HilbertD2XY(n, d int) (x, y int) {
+	rx, ry := 0, 0
+	t := d
+	for s := 1; s < n; s *= 2 {
+		rx = 1 & (t / 2)
+		ry = 1 & (t ^ rx)
+		x, y = hilbertRot(s, x, y, rx, ry)
+		x += s * rx
+		y += s * ry
+		t /= 4
+	}
+	return
+}
+
+// HilbertXY2D converts cell coordinates in an n x n grid (n a power of
+// two) to the distance along the Hilbert curve. It is the inverse of
+// HilbertD2XY.
+func HilbertXY2D(n, x, y int) int {
+	d := 0
+	for s := n / 2; s > 0; s /= 2 {
+		rx := 0
+		if x&s > 0 {
+			rx = 1
+		}
+		ry := 0
+		if y&s > 0 {
+			ry = 1
+		}
+		d += s * s * ((3 * rx) ^ ry)
+		x, y = hilbertRot(s, x, y, rx, ry)
+	}
+	return d
+}
+
+// hilbertRot rotates/flips a quadrant appropriately.
+func hilbertRot(n, x, y, rx, ry int) (int, int) {
+	if ry == 0 {
+		if rx == 1 {
+			x = n - 1 - x
+			y = n - 1 - y
+		}
+		x, y = y, x
+	}
+	return x, y
+}

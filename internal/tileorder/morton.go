@@ -1,0 +1,35 @@
+package tileorder
+
+// MortonEncode interleaves the bits of x and y into a Z-order (Morton)
+// code: bit i of x lands at bit 2i of the code, bit i of y at bit 2i+1.
+// Coordinates must fit in 32 bits.
+func MortonEncode(x, y int) uint64 {
+	return spreadBits(uint64(uint32(x))) | spreadBits(uint64(uint32(y)))<<1
+}
+
+// MortonDecode inverts MortonEncode.
+func MortonDecode(code uint64) (x, y int) {
+	return int(compactBits(code)), int(compactBits(code >> 1))
+}
+
+// spreadBits inserts a zero bit between every bit of the low 32 bits of v.
+func spreadBits(v uint64) uint64 {
+	v &= 0xffffffff
+	v = (v | v<<16) & 0x0000ffff0000ffff
+	v = (v | v<<8) & 0x00ff00ff00ff00ff
+	v = (v | v<<4) & 0x0f0f0f0f0f0f0f0f
+	v = (v | v<<2) & 0x3333333333333333
+	v = (v | v<<1) & 0x5555555555555555
+	return v
+}
+
+// compactBits inverts spreadBits, collecting every other bit of v.
+func compactBits(v uint64) uint64 {
+	v &= 0x5555555555555555
+	v = (v | v>>1) & 0x3333333333333333
+	v = (v | v>>2) & 0x0f0f0f0f0f0f0f0f
+	v = (v | v>>4) & 0x00ff00ff00ff00ff
+	v = (v | v>>8) & 0x0000ffff0000ffff
+	v = (v | v>>16) & 0x00000000ffffffff
+	return v
+}

@@ -1,0 +1,184 @@
+// Package tileorder implements the tile traversal orders studied in the
+// paper (§III-C): Scanline, S-order (boustrophedon), Z-order (Morton),
+// Hilbert, and the paper's rectangle-adapted Hilbert that applies a
+// Hilbert curve inside 8x8-tile sub-frames and walks the sub-frames in an
+// S shape.
+//
+// Orders are materialized as explicit permutations of the tile grid; in a
+// TBR GPU the number of tiles is a few thousand, so the paper argues the
+// order can be precomputed once per resolution to avoid any per-tile
+// computation overhead.
+package tileorder
+
+import "fmt"
+
+// Point identifies a tile by its (column, row) coordinates in the tile
+// grid.
+type Point struct {
+	X, Y int
+}
+
+// Kind selects one of the implemented traversal orders.
+type Kind int
+
+const (
+	// Scanline visits tiles row by row, left to right in every row.
+	Scanline Kind = iota
+	// SOrder visits tiles row by row, alternating direction each row
+	// (boustrophedon), so consecutive tiles always share an edge.
+	SOrder
+	// ZOrder visits tiles in Morton order (Fig. 7a).
+	ZOrder
+	// Hilbert visits tiles along a Hilbert curve over the bounding
+	// power-of-two square, skipping out-of-frame cells (Fig. 7b).
+	Hilbert
+	// HilbertRect is the paper's rectangular adaptation: a Hilbert curve
+	// inside each 8x8-tile sub-frame, with sub-frames traversed
+	// boustrophedonically.
+	HilbertRect
+)
+
+// SubFrameSize is the side, in tiles, of the square sub-frames used by
+// HilbertRect, as specified in §III-C.
+const SubFrameSize = 8
+
+var kindNames = map[Kind]string{
+	Scanline:    "scanline",
+	SOrder:      "s-order",
+	ZOrder:      "z-order",
+	Hilbert:     "hilbert",
+	HilbertRect: "hilbert-rect",
+}
+
+// String returns the lowercase name of the order.
+func (k Kind) String() string {
+	if s, ok := kindNames[k]; ok {
+		return s
+	}
+	return fmt.Sprintf("tileorder.Kind(%d)", int(k))
+}
+
+// Kinds lists every implemented order, in declaration order.
+func Kinds() []Kind {
+	return []Kind{Scanline, SOrder, ZOrder, Hilbert, HilbertRect}
+}
+
+// Sequence returns the visit order of every tile of a w x h tile grid as
+// a permutation of the grid. It panics on non-positive dimensions, which
+// indicate a configuration bug.
+func Sequence(k Kind, w, h int) []Point {
+	if w <= 0 || h <= 0 {
+		panic(fmt.Sprintf("tileorder: invalid grid %dx%d", w, h))
+	}
+	switch k {
+	case Scanline:
+		return scanline(w, h)
+	case SOrder:
+		return sOrder(w, h)
+	case ZOrder:
+		return zOrder(w, h)
+	case Hilbert:
+		return hilbertSeq(w, h)
+	case HilbertRect:
+		return hilbertRect(w, h)
+	default:
+		panic(fmt.Sprintf("tileorder: unknown kind %d", int(k)))
+	}
+}
+
+func scanline(w, h int) []Point {
+	seq := make([]Point, 0, w*h)
+	for y := 0; y < h; y++ {
+		for x := 0; x < w; x++ {
+			seq = append(seq, Point{x, y})
+		}
+	}
+	return seq
+}
+
+func sOrder(w, h int) []Point {
+	seq := make([]Point, 0, w*h)
+	for y := 0; y < h; y++ {
+		if y%2 == 0 {
+			for x := 0; x < w; x++ {
+				seq = append(seq, Point{x, y})
+			}
+		} else {
+			for x := w - 1; x >= 0; x-- {
+				seq = append(seq, Point{x, y})
+			}
+		}
+	}
+	return seq
+}
+
+// nextPow2 returns the smallest power of two >= n (n >= 1).
+func nextPow2(n int) int {
+	p := 1
+	for p < n {
+		p <<= 1
+	}
+	return p
+}
+
+func zOrder(w, h int) []Point {
+	side := nextPow2(max(w, h))
+	seq := make([]Point, 0, w*h)
+	total := uint64(side) * uint64(side)
+	for code := uint64(0); code < total; code++ {
+		x, y := MortonDecode(code)
+		if x < w && y < h {
+			seq = append(seq, Point{x, y})
+		}
+	}
+	return seq
+}
+
+func hilbertSeq(w, h int) []Point {
+	side := nextPow2(max(w, h))
+	seq := make([]Point, 0, w*h)
+	total := side * side
+	for d := 0; d < total; d++ {
+		x, y := HilbertD2XY(side, d)
+		if x < w && y < h {
+			seq = append(seq, Point{x, y})
+		}
+	}
+	return seq
+}
+
+// hilbertRect walks SubFrameSize x SubFrameSize blocks of tiles in an S
+// shape over the frame; inside each block the tiles follow a Hilbert
+// curve. Blocks on the right/bottom frame edges may be partial; their
+// out-of-frame cells are skipped.
+func hilbertRect(w, h int) []Point {
+	bw := (w + SubFrameSize - 1) / SubFrameSize
+	bh := (h + SubFrameSize - 1) / SubFrameSize
+	seq := make([]Point, 0, w*h)
+	for by := 0; by < bh; by++ {
+		// Boustrophedon block traversal.
+		for i := 0; i < bw; i++ {
+			bx := i
+			if by%2 == 1 {
+				bx = bw - 1 - i
+			}
+			ox := bx * SubFrameSize
+			oy := by * SubFrameSize
+			for d := 0; d < SubFrameSize*SubFrameSize; d++ {
+				lx, ly := HilbertD2XY(SubFrameSize, d)
+				x, y := ox+lx, oy+ly
+				if x < w && y < h {
+					seq = append(seq, Point{x, y})
+				}
+			}
+		}
+	}
+	return seq
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

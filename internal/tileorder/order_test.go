@@ -1,0 +1,206 @@
+package tileorder
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+// checkPermutation verifies that seq visits every cell of a w x h grid
+// exactly once.
+func checkPermutation(t *testing.T, seq []Point, w, h int) {
+	t.Helper()
+	if len(seq) != w*h {
+		t.Fatalf("sequence length = %d, want %d", len(seq), w*h)
+	}
+	seen := make(map[Point]bool, len(seq))
+	for _, p := range seq {
+		if p.X < 0 || p.X >= w || p.Y < 0 || p.Y >= h {
+			t.Fatalf("out-of-grid point %v in %dx%d", p, w, h)
+		}
+		if seen[p] {
+			t.Fatalf("duplicate point %v", p)
+		}
+		seen[p] = true
+	}
+}
+
+func TestAllOrdersArePermutations(t *testing.T) {
+	grids := []struct{ w, h int }{
+		{1, 1}, {2, 2}, {8, 8}, {16, 16},
+		{7, 5}, {62, 24}, {3, 17}, {16, 8},
+	}
+	for _, k := range Kinds() {
+		for _, g := range grids {
+			seq := Sequence(k, g.w, g.h)
+			checkPermutation(t, seq, g.w, g.h)
+		}
+	}
+}
+
+func TestKindString(t *testing.T) {
+	for _, k := range Kinds() {
+		if s := k.String(); s == "" || s[0] == 't' && len(s) > 20 {
+			t.Errorf("suspicious name %q for kind %d", s, int(k))
+		}
+	}
+	if Kind(99).String() != "tileorder.Kind(99)" {
+		t.Errorf("unknown kind name = %q", Kind(99).String())
+	}
+}
+
+func TestScanlineOrder(t *testing.T) {
+	seq := Sequence(Scanline, 3, 2)
+	want := []Point{{0, 0}, {1, 0}, {2, 0}, {0, 1}, {1, 1}, {2, 1}}
+	for i := range want {
+		if seq[i] != want[i] {
+			t.Fatalf("seq[%d] = %v, want %v", i, seq[i], want[i])
+		}
+	}
+}
+
+func TestSOrderAlternatesDirection(t *testing.T) {
+	seq := Sequence(SOrder, 3, 3)
+	want := []Point{{0, 0}, {1, 0}, {2, 0}, {2, 1}, {1, 1}, {0, 1}, {0, 2}, {1, 2}, {2, 2}}
+	for i := range want {
+		if seq[i] != want[i] {
+			t.Fatalf("seq[%d] = %v, want %v", i, seq[i], want[i])
+		}
+	}
+}
+
+func TestSOrderConsecutiveAdjacent(t *testing.T) {
+	// Every consecutive pair in S-order shares an edge — the defining
+	// property of boustrophedon traversal.
+	seq := Sequence(SOrder, 9, 7)
+	for i := 1; i < len(seq); i++ {
+		if adjacency(seq[i-1], seq[i]) != 1 {
+			t.Fatalf("non-adjacent consecutive pair %v -> %v", seq[i-1], seq[i])
+		}
+	}
+}
+
+// adjacency returns the Manhattan distance between two points.
+func adjacency(a, b Point) int {
+	dx := a.X - b.X
+	if dx < 0 {
+		dx = -dx
+	}
+	dy := a.Y - b.Y
+	if dy < 0 {
+		dy = -dy
+	}
+	return dx + dy
+}
+
+func TestZOrderMatchesFigure7a(t *testing.T) {
+	// Fig. 7a: a 4x4 grid in Z-order starts (0,0),(1,0),(0,1),(1,1),(2,0)...
+	seq := Sequence(ZOrder, 4, 4)
+	want := []Point{{0, 0}, {1, 0}, {0, 1}, {1, 1}, {2, 0}, {3, 0}, {2, 1}, {3, 1}}
+	for i := range want {
+		if seq[i] != want[i] {
+			t.Fatalf("seq[%d] = %v, want %v", i, seq[i], want[i])
+		}
+	}
+}
+
+func TestHilbertConsecutiveAdjacent(t *testing.T) {
+	// The defining property of the Hilbert curve: consecutive cells are
+	// always 4-adjacent (on a full power-of-two square grid).
+	for _, n := range []int{2, 4, 8, 16, 32} {
+		seq := Sequence(Hilbert, n, n)
+		for i := 1; i < len(seq); i++ {
+			if adjacency(seq[i-1], seq[i]) != 1 {
+				t.Fatalf("n=%d: non-adjacent pair at %d: %v -> %v", n, i, seq[i-1], seq[i])
+			}
+		}
+	}
+}
+
+func TestHilbertRectBlockAdjacency(t *testing.T) {
+	// Inside each complete 8x8 sub-frame, HilbertRect consecutive cells
+	// must be 4-adjacent.
+	seq := Sequence(HilbertRect, 16, 8)
+	for i := 1; i < 64; i++ {
+		if adjacency(seq[i-1], seq[i]) != 1 {
+			t.Fatalf("non-adjacent pair inside first block: %v -> %v", seq[i-1], seq[i])
+		}
+	}
+	// The first 64 cells must all lie within the first 8x8 block.
+	for i := 0; i < 64; i++ {
+		if seq[i].X >= 8 {
+			t.Fatalf("cell %v escaped the first sub-frame", seq[i])
+		}
+	}
+	// The next 64 must lie in the second block.
+	for i := 64; i < 128; i++ {
+		if seq[i].X < 8 {
+			t.Fatalf("cell %v not in the second sub-frame", seq[i])
+		}
+	}
+}
+
+func TestMortonRoundTrip(t *testing.T) {
+	f := func(x, y uint16) bool {
+		code := MortonEncode(int(x), int(y))
+		gx, gy := MortonDecode(code)
+		return gx == int(x) && gy == int(y)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMortonMonotoneInBlocks(t *testing.T) {
+	// Morton codes of a 2x2 block starting at even coordinates are
+	// consecutive: (0,0),(1,0),(0,1),(1,1).
+	base := MortonEncode(4, 6)
+	if MortonEncode(5, 6) != base+1 || MortonEncode(4, 7) != base+2 || MortonEncode(5, 7) != base+3 {
+		t.Error("2x2 block not consecutive in Morton order")
+	}
+}
+
+func TestHilbertRoundTrip(t *testing.T) {
+	for _, n := range []int{2, 4, 8, 16, 64} {
+		for d := 0; d < n*n; d++ {
+			x, y := HilbertD2XY(n, d)
+			if x < 0 || x >= n || y < 0 || y >= n {
+				t.Fatalf("n=%d d=%d: out of range (%d,%d)", n, d, x, y)
+			}
+			if got := HilbertXY2D(n, x, y); got != d {
+				t.Fatalf("n=%d: XY2D(D2XY(%d)) = %d", n, d, got)
+			}
+		}
+	}
+}
+
+func TestLocalityRanking(t *testing.T) {
+	// Space-filling curves must beat scanline on the average distance
+	// between consecutive tiles — the reason the paper considers them.
+	w, h := 16, 16
+	avg := func(k Kind) float64 {
+		seq := Sequence(k, w, h)
+		total := 0
+		for i := 1; i < len(seq); i++ {
+			total += adjacency(seq[i-1], seq[i])
+		}
+		return float64(total) / float64(len(seq)-1)
+	}
+	scan := avg(Scanline)
+	hil := avg(Hilbert)
+	z := avg(ZOrder)
+	if hil >= scan || z > scan {
+		t.Errorf("locality ranking violated: scanline=%v z=%v hilbert=%v", scan, z, hil)
+	}
+	if hil != 1 {
+		t.Errorf("hilbert average step = %v, want exactly 1", hil)
+	}
+}
+
+func TestSequencePanicsOnBadGrid(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("no panic on zero-size grid")
+		}
+	}()
+	Sequence(ZOrder, 0, 4)
+}

@@ -1,0 +1,322 @@
+package trace
+
+import (
+	"math"
+
+	"dtexl/internal/geom"
+	"dtexl/internal/texture"
+)
+
+// Memory-map constants for generated scenes. Textures and vertex buffers
+// live in disjoint regions of the GPU address space so cache sets see
+// realistic mixing without aliasing bugs.
+const (
+	textureArenaBase = 0x1000_0000
+	vertexArenaBase  = 0x4000_0000
+	arenaAlign       = 1 << 16
+)
+
+// trianglesPerDraw bounds the batch size of generated draw commands,
+// mimicking how engines batch sprites/meshes by material.
+const trianglesPerDraw = 32
+
+// atlasSlots is the number of shared texture regions per texture that
+// primitives with Reuse sample from.
+const atlasSlots = 8
+
+// GenerateScene synthesizes one frame for profile p at the given screen
+// size. The same (profile, size, seed) always produces the identical
+// scene. It is frame 0 of GenerateFrame's animation.
+func GenerateScene(p Profile, width, height int, seed uint64) *Scene {
+	return GenerateFrame(p, width, height, seed, 0)
+}
+
+// scrollDivisor sets the camera speed: the camera pans width/scrollDivisor
+// pixels per frame through a world twice the screen width.
+const scrollDivisor = 8
+
+// GenerateFrame synthesizes frame `frame` of a deterministic animation:
+// the same world of objects (fixed by seed) viewed through a camera that
+// pans horizontally each frame, wrapping around a world twice the screen
+// width. Consecutive frames therefore share most of their texture
+// working set — the cross-frame reuse a warm L2 exploits — while the
+// overdraw hotspots drift across tile and Subtile boundaries.
+func GenerateFrame(p Profile, width, height int, seed uint64, frame int) *Scene {
+	rng := NewRNG(seed*0x9e3779b9 + hashAlias(p.Alias))
+	s := &Scene{Width: width, Height: height}
+
+	s.Textures = allocTextures(p.TextureFootprintMiB)
+
+	// The application draws in pixel coordinates; one shared orthographic
+	// transform maps them to clip space (depth passes through).
+	ortho := geom.Orthographic(0, float64(width), float64(height), 0, 0, 1)
+
+	worldW := 2 * float64(width)
+	cameraX := math.Mod(float64(frame)*float64(width)/scrollDivisor, worldW)
+
+	g := &sceneGen{
+		p: p, rng: rng, scene: s, ortho: ortho,
+		width: float64(width), height: float64(height),
+		worldW: worldW, cameraX: cameraX,
+		vertexCursor: vertexArenaBase,
+	}
+	g.prepareAtlases()
+	g.emitBackground()
+	g.emitObjects()
+	return s
+}
+
+// hashAlias gives each benchmark an independent random stream for the
+// same seed.
+func hashAlias(alias string) uint64 {
+	h := uint64(1469598103934665603)
+	for i := 0; i < len(alias); i++ {
+		h ^= uint64(alias[i])
+		h *= 1099511628211
+	}
+	return h
+}
+
+// allocTextures builds a texture set totalling approximately footprintMiB
+// mebibytes, preferring larger textures first (as real asset sets do).
+func allocTextures(footprintMiB float64) []*texture.Texture {
+	var texs []*texture.Texture
+	base := uint64(textureArenaBase)
+	remaining := footprintMiB * (1 << 20)
+	sides := []int{512, 256, 128, 64, 32}
+	id := 0
+	for {
+		var chosen int
+		for _, side := range sides {
+			if approxTexBytes(side) <= remaining {
+				chosen = side
+				break
+			}
+		}
+		if chosen == 0 {
+			if len(texs) == 0 {
+				chosen = sides[len(sides)-1] // always at least one texture
+			} else {
+				break
+			}
+		}
+		t := texture.New(id, base, chosen, chosen)
+		texs = append(texs, t)
+		base += (t.SizeBytes() + arenaAlign - 1) &^ (arenaAlign - 1)
+		remaining -= float64(t.SizeBytes())
+		id++
+	}
+	return texs
+}
+
+// approxTexBytes estimates the full mip-chain size of a square texture.
+func approxTexBytes(side int) float64 {
+	return float64(side) * float64(side) * texture.BytesPerTexel * 4 / 3
+}
+
+type atlasSlot struct {
+	u, v float64
+}
+
+type sceneGen struct {
+	p               Profile
+	rng             *RNG
+	scene           *Scene
+	ortho           geom.Mat4
+	width, height   float64
+	worldW, cameraX float64
+	vertexCursor    uint64
+	atlases         [][]atlasSlot // per texture: shared UV origins
+	hotspots        []geom.Vec2
+}
+
+func (g *sceneGen) prepareAtlases() {
+	g.atlases = make([][]atlasSlot, len(g.scene.Textures))
+	for i := range g.atlases {
+		slots := make([]atlasSlot, atlasSlots)
+		for j := range slots {
+			slots[j] = atlasSlot{u: g.rng.Float64(), v: g.rng.Float64()}
+		}
+		g.atlases[i] = slots
+	}
+	// Overdraw hotspots: a few world regions of high depth complexity
+	// (more of them across the whole world so the visible count stays in
+	// the usual 3-5 range as the camera pans).
+	n := int(6 + g.rng.Intn(5))
+	for i := 0; i < n; i++ {
+		g.hotspots = append(g.hotspots, geom.Vec2{
+			X: g.rng.Float64() * g.worldW,
+			Y: g.rng.Range(0.15, 0.85) * g.height,
+		})
+	}
+}
+
+// emitBackground covers the full screen with two large textured triangles
+// at far depth: the sky/board layer every game has.
+func (g *sceneGen) emitBackground() {
+	tex := g.scene.Textures[0]
+	w, h := g.width, g.height
+	density := g.p.TexelDensity
+	du := density / float64(tex.Width)
+	dv := density / float64(tex.Height)
+	u0 := g.cameraX * du // the background scrolls with the camera
+	verts := []Vertex{
+		{Pos: geom.Vec3{X: 0, Y: 0, Z: 0.99}, UV: geom.Vec2{X: u0, Y: 0}},
+		{Pos: geom.Vec3{X: w, Y: 0, Z: 0.99}, UV: geom.Vec2{X: u0 + w*du, Y: 0}},
+		{Pos: geom.Vec3{X: 0, Y: h, Z: 0.99}, UV: geom.Vec2{X: u0, Y: h * dv}},
+		{Pos: geom.Vec3{X: w, Y: h, Z: 0.99}, UV: geom.Vec2{X: u0 + w*du, Y: h * dv}},
+	}
+	g.scene.Draws = append(g.scene.Draws, DrawCommand{
+		Transform:      g.ortho,
+		VertexBase:     g.allocVertices(len(verts)),
+		Vertices:       verts,
+		Indices:        []int{0, 1, 2, 2, 1, 3},
+		Tex:            tex,
+		Shader:         ShaderProfile{Instructions: g.p.ShaderLen[0], Samples: 1},
+		Filter:         g.p.Filter,
+		UVJitterTexels: g.p.UVJitter,
+		Alpha:          1,
+	})
+}
+
+// emitObjects generates the foreground geometry: triangles whose total
+// area realizes the profile's overdraw factor, clustered around hotspots
+// and batched into draw commands by texture.
+func (g *sceneGen) emitObjects() {
+	// Objects populate the whole (wider-than-screen) world; scale the
+	// area budget so the visible portion realizes the overdraw factor.
+	targetArea := (g.p.Overdraw - 1) * g.worldW * g.height
+	if targetArea <= 0 {
+		return
+	}
+	numTris := int(targetArea / g.p.MeanTriArea)
+	if numTris < 1 {
+		numTris = 1
+	}
+
+	// Engines sort by material: generate per-texture runs.
+	emitted := 0
+	for emitted < numTris {
+		texIdx := g.rng.Intn(len(g.scene.Textures))
+		run := g.rng.IntRange(trianglesPerDraw/2, trianglesPerDraw)
+		if run > numTris-emitted {
+			run = numTris - emitted
+		}
+		shader := ShaderProfile{
+			Instructions: g.rng.IntRange(g.p.ShaderLen[0], g.p.ShaderLen[1]),
+			Samples:      g.rng.IntRange(g.p.SamplesPerQuad[0], g.p.SamplesPerQuad[1]),
+		}
+		g.emitBatch(texIdx, shader, run, emitted, numTris)
+		emitted += run
+	}
+}
+
+// emitBatch emits one draw command with `count` triangles over texture
+// texIdx. A TransparentFrac share of batches renders with alpha blending.
+func (g *sceneGen) emitBatch(texIdx int, shader ShaderProfile, count, seqBase, seqTotal int) {
+	alpha := 1.0
+	if g.rng.Float64() < g.p.TransparentFrac {
+		alpha = g.rng.Range(0.3, 0.8)
+	}
+	tex := g.scene.Textures[texIdx]
+	verts := make([]Vertex, 0, count*3)
+	idx := make([]int, 0, count*3)
+	for i := 0; i < count; i++ {
+		tri := g.randomTriangle(seqBase+i, seqTotal)
+		uvo := g.uvOrigin(texIdx)
+		du := g.p.TexelDensity / float64(tex.Width)
+		dv := g.p.TexelDensity / float64(tex.Height)
+		for _, pv := range tri {
+			verts = append(verts, Vertex{
+				Pos: pv,
+				UV: geom.Vec2{
+					X: uvo.X + (pv.X-tri[0].X)*du,
+					Y: uvo.Y + (pv.Y-tri[0].Y)*dv,
+				},
+			})
+			idx = append(idx, len(verts)-1)
+		}
+	}
+	g.scene.Draws = append(g.scene.Draws, DrawCommand{
+		Transform:      g.ortho,
+		VertexBase:     g.allocVertices(len(verts)),
+		Vertices:       verts,
+		Indices:        idx,
+		Tex:            tex,
+		Shader:         shader,
+		Filter:         g.p.Filter,
+		UVJitterTexels: g.p.UVJitter,
+		Alpha:          alpha,
+	})
+}
+
+// uvOrigin picks where on the texture a primitive samples: a shared atlas
+// slot with probability Reuse, else a private random origin.
+func (g *sceneGen) uvOrigin(texIdx int) geom.Vec2 {
+	if g.rng.Float64() < g.p.Reuse {
+		s := g.atlases[texIdx][g.rng.Intn(atlasSlots)]
+		return geom.Vec2{X: s.u, Y: s.v}
+	}
+	return geom.Vec2{X: g.rng.Float64(), Y: g.rng.Float64()}
+}
+
+// randomTriangle places one object triangle: near a hotspot with
+// probability Clustering, elongated horizontally per HorizontalBias, with
+// depth by game type (2D games paint back-to-front; 3D games submit in
+// arbitrary depth order).
+func (g *sceneGen) randomTriangle(seq, seqTotal int) [3]geom.Vec3 {
+	var cx, cy float64
+	if g.rng.Float64() < g.p.Clustering {
+		h := g.hotspots[g.rng.Intn(len(g.hotspots))]
+		sigma := g.width / 16
+		cx = g.rng.Gaussian(h.X, sigma)
+		cy = g.rng.Gaussian(h.Y, sigma/g.p.HorizontalBias)
+	} else {
+		cx = g.rng.Float64() * g.worldW
+		cy = g.rng.Float64() * g.height
+	}
+	// World -> camera space, wrapping around the world. Objects outside
+	// the view land off-screen and are dropped by the Geometry Pipeline.
+	cx = math.Mod(cx-g.cameraX+g.worldW, g.worldW)
+	cy = geom.Clamp(cy, 0, g.height-1)
+
+	area := g.rng.Triangular(0.5*g.p.MeanTriArea, 1.5*g.p.MeanTriArea)
+	// Triangle area = base*height/2; bias the base horizontally.
+	base := math.Sqrt(2*area) * math.Sqrt(g.p.HorizontalBias)
+	ht := 2 * area / base
+
+	var depth float64
+	if g.p.Is2D {
+		// Painter's algorithm: later primitives are closer (smaller z), so
+		// Early-Z never culls — 2D overdraw is paid in full.
+		depth = 0.95 - 0.9*float64(seq)/float64(seqTotal)
+	} else {
+		depth = g.rng.Range(0.05, 0.95)
+	}
+
+	apexShift := g.rng.Range(-0.4, 0.4) * base
+	return [3]geom.Vec3{
+		{X: cx - base/2, Y: cy + ht/2, Z: depth},
+		{X: cx + base/2, Y: cy + ht/2, Z: depth},
+		{X: cx + apexShift, Y: cy - ht/2, Z: depth},
+	}
+}
+
+func (g *sceneGen) allocVertices(n int) uint64 {
+	addr := g.vertexCursor
+	g.vertexCursor += uint64(n*VertexBytes+arenaAlign-1) &^ (arenaAlign - 1)
+	return addr
+}
+
+// GenerateAnimation synthesizes `frames` consecutive frames of profile
+// p's panning-camera animation.
+func GenerateAnimation(p Profile, width, height int, seed uint64, frames int) []*Scene {
+	if frames < 1 {
+		frames = 1
+	}
+	out := make([]*Scene, frames)
+	for f := 0; f < frames; f++ {
+		out[f] = GenerateFrame(p, width, height, seed, f)
+	}
+	return out
+}

@@ -1,0 +1,75 @@
+// Package trace synthesizes the graphics workloads the evaluation runs:
+// ten parameterized scene generators standing in for the commercial
+// Android games of Table I (see DESIGN.md for the substitution argument).
+// A scene is a list of draw commands — vertex buffers, transforms,
+// texture bindings and shader profiles — exactly what the Geometry
+// Pipeline consumes.
+package trace
+
+import "math"
+
+// RNG is a small, fast, deterministic PRNG (splitmix64). Scene generation
+// must be reproducible across runs and platforms, so the generators use
+// this instead of math/rand.
+type RNG struct {
+	state uint64
+}
+
+// NewRNG seeds a generator. Distinct seeds give independent streams.
+func NewRNG(seed uint64) *RNG {
+	return &RNG{state: seed}
+}
+
+// Uint64 returns the next 64 random bits.
+func (r *RNG) Uint64() uint64 {
+	r.state += 0x9e3779b97f4a7c15
+	z := r.state
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// Float64 returns a uniform value in [0, 1).
+func (r *RNG) Float64() float64 {
+	return float64(r.Uint64()>>11) / (1 << 53)
+}
+
+// Intn returns a uniform value in [0, n). It panics if n <= 0.
+func (r *RNG) Intn(n int) int {
+	if n <= 0 {
+		panic("trace: Intn with non-positive bound")
+	}
+	return int(r.Uint64() % uint64(n))
+}
+
+// Range returns a uniform value in [lo, hi).
+func (r *RNG) Range(lo, hi float64) float64 {
+	return lo + (hi-lo)*r.Float64()
+}
+
+// IntRange returns a uniform integer in [lo, hi] inclusive.
+func (r *RNG) IntRange(lo, hi int) int {
+	if hi <= lo {
+		return lo
+	}
+	return lo + r.Intn(hi-lo+1)
+}
+
+// Triangular returns a sample from a triangular distribution on
+// [lo, hi] peaked at the midpoint — a cheap stand-in for "mostly average,
+// occasionally extreme" workload attributes.
+func (r *RNG) Triangular(lo, hi float64) float64 {
+	return lo + (hi-lo)*(r.Float64()+r.Float64())/2
+}
+
+// Gaussian returns an approximately normal sample with the given mean and
+// standard deviation (Irwin–Hall sum of 6 uniforms, bounded to ±3σ).
+func (r *RNG) Gaussian(mean, sigma float64) float64 {
+	s := 0.0
+	for i := 0; i < 6; i++ {
+		s += r.Float64()
+	}
+	// Sum of 6 uniforms: mean 3, variance 0.5 -> normalize to N(0,1)-ish.
+	z := (s - 3) / math.Sqrt(0.5)
+	return mean + sigma*z
+}

@@ -1,0 +1,104 @@
+package trace
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestSceneRoundTrip(t *testing.T) {
+	p, _ := ProfileByAlias("SWa")
+	orig := GenerateScene(p, 256, 128, 7)
+	var buf bytes.Buffer
+	if err := WriteScene(&buf, orig); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadScene(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Width != orig.Width || got.Height != orig.Height {
+		t.Fatalf("dimensions %dx%d", got.Width, got.Height)
+	}
+	if len(got.Draws) != len(orig.Draws) || len(got.Textures) != len(orig.Textures) {
+		t.Fatalf("structure mismatch: %d/%d draws, %d/%d textures",
+			len(got.Draws), len(orig.Draws), len(got.Textures), len(orig.Textures))
+	}
+	for i := range orig.Draws {
+		a, b := &orig.Draws[i], &got.Draws[i]
+		if len(a.Vertices) != len(b.Vertices) {
+			t.Fatalf("draw %d vertex count", i)
+		}
+		for j := range a.Vertices {
+			if a.Vertices[j] != b.Vertices[j] {
+				t.Fatalf("draw %d vertex %d mismatch", i, j)
+			}
+		}
+		if a.Transform != b.Transform || a.VertexBase != b.VertexBase ||
+			a.Shader != b.Shader || a.Filter != b.Filter ||
+			a.UVJitterTexels != b.UVJitterTexels || a.Alpha != b.Alpha {
+			t.Fatalf("draw %d state mismatch", i)
+		}
+		if a.Tex.Base != b.Tex.Base || a.Tex.Width != b.Tex.Width {
+			t.Fatalf("draw %d texture mismatch", i)
+		}
+	}
+}
+
+func TestSceneRoundTripSecondGeneration(t *testing.T) {
+	// Serializing the deserialized scene reproduces identical bytes:
+	// the format is canonical.
+	p, _ := ProfileByAlias("GTr")
+	orig := GenerateScene(p, 128, 64, 3)
+	var b1 bytes.Buffer
+	if err := WriteScene(&b1, orig); err != nil {
+		t.Fatal(err)
+	}
+	re, err := ReadScene(bytes.NewReader(b1.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var b2 bytes.Buffer
+	if err := WriteScene(&b2, re); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(b1.Bytes(), b2.Bytes()) {
+		t.Error("format is not canonical: bytes differ after a round trip")
+	}
+}
+
+func TestReadSceneValidation(t *testing.T) {
+	cases := map[string]string{
+		"bad json":      `{`,
+		"wrong version": `{"version":99,"width":64,"height":64}`,
+		"bad dims":      `{"version":1,"width":0,"height":64}`,
+		"bad texture":   `{"version":1,"width":64,"height":64,"textures":[{"id":0,"base":0,"width":100,"height":64}]}`,
+		"bad tex ref": `{"version":1,"width":64,"height":64,"textures":[],
+			"draws":[{"transform":[[1,0,0,0],[0,1,0,0],[0,0,1,0],[0,0,0,1]],"vertices":[],"indices":[],"texture":0,"shaderInstructions":1,"shaderSamples":1,"filter":"bilinear","alpha":1}]}`,
+		"bad indices": `{"version":1,"width":64,"height":64,"textures":[{"id":0,"base":0,"width":64,"height":64}],
+			"draws":[{"transform":[[1,0,0,0],[0,1,0,0],[0,0,1,0],[0,0,0,1]],"vertices":[{"pos":[0,0,0],"uv":[0,0]}],"indices":[0,0],"texture":0,"shaderInstructions":1,"shaderSamples":1,"filter":"bilinear","alpha":1}]}`,
+		"oob index": `{"version":1,"width":64,"height":64,"textures":[{"id":0,"base":0,"width":64,"height":64}],
+			"draws":[{"transform":[[1,0,0,0],[0,1,0,0],[0,0,1,0],[0,0,0,1]],"vertices":[{"pos":[0,0,0],"uv":[0,0]}],"indices":[0,0,5],"texture":0,"shaderInstructions":1,"shaderSamples":1,"filter":"bilinear","alpha":1}]}`,
+		"bad filter": `{"version":1,"width":64,"height":64,"textures":[{"id":0,"base":0,"width":64,"height":64}],
+			"draws":[{"transform":[[1,0,0,0],[0,1,0,0],[0,0,1,0],[0,0,0,1]],"vertices":[{"pos":[0,0,0],"uv":[0,0]}],"indices":[0,0,0],"texture":0,"shaderInstructions":1,"shaderSamples":1,"filter":"nearest","alpha":1}]}`,
+		"bad shader": `{"version":1,"width":64,"height":64,"textures":[{"id":0,"base":0,"width":64,"height":64}],
+			"draws":[{"transform":[[1,0,0,0],[0,1,0,0],[0,0,1,0],[0,0,0,1]],"vertices":[{"pos":[0,0,0],"uv":[0,0]}],"indices":[0,0,0],"texture":0,"shaderInstructions":0,"shaderSamples":1,"filter":"bilinear","alpha":1}]}`,
+	}
+	for name, payload := range cases {
+		if _, err := ReadScene(strings.NewReader(payload)); err == nil {
+			t.Errorf("%s: accepted", name)
+		}
+	}
+}
+
+func TestWriteSceneRejectsForeignTexture(t *testing.T) {
+	p, _ := ProfileByAlias("SWa")
+	s := GenerateScene(p, 128, 64, 1)
+	// Point a draw at a texture missing from Scene.Textures.
+	s.Draws[0].Tex = s.Textures[0]
+	s.Textures = s.Textures[:0]
+	var buf bytes.Buffer
+	if err := WriteScene(&buf, s); err == nil {
+		t.Error("foreign texture accepted")
+	}
+}
