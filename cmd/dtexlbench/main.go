@@ -33,6 +33,7 @@ func main() {
 		csv     = flag.Bool("csv", false, "emit CSV instead of aligned text")
 		par     = flag.Int("par", 0, "concurrent simulations for -exp all (0 = GOMAXPROCS, 1 = serial)")
 		svgDir  = flag.String("svg", "", "also write each experiment as <dir>/<id>.svg")
+		timing  = flag.Bool("timing", false, "print phase wall time and memo hit counts to stderr on exit")
 	)
 	flag.Parse()
 
@@ -78,6 +79,9 @@ func main() {
 				os.Exit(1)
 			}
 		}
+	}
+	if *timing {
+		fmt.Fprintln(os.Stderr, r.Timing())
 	}
 }
 

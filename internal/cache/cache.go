@@ -150,6 +150,20 @@ func (c *Cache) Contains(addr uint64) bool {
 	return false
 }
 
+// Clone returns a deep copy of the cache: contents, LRU state and
+// counters of the copy evolve independently of the original afterwards.
+func (c *Cache) Clone() *Cache {
+	cp := *c
+	numSets := len(c.sets)
+	cp.sets = make([][]way, numSets)
+	backing := make([]way, numSets*c.cfg.Ways)
+	for i := range cp.sets {
+		cp.sets[i], backing = backing[:c.cfg.Ways], backing[c.cfg.Ways:]
+		copy(cp.sets[i], c.sets[i])
+	}
+	return &cp
+}
+
 // Reset invalidates all contents and zeroes the counters.
 func (c *Cache) Reset() {
 	for _, set := range c.sets {

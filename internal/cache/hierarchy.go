@@ -155,6 +155,51 @@ func (h *Hierarchy) L1TexStats() Stats {
 	return agg
 }
 
+// FrontState is a deep snapshot of the hierarchy levels touched by the
+// policy-independent front half of a frame (geometry fetch + parameter
+// buffer binning): the vertex cache, the tile cache, the shared L2 and
+// DRAM. The private L1 texture caches are deliberately absent — the
+// geometry and tiling engines never access them, so after the front half
+// they are still in their reset state and need no snapshotting.
+//
+// A FrontState is immutable once captured and may be restored into any
+// number of hierarchies concurrently.
+type FrontState struct {
+	vertex *Cache
+	tile   *Cache
+	l2     *Cache
+	dram   *dram.Model
+}
+
+// SaveFront captures a FrontState from h. The snapshot includes cache
+// contents, LRU ordering, and all counters, so a restore reproduces the
+// exact machine state — cumulative statistics included.
+func (h *Hierarchy) SaveFront() *FrontState {
+	return &FrontState{
+		vertex: h.Vertex.Clone(),
+		tile:   h.Tile.Clone(),
+		l2:     h.L2.Clone(),
+		dram:   h.DRAM.Clone(),
+	}
+}
+
+// RestoreFront deep-copies s into h's vertex, tile, L2 and DRAM levels,
+// leaving the L1 texture caches untouched. It returns an error when h was
+// built with different front-end geometry than the hierarchy s was saved
+// from, since the snapshot would then be meaningless.
+func (h *Hierarchy) RestoreFront(s *FrontState) error {
+	if h.cfg.Vertex != s.vertex.cfg || h.cfg.Tile != s.tile.cfg ||
+		h.cfg.L2 != s.l2.cfg || h.cfg.DRAM != s.dram.Config() {
+		return fmt.Errorf("cache: RestoreFront config mismatch (snapshot %v/%v/%v, hierarchy %v/%v/%v)",
+			s.vertex.cfg, s.tile.cfg, s.l2.cfg, h.cfg.Vertex, h.cfg.Tile, h.cfg.L2)
+	}
+	h.Vertex = s.vertex.Clone()
+	h.Tile = s.tile.Clone()
+	h.L2 = s.l2.Clone()
+	h.DRAM = s.dram.Clone()
+	return nil
+}
+
 // Reset clears all caches, DRAM state and counters.
 func (h *Hierarchy) Reset() {
 	for _, c := range h.L1Tex {

@@ -1,0 +1,115 @@
+package cache
+
+import (
+	"testing"
+)
+
+func testCfg(name string) Config {
+	return Config{Name: name, SizeBytes: 4 << 10, LineBytes: 64, Ways: 4, HitLatency: 1}
+}
+
+func TestCacheCloneIndependence(t *testing.T) {
+	c := New(testCfg("a"))
+	for i := 0; i < 200; i++ {
+		c.Access(uint64(i * 64))
+	}
+	cp := c.Clone()
+	if cp.Stats() != c.Stats() {
+		t.Fatalf("clone stats %+v != original %+v", cp.Stats(), c.Stats())
+	}
+	// The clone must see the same residency...
+	for i := 150; i < 200; i++ {
+		if c.Contains(uint64(i*64)) != cp.Contains(uint64(i*64)) {
+			t.Fatalf("residency diverges at line %d", i)
+		}
+	}
+	// ...and further accesses must not leak between the two.
+	before := c.Stats()
+	cp.Access(0xdead000)
+	if c.Stats() != before {
+		t.Error("access to clone mutated original stats")
+	}
+	if c.Contains(0xdead000) {
+		t.Error("fill in clone appeared in original")
+	}
+}
+
+// TestFrontSnapshotReplay is the memoization-correctness core: restoring
+// a FrontState must reproduce the exact machine state, so identical
+// access sequences applied to the original and to a restored hierarchy
+// return identical latencies and counters — including LRU order and DRAM
+// open rows.
+func TestFrontSnapshotReplay(t *testing.T) {
+	cfg := DefaultHierarchyConfig()
+	h1 := NewHierarchy(cfg)
+	// Phase A: the "geometry phase" traffic (vertex + tile only).
+	for i := 0; i < 500; i++ {
+		h1.VertexAccess(uint64(i * 48))
+		h1.TileAccess(uint64(0x8000_0000 + i*80))
+	}
+	snap := h1.SaveFront()
+
+	// Restore into a machine with a different SC count: front-end state
+	// is policy- and SC-count-independent.
+	cfg2 := cfg
+	cfg2.NumSC = 1
+	h2 := NewHierarchy(cfg2)
+	if err := h2.RestoreFront(snap); err != nil {
+		t.Fatal(err)
+	}
+
+	if h1.Vertex.Stats() != h2.Vertex.Stats() || h1.Tile.Stats() != h2.Tile.Stats() ||
+		h1.L2.Stats() != h2.L2.Stats() || h1.DRAM.Stats() != h2.DRAM.Stats() {
+		t.Fatal("restored counters differ from original")
+	}
+
+	// Phase B: identical further traffic must behave identically.
+	for i := 0; i < 500; i++ {
+		a := uint64(0x8000_0000 + (i*137)%40000)
+		if l1, l2 := h1.TileAccess(a), h2.TileAccess(a); l1 != l2 {
+			t.Fatalf("tile access %d: latency %d != %d", i, l1, l2)
+		}
+		v := uint64((i * 91) % 24000)
+		if l1, l2 := h1.VertexAccess(v), h2.VertexAccess(v); l1 != l2 {
+			t.Fatalf("vertex access %d: latency %d != %d", i, l1, l2)
+		}
+	}
+	if h1.L2.Stats() != h2.L2.Stats() || h1.DRAM.Stats() != h2.DRAM.Stats() {
+		t.Fatal("replayed counters diverge")
+	}
+}
+
+// TestFrontSnapshotImmutable checks that consumers mutating their
+// restored state never corrupt the snapshot.
+func TestFrontSnapshotImmutable(t *testing.T) {
+	cfg := DefaultHierarchyConfig()
+	h := NewHierarchy(cfg)
+	h.TileAccess(0x100)
+	snap := h.SaveFront()
+
+	a := NewHierarchy(cfg)
+	if err := a.RestoreFront(snap); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 1000; i++ {
+		a.TileAccess(uint64(i * 64))
+	}
+	b := NewHierarchy(cfg)
+	if err := b.RestoreFront(snap); err != nil {
+		t.Fatal(err)
+	}
+	if got, want := b.Tile.Stats().Accesses, uint64(1); got != want {
+		t.Fatalf("snapshot corrupted by consumer: %d tile accesses, want %d", got, want)
+	}
+}
+
+func TestRestoreFrontConfigMismatch(t *testing.T) {
+	h := NewHierarchy(DefaultHierarchyConfig())
+	snap := h.SaveFront()
+	cfg := DefaultHierarchyConfig()
+	cfg.L2.SizeBytes *= 2
+	other := NewHierarchy(cfg)
+	if err := other.RestoreFront(snap); err == nil {
+		t.Fatal("config-mismatched restore accepted")
+	}
+}

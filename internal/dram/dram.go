@@ -75,6 +75,18 @@ func (m *Model) Access(addr uint64) int64 {
 // Stats returns a copy of the counters.
 func (m *Model) Stats() Stats { return m.stats }
 
+// Config returns the model's configuration.
+func (m *Model) Config() Config { return m.cfg }
+
+// Clone returns a deep copy of the model: open-row state and counters
+// evolve independently of the original afterwards.
+func (m *Model) Clone() *Model {
+	c := *m
+	c.openRow = append([]uint64(nil), m.openRow...)
+	c.rowValid = append([]bool(nil), m.rowValid...)
+	return &c
+}
+
 // Reset closes all rows and zeroes counters.
 func (m *Model) Reset() {
 	for i := range m.rowValid {

@@ -74,8 +74,16 @@ func runFrame(scene *trace.Scene, cfg Config, hier *cache.Hierarchy) (*Metrics, 
 	geo := RunGeometry(scene, hier, cfg)
 	binning := BinPrimitives(geo.Primitives, hier, cfg)
 
-	// Phase 2: Raster Pipeline over the tile sequence.
+	return rasterFrame(cfg, hier, geo, binning, nil), nil
+}
+
+// rasterFrame simulates Phase 2 — the Raster Pipeline over the tile
+// sequence — against a hierarchy already holding the post-geometry
+// state, and assembles the frame's metrics. covers, when non-nil, is the
+// precomputed policy-independent tile coverage of a PreparedFrame.
+func rasterFrame(cfg Config, hier *cache.Hierarchy, geo GeometryResult, binning *Binning, covers []*tileCover) *Metrics {
 	ex := newExecutor(cfg, hier, geo.Primitives, binning)
+	ex.raster.cov.pre = covers
 	if cfg.Decoupled {
 		ex.runDecoupled()
 	} else {
@@ -115,7 +123,7 @@ func runFrame(scene *trace.Scene, cfg Config, hier *cache.Hierarchy) (*Metrics, 
 	m.Events = *ev
 	m.L1Tex = hier.L1TexStats()
 	m.L2 = hier.L2.Stats()
-	return m, nil
+	return m
 }
 
 // executor drives the Raster Pipeline's back end: the shader cores and

@@ -1,0 +1,144 @@
+package pipeline
+
+import (
+	"fmt"
+
+	"dtexl/internal/cache"
+	"dtexl/internal/dram"
+	"dtexl/internal/trace"
+)
+
+// FrontKey is the subset of Config that the policy-independent front
+// half of a frame — geometry fetch, binning, and raster coverage —
+// actually depends on. Two configs with equal FrontKeys can share one
+// PreparedFrame, whatever their scheduling policy, SC count, L1 texture
+// geometry, warp configuration or barrier discipline.
+type FrontKey struct {
+	Width, Height  int
+	TileSize       int
+	PreciseBinning bool
+	LateZ          bool
+	Vertex         cache.Config
+	Tile           cache.Config
+	L2             cache.Config
+	DRAM           dram.Config
+}
+
+// FrontKeyOf projects cfg onto its front-half fields.
+func FrontKeyOf(cfg Config) FrontKey {
+	return FrontKey{
+		Width:          cfg.Width,
+		Height:         cfg.Height,
+		TileSize:       cfg.TileSize,
+		PreciseBinning: cfg.PreciseBinning,
+		LateZ:          cfg.LateZ,
+		Vertex:         cfg.Hierarchy.Vertex,
+		Tile:           cfg.Hierarchy.Tile,
+		L2:             cfg.Hierarchy.L2,
+		DRAM:           cfg.Hierarchy.DRAM,
+	}
+}
+
+// PreparedFrame is the memoized front half of one frame's simulation:
+// the Geometry Pipeline's output, the Tiling Engine's Parameter Buffer,
+// a deep snapshot of the memory-hierarchy state those two phases
+// produced, and the policy-independent per-tile raster coverage. It is
+// immutable once built and safe to share across any number of
+// concurrent RunPrepared calls.
+//
+// Only the front half is captured. Everything policy-dependent — the
+// tile walk, subtile-to-SC assignment, warp execution, and the live L1
+// texture / L2 / DRAM interaction of the fragment phase — is re-simulated
+// per policy, so a prepared run is bit-identical to an unprepared one.
+type PreparedFrame struct {
+	// Geometry is the Geometry Pipeline's output (read-only).
+	Geometry GeometryResult
+	// Binning is the binned Parameter Buffer (read-only).
+	Binning *Binning
+
+	front  *cache.FrontState
+	covers []*tileCover
+	key    FrontKey
+}
+
+// Key returns the FrontKey the frame was prepared under.
+func (p *PreparedFrame) Key() FrontKey { return p.key }
+
+// PrepareFrame runs the policy-independent front half of a frame under
+// cfg and captures everything the raster phase needs. cfg.RenderTarget
+// must be nil: coverage with a live render target also resolves colors,
+// which must happen on the live path.
+func PrepareFrame(scene *trace.Scene, cfg Config) (*PreparedFrame, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if cfg.RenderTarget != nil {
+		return nil, fmt.Errorf("pipeline: PrepareFrame requires a nil RenderTarget")
+	}
+	if scene.Width != cfg.Width || scene.Height != cfg.Height {
+		return nil, fmt.Errorf("pipeline: scene is %dx%d but config is %dx%d",
+			scene.Width, scene.Height, cfg.Width, cfg.Height)
+	}
+	hier := cache.NewHierarchy(cfg.Hierarchy)
+	geo := RunGeometry(scene, hier, cfg)
+	binning := BinPrimitives(geo.Primitives, hier, cfg)
+	p := &PreparedFrame{
+		Geometry: geo,
+		Binning:  binning,
+		front:    hier.SaveFront(),
+		key:      FrontKeyOf(cfg),
+	}
+	cov := newCoverer(cfg, geo.Primitives, binning)
+	tilesX, tilesY := cfg.TilesX(), cfg.TilesY()
+	p.covers = make([]*tileCover, tilesX*tilesY)
+	for ty := 0; ty < tilesY; ty++ {
+		for tx := 0; tx < tilesX; tx++ {
+			p.covers[ty*tilesX+tx] = cov.coverTile(tx, ty)
+		}
+	}
+	return p, nil
+}
+
+// SizeBytes estimates the retained memory of the prepared frame, for
+// cache budgeting.
+func (p *PreparedFrame) SizeBytes() int64 {
+	var n int64 = 1 << 12 // struct + snapshot overhead
+	n += int64(len(p.Geometry.Primitives)) * 256
+	for _, l := range p.Binning.Lists {
+		n += int64(len(l)) * 4
+	}
+	for _, c := range p.covers {
+		if c == nil {
+			continue
+		}
+		n += int64(len(c.quads))*12 + int64(len(c.spans))*8 + int64(len(c.lines))*8 + 64
+	}
+	return n
+}
+
+// RunPrepared simulates one frame's raster phase on top of a prepared
+// front half, under a (possibly different) policy configuration. The
+// result is bit-identical to Run(scene, cfg): the restored hierarchy
+// snapshot reproduces the exact post-geometry machine state, and the
+// precomputed coverage replaces only computation that never touches the
+// hierarchy.
+//
+// cfg must agree with the preparation on every front-half field
+// (FrontKeyOf) and must not set a RenderTarget; multi-frame animations
+// must use RunFrames, whose later frames see policy-warmed caches.
+func RunPrepared(prep *PreparedFrame, cfg Config) (*Metrics, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if cfg.RenderTarget != nil {
+		return nil, fmt.Errorf("pipeline: RunPrepared requires a nil RenderTarget")
+	}
+	if k := FrontKeyOf(cfg); k != prep.key {
+		return nil, fmt.Errorf("pipeline: config front key %+v does not match preparation %+v", k, prep.key)
+	}
+	hier := cache.NewHierarchy(cfg.Hierarchy)
+	if err := hier.RestoreFront(prep.front); err != nil {
+		return nil, err
+	}
+	return rasterFrame(cfg, hier, prep.Geometry, prep.Binning, prep.covers), nil
+}

@@ -1,0 +1,96 @@
+package pipeline_test
+
+import (
+	"reflect"
+	"testing"
+
+	"dtexl/internal/core"
+	"dtexl/internal/pipeline"
+	"dtexl/internal/trace"
+)
+
+// TestRunPreparedBitIdentical verifies the memoization contract at the
+// pipeline level: a frame simulated from a shared PreparedFrame must
+// produce metrics bit-identical to the unprepared Run, for every policy
+// consuming the same preparation — including the single-SC upper bound,
+// whose back half differs but whose front half is shared.
+func TestRunPreparedBitIdentical(t *testing.T) {
+	prof, err := trace.ProfileByAlias("TRu")
+	if err != nil {
+		t.Fatal(err)
+	}
+	const w, h = 245, 96
+	scene := trace.GenerateScene(prof, w, h, 1)
+
+	pols := []core.Policy{core.Baseline(), core.BaselineDecoupled(), core.DTexL()}
+	pols = append(pols, core.Fig8Mappings()...)
+
+	var prep *pipeline.PreparedFrame
+	for _, pol := range pols {
+		cfg := pipeline.DefaultConfig()
+		cfg.Width, cfg.Height = w, h
+		pol.Apply(&cfg)
+		if prep == nil {
+			// One preparation (built under the first policy) serves all.
+			prep, err = pipeline.PrepareFrame(scene, cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+		}
+		live, err := pipeline.Run(scene, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		memo, err := pipeline.RunPrepared(prep, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(live, memo) {
+			t.Errorf("%s: prepared metrics differ from live run", pol.Name)
+		}
+	}
+
+	// Upper bound: different SC count and L1 size, same front half.
+	cfg := pipeline.DefaultConfig()
+	cfg.Width, cfg.Height = w, h
+	core.ApplyUpperBound(&cfg)
+	live, err := pipeline.Run(scene, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	memo, err := pipeline.RunPrepared(prep, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(live, memo) {
+		t.Error("upper bound: prepared metrics differ from live run")
+	}
+}
+
+// TestRunPreparedRejectsMismatch checks the guard rails: a preparation
+// must refuse configs whose front half differs.
+func TestRunPreparedRejectsMismatch(t *testing.T) {
+	prof, err := trace.ProfileByAlias("GTr")
+	if err != nil {
+		t.Fatal(err)
+	}
+	const w, h = 245, 96
+	scene := trace.GenerateScene(prof, w, h, 1)
+	cfg := pipeline.DefaultConfig()
+	cfg.Width, cfg.Height = w, h
+	prep, err := pipeline.PrepareFrame(scene, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for name, mutate := range map[string]func(*pipeline.Config){
+		"tilesize": func(c *pipeline.Config) { c.TileSize = 16 },
+		"latez":    func(c *pipeline.Config) { c.LateZ = true },
+		"l2size":   func(c *pipeline.Config) { c.Hierarchy.L2.SizeBytes *= 2 },
+	} {
+		bad := cfg
+		mutate(&bad)
+		if _, err := pipeline.RunPrepared(prep, bad); err == nil {
+			t.Errorf("%s: mismatched config accepted", name)
+		}
+	}
+}

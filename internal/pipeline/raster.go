@@ -53,65 +53,158 @@ func popcount4(m uint8) int {
 	return int(m&1 + m>>1&1 + m>>2&1 + m>>3&1)
 }
 
-// rasterizer turns binned primitives into tileWork, tile by tile, in the
-// configured traversal order. It owns the Z-Buffer (tile-sized, reset per
-// tile) and the Subtile assigner state (which depends on the tile walk).
-type rasterizer struct {
+// coverQuad is the policy-independent part of one surviving quad: its
+// quad coordinates within the tile, shader workload and sample-footprint
+// reference. It deliberately omits the shader-core assignment, which is
+// the only per-quad field that depends on the scheduling policy.
+type coverQuad struct {
+	qx, qy    int16
+	samples   int8
+	instr     int16
+	firstSpan int32
+}
+
+// tileCover is the policy-independent rasterization of one tile:
+// coverage, Early-Z survival, shader workloads and texture sample
+// footprints. None of it depends on Grouping, Assignment, TileOrder or
+// Decoupled (§III-C: the proposal never changes which fragments are
+// shaded or which texels they read, only where and when), so one
+// tileCover can be shared read-only across every policy's run.
+type tileCover struct {
+	quads []coverQuad
+	spans []span
+	lines []uint64
+	// culled counts quads fully rejected by Early-Z.
+	culled uint64
+	// fragments counts live SIMD lanes across all emitted quads.
+	fragments uint64
+	// quadsTested counts coverage/Early-Z tests (rasterizer throughput).
+	quadsTested int
+}
+
+// coverer computes tileCovers. It owns the Z-Buffer (tile-sized, reset
+// per tile) and the samplers, and never touches the memory hierarchy —
+// coverage is a pure function of (primitives, binning, tile, viewport
+// config), which is what makes it precomputable.
+type coverer struct {
 	cfg      Config
 	prims    []Primitive
 	binning  *Binning
-	hier     *cache.Hierarchy
 	zbuf     *ZBuffer
-	assigner *sched.Assigner
 	samplers [3]texture.Sampler
+	// pre, when non-nil, holds precomputed covers indexed ty*TilesX+tx
+	// (from a PreparedFrame); cover() then skips recomputation.
+	pre []*tileCover
+}
+
+func newCoverer(cfg Config, prims []Primitive, b *Binning) *coverer {
+	c := &coverer{
+		cfg:     cfg,
+		prims:   prims,
+		binning: b,
+		zbuf:    NewZBuffer(cfg.TileSize),
+	}
+	c.samplers[texture.Bilinear] = texture.Sampler{Filter: texture.Bilinear}
+	c.samplers[texture.Trilinear] = texture.Sampler{Filter: texture.Trilinear}
+	c.samplers[texture.Aniso2x] = texture.Sampler{Filter: texture.Aniso2x}
+	return c
+}
+
+// cover returns the tileCover for tile (tx, ty), from the precomputed set
+// when one is installed. Precomputed covers are only installed when
+// cfg.RenderTarget is nil (the simulation paths), since coverTile also
+// resolves colors into a live render target.
+func (c *coverer) cover(tx, ty int) *tileCover {
+	if c.pre != nil {
+		return c.pre[ty*c.cfg.TilesX()+tx]
+	}
+	return c.coverTile(tx, ty)
+}
+
+// rasterizer turns binned primitives into tileWork, tile by tile, in the
+// configured traversal order. It layers the policy-dependent work — tile
+// fetch through the memory hierarchy and subtile-to-SC assignment — on
+// top of the policy-independent coverer.
+type rasterizer struct {
+	cfg      Config
+	cov      *coverer
+	hier     *cache.Hierarchy
+	assigner *sched.Assigner
 }
 
 func newRasterizer(cfg Config, prims []Primitive, b *Binning, hier *cache.Hierarchy) *rasterizer {
-	r := &rasterizer{
+	return &rasterizer{
 		cfg:      cfg,
-		prims:    prims,
-		binning:  b,
+		cov:      newCoverer(cfg, prims, b),
 		hier:     hier,
-		zbuf:     NewZBuffer(cfg.TileSize),
 		assigner: sched.NewAssigner(cfg.Assignment, cfg.Grouping),
 	}
-	r.samplers[texture.Bilinear] = texture.Sampler{Filter: texture.Bilinear}
-	r.samplers[texture.Trilinear] = texture.Sampler{Filter: texture.Trilinear}
-	r.samplers[texture.Aniso2x] = texture.Sampler{Filter: texture.Aniso2x}
-	return r
 }
 
 // rasterizeTile produces the work unit for the tile at pt (the seq-th
 // tile of the walk). Must be called in tile-sequence order: the Subtile
-// assigner is stateful.
+// assigner is stateful. The hierarchy is touched only by the tile fetch,
+// before any coverage work, so substituting a precomputed cover leaves
+// the access stream bit-identical.
 func (r *rasterizer) rasterizeTile(seq int, pt tileorder.Point) *tileWork {
 	cfg := &r.cfg
 	tw := &tileWork{seq: seq, tx: pt.X, ty: pt.Y, perSC: make([][]int32, cfg.NumSC)}
 	perm := r.assigner.Next(pt)
-	r.zbuf.Reset()
-
-	ts := cfg.TileSize
 	qside := cfg.QuadsPerTileSide()
-	ox := pt.X * ts // tile origin in screen pixels
-	oy := pt.Y * ts
 
 	// The Tile Fetcher reads this tile's primitive list and attributes.
-	tw.rasterCycles += r.binning.FetchTileCost(pt.X, pt.Y, r.prims, r.hier)
+	tw.rasterCycles += r.cov.binning.FetchTileCost(pt.X, pt.Y, r.cov.prims, r.hier)
 
-	quadsTested := 0
-	for _, pi := range r.binning.List(pt.X, pt.Y) {
-		p := &r.prims[pi]
+	// Policy-independent coverage, then the per-policy SC assignment.
+	cov := r.cov.cover(pt.X, pt.Y)
+	tw.spans = cov.spans
+	tw.lines = cov.lines
+	tw.culled = cov.culled
+	tw.fragments = cov.fragments
+	tw.quads = make([]quadWork, len(cov.quads))
+	for i, cq := range cov.quads {
+		sc := perm[cfg.Grouping.SubtileOf(int(cq.qx), int(cq.qy), qside, qside)] % cfg.NumSC
+		tw.perSC[sc] = append(tw.perSC[sc], int32(i))
+		tw.quads[i] = quadWork{
+			sc:        int8(sc),
+			samples:   cq.samples,
+			instr:     cq.instr,
+			firstSpan: cq.firstSpan,
+		}
+	}
+	// Rasterizer throughput plus the four parallel Early-Z units (1
+	// quad/cycle each).
+	tw.rasterCycles += int64(float64(cov.quadsTested) / cfg.RasterRate)
+	tw.rasterCycles += int64(len(tw.quads) / 4)
+	return tw
+}
+
+// coverTile computes the tile's coverage from scratch: coverage + Early-Z
+// over every binned primitive, shader workloads, and texture sample
+// footprints. When cfg.RenderTarget is set it also resolves colors, which
+// is why precomputed covers are restricted to RenderTarget == nil.
+func (c *coverer) coverTile(tx, ty int) *tileCover {
+	cfg := &c.cfg
+	tw := &tileCover{}
+	c.zbuf.Reset()
+
+	ts := cfg.TileSize
+	ox := tx * ts // tile origin in screen pixels
+	oy := ty * ts
+
+	for _, pi := range c.binning.List(tx, ty) {
+		p := &c.prims[pi]
 		// Quad range of the primitive's bbox clipped to this tile and to
 		// the physical screen (edge tiles may extend past it).
 		qx0, qy0, qx1, qy1 := quadRange(p, ox, oy, ts, cfg.Width, cfg.Height)
 		if qx0 > qx1 || qy0 > qy1 {
 			continue
 		}
-		sampler := &r.samplers[p.Filter]
+		sampler := &c.samplers[p.Filter]
 		opaque := p.Alpha >= 1
 		for qy := qy0; qy <= qy1; qy++ {
 			for qx := qx0; qx <= qx1; qx++ {
-				quadsTested++
+				tw.quadsTested++
 				px := ox + qx*2 // quad's top-left pixel in screen coords
 				py := oy + qy*2
 				// Coverage + Early-Z over the quad's four pixels. A quad
@@ -134,9 +227,9 @@ func (r *rasterizer) rasterizeTile(seq int, pt tileorder.Point) *tileWork {
 						d := p.Setup.DepthAt(x, y)
 						var pass bool
 						if opaque {
-							pass = r.zbuf.TestAndSet(qx*2+dx, qy*2+dy, d)
+							pass = c.zbuf.TestAndSet(qx*2+dx, qy*2+dy, d)
 						} else {
-							pass = r.zbuf.Pass(qx*2+dx, qy*2+dy, d)
+							pass = c.zbuf.Pass(qx*2+dx, qy*2+dy, d)
 						}
 						if pass {
 							alive = true
@@ -186,10 +279,9 @@ func (r *rasterizer) rasterizeTile(seq int, pt tileorder.Point) *tileWork {
 					tw.lines = append(tw.lines, lines...)
 					tw.spans = append(tw.spans, span{off: off, n: int32(len(lines))})
 				}
-				sc := perm[cfg.Grouping.SubtileOf(qx, qy, qside, qside)] % cfg.NumSC
-				tw.perSC[sc] = append(tw.perSC[sc], int32(len(tw.quads)))
-				tw.quads = append(tw.quads, quadWork{
-					sc:        int8(sc),
+				tw.quads = append(tw.quads, coverQuad{
+					qx:        int16(qx),
+					qy:        int16(qy),
 					samples:   int8(p.Shader.Samples),
 					instr:     int16(p.Shader.Instructions),
 					firstSpan: firstSpan,
@@ -197,10 +289,6 @@ func (r *rasterizer) rasterizeTile(seq int, pt tileorder.Point) *tileWork {
 			}
 		}
 	}
-	// Rasterizer throughput plus the four parallel Early-Z units (1
-	// quad/cycle each).
-	tw.rasterCycles += int64(float64(quadsTested) / cfg.RasterRate)
-	tw.rasterCycles += int64(len(tw.quads) / 4)
 	return tw
 }
 

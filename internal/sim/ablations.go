@@ -103,11 +103,11 @@ func (r *Runner) AblWarpSlots() (*Table, error) {
 		mutate := func(cfg *pipeline.Config) { cfg.WarpSlots = slots }
 		var row []float64
 		for _, alias := range r.Opt.aliases() {
-			base, err := RunOneWith(alias, core.Baseline(), r.Opt, mutate)
+			base, err := r.RunOneWith(alias, core.Baseline(), mutate)
 			if err != nil {
 				return nil, err
 			}
-			res, err := RunOneWith(alias, core.DTexL(), r.Opt, mutate)
+			res, err := r.RunOneWith(alias, core.DTexL(), mutate)
 			if err != nil {
 				return nil, err
 			}
@@ -138,7 +138,7 @@ func (r *Runner) AblFIFODepth() (*Table, error) {
 			if err != nil {
 				return nil, err
 			}
-			res, err := RunOneWith(alias, core.DTexL(), r.Opt, mutate)
+			res, err := r.RunOneWith(alias, core.DTexL(), mutate)
 			if err != nil {
 				return nil, err
 			}
@@ -164,11 +164,11 @@ func (r *Runner) AblTileSize() (*Table, error) {
 		mutate := func(cfg *pipeline.Config) { cfg.TileSize = ts }
 		var row []float64
 		for _, alias := range r.Opt.aliases() {
-			base, err := RunOneWith(alias, core.Baseline(), r.Opt, mutate)
+			base, err := r.RunOneWith(alias, core.Baseline(), mutate)
 			if err != nil {
 				return nil, err
 			}
-			res, err := RunOneWith(alias, core.DTexL(), r.Opt, mutate)
+			res, err := r.RunOneWith(alias, core.DTexL(), mutate)
 			if err != nil {
 				return nil, err
 			}
@@ -198,11 +198,11 @@ func (r *Runner) AblLateZ() (*Table, error) {
 		}
 		var row []float64
 		for _, alias := range r.Opt.aliases() {
-			base, err := RunOneWith(alias, core.Baseline(), r.Opt, mutate)
+			base, err := r.RunOneWith(alias, core.Baseline(), mutate)
 			if err != nil {
 				return nil, err
 			}
-			res, err := RunOneWith(alias, core.DTexL(), r.Opt, mutate)
+			res, err := r.RunOneWith(alias, core.DTexL(), mutate)
 			if err != nil {
 				return nil, err
 			}
@@ -229,11 +229,11 @@ func (r *Runner) AblL1Size() (*Table, error) {
 		mutate := func(cfg *pipeline.Config) { cfg.Hierarchy.L1Tex.SizeBytes = kib << 10 }
 		var row []float64
 		for _, alias := range r.Opt.aliases() {
-			base, err := RunOneWith(alias, core.Baseline(), r.Opt, mutate)
+			base, err := r.RunOneWith(alias, core.Baseline(), mutate)
 			if err != nil {
 				return nil, err
 			}
-			res, err := RunOneWith(alias, core.DTexL(), r.Opt, mutate)
+			res, err := r.RunOneWith(alias, core.DTexL(), mutate)
 			if err != nil {
 				return nil, err
 			}
@@ -274,7 +274,7 @@ func (r *Runner) AblPrefetch() (*Table, error) {
 			if err != nil {
 				return nil, err
 			}
-			res, err := RunOneWith(alias, v.pol, r.Opt, mutate)
+			res, err := r.RunOneWith(alias, v.pol, mutate)
 			if err != nil {
 				return nil, err
 			}
@@ -302,13 +302,12 @@ func (r *Runner) BgIMR() (*Table, error) {
 		if err != nil {
 			return nil, err
 		}
-		prof, err := trace.ProfileByAlias(alias)
+		cfg := pipeline.DefaultConfig()
+		cfg.Width, cfg.Height = r.Opt.Width, r.Opt.Height
+		scene, err := r.scene(alias)
 		if err != nil {
 			return nil, err
 		}
-		cfg := pipeline.DefaultConfig()
-		cfg.Width, cfg.Height = r.Opt.Width, r.Opt.Height
-		scene := trace.GenerateScene(prof, cfg.Width, cfg.Height, r.Opt.Seed)
 		imr, err := pipeline.RunIMR(scene, cfg)
 		if err != nil {
 			return nil, err
@@ -354,7 +353,7 @@ func (r *Runner) AblNUCA() (*Table, error) {
 			if err != nil {
 				return nil, err
 			}
-			res, err := RunOneWith(alias, v.pol, r.Opt, mutate)
+			res, err := r.RunOneWith(alias, v.pol, mutate)
 			if err != nil {
 				return nil, err
 			}
@@ -387,11 +386,11 @@ func (r *Runner) AblWarpSched() (*Table, error) {
 		mutate := func(cfg *pipeline.Config) { cfg.WarpSched = pol }
 		var row []float64
 		for _, alias := range r.Opt.aliases() {
-			base, err := RunOneWith(alias, core.Baseline(), r.Opt, mutate)
+			base, err := r.RunOneWith(alias, core.Baseline(), mutate)
 			if err != nil {
 				return nil, err
 			}
-			res, err := RunOneWith(alias, core.DTexL(), r.Opt, mutate)
+			res, err := r.RunOneWith(alias, core.DTexL(), mutate)
 			if err != nil {
 				return nil, err
 			}

@@ -8,7 +8,9 @@ import (
 	"sync"
 
 	"dtexl/internal/core"
+	"dtexl/internal/pipeline"
 	"dtexl/internal/stats"
+	"dtexl/internal/trace"
 )
 
 // Table is a rendered experiment: one row per configuration/series, one
@@ -102,7 +104,21 @@ func (t *ViolinTable) Render(w io.Writer) {
 
 // Runner executes experiments with memoized simulation runs, so figures
 // sharing configurations (e.g. Figs. 11 and 12, or 17 and 18) pay for
-// each run once.
+// each run once. Memoization is layered (see DESIGN.md, "Memoization
+// correctness"):
+//
+//  1. scenes: one generated animation per (benchmark, resolution, seed,
+//     frames), shared by every policy (trace.SceneStore);
+//  2. preps: one policy-independent front half — geometry, binning,
+//     front-end cache snapshot, raster coverage — per (benchmark,
+//     pipeline.FrontKey), shared across policies, SC counts and L1
+//     sizes (pipeline.PreparedFrame);
+//  3. sims: one full simulation per effective pipeline.Config, so
+//     differently-named policies that resolve to the same machine
+//     configuration (e.g. DTexL and HLB-flp2) run once.
+//
+// All three layers are single-flight and safe for concurrent use from
+// Warm's worker pool.
 type Runner struct {
 	Opt Options
 	// Progress, if set, receives a line per completed simulation.
@@ -113,39 +129,45 @@ type Runner struct {
 	// Individual simulations are single-threaded and independent; results
 	// are deterministic regardless of completion order.
 	Parallelism int
+	// PrepBudget bounds the bytes retained by memoized frame
+	// preparations (0 = a 4 GiB default); least-recently-used
+	// preparations beyond it are dropped and recomputed on demand.
+	PrepBudget int64
 
-	mu    sync.Mutex
-	cache map[string]*RunResult
+	scenes *trace.SceneStore
+	sims   *memo[simKey, *simResult]
+
+	prepOnce sync.Once
+	preps    *prepStore
+
+	// wall-clock split, in nanoseconds (atomic).
+	generateNanos int64
+	prepareNanos  int64
+	rasterNanos   int64
 }
 
 // NewRunner returns a Runner over the given options.
 func NewRunner(opt Options) *Runner {
-	return &Runner{Opt: opt, cache: make(map[string]*RunResult)}
+	return &Runner{
+		Opt:    opt,
+		scenes: trace.NewSceneStore(),
+		sims:   newMemo[simKey, *simResult](),
+	}
 }
 
-func runKey(alias, pol string, ub bool) string {
-	return fmt.Sprintf("%s/%s/%v", alias, pol, ub)
+// prepStoreLazy returns the preparation store, building it on first use
+// so PrepBudget set after NewRunner is honored.
+func (r *Runner) prepStoreLazy() *prepStore {
+	r.prepOnce.Do(func() { r.preps = newPrepStore(r.PrepBudget) })
+	return r.preps
 }
 
 func (r *Runner) run(alias string, pol core.Policy, ub bool) (*RunResult, error) {
-	key := runKey(alias, pol.Name, ub)
-	r.mu.Lock()
-	if res, ok := r.cache[key]; ok {
-		r.mu.Unlock()
-		return res, nil
+	var mutate func(*pipeline.Config)
+	if ub {
+		mutate = func(cfg *pipeline.Config) { core.ApplyUpperBound(cfg) }
 	}
-	r.mu.Unlock()
-	res, err := RunOne(alias, pol, r.Opt, ub)
-	if err != nil {
-		return nil, err
-	}
-	r.mu.Lock()
-	r.cache[key] = res
-	r.mu.Unlock()
-	if r.Progress != nil {
-		r.Progress(fmt.Sprintf("%-4s %-18s %8.1f fps  %9d L2 accesses", alias, pol.Name, res.Metrics.FPS, res.Metrics.L2Accesses()))
-	}
-	return res, nil
+	return r.RunOneWith(alias, pol, mutate)
 }
 
 // runJob names one simulation for Warm.
@@ -160,6 +182,10 @@ type runJob struct {
 // follow assemble their tables from the cache. Experiments share many
 // configurations; Warm with the union of jobs parallelizes a whole
 // evaluation.
+//
+// On failure Warm returns the first error. The failed job leaves no memo
+// entry behind (the single-flight layer removes entries on error), so
+// completed results stay usable and a retried job re-executes.
 func (r *Runner) Warm(jobs []runJob) error {
 	workers := r.Parallelism
 	if workers <= 0 {
@@ -176,8 +202,21 @@ func (r *Runner) Warm(jobs []runJob) error {
 		}
 		return nil
 	}
+	var (
+		errMu    sync.Mutex
+		firstErr error
+	)
+	stop := make(chan struct{})
+	var stopOnce sync.Once
+	fail := func(err error) {
+		errMu.Lock()
+		if firstErr == nil {
+			firstErr = err
+		}
+		errMu.Unlock()
+		stopOnce.Do(func() { close(stop) })
+	}
 	work := make(chan runJob)
-	errs := make(chan error, workers)
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
@@ -185,26 +224,27 @@ func (r *Runner) Warm(jobs []runJob) error {
 			defer wg.Done()
 			for j := range work {
 				if _, err := r.run(j.Alias, j.Policy, j.UpperBound); err != nil {
-					select {
-					case errs <- err:
-					default:
-					}
+					fail(err)
 					return
 				}
 			}
 		}()
 	}
+	// The producer must never block on a send with no live receivers: a
+	// worker exiting on error signals stop, which aborts the feed.
+feed:
 	for _, j := range jobs {
-		work <- j
+		select {
+		case work <- j:
+		case <-stop:
+			break feed
+		}
 	}
 	close(work)
 	wg.Wait()
-	select {
-	case err := <-errs:
-		return err
-	default:
-		return nil
-	}
+	errMu.Lock()
+	defer errMu.Unlock()
+	return firstErr
 }
 
 // WarmAll pre-runs every simulation the paper's figures need, in
@@ -213,7 +253,7 @@ func (r *Runner) WarmAll() error {
 	var jobs []runJob
 	seen := map[string]bool{}
 	add := func(alias string, pol core.Policy, ub bool) {
-		key := runKey(alias, pol.Name, ub)
+		key := fmt.Sprintf("%s/%s/%v", alias, pol.Name, ub)
 		if !seen[key] {
 			seen[key] = true
 			jobs = append(jobs, runJob{alias, pol, ub})

@@ -1,0 +1,99 @@
+package sim
+
+import (
+	"reflect"
+	"testing"
+
+	"dtexl/internal/cache"
+	"dtexl/internal/core"
+	"dtexl/internal/pipeline"
+	"dtexl/internal/trace"
+)
+
+// suitePolicies is every named policy the evaluation runs: the three
+// reference points, the Fig. 6/11/12 groupings and the Fig. 8 subtile
+// mappings.
+func suitePolicies() []core.Policy {
+	pols := []core.Policy{core.Baseline(), core.BaselineDecoupled(), core.DTexL()}
+	pols = append(pols, core.GroupingPolicies()...)
+	pols = append(pols, core.Fig8Mappings()...)
+	return pols
+}
+
+// TestMemoizedRunsBitIdentical is the acceptance gate for the memo
+// layers: for every (benchmark, policy) pair — plus the Fig. 16 upper
+// bound — the Runner's memoized path must produce metrics and energy
+// bit-identical to the unmemoized package-level RunOneWith.
+func TestMemoizedRunsBitIdentical(t *testing.T) {
+	opt := ScaledOptions(8) // full benchmark suite
+	r := NewRunner(opt)
+	for _, alias := range opt.aliases() {
+		for _, pol := range suitePolicies() {
+			live, err := RunOneWith(alias, pol, opt, nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			memo, err := r.RunOneWith(alias, pol, nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !reflect.DeepEqual(live.Metrics, memo.Metrics) {
+				t.Errorf("%s/%s: memoized metrics differ from live run", alias, pol.Name)
+			}
+			if live.Energy != memo.Energy {
+				t.Errorf("%s/%s: memoized energy differs from live run", alias, pol.Name)
+			}
+		}
+		live, err := RunOne(alias, core.Baseline(), opt, true)
+		if err != nil {
+			t.Fatal(err)
+		}
+		memo, err := r.run(alias, core.Baseline(), true)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(live.Metrics, memo.Metrics) || live.Energy != memo.Energy {
+			t.Errorf("%s/upper-bound: memoized run differs from live run", alias)
+		}
+	}
+	tm := r.Timing()
+	if tm.PrepHits == 0 || tm.SceneHits == 0 {
+		t.Errorf("memo layers idle during sweep: %+v", tm)
+	}
+}
+
+// TestGeometryPolicyIndependent pins the §III-C property the whole
+// memoization scheme rests on: the geometry phase and the tiling
+// engine's binning are identical under the baseline, DTexL and every
+// Fig. 8 mapping — the scheduling policy only affects the raster phase.
+func TestGeometryPolicyIndependent(t *testing.T) {
+	opt := ScaledOptions(4)
+	for _, alias := range opt.aliases() {
+		prof, err := trace.ProfileByAlias(alias)
+		if err != nil {
+			t.Fatal(err)
+		}
+		scene := trace.GenerateScene(prof, opt.Width, opt.Height, opt.Seed)
+		var refGeo *pipeline.GeometryResult
+		var refBin *pipeline.Binning
+		var refName string
+		for _, pol := range suitePolicies() {
+			cfg := pipeline.DefaultConfig()
+			cfg.Width, cfg.Height = opt.Width, opt.Height
+			pol.Apply(&cfg)
+			hier := cache.NewHierarchy(cfg.Hierarchy)
+			geo := pipeline.RunGeometry(scene, hier, cfg)
+			bin := pipeline.BinPrimitives(geo.Primitives, hier, cfg)
+			if refGeo == nil {
+				refGeo, refBin, refName = &geo, bin, pol.Name
+				continue
+			}
+			if !reflect.DeepEqual(*refGeo, geo) {
+				t.Errorf("%s: geometry under %s differs from %s", alias, pol.Name, refName)
+			}
+			if !reflect.DeepEqual(refBin, bin) {
+				t.Errorf("%s: binning under %s differs from %s", alias, pol.Name, refName)
+			}
+		}
+	}
+}

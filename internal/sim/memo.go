@@ -1,0 +1,186 @@
+package sim
+
+import (
+	"fmt"
+	"sync"
+
+	"dtexl/internal/pipeline"
+)
+
+// memo is a concurrency-safe, single-flight memo table. The first caller
+// of do for a key computes the value while concurrent callers for the
+// same key block on the flight instead of duplicating the work. A
+// computation that returns an error (or panics) removes its entry before
+// releasing its waiters, so the table never holds a partial result that
+// a later read would treat as complete — later calls simply retry.
+type memo[K comparable, V any] struct {
+	mu      sync.Mutex
+	flights map[K]*flight[V]
+	hits    uint64
+	misses  uint64
+}
+
+// flight is one in-progress or completed computation. done is closed
+// exactly once, after val/err are final.
+type flight[V any] struct {
+	done chan struct{}
+	val  V
+	err  error
+}
+
+func newMemo[K comparable, V any]() *memo[K, V] {
+	return &memo[K, V]{flights: make(map[K]*flight[V])}
+}
+
+// do returns the memoized value for key, computing it with fn on first
+// use.
+func (m *memo[K, V]) do(key K, fn func() (V, error)) (V, error) {
+	m.mu.Lock()
+	if f, ok := m.flights[key]; ok {
+		m.hits++
+		m.mu.Unlock()
+		<-f.done
+		return f.val, f.err
+	}
+	f := &flight[V]{done: make(chan struct{})}
+	m.flights[key] = f
+	m.misses++
+	m.mu.Unlock()
+
+	completed := false
+	defer func() {
+		if !completed {
+			// fn panicked: give waiters a real error, not a zero value.
+			f.err = fmt.Errorf("sim: memoized computation panicked")
+		}
+		if f.err != nil {
+			m.mu.Lock()
+			delete(m.flights, key)
+			m.mu.Unlock()
+		}
+		close(f.done)
+	}()
+	f.val, f.err = fn()
+	completed = true
+	return f.val, f.err
+}
+
+// stats returns the hit/miss counters (hits include waits on a flight
+// that was still in progress).
+func (m *memo[K, V]) stats() (hits, misses uint64) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.hits, m.misses
+}
+
+// prepKey identifies one shareable PreparedFrame: the benchmark's frame-0
+// scene plus the front-half configuration projection. Policies, SC
+// counts, L1 texture sizes and warp parameters deliberately do not
+// appear — preparations are shared across all of them.
+type prepKey struct {
+	Alias string
+	Seed  uint64
+	Front pipeline.FrontKey
+}
+
+// defaultPrepBudget bounds the retained bytes of prepared frames. At the
+// paper's full resolution a preparation is ~100 MiB, so the default
+// holds a few dozen; past the budget the least-recently-used completed
+// preparations are dropped and recomputed on next use.
+const defaultPrepBudget = 4 << 30
+
+// prepStore memoizes PreparedFrames with single-flight dedup (same
+// error-path contract as memo) plus an LRU byte budget.
+type prepStore struct {
+	mu      sync.Mutex
+	budget  int64
+	used    int64
+	entries map[prepKey]*prepEntry
+	clock   uint64
+	hits    uint64
+	misses  uint64
+}
+
+type prepEntry struct {
+	done    chan struct{}
+	prep    *pipeline.PreparedFrame
+	err     error
+	size    int64 // 0 until completed
+	lastUse uint64
+}
+
+func newPrepStore(budget int64) *prepStore {
+	if budget == 0 {
+		budget = defaultPrepBudget
+	}
+	return &prepStore{budget: budget, entries: make(map[prepKey]*prepEntry)}
+}
+
+// do returns the memoized preparation for key, building it with fn on
+// first use and evicting least-recently-used preparations beyond the
+// byte budget.
+func (s *prepStore) do(key prepKey, fn func() (*pipeline.PreparedFrame, error)) (*pipeline.PreparedFrame, error) {
+	s.mu.Lock()
+	s.clock++
+	if e, ok := s.entries[key]; ok {
+		e.lastUse = s.clock
+		s.hits++
+		s.mu.Unlock()
+		<-e.done
+		return e.prep, e.err
+	}
+	e := &prepEntry{done: make(chan struct{}), lastUse: s.clock}
+	s.entries[key] = e
+	s.misses++
+	s.mu.Unlock()
+
+	completed := false
+	defer func() {
+		if !completed {
+			e.err = fmt.Errorf("sim: frame preparation panicked")
+		}
+		s.mu.Lock()
+		if e.err != nil {
+			delete(s.entries, key)
+		} else {
+			e.size = e.prep.SizeBytes()
+			s.used += e.size
+			s.evictLocked(key)
+		}
+		s.mu.Unlock()
+		close(e.done)
+	}()
+	e.prep, e.err = fn()
+	completed = true
+	return e.prep, e.err
+}
+
+// evictLocked drops completed entries, least recently used first, until
+// the budget is met. The entry under `keep` and in-flight entries are
+// never evicted. Callers hold s.mu.
+func (s *prepStore) evictLocked(keep prepKey) {
+	for s.used > s.budget {
+		var victim prepKey
+		var ve *prepEntry
+		for k, e := range s.entries {
+			if k == keep || e.size == 0 {
+				continue
+			}
+			if ve == nil || e.lastUse < ve.lastUse {
+				victim, ve = k, e
+			}
+		}
+		if ve == nil {
+			return
+		}
+		s.used -= ve.size
+		delete(s.entries, victim)
+	}
+}
+
+// stats returns the hit/miss counters.
+func (s *prepStore) stats() (hits, misses uint64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.hits, s.misses
+}

@@ -5,6 +5,10 @@
 package sim
 
 import (
+	"fmt"
+	"sync/atomic"
+	"time"
+
 	"dtexl/internal/core"
 	"dtexl/internal/energy"
 	"dtexl/internal/pipeline"
@@ -68,6 +72,163 @@ func RunOne(alias string, pol core.Policy, opt Options, upperBound bool) (*RunRe
 		mutate = func(cfg *pipeline.Config) { core.ApplyUpperBound(cfg) }
 	}
 	return RunOneWith(alias, pol, opt, mutate)
+}
+
+// simKey identifies one memoizable simulation: the workload (benchmark
+// alias + seed + frame count) and the *effective* machine configuration
+// after the policy and any ablation mutation are applied. Keying on the
+// resolved Config rather than the policy name means two policies that
+// configure the same machine (e.g. DTexL under its HLB-flp2 label, or an
+// ablation sweep point equal to the default) share one simulation.
+type simKey struct {
+	Alias  string
+	Seed   uint64
+	Frames int
+	Cfg    pipeline.Config
+}
+
+// simResult is the label-independent part of a RunResult.
+type simResult struct {
+	Metrics *pipeline.Metrics
+	Energy  energy.Breakdown
+}
+
+// RunOneWith simulates one benchmark under a policy with an optional
+// configuration mutation applied after the policy, memoizing the result
+// on the effective configuration. It is the Runner-level counterpart of
+// the package function RunOneWith and produces bit-identical results:
+// the scene comes from the shared scene store, and single-frame runs
+// reuse the memoized policy-independent front half (pipeline.
+// PreparedFrame) of any earlier run with the same front configuration.
+//
+// Multi-frame runs take the unmemoized path beyond scene generation:
+// frames after the first run their geometry against policy-warmed
+// caches, so their front half is not policy-independent.
+func (r *Runner) RunOneWith(alias string, pol core.Policy, mutate func(*pipeline.Config)) (*RunResult, error) {
+	prof, err := trace.ProfileByAlias(alias)
+	if err != nil {
+		return nil, err
+	}
+	cfg := pipeline.DefaultConfig()
+	cfg.Width, cfg.Height = r.Opt.Width, r.Opt.Height
+	pol.Apply(&cfg)
+	if mutate != nil {
+		mutate(&cfg)
+	}
+	frames := r.Opt.Frames
+	if frames < 1 {
+		frames = 1
+	}
+	key := simKey{Alias: alias, Seed: r.Opt.Seed, Frames: frames, Cfg: cfg}
+	res, err := r.sims.do(key, func() (*simResult, error) {
+		t0 := time.Now()
+		scenes, err := r.scenes.Animation(prof, cfg.Width, cfg.Height, r.Opt.Seed, frames)
+		atomic.AddInt64(&r.generateNanos, int64(time.Since(t0)))
+		if err != nil {
+			return nil, fmt.Errorf("sim: %s/%s: %w", alias, pol.Name, err)
+		}
+		var ms []*pipeline.Metrics
+		if frames == 1 && cfg.RenderTarget == nil {
+			pk := prepKey{Alias: alias, Seed: r.Opt.Seed, Front: pipeline.FrontKeyOf(cfg)}
+			t1 := time.Now()
+			prep, err := r.prepStoreLazy().do(pk, func() (*pipeline.PreparedFrame, error) {
+				return pipeline.PrepareFrame(scenes[0], cfg)
+			})
+			atomic.AddInt64(&r.prepareNanos, int64(time.Since(t1)))
+			if err != nil {
+				return nil, fmt.Errorf("sim: %s/%s: %w", alias, pol.Name, err)
+			}
+			t2 := time.Now()
+			m, err := pipeline.RunPrepared(prep, cfg)
+			atomic.AddInt64(&r.rasterNanos, int64(time.Since(t2)))
+			if err != nil {
+				return nil, fmt.Errorf("sim: %s/%s: %w", alias, pol.Name, err)
+			}
+			ms = []*pipeline.Metrics{m}
+		} else {
+			t2 := time.Now()
+			ms, err = pipeline.RunFrames(scenes, cfg)
+			atomic.AddInt64(&r.rasterNanos, int64(time.Since(t2)))
+			if err != nil {
+				return nil, fmt.Errorf("sim: %s/%s: %w", alias, pol.Name, err)
+			}
+		}
+		m := aggregateMetrics(ms)
+		sr := &simResult{Metrics: m, Energy: energy.DefaultModel().Estimate(m.Events)}
+		if r.Progress != nil {
+			r.Progress(fmt.Sprintf("%-4s %-18s %8.1f fps  %9d L2 accesses", alias, pol.Name, m.FPS, m.L2Accesses()))
+		}
+		return sr, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &RunResult{Bench: alias, Policy: pol, Metrics: res.Metrics, Energy: res.Energy}, nil
+}
+
+// scene returns the benchmark's frame-0 scene from the shared store
+// (generating the animation on first use), for consumers that need the
+// scene itself rather than a simulation — Table 1 and the IMR baseline.
+func (r *Runner) scene(alias string) (*trace.Scene, error) {
+	prof, err := trace.ProfileByAlias(alias)
+	if err != nil {
+		return nil, err
+	}
+	frames := r.Opt.Frames
+	if frames < 1 {
+		frames = 1
+	}
+	t0 := time.Now()
+	scenes, err := r.scenes.Animation(prof, r.Opt.Width, r.Opt.Height, r.Opt.Seed, frames)
+	atomic.AddInt64(&r.generateNanos, int64(time.Since(t0)))
+	if err != nil {
+		return nil, err
+	}
+	return scenes[0], nil
+}
+
+// Timing is the Runner's wall-clock split across the memoized phases,
+// plus the hit/miss counters of each memo layer. Durations are summed
+// over Warm's workers, so with parallelism they can exceed elapsed time.
+type Timing struct {
+	// Generate is time spent generating (or waiting on) scenes.
+	Generate time.Duration
+	// Prepare is time spent building (or waiting on) policy-independent
+	// front halves: geometry, binning, coverage.
+	Prepare time.Duration
+	// Raster is time spent in per-policy raster-phase simulation.
+	Raster time.Duration
+
+	SceneHits, SceneMisses uint64
+	PrepHits, PrepMisses   uint64
+	SimHits, SimMisses     uint64
+}
+
+// Timing snapshots the Runner's counters. Safe to call concurrently
+// with runs.
+func (r *Runner) Timing() Timing {
+	t := Timing{
+		Generate: time.Duration(atomic.LoadInt64(&r.generateNanos)),
+		Prepare:  time.Duration(atomic.LoadInt64(&r.prepareNanos)),
+		Raster:   time.Duration(atomic.LoadInt64(&r.rasterNanos)),
+	}
+	t.SceneHits, t.SceneMisses = r.scenes.Stats()
+	t.SimHits, t.SimMisses = r.sims.stats()
+	t.PrepHits, t.PrepMisses = r.prepStoreLazy().stats()
+	return t
+}
+
+// String renders the timing summary as the -timing flag prints it.
+func (t Timing) String() string {
+	return fmt.Sprintf(
+		"phase wall time: generate %v, geometry+coverage %v, raster %v\n"+
+			"memo hits/misses: scenes %d/%d, preparations %d/%d, simulations %d/%d",
+		t.Generate.Round(time.Millisecond),
+		t.Prepare.Round(time.Millisecond),
+		t.Raster.Round(time.Millisecond),
+		t.SceneHits, t.SceneMisses,
+		t.PrepHits, t.PrepMisses,
+		t.SimHits, t.SimMisses)
 }
 
 // aggregateMetrics folds per-frame metrics into one whole-animation

@@ -20,7 +20,10 @@ func (r *Runner) Table1(w io.Writer) error {
 		if p.Is2D {
 			typ = "2D"
 		}
-		scene := trace.GenerateScene(p, r.Opt.Width, r.Opt.Height, r.Opt.Seed)
+		scene, err := r.scene(p.Alias)
+		if err != nil {
+			return err
+		}
 		fmt.Fprintf(w, "%-32s %-6s %8dM %-9s %-5s %10.1f %10.1f %8d %7d\n",
 			p.Name, p.Alias, p.Installs, p.Genre, typ,
 			p.TextureFootprintMiB,

@@ -1,0 +1,84 @@
+package trace
+
+import "sync"
+
+// sceneKey identifies one generated animation: scene synthesis is a pure
+// function of these five values (GenerateFrame seeds its generator from
+// them alone), so equal keys mean bit-identical scenes.
+type sceneKey struct {
+	alias  string
+	width  int
+	height int
+	seed   uint64
+	frames int
+}
+
+// sceneFlight is one in-progress or completed generation. done is closed
+// exactly once, after scenes/err are set.
+type sceneFlight struct {
+	done   chan struct{}
+	scenes []*Scene
+	err    error
+}
+
+// SceneStore memoizes GenerateAnimation with single-flight deduplication:
+// concurrent requests for the same (profile, resolution, seed, frames)
+// key share one generation, and every caller receives the same read-only
+// scene slice. Scenes are never mutated by the pipeline, so sharing is
+// safe across goroutines.
+//
+// The zero value is not usable; use NewSceneStore.
+type SceneStore struct {
+	mu      sync.Mutex
+	flights map[sceneKey]*sceneFlight
+
+	hits   uint64
+	misses uint64
+}
+
+// NewSceneStore returns an empty store.
+func NewSceneStore() *SceneStore {
+	return &SceneStore{flights: make(map[sceneKey]*sceneFlight)}
+}
+
+// Animation returns the memoized animation for profile p at the given
+// resolution, seed and frame count, generating it on first use. Lookups
+// that land while another goroutine is generating the same key block
+// until that generation completes rather than duplicating it. A failed
+// generation is not cached: its entry is removed before its waiters are
+// released, so a later call retries.
+func (s *SceneStore) Animation(p Profile, width, height int, seed uint64, frames int) ([]*Scene, error) {
+	key := sceneKey{alias: p.Alias, width: width, height: height, seed: seed, frames: frames}
+	s.mu.Lock()
+	if f, ok := s.flights[key]; ok {
+		s.hits++
+		s.mu.Unlock()
+		<-f.done
+		return f.scenes, f.err
+	}
+	f := &sceneFlight{done: make(chan struct{})}
+	s.flights[key] = f
+	s.misses++
+	s.mu.Unlock()
+
+	defer func() {
+		if f.scenes == nil {
+			// Generation failed or panicked: drop the entry so a later
+			// call retries instead of observing a partial result.
+			s.mu.Lock()
+			delete(s.flights, key)
+			s.mu.Unlock()
+		}
+		close(f.done)
+	}()
+	f.scenes = GenerateAnimation(p, width, height, seed, frames)
+	return f.scenes, f.err
+}
+
+// Stats reports the store's hit/miss counters (hits include waits on an
+// in-flight generation).
+func (s *SceneStore) Stats() (hits, misses uint64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.hits, s.misses
+}

@@ -1,0 +1,67 @@
+package trace
+
+import (
+	"sync"
+	"testing"
+)
+
+func TestSceneStoreDedup(t *testing.T) {
+	s := NewSceneStore()
+	p, err := ProfileByAlias("TRu")
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := s.Animation(p, 245, 96, 1, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := s.Animation(p, 245, 96, 1, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a) != 2 || &a[0] != &b[0] {
+		t.Fatal("second lookup did not return the memoized slice")
+	}
+	if hits, misses := s.Stats(); hits != 1 || misses != 1 {
+		t.Fatalf("hits=%d misses=%d, want 1/1", hits, misses)
+	}
+	// A different key generates separately.
+	if _, err := s.Animation(p, 245, 96, 2, 2); err != nil {
+		t.Fatal(err)
+	}
+	if _, misses := s.Stats(); misses != 2 {
+		t.Fatal("distinct seed did not miss")
+	}
+}
+
+func TestSceneStoreConcurrent(t *testing.T) {
+	s := NewSceneStore()
+	p, err := ProfileByAlias("CCS")
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n = 16
+	out := make([]*Scene, n)
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			scenes, err := s.Animation(p, 245, 96, 1, 1)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			out[i] = scenes[0]
+		}(i)
+	}
+	wg.Wait()
+	for i := 1; i < n; i++ {
+		if out[i] != out[0] {
+			t.Fatal("concurrent callers saw different scene instances")
+		}
+	}
+	if _, misses := s.Stats(); misses != 1 {
+		t.Fatalf("generated %d times, want 1", misses)
+	}
+}
