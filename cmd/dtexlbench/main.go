@@ -10,36 +10,62 @@
 //	dtexlbench -exp fig17 -benchmarks TRu,GTr -v
 //	dtexlbench -exp abl-nuca -csv         # ablation, CSV output
 //	dtexlbench -exp fig16 -svg plots/     # also emit an SVG figure
+//	dtexlbench -exp all -checkpoint ckpt/ # crash-safe: resumes on restart
+//	dtexlbench -exp all -keep-going       # render NA cells, don't abort
+//
+// Exit codes: 0 = every cell simulated; 1 = fatal error (bad flags, or a
+// simulation failed without -keep-going); 2 = partial results (-keep-going
+// rendered at least one NA cell alongside completed ones).
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"path/filepath"
 	"strings"
+	"syscall"
 
+	"dtexl/internal/pipeline"
 	"dtexl/internal/sim"
 )
 
+// Exit-code contract (see DESIGN.md "Failure model & degradation").
+const (
+	exitOK      = 0
+	exitFatal   = 1
+	exitPartial = 2
+)
+
 func main() {
+	os.Exit(run())
+}
+
+func run() int {
 	var (
-		exp     = flag.String("exp", "all", "experiment id (fig1, fig2, fig11-fig18, tab1, tab2, abl-*, bg-imr) or 'all'")
-		scale   = flag.Int("scale", 1, "divide the Table II resolution by this factor (1 = full 1960x768)")
-		benches = flag.String("benchmarks", "", "comma-separated Table I aliases (default: full suite)")
-		seed    = flag.Uint64("seed", 1, "scene generator seed")
-		frames  = flag.Int("frames", 1, "animation frames per simulation (warm caches)")
-		verbose = flag.Bool("v", false, "print per-simulation progress")
-		csv     = flag.Bool("csv", false, "emit CSV instead of aligned text")
-		par     = flag.Int("par", 0, "concurrent simulations for -exp all (0 = GOMAXPROCS, 1 = serial)")
-		svgDir  = flag.String("svg", "", "also write each experiment as <dir>/<id>.svg")
-		timing  = flag.Bool("timing", false, "print phase wall time and memo hit counts to stderr on exit")
+		exp      = flag.String("exp", "all", "experiment id (fig1, fig2, fig11-fig18, tab1, tab2, abl-*, bg-imr) or 'all'")
+		scale    = flag.Int("scale", 1, "divide the Table II resolution by this factor (1 = full 1960x768)")
+		benches  = flag.String("benchmarks", "", "comma-separated Table I aliases (default: full suite)")
+		seed     = flag.Uint64("seed", 1, "scene generator seed")
+		frames   = flag.Int("frames", 1, "animation frames per simulation (warm caches)")
+		verbose  = flag.Bool("v", false, "print per-simulation progress")
+		csv      = flag.Bool("csv", false, "emit CSV instead of aligned text")
+		par      = flag.Int("par", 0, "concurrent simulations for -exp all (0 = GOMAXPROCS, 1 = serial)")
+		svgDir   = flag.String("svg", "", "also write each experiment as <dir>/<id>.svg")
+		timing   = flag.Bool("timing", false, "print phase wall time and memo hit counts to stderr on exit")
+		keepGo   = flag.Bool("keep-going", false, "on a failed simulation, mark its cells NA and continue (exit 2 on partial results)")
+		timeout  = flag.Duration("timeout", 0, "per-simulation wall-clock budget (0 = none), e.g. 5m")
+		ckptDir  = flag.String("checkpoint", "", "journal completed simulations under this directory and resume from it on restart")
+		chaosStr = flag.String("chaos", "", "fault injection spec bench/policy/mode (mode: panic, error, stall; testing only)")
 	)
 	flag.Parse()
 
 	if *scale < 1 {
 		fmt.Fprintln(os.Stderr, "dtexlbench: -scale must be >= 1")
-		os.Exit(1)
+		return exitFatal
 	}
 	opt := sim.ScaledOptions(*scale)
 	opt.Seed = *seed
@@ -48,10 +74,39 @@ func main() {
 		opt.Benchmarks = strings.Split(*benches, ",")
 	}
 
+	// SIGINT/SIGTERM cancel in-flight simulations; with -checkpoint the
+	// journal already holds every completed cell, so a rerun resumes.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
 	r := sim.NewRunner(opt)
 	r.CSV = *csv
+	r.Ctx = ctx
+	r.KeepGoing = *keepGo
+	r.RunTimeout = *timeout
 	if *verbose {
 		r.Progress = func(line string) { fmt.Fprintln(os.Stderr, line) }
+	}
+	if *chaosStr != "" {
+		chaos, err := sim.ParseChaos(*chaosStr)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "dtexlbench:", err)
+			return exitFatal
+		}
+		r.Chaos = chaos
+		fmt.Fprintln(os.Stderr, "dtexlbench: fault injection active:", *chaosStr)
+	}
+	if *ckptDir != "" {
+		j, err := sim.OpenJournal(*ckptDir)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "dtexlbench:", err)
+			return exitFatal
+		}
+		defer j.Close()
+		r.Journal = j
+		if n := j.Replayed(); n > 0 {
+			fmt.Fprintf(os.Stderr, "dtexlbench: resumed %d completed simulation(s) from %s\n", n, *ckptDir)
+		}
 	}
 
 	ids := []string{*exp}
@@ -61,8 +116,7 @@ func main() {
 		// renderers below then assemble tables from the cache.
 		r.Parallelism = *par
 		if err := r.WarmAll(); err != nil {
-			fmt.Fprintln(os.Stderr, "dtexlbench:", err)
-			os.Exit(1)
+			return fatal(err)
 		}
 	}
 	for i, id := range ids {
@@ -70,19 +124,43 @@ func main() {
 			fmt.Println()
 		}
 		if err := r.RunExperiment(id, os.Stdout); err != nil {
-			fmt.Fprintln(os.Stderr, "dtexlbench:", err)
-			os.Exit(1)
+			return fatal(err)
 		}
 		if *svgDir != "" && id != "tab1" && id != "tab2" {
 			if err := writeSVG(r, *svgDir, id); err != nil {
-				fmt.Fprintln(os.Stderr, "dtexlbench:", err)
-				os.Exit(1)
+				return fatal(err)
 			}
 		}
 	}
 	if *timing {
 		fmt.Fprintln(os.Stderr, r.Timing())
 	}
+
+	if fails := r.Failures(); len(fails) > 0 {
+		fmt.Fprintf(os.Stderr, "dtexlbench: %d cell(s) failed and were rendered NA:\n", len(fails))
+		for _, f := range fails {
+			fmt.Fprintf(os.Stderr, "  %s/%s: %v\n", f.Bench, f.Series, f.Err)
+		}
+		if r.CompletedRuns() > 0 {
+			return exitPartial
+		}
+		return exitFatal
+	}
+	return exitOK
+}
+
+// fatal reports a run-aborting error, expanding stall diagnostics so a
+// hung-machine report carries the executor state instead of one line.
+func fatal(err error) int {
+	fmt.Fprintln(os.Stderr, "dtexlbench:", err)
+	var se *pipeline.StallError
+	if errors.As(err, &se) {
+		fmt.Fprintln(os.Stderr, se.Dump())
+	}
+	if errors.Is(err, context.Canceled) {
+		fmt.Fprintln(os.Stderr, "dtexlbench: interrupted; rerun with the same -checkpoint dir to resume")
+	}
+	return exitFatal
 }
 
 // writeSVG renders one experiment's figure into dir/<id>.svg. Simulation

@@ -109,6 +109,14 @@ type Config struct {
 	// for visualizing barrier bubbles.
 	CollectTimeline bool
 
+	// WatchdogSteps bounds how many scheduling steps an executor may
+	// take without any SC clock advance or quad retirement before the
+	// run fails with a *StallError (livelock detection). 0 selects the
+	// conservative default (defaultWatchdogSteps); the threshold never
+	// affects the simulated timing of a healthy run, so it is excluded
+	// from the prepared-frame memo key.
+	WatchdogSteps int
+
 	// RenderTarget, when non-nil, receives the resolved frame colors.
 	// Rendering is purely observational: timing, traffic and energy are
 	// identical with or without it, and the image is identical under
@@ -165,8 +173,28 @@ func (c Config) Validate() error {
 		return fmt.Errorf("pipeline: L1FillPorts must be positive")
 	case c.ClockHz <= 0:
 		return fmt.Errorf("pipeline: ClockHz must be positive")
+	case c.WatchdogSteps < 0:
+		return fmt.Errorf("pipeline: WatchdogSteps must be non-negative")
+	// Out-of-range enum values would otherwise surface as panics deep in
+	// the run (e.g. tileorder.Sequence); reject them here instead.
+	case c.Grouping < sched.FGChecker || c.Grouping > sched.CGTri:
+		return fmt.Errorf("pipeline: unknown grouping %d", int(c.Grouping))
+	case c.Assignment < sched.ConstAssign || c.Assignment > sched.Flp3:
+		return fmt.Errorf("pipeline: unknown subtile assignment %d", int(c.Assignment))
+	case c.TileOrder < tileorder.Scanline || c.TileOrder > tileorder.HilbertRect:
+		return fmt.Errorf("pipeline: unknown tile order %d", int(c.TileOrder))
+	case c.WarpSched < WarpSchedEarliest || c.WarpSched > WarpSchedYoungest:
+		return fmt.Errorf("pipeline: unknown warp scheduling policy %d", int(c.WarpSched))
 	}
 	return nil
+}
+
+// watchdogLimit resolves the livelock threshold.
+func (c Config) watchdogLimit() int {
+	if c.WatchdogSteps > 0 {
+		return c.WatchdogSteps
+	}
+	return defaultWatchdogSteps
 }
 
 // TilesX returns the tile-grid width (partial edge tiles round up).

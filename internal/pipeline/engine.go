@@ -1,6 +1,7 @@
 package pipeline
 
 import (
+	"context"
 	"fmt"
 
 	"dtexl/internal/cache"
@@ -11,7 +12,14 @@ import (
 
 // Run simulates one frame of scene under cfg and returns its metrics.
 func Run(scene *trace.Scene, cfg Config) (*Metrics, error) {
-	ms, err := RunFrames([]*trace.Scene{scene}, cfg)
+	return RunContext(context.Background(), scene, cfg)
+}
+
+// RunContext is Run under a context: cancellation or deadline expiry
+// aborts the simulation at the next watchdog poll and returns ctx's
+// error.
+func RunContext(ctx context.Context, scene *trace.Scene, cfg Config) (*Metrics, error) {
+	ms, err := RunFramesContext(ctx, []*trace.Scene{scene}, cfg)
 	if err != nil {
 		return nil, err
 	}
@@ -24,6 +32,12 @@ func Run(scene *trace.Scene, cfg Config) (*Metrics, error) {
 // consecutive frames re-reference. Returns one Metrics per frame, with
 // per-frame (not cumulative) traffic counts.
 func RunFrames(scenes []*trace.Scene, cfg Config) ([]*Metrics, error) {
+	return RunFramesContext(context.Background(), scenes, cfg)
+}
+
+// RunFramesContext is RunFrames under a context, checked between frames
+// and inside the executors' watchdog polls.
+func RunFramesContext(ctx context.Context, scenes []*trace.Scene, cfg Config) ([]*Metrics, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
@@ -35,7 +49,10 @@ func RunFrames(scenes []*trace.Scene, cfg Config) ([]*Metrics, error) {
 	var prevL1, prevL2 cache.Stats
 	var prevDRAM uint64
 	for i, scene := range scenes {
-		m, err := runFrame(scene, cfg, hier)
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		m, err := runFrame(ctx, scene, cfg, hier)
 		if err != nil {
 			return nil, fmt.Errorf("pipeline: frame %d: %w", i, err)
 		}
@@ -64,7 +81,7 @@ func statsDelta(cur, prev cache.Stats) cache.Stats {
 // runFrame simulates one frame against an existing hierarchy. Cache
 // counters in the result are cumulative over the hierarchy's lifetime;
 // RunFrames converts them to per-frame deltas.
-func runFrame(scene *trace.Scene, cfg Config, hier *cache.Hierarchy) (*Metrics, error) {
+func runFrame(ctx context.Context, scene *trace.Scene, cfg Config, hier *cache.Hierarchy) (*Metrics, error) {
 	if scene.Width != cfg.Width || scene.Height != cfg.Height {
 		return nil, fmt.Errorf("pipeline: scene is %dx%d but config is %dx%d",
 			scene.Width, scene.Height, cfg.Width, cfg.Height)
@@ -74,20 +91,27 @@ func runFrame(scene *trace.Scene, cfg Config, hier *cache.Hierarchy) (*Metrics, 
 	geo := RunGeometry(scene, hier, cfg)
 	binning := BinPrimitives(geo.Primitives, hier, cfg)
 
-	return rasterFrame(cfg, hier, geo, binning, nil), nil
+	return rasterFrame(ctx, cfg, hier, geo, binning, nil)
 }
 
 // rasterFrame simulates Phase 2 — the Raster Pipeline over the tile
 // sequence — against a hierarchy already holding the post-geometry
 // state, and assembles the frame's metrics. covers, when non-nil, is the
 // precomputed policy-independent tile coverage of a PreparedFrame.
-func rasterFrame(cfg Config, hier *cache.Hierarchy, geo GeometryResult, binning *Binning, covers []*tileCover) *Metrics {
+// A stalled or canceled run returns the executor's error with no
+// metrics.
+func rasterFrame(ctx context.Context, cfg Config, hier *cache.Hierarchy, geo GeometryResult, binning *Binning, covers []*tileCover) (*Metrics, error) {
 	ex := newExecutor(cfg, hier, geo.Primitives, binning)
 	ex.raster.cov.pre = covers
+	ex.wd = newWatchdog(ctx, cfg)
+	var err error
 	if cfg.Decoupled {
-		ex.runDecoupled()
+		err = ex.runDecoupled()
 	} else {
-		ex.runCoupled()
+		err = ex.runCoupled()
+	}
+	if err != nil {
+		return nil, err
 	}
 
 	m := &Metrics{
@@ -123,7 +147,7 @@ func rasterFrame(cfg Config, hier *cache.Hierarchy, geo GeometryResult, binning 
 	m.Events = *ev
 	m.L1Tex = hier.L1TexStats()
 	m.L2 = hier.L2.Stats()
-	return m
+	return m, nil
 }
 
 // executor drives the Raster Pipeline's back end: the shader cores and
@@ -141,6 +165,11 @@ type executor struct {
 	tileTimeDev []float64
 	tileQuadDev []float64
 	timeline    []TileTiming
+
+	// wd guards the drive loops; curSeq/curTX/curTY locate the in-flight
+	// tile for stall dumps.
+	wd                   watchdog
+	curSeq, curTX, curTY int
 
 	// decoupled-mode bookkeeping
 	tiles         []*tileWork
@@ -192,7 +221,7 @@ func (ex *executor) flush(tw *tileWork, bank int, lines int, at int64) int64 {
 // Coupled (baseline) execution: Fig. 4.
 // ---------------------------------------------------------------------
 
-func (ex *executor) runCoupled() {
+func (ex *executor) runCoupled() error {
 	n := len(ex.seq)
 	gates := make([]int64, n+1) // gate[i] = when tile i's fragment work may start
 	var rasterPrev int64
@@ -200,6 +229,7 @@ func (ex *executor) runCoupled() {
 	var flushPrev int64
 
 	for i, pt := range ex.seq {
+		ex.curSeq, ex.curTX, ex.curTY = i, pt.X, pt.Y
 		tw := ex.raster.rasterizeTile(i, pt)
 		ex.es.events.QuadsShaded += uint64(len(tw.quads))
 		ex.es.events.QuadsCulled += tw.culled
@@ -232,7 +262,9 @@ func (ex *executor) runCoupled() {
 			sc.setInput(tw, gate)
 			before[si] = sc.quadsRetired
 		}
-		ex.drainAll()
+		if err := ex.drainAll(); err != nil {
+			return err
+		}
 
 		// Per-tile imbalance metrics (Figs. 12, 14, 15).
 		times := make([]float64, len(ex.scs))
@@ -279,12 +311,21 @@ func (ex *executor) runCoupled() {
 			ex.frameEnd = flushPrev
 		}
 	}
+	return nil
 }
 
 // drainAll advances SCs (always the one with the smallest clock) until
-// none has pending work.
-func (ex *executor) drainAll() {
+// none has pending work. A blocked core or watchdog-detected livelock
+// returns a *StallError — formerly a process-killing panic — and a
+// canceled context returns its error.
+func (ex *executor) drainAll() error {
 	for {
+		if ex.wd.chaos {
+			if ex.wd.chaosTick() {
+				return ex.stallErr("coupled", "injected chaos stall")
+			}
+			continue
+		}
 		var best *scState
 		for _, sc := range ex.scs {
 			if !sc.pending() {
@@ -295,19 +336,45 @@ func (ex *executor) drainAll() {
 			}
 		}
 		if best == nil {
-			return
+			return nil
 		}
-		if !best.step(ex.es) {
-			panic("pipeline: coupled executor deadlocked")
+		reason, err := ex.wd.step(ex.es, best)
+		if err != nil {
+			return err
+		}
+		if reason != "" {
+			return ex.stallErr("coupled", reason)
 		}
 	}
+}
+
+// stallErr assembles the diagnostic state dump for a stalled executor.
+func (ex *executor) stallErr(mode, reason string) *StallError {
+	e := &StallError{
+		Mode:     mode,
+		Reason:   reason,
+		Cycle:    maxClock(ex.scs),
+		Steps:    ex.wd.noProgress,
+		TileSeq:  ex.curSeq,
+		TileX:    ex.curTX,
+		TileY:    ex.curTY,
+		WindowLo: ex.lo,
+		WindowHi: ex.hi,
+		SCs:      scStallStates(ex.scs),
+	}
+	if mode == "decoupled" && ex.lo < len(ex.seq) {
+		// The oldest unretired tile is the window's lo edge.
+		e.TileSeq = ex.lo
+		e.TileX, e.TileY = ex.seq[ex.lo].X, ex.seq[ex.lo].Y
+	}
+	return e
 }
 
 // ---------------------------------------------------------------------
 // Decoupled (DTexL) execution: Fig. 10.
 // ---------------------------------------------------------------------
 
-func (ex *executor) runDecoupled() {
+func (ex *executor) runDecoupled() error {
 	n := len(ex.seq)
 	ex.tiles = make([]*tileWork, n)
 	ex.rasterDone = make([]int64, n)
@@ -365,6 +432,12 @@ func (ex *executor) runDecoupled() {
 	}
 
 	for {
+		if ex.wd.chaos {
+			if ex.wd.chaosTick() {
+				return ex.stallErr("decoupled", "injected chaos stall")
+			}
+			continue
+		}
 		// Feed drained SCs.
 		anyPending := false
 		for _, sc := range ex.scs {
@@ -379,8 +452,18 @@ func (ex *executor) runDecoupled() {
 			if ex.lo >= n && ex.hi >= n {
 				break
 			}
-			if !ex.extendWindow() && ex.lo >= n {
+			if ex.extendWindow() {
+				ex.wd.noProgress = 0
+				continue
+			}
+			if ex.lo >= n {
 				break
+			}
+			// No SC has work and the window cannot grow: only retires can
+			// unwedge this, and there are none in flight — count it toward
+			// the watchdog instead of spinning forever.
+			if ex.wd.idleTick() {
+				return ex.stallErr("decoupled", "window stalled: rasterizer cannot advance")
 			}
 			continue
 		}
@@ -393,8 +476,12 @@ func (ex *executor) runDecoupled() {
 				best = sc
 			}
 		}
-		if !best.step(ex.es) {
-			panic("pipeline: decoupled executor deadlocked")
+		reason, err := ex.wd.step(ex.es, best)
+		if err != nil {
+			return err
+		}
+		if reason != "" {
+			return ex.stallErr("decoupled", reason)
 		}
 	}
 
@@ -411,6 +498,7 @@ func (ex *executor) runDecoupled() {
 	if ex.lastRasterEnd > ex.frameEnd {
 		ex.frameEnd = ex.lastRasterEnd
 	}
+	return nil
 }
 
 // extendWindow rasterizes tiles up to the FIFO bound and returns whether

@@ -1,0 +1,84 @@
+package pipeline
+
+import (
+	"testing"
+
+	"dtexl/internal/sched"
+	"dtexl/internal/tileorder"
+)
+
+// FuzzConfigValidate drives arbitrary machine configurations through
+// Validate and, for the ones it accepts, through the cheap derived
+// helpers every run depends on. The invariant under fuzz: Validate
+// itself never panics, and a config it accepts never yields a
+// nonsensical tile grid or watchdog threshold — bad configurations must
+// be rejected with an error, not discovered later as a crash mid-run.
+func FuzzConfigValidate(f *testing.F) {
+	seed := func(c Config) {
+		f.Add(c.Width, c.Height, c.TileSize, c.NumSC, c.Hierarchy.NumSC,
+			c.WarpSlots, c.RasterRate, c.FIFODepth, c.L1FillPorts,
+			c.ClockHz, c.WatchdogSteps,
+			int(c.Grouping), int(c.Assignment), int(c.TileOrder), int(c.WarpSched),
+			c.Decoupled)
+	}
+	seed(DefaultConfig())
+	small := testConfig()
+	seed(small)
+	dec := small
+	dec.Decoupled = true
+	dec.Grouping = sched.CGSquare
+	dec.TileOrder = tileorder.HilbertRect
+	dec.Assignment = sched.Flp2
+	seed(dec)
+	ub := small
+	ub.NumSC = 1
+	ub.Hierarchy.NumSC = 1
+	seed(ub)
+	bad := small
+	bad.TileSize = 12
+	bad.WatchdogSteps = -1
+	seed(bad)
+
+	f.Fuzz(func(t *testing.T, width, height, tileSize, numSC, hierNumSC,
+		warpSlots int, rasterRate float64, fifoDepth, fillPorts int,
+		clockHz float64, watchdogSteps, grouping, assignment, order, wsched int,
+		decoupled bool) {
+		cfg := DefaultConfig()
+		cfg.Width, cfg.Height = width, height
+		cfg.TileSize = tileSize
+		cfg.NumSC = numSC
+		cfg.Hierarchy.NumSC = hierNumSC
+		cfg.WarpSlots = warpSlots
+		cfg.RasterRate = rasterRate
+		cfg.FIFODepth = fifoDepth
+		cfg.L1FillPorts = fillPorts
+		cfg.ClockHz = clockHz
+		cfg.WatchdogSteps = watchdogSteps
+		cfg.Grouping = sched.Grouping(grouping)
+		cfg.Assignment = sched.Assignment(assignment)
+		cfg.TileOrder = tileorder.Kind(order)
+		cfg.WarpSched = WarpSchedPolicy(wsched)
+		cfg.Decoupled = decoupled
+
+		if err := cfg.Validate(); err != nil {
+			return // rejected: exactly what bad inputs should get
+		}
+		if cfg.TilesX() < 1 || cfg.TilesY() < 1 {
+			t.Fatalf("validated config has empty tile grid %dx%d", cfg.TilesX(), cfg.TilesY())
+		}
+		if cfg.QuadsPerTileSide() < 4 {
+			t.Fatalf("validated config has %d quads per tile side, want >= 4", cfg.QuadsPerTileSide())
+		}
+		if cfg.watchdogLimit() <= 0 {
+			t.Fatalf("validated config has non-positive watchdog limit %d", cfg.watchdogLimit())
+		}
+		// The tile walk must visit every tile exactly once; cap the grid so
+		// the fuzzer's huge-resolution inputs stay cheap.
+		if n := cfg.TilesX() * cfg.TilesY(); n <= 1<<12 {
+			seq := TileSequence(cfg)
+			if len(seq) != n {
+				t.Fatalf("tile walk visits %d tiles, grid has %d", len(seq), n)
+			}
+		}
+	})
+}

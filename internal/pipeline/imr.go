@@ -1,6 +1,7 @@
 package pipeline
 
 import (
+	"context"
 	"fmt"
 
 	"dtexl/internal/cache"
@@ -29,6 +30,13 @@ const imrBatchPrims = 64
 // quad-to-SC interleave (IMR has no tiles, so quads scatter across SCs by
 // screen position); Decoupled/TileOrder/Assignment do not apply.
 func RunIMR(scene *trace.Scene, cfg Config) (*Metrics, error) {
+	return RunIMRContext(context.Background(), scene, cfg)
+}
+
+// RunIMRContext is RunIMR under a context for cancellation and
+// deadlines; a stalled executor returns a *StallError instead of
+// panicking, like the TBR executors.
+func RunIMRContext(ctx context.Context, scene *trace.Scene, cfg Config) (*Metrics, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
@@ -54,7 +62,10 @@ func RunIMR(scene *trace.Scene, cfg Config) (*Metrics, error) {
 	for i := range im.scs {
 		im.scs[i] = &scState{id: i}
 	}
-	im.run(geo.Primitives)
+	im.wd = newWatchdog(ctx, cfg)
+	if err := im.run(geo.Primitives); err != nil {
+		return nil, err
+	}
 
 	m := &Metrics{
 		Config:         cfg,
@@ -94,13 +105,29 @@ type imrExecutor struct {
 	depth    []float64
 	frameEnd int64
 
+	wd     watchdog
+	curSeq int // in-flight primitive batch, for stall dumps
+
 	samplers [3]texture.Sampler
+}
+
+// stallErr assembles the IMR stall diagnostic (no tiles or window; the
+// batch sequence number stands in for the in-flight tile).
+func (im *imrExecutor) stallErr(reason string) *StallError {
+	return &StallError{
+		Mode:    "imr",
+		Reason:  reason,
+		Cycle:   maxClock(im.scs),
+		Steps:   im.wd.noProgress,
+		TileSeq: im.curSeq,
+		SCs:     scStallStates(im.scs),
+	}
 }
 
 // run streams primitive batches through rasterization + memory Z-test and
 // feeds the shader cores without any barrier: IMR has no tiles to wait
 // on. Batches exist only to bound simulator memory.
-func (im *imrExecutor) run(prims []Primitive) {
+func (im *imrExecutor) run(prims []Primitive) error {
 	im.samplers[texture.Bilinear] = texture.Sampler{Filter: texture.Bilinear}
 	im.samplers[texture.Trilinear] = texture.Sampler{Filter: texture.Trilinear}
 	im.samplers[texture.Aniso2x] = texture.Sampler{Filter: texture.Aniso2x}
@@ -112,6 +139,7 @@ func (im *imrExecutor) run(prims []Primitive) {
 		if end > len(prims) {
 			end = len(prims)
 		}
+		im.curSeq = seq
 		tw := im.rasterizeBatch(seq, prims[start:end])
 		seq++
 		rasterDone += tw.rasterCycles
@@ -125,6 +153,12 @@ func (im *imrExecutor) run(prims []Primitive) {
 			sc.setInput(tw, rasterDone)
 		}
 		for {
+			if im.wd.chaos {
+				if im.wd.chaosTick() {
+					return im.stallErr("injected chaos stall")
+				}
+				continue
+			}
 			var best *scState
 			for _, sc := range im.scs {
 				if !sc.pending() {
@@ -137,8 +171,12 @@ func (im *imrExecutor) run(prims []Primitive) {
 			if best == nil {
 				break
 			}
-			if !best.step(im.es) {
-				panic("pipeline: IMR executor deadlocked")
+			reason, err := im.wd.step(im.es, best)
+			if err != nil {
+				return err
+			}
+			if reason != "" {
+				return im.stallErr(reason)
 			}
 		}
 	}
@@ -150,6 +188,7 @@ func (im *imrExecutor) run(prims []Primitive) {
 	if rasterDone > im.frameEnd {
 		im.frameEnd = rasterDone
 	}
+	return nil
 }
 
 // zLineAddr returns the depth-buffer line holding pixel (x, y).

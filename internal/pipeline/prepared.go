@@ -1,6 +1,7 @@
 package pipeline
 
 import (
+	"context"
 	"fmt"
 
 	"dtexl/internal/cache"
@@ -127,6 +128,12 @@ func (p *PreparedFrame) SizeBytes() int64 {
 // (FrontKeyOf) and must not set a RenderTarget; multi-frame animations
 // must use RunFrames, whose later frames see policy-warmed caches.
 func RunPrepared(prep *PreparedFrame, cfg Config) (*Metrics, error) {
+	return RunPreparedContext(context.Background(), prep, cfg)
+}
+
+// RunPreparedContext is RunPrepared under a context for cancellation,
+// deadlines and stall diagnostics.
+func RunPreparedContext(ctx context.Context, prep *PreparedFrame, cfg Config) (*Metrics, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
@@ -140,5 +147,5 @@ func RunPrepared(prep *PreparedFrame, cfg Config) (*Metrics, error) {
 	if err := hier.RestoreFront(prep.front); err != nil {
 		return nil, err
 	}
-	return rasterFrame(cfg, hier, prep.Geometry, prep.Binning, prep.covers), nil
+	return rasterFrame(ctx, cfg, hier, prep.Geometry, prep.Binning, prep.covers)
 }

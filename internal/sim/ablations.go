@@ -1,7 +1,10 @@
 package sim
 
 import (
+	"context"
 	"fmt"
+	"math"
+	"runtime/debug"
 
 	"dtexl/internal/core"
 	"dtexl/internal/energy"
@@ -21,6 +24,12 @@ import (
 // simulates that many animation frames against warm caches and
 // aggregates the metrics.
 func RunOneWith(alias string, pol core.Policy, opt Options, mutate func(*pipeline.Config)) (*RunResult, error) {
+	return RunOneWithContext(context.Background(), alias, pol, opt, mutate)
+}
+
+// RunOneWithContext is RunOneWith under a cancelable context: canceling
+// ctx aborts the simulation at the next executor watchdog poll.
+func RunOneWithContext(ctx context.Context, alias string, pol core.Policy, opt Options, mutate func(*pipeline.Config)) (*RunResult, error) {
 	prof, err := trace.ProfileByAlias(alias)
 	if err != nil {
 		return nil, err
@@ -36,7 +45,7 @@ func RunOneWith(alias string, pol core.Policy, opt Options, mutate func(*pipelin
 		frames = 1
 	}
 	scenes := trace.GenerateAnimation(prof, cfg.Width, cfg.Height, opt.Seed, frames)
-	ms, err := pipeline.RunFrames(scenes, cfg)
+	ms, err := pipeline.RunFramesContext(ctx, scenes, cfg)
 	if err != nil {
 		return nil, fmt.Errorf("sim: %s/%s: %w", alias, pol.Name, err)
 	}
@@ -68,17 +77,19 @@ func (r *Runner) AblTileOrder() (*Table, error) {
 			// the assignment fixed so only the traversal varies.
 			pol.Assignment = sched.Flp2
 		}
-		var row []float64
-		for _, alias := range r.Opt.aliases() {
+		row, err := r.rowCells(pol.Name, func(alias string) (float64, error) {
 			base, err := r.run(alias, core.Baseline(), false)
 			if err != nil {
-				return nil, err
+				return 0, err
 			}
 			res, err := r.run(alias, pol, false)
 			if err != nil {
-				return nil, err
+				return 0, err
 			}
-			row = append(row, pctDecrease(base.Metrics.L2Accesses(), res.Metrics.L2Accesses()))
+			return pctDecrease(base.Metrics.L2Accesses(), res.Metrics.L2Accesses()), nil
+		})
+		if err != nil {
+			return nil, err
 		}
 		t.Rows = append(t.Rows, TableRow{Name: pol.Name, Values: withMean(row)})
 	}
@@ -101,19 +112,22 @@ func (r *Runner) AblWarpSlots() (*Table, error) {
 	}
 	for _, slots := range []int{2, 4, 8, 16} {
 		mutate := func(cfg *pipeline.Config) { cfg.WarpSlots = slots }
-		var row []float64
-		for _, alias := range r.Opt.aliases() {
+		name := fmt.Sprintf("%d warps", slots)
+		row, err := r.rowCells(name, func(alias string) (float64, error) {
 			base, err := r.RunOneWith(alias, core.Baseline(), mutate)
 			if err != nil {
-				return nil, err
+				return 0, err
 			}
 			res, err := r.RunOneWith(alias, core.DTexL(), mutate)
 			if err != nil {
-				return nil, err
+				return 0, err
 			}
-			row = append(row, float64(base.Metrics.Cycles)/float64(res.Metrics.Cycles))
+			return float64(base.Metrics.Cycles) / float64(res.Metrics.Cycles), nil
+		})
+		if err != nil {
+			return nil, err
 		}
-		t.Rows = append(t.Rows, TableRow{Name: fmt.Sprintf("%d warps", slots), Values: withGeoMean(row)})
+		t.Rows = append(t.Rows, TableRow{Name: name, Values: withGeoMean(row)})
 	}
 	return t, nil
 }
@@ -132,19 +146,22 @@ func (r *Runner) AblFIFODepth() (*Table, error) {
 	}
 	for _, depth := range []int{1, 2, 4, 8, 16} {
 		mutate := func(cfg *pipeline.Config) { cfg.FIFODepth = depth }
-		var row []float64
-		for _, alias := range r.Opt.aliases() {
+		name := fmt.Sprintf("depth %d", depth)
+		row, err := r.rowCells(name, func(alias string) (float64, error) {
 			base, err := r.run(alias, core.Baseline(), false)
 			if err != nil {
-				return nil, err
+				return 0, err
 			}
 			res, err := r.RunOneWith(alias, core.DTexL(), mutate)
 			if err != nil {
-				return nil, err
+				return 0, err
 			}
-			row = append(row, float64(base.Metrics.Cycles)/float64(res.Metrics.Cycles))
+			return float64(base.Metrics.Cycles) / float64(res.Metrics.Cycles), nil
+		})
+		if err != nil {
+			return nil, err
 		}
-		t.Rows = append(t.Rows, TableRow{Name: fmt.Sprintf("depth %d", depth), Values: withGeoMean(row)})
+		t.Rows = append(t.Rows, TableRow{Name: name, Values: withGeoMean(row)})
 	}
 	return t, nil
 }
@@ -162,19 +179,22 @@ func (r *Runner) AblTileSize() (*Table, error) {
 	}
 	for _, ts := range []int{16, 32, 64} {
 		mutate := func(cfg *pipeline.Config) { cfg.TileSize = ts }
-		var row []float64
-		for _, alias := range r.Opt.aliases() {
+		name := fmt.Sprintf("%dx%d tiles", ts, ts)
+		row, err := r.rowCells(name, func(alias string) (float64, error) {
 			base, err := r.RunOneWith(alias, core.Baseline(), mutate)
 			if err != nil {
-				return nil, err
+				return 0, err
 			}
 			res, err := r.RunOneWith(alias, core.DTexL(), mutate)
 			if err != nil {
-				return nil, err
+				return 0, err
 			}
-			row = append(row, float64(base.Metrics.Cycles)/float64(res.Metrics.Cycles))
+			return float64(base.Metrics.Cycles) / float64(res.Metrics.Cycles), nil
+		})
+		if err != nil {
+			return nil, err
 		}
-		t.Rows = append(t.Rows, TableRow{Name: fmt.Sprintf("%dx%d tiles", ts, ts), Values: withGeoMean(row)})
+		t.Rows = append(t.Rows, TableRow{Name: name, Values: withGeoMean(row)})
 	}
 	return t, nil
 }
@@ -196,17 +216,19 @@ func (r *Runner) AblLateZ() (*Table, error) {
 		if late {
 			name = "Late-Z"
 		}
-		var row []float64
-		for _, alias := range r.Opt.aliases() {
+		row, err := r.rowCells(name, func(alias string) (float64, error) {
 			base, err := r.RunOneWith(alias, core.Baseline(), mutate)
 			if err != nil {
-				return nil, err
+				return 0, err
 			}
 			res, err := r.RunOneWith(alias, core.DTexL(), mutate)
 			if err != nil {
-				return nil, err
+				return 0, err
 			}
-			row = append(row, float64(base.Metrics.Cycles)/float64(res.Metrics.Cycles))
+			return float64(base.Metrics.Cycles) / float64(res.Metrics.Cycles), nil
+		})
+		if err != nil {
+			return nil, err
 		}
 		t.Rows = append(t.Rows, TableRow{Name: name, Values: withGeoMean(row)})
 	}
@@ -227,19 +249,22 @@ func (r *Runner) AblL1Size() (*Table, error) {
 	}
 	for _, kib := range []int{8, 16, 32, 64} {
 		mutate := func(cfg *pipeline.Config) { cfg.Hierarchy.L1Tex.SizeBytes = kib << 10 }
-		var row []float64
-		for _, alias := range r.Opt.aliases() {
+		name := fmt.Sprintf("%dKiB L1", kib)
+		row, err := r.rowCells(name, func(alias string) (float64, error) {
 			base, err := r.RunOneWith(alias, core.Baseline(), mutate)
 			if err != nil {
-				return nil, err
+				return 0, err
 			}
 			res, err := r.RunOneWith(alias, core.DTexL(), mutate)
 			if err != nil {
-				return nil, err
+				return 0, err
 			}
-			row = append(row, pctDecrease(base.Metrics.L2Accesses(), res.Metrics.L2Accesses()))
+			return pctDecrease(base.Metrics.L2Accesses(), res.Metrics.L2Accesses()), nil
+		})
+		if err != nil {
+			return nil, err
 		}
-		t.Rows = append(t.Rows, TableRow{Name: fmt.Sprintf("%dKiB L1", kib), Values: withMean(row)})
+		t.Rows = append(t.Rows, TableRow{Name: name, Values: withMean(row)})
 	}
 	return t, nil
 }
@@ -268,17 +293,19 @@ func (r *Runner) AblPrefetch() (*Table, error) {
 	for _, v := range variants {
 		v := v
 		mutate := func(cfg *pipeline.Config) { cfg.TexturePrefetch = v.pf }
-		var row []float64
-		for _, alias := range r.Opt.aliases() {
+		row, err := r.rowCells(v.name, func(alias string) (float64, error) {
 			base, err := r.run(alias, core.Baseline(), false)
 			if err != nil {
-				return nil, err
+				return 0, err
 			}
 			res, err := r.RunOneWith(alias, v.pol, mutate)
 			if err != nil {
-				return nil, err
+				return 0, err
 			}
-			row = append(row, float64(base.Metrics.Cycles)/float64(res.Metrics.Cycles))
+			return float64(base.Metrics.Cycles) / float64(res.Metrics.Cycles), nil
+		})
+		if err != nil {
+			return nil, err
 		}
 		t.Rows = append(t.Rows, TableRow{Name: v.name, Values: withGeoMean(row)})
 	}
@@ -296,30 +323,62 @@ func (r *Runner) BgIMR() (*Table, error) {
 		Metric: "IMR / TBR ratio per benchmark",
 		Cols:   r.cols(),
 	}
+	// One IMR run feeds both rows, so the loop is bespoke: under
+	// KeepGoing a failed benchmark goes NA in both.
 	var dramRow, cycRow []float64
 	for _, alias := range r.Opt.aliases() {
-		tbr, err := r.run(alias, core.Baseline(), false)
+		alias := alias
+		dram, cyc, err := func() (float64, float64, error) {
+			tbr, err := r.run(alias, core.Baseline(), false)
+			if err != nil {
+				return 0, 0, err
+			}
+			cfg := pipeline.DefaultConfig()
+			cfg.Width, cfg.Height = r.Opt.Width, r.Opt.Height
+			scene, err := r.scene(alias)
+			if err != nil {
+				return 0, 0, err
+			}
+			imr, err := r.runIMR(scene, cfg)
+			if err != nil {
+				return 0, 0, err
+			}
+			return float64(imr.Events.DRAMAccesses) / float64(tbr.Metrics.Events.DRAMAccesses),
+				float64(imr.Cycles) / float64(tbr.Metrics.Cycles), nil
+		}()
 		if err != nil {
-			return nil, err
+			if !r.KeepGoing {
+				return nil, err
+			}
+			r.recordFailure(alias, "IMR/TBR", err)
+			dram, cyc = math.NaN(), math.NaN()
 		}
-		cfg := pipeline.DefaultConfig()
-		cfg.Width, cfg.Height = r.Opt.Width, r.Opt.Height
-		scene, err := r.scene(alias)
-		if err != nil {
-			return nil, err
-		}
-		imr, err := pipeline.RunIMR(scene, cfg)
-		if err != nil {
-			return nil, err
-		}
-		dramRow = append(dramRow, float64(imr.Events.DRAMAccesses)/float64(tbr.Metrics.Events.DRAMAccesses))
-		cycRow = append(cycRow, float64(imr.Cycles)/float64(tbr.Metrics.Cycles))
+		dramRow = append(dramRow, dram)
+		cycRow = append(cycRow, cyc)
 	}
 	t.Rows = append(t.Rows,
 		TableRow{Name: "DRAM traffic (IMR/TBR)", Values: withMean(dramRow)},
 		TableRow{Name: "cycles (IMR/TBR)", Values: withMean(cycRow)},
 	)
 	return t, nil
+}
+
+// runIMR executes the immediate-mode baseline. IMR runs live outside the
+// memo layer, so panic recovery and the Runner's context/timeout are
+// applied here rather than inherited from it.
+func (r *Runner) runIMR(scene *trace.Scene, cfg pipeline.Config) (m *pipeline.Metrics, err error) {
+	ctx := r.baseCtx()
+	if r.RunTimeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, r.RunTimeout)
+		defer cancel()
+	}
+	defer func() {
+		if rec := recover(); rec != nil {
+			m, err = nil, fmt.Errorf("sim: IMR simulation panicked: %v\n%s", rec, debug.Stack())
+		}
+	}()
+	return pipeline.RunIMRContext(ctx, scene, cfg)
 }
 
 // AblNUCA compares DTexL against the other way to kill L1 replication the
@@ -347,18 +406,30 @@ func (r *Runner) AblNUCA() (*Table, error) {
 	for _, v := range variants {
 		v := v
 		mutate := func(cfg *pipeline.Config) { cfg.Hierarchy.NUCA = v.nuca }
+		// One run feeds both rows; a failed benchmark goes NA in both.
 		var spdRow, l2Row []float64
 		for _, alias := range r.Opt.aliases() {
-			base, err := r.run(alias, core.Baseline(), false)
+			spd, l2, err := func() (float64, float64, error) {
+				base, err := r.run(alias, core.Baseline(), false)
+				if err != nil {
+					return 0, 0, err
+				}
+				res, err := r.RunOneWith(alias, v.pol, mutate)
+				if err != nil {
+					return 0, 0, err
+				}
+				return float64(base.Metrics.Cycles) / float64(res.Metrics.Cycles),
+					pctDecrease(base.Metrics.L2Accesses(), res.Metrics.L2Accesses()), nil
+			}()
 			if err != nil {
-				return nil, err
+				if !r.KeepGoing {
+					return nil, err
+				}
+				r.recordFailure(alias, v.name, err)
+				spd, l2 = math.NaN(), math.NaN()
 			}
-			res, err := r.RunOneWith(alias, v.pol, mutate)
-			if err != nil {
-				return nil, err
-			}
-			spdRow = append(spdRow, float64(base.Metrics.Cycles)/float64(res.Metrics.Cycles))
-			l2Row = append(l2Row, pctDecrease(base.Metrics.L2Accesses(), res.Metrics.L2Accesses()))
+			spdRow = append(spdRow, spd)
+			l2Row = append(l2Row, l2)
 		}
 		t.Rows = append(t.Rows,
 			TableRow{Name: "speedup: " + v.name, Values: withGeoMean(spdRow)},
@@ -384,17 +455,19 @@ func (r *Runner) AblWarpSched() (*Table, error) {
 	} {
 		pol := pol
 		mutate := func(cfg *pipeline.Config) { cfg.WarpSched = pol }
-		var row []float64
-		for _, alias := range r.Opt.aliases() {
+		row, err := r.rowCells(pol.String(), func(alias string) (float64, error) {
 			base, err := r.RunOneWith(alias, core.Baseline(), mutate)
 			if err != nil {
-				return nil, err
+				return 0, err
 			}
 			res, err := r.RunOneWith(alias, core.DTexL(), mutate)
 			if err != nil {
-				return nil, err
+				return 0, err
 			}
-			row = append(row, float64(base.Metrics.Cycles)/float64(res.Metrics.Cycles))
+			return float64(base.Metrics.Cycles) / float64(res.Metrics.Cycles), nil
+		})
+		if err != nil {
+			return nil, err
 		}
 		t.Rows = append(t.Rows, TableRow{Name: pol.String(), Values: withGeoMean(row)})
 	}

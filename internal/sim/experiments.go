@@ -1,11 +1,15 @@
 package sim
 
 import (
+	"context"
 	"fmt"
 	"io"
+	"math"
 	"runtime"
 	"strings"
 	"sync"
+	"sync/atomic"
+	"time"
 
 	"dtexl/internal/core"
 	"dtexl/internal/pipeline"
@@ -30,21 +34,38 @@ type TableRow struct {
 	Values []float64
 }
 
+// numCell formats one table value, rendering NaN — a failed cell under
+// -keep-going — as "NA" right-aligned to the same width.
+func numCell(format string, width int, v float64) string {
+	if math.IsNaN(v) {
+		return fmt.Sprintf("%*s", width, "NA")
+	}
+	return fmt.Sprintf(format, v)
+}
+
+// csvCell is numCell for CSV fields (%.6g, unpadded).
+func csvCell(v float64) string {
+	if math.IsNaN(v) {
+		return "NA"
+	}
+	return fmt.Sprintf("%.6g", v)
+}
+
 // RenderCSV writes the table as CSV: one header row of benchmark
-// columns, one record per series.
+// columns, one record per series. Failed cells render as NA.
 func (t *Table) RenderCSV(w io.Writer) {
 	fmt.Fprintf(w, "# %s: %s (%s)\n", t.ID, t.Title, t.Metric)
 	fmt.Fprintf(w, "series,%s\n", strings.Join(t.Cols, ","))
 	for _, r := range t.Rows {
 		fmt.Fprint(w, r.Name)
 		for _, v := range r.Values {
-			fmt.Fprintf(w, ",%.6g", v)
+			fmt.Fprintf(w, ",%s", csvCell(v))
 		}
 		fmt.Fprintln(w)
 	}
 }
 
-// Render pretty-prints the table.
+// Render pretty-prints the table. Failed cells render as NA.
 func (t *Table) Render(w io.Writer) {
 	fmt.Fprintf(w, "== %s: %s\n", t.ID, t.Title)
 	fmt.Fprintf(w, "   metric: %s\n", t.Metric)
@@ -56,7 +77,7 @@ func (t *Table) Render(w io.Writer) {
 	for _, r := range t.Rows {
 		fmt.Fprintf(w, "%-18s", r.Name)
 		for _, v := range r.Values {
-			fmt.Fprintf(w, "%9.3f", v)
+			fmt.Fprint(w, numCell("%9.3f", 9, v))
 		}
 		fmt.Fprintln(w)
 	}
@@ -78,18 +99,21 @@ type ViolinRow struct {
 	Summary stats.Summary
 }
 
-// RenderCSV writes the violin summaries as CSV.
+// RenderCSV writes the violin summaries as CSV. Failed rows render as
+// NA.
 func (t *ViolinTable) RenderCSV(w io.Writer) {
 	fmt.Fprintf(w, "# %s: %s (%s)\n", t.ID, t.Title, t.Metric)
 	fmt.Fprintln(w, "bench,config,min,q1,median,mean,q3,max")
 	for _, r := range t.Rows {
 		s := r.Summary
-		fmt.Fprintf(w, "%s,%s,%.6g,%.6g,%.6g,%.6g,%.6g,%.6g\n",
-			r.Bench, r.Config, s.Min, s.Q1, s.Median, s.Mean, s.Q3, s.Max)
+		fmt.Fprintf(w, "%s,%s,%s,%s,%s,%s,%s,%s\n",
+			r.Bench, r.Config,
+			csvCell(s.Min), csvCell(s.Q1), csvCell(s.Median),
+			csvCell(s.Mean), csvCell(s.Q3), csvCell(s.Max))
 	}
 }
 
-// Render pretty-prints the violin summaries.
+// Render pretty-prints the violin summaries. Failed rows render as NA.
 func (t *ViolinTable) Render(w io.Writer) {
 	fmt.Fprintf(w, "== %s: %s\n", t.ID, t.Title)
 	fmt.Fprintf(w, "   metric: %s\n", t.Metric)
@@ -97,8 +121,11 @@ func (t *ViolinTable) Render(w io.Writer) {
 		"bench", "config", "min", "q1", "median", "mean", "q3", "max")
 	for _, r := range t.Rows {
 		s := r.Summary
-		fmt.Fprintf(w, "%-6s %-12s %8.2f %8.2f %8.2f %8.2f %8.2f %8.2f\n",
-			r.Bench, r.Config, s.Min, s.Q1, s.Median, s.Mean, s.Q3, s.Max)
+		fmt.Fprintf(w, "%-6s %-12s %s %s %s %s %s %s\n",
+			r.Bench, r.Config,
+			numCell("%8.2f", 8, s.Min), numCell("%8.2f", 8, s.Q1),
+			numCell("%8.2f", 8, s.Median), numCell("%8.2f", 8, s.Mean),
+			numCell("%8.2f", 8, s.Q3), numCell("%8.2f", 8, s.Max))
 	}
 }
 
@@ -134,16 +161,118 @@ type Runner struct {
 	// preparations beyond it are dropped and recomputed on demand.
 	PrepBudget int64
 
+	// Ctx, when non-nil, is the base context of every simulation:
+	// canceling it (e.g. from a SIGINT handler) aborts in-flight runs at
+	// the next executor watchdog poll.
+	Ctx context.Context
+	// RunTimeout, when positive, bounds each simulation's wall time: a
+	// run past its deadline fails with context.DeadlineExceeded instead
+	// of hanging the suite.
+	RunTimeout time.Duration
+	// KeepGoing degrades instead of aborting: a failed simulation marks
+	// its table cells NA, the failure is recorded (Failures), and every
+	// other cell still renders. The failed configuration is cached so a
+	// cell shared by several figures fails once, not once per figure.
+	KeepGoing bool
+	// Journal, when non-nil, checkpoints every completed simulation and
+	// serves journaled results instead of recomputing them — the
+	// crash-safe resume path behind -checkpoint.
+	Journal *Journal
+	// Chaos, when non-nil, injects a fault into the matching
+	// (benchmark, policy) cell. Fault-injection testing only.
+	Chaos *ChaosConfig
+
 	scenes *trace.SceneStore
 	sims   *memo[simKey, *simResult]
 
 	prepOnce sync.Once
 	preps    *prepStore
 
+	// failure bookkeeping under KeepGoing.
+	failMu     sync.Mutex
+	failures   []CellFailure
+	failSeen   map[string]bool
+	failedSims map[simKey]error
+
+	// completedSims counts unique successful simulations (atomic),
+	// including journal replays — the "partial results" side of the exit
+	// code contract.
+	completedSims uint64
+
 	// wall-clock split, in nanoseconds (atomic).
 	generateNanos int64
 	prepareNanos  int64
 	rasterNanos   int64
+}
+
+// CellFailure records one failed (benchmark, series) cell under
+// KeepGoing.
+type CellFailure struct {
+	Bench  string
+	Series string
+	Err    error
+}
+
+// Failures returns the cells that failed under KeepGoing, in first-seen
+// order. Safe to call concurrently with runs.
+func (r *Runner) Failures() []CellFailure {
+	r.failMu.Lock()
+	defer r.failMu.Unlock()
+	out := make([]CellFailure, len(r.failures))
+	copy(out, r.failures)
+	return out
+}
+
+// CompletedRuns reports how many unique simulations completed
+// successfully (journal replays included). Together with Failures it
+// drives the CLI's 0/1/2 exit-code contract: failures with completed
+// runs is "partial results" (2), failures without is "total failure"
+// (1).
+func (r *Runner) CompletedRuns() uint64 {
+	return atomic.LoadUint64(&r.completedSims)
+}
+
+// recordFailure notes a failed cell once per (benchmark, series) pair.
+func (r *Runner) recordFailure(alias, series string, err error) {
+	r.failMu.Lock()
+	defer r.failMu.Unlock()
+	if r.failSeen == nil {
+		r.failSeen = make(map[string]bool)
+	}
+	k := alias + "/" + series
+	if r.failSeen[k] {
+		return
+	}
+	r.failSeen[k] = true
+	r.failures = append(r.failures, CellFailure{Bench: alias, Series: series, Err: err})
+}
+
+// baseCtx resolves the Runner's root context.
+func (r *Runner) baseCtx() context.Context {
+	if r.Ctx != nil {
+		return r.Ctx
+	}
+	return context.Background()
+}
+
+// rowCells assembles one table row: get runs (memoized) simulations for
+// one benchmark and returns the cell value. Under KeepGoing a failed
+// cell becomes NaN — rendered "NA" — with the failure recorded against
+// series; otherwise the first error aborts the experiment.
+func (r *Runner) rowCells(series string, get func(alias string) (float64, error)) ([]float64, error) {
+	var row []float64
+	for _, alias := range r.Opt.aliases() {
+		v, err := get(alias)
+		if err != nil {
+			if !r.KeepGoing {
+				return nil, err
+			}
+			r.recordFailure(alias, series, err)
+			v = math.NaN()
+		}
+		row = append(row, v)
+	}
+	return row, nil
 }
 
 // NewRunner returns a Runner over the given options.
@@ -185,8 +314,22 @@ type runJob struct {
 //
 // On failure Warm returns the first error. The failed job leaves no memo
 // entry behind (the single-flight layer removes entries on error), so
-// completed results stay usable and a retried job re-executes.
+// completed results stay usable and a retried job re-executes. A
+// panicking job is recovered into an error by the memo layer, so it
+// cannot kill a worker goroutine or the process.
+//
+// Under KeepGoing failed jobs are recorded (Failures) and the remaining
+// jobs still run; Warm then returns nil and the failed cells surface as
+// NA when the figures render.
 func (r *Runner) Warm(jobs []runJob) error {
+	do := func(j runJob) error {
+		_, err := r.run(j.Alias, j.Policy, j.UpperBound)
+		if err != nil && r.KeepGoing {
+			r.recordFailure(j.Alias, j.Policy.Name, err)
+			return nil
+		}
+		return err
+	}
 	workers := r.Parallelism
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
@@ -196,7 +339,7 @@ func (r *Runner) Warm(jobs []runJob) error {
 	}
 	if workers <= 1 {
 		for _, j := range jobs {
-			if _, err := r.run(j.Alias, j.Policy, j.UpperBound); err != nil {
+			if err := do(j); err != nil {
 				return err
 			}
 		}
@@ -223,7 +366,7 @@ func (r *Runner) Warm(jobs []runJob) error {
 		go func() {
 			defer wg.Done()
 			for j := range work {
-				if _, err := r.run(j.Alias, j.Policy, j.UpperBound); err != nil {
+				if err := do(j); err != nil {
 					fail(err)
 					return
 				}
@@ -273,9 +416,44 @@ func (r *Runner) WarmAll() error {
 	return r.Warm(jobs)
 }
 
-func withMean(vals []float64) []float64 { return append(vals, stats.Mean(vals)) }
+// withMean and withGeoMean append the aggregate column, skipping NA
+// cells (NaN) so one failed benchmark does not poison a row's average.
+// On clean rows they compute exactly what stats.Mean/GeoMean compute.
+func withMean(vals []float64) []float64 { return append(vals, naMean(vals)) }
 
-func withGeoMean(vals []float64) []float64 { return append(vals, stats.GeoMean(vals)) }
+func withGeoMean(vals []float64) []float64 { return append(vals, naGeoMean(vals)) }
+
+func naMean(vals []float64) float64 {
+	s, n := 0.0, 0
+	for _, v := range vals {
+		if math.IsNaN(v) {
+			continue
+		}
+		s += v
+		n++
+	}
+	if n == 0 {
+		return math.NaN()
+	}
+	return s / float64(n)
+}
+
+func naGeoMean(vals []float64) float64 {
+	s, n := 0.0, 0
+	for _, v := range vals {
+		if math.IsNaN(v) {
+			continue
+		}
+		if v > 0 {
+			s += math.Log(v)
+		}
+		n++
+	}
+	if n == 0 {
+		return math.NaN()
+	}
+	return math.Exp(s / float64(n))
+}
 
 func (r *Runner) cols() []string { return append(r.Opt.aliases(), "Avg") }
 
@@ -288,15 +466,33 @@ func (r *Runner) cols() []string { return append(r.Opt.aliases(), "Avg") }
 // texture-locality scheduler (CG-square), per benchmark. Values are
 // normalized to the load-balancing scheduler.
 func (r *Runner) Fig1() (*Table, error) {
-	lb, tl, err := r.motivationPair()
+	lbPol := core.Baseline()
+	tlPol, err := core.PolicyByName("CG-square")
 	if err != nil {
 		return nil, err
 	}
-	var lbRow, tlRow []float64
-	for i := range lb {
-		base := lb[i].Metrics.MeanTileQuadDeviation()
-		lbRow = append(lbRow, 1)
-		tlRow = append(tlRow, tl[i].Metrics.MeanTileQuadDeviation()/base)
+	lbRow, err := r.rowCells("LB (FG-xshift2)", func(alias string) (float64, error) {
+		if _, err := r.run(alias, lbPol, false); err != nil {
+			return 0, err
+		}
+		return 1, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	tlRow, err := r.rowCells("TL (CG-square)", func(alias string) (float64, error) {
+		lb, err := r.run(alias, lbPol, false)
+		if err != nil {
+			return 0, err
+		}
+		tl, err := r.run(alias, tlPol, false)
+		if err != nil {
+			return 0, err
+		}
+		return tl.Metrics.MeanTileQuadDeviation() / lb.Metrics.MeanTileQuadDeviation(), nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return &Table{
 		ID:     "fig1",
@@ -313,13 +509,23 @@ func (r *Runner) Fig1() (*Table, error) {
 // Fig2 reproduces Figure 2: L2 accesses of the texture-locality scheduler
 // normalized to the load-balancing one.
 func (r *Runner) Fig2() (*Table, error) {
-	lb, tl, err := r.motivationPair()
+	tlPol, err := core.PolicyByName("CG-square")
 	if err != nil {
 		return nil, err
 	}
-	var row []float64
-	for i := range lb {
-		row = append(row, float64(tl[i].Metrics.L2Accesses())/float64(lb[i].Metrics.L2Accesses()))
+	row, err := r.rowCells("TL (CG-square)", func(alias string) (float64, error) {
+		lb, err := r.run(alias, core.Baseline(), false)
+		if err != nil {
+			return 0, err
+		}
+		tl, err := r.run(alias, tlPol, false)
+		if err != nil {
+			return 0, err
+		}
+		return float64(tl.Metrics.L2Accesses()) / float64(lb.Metrics.L2Accesses()), nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return &Table{
 		ID:     "fig2",
@@ -328,27 +534,6 @@ func (r *Runner) Fig2() (*Table, error) {
 		Cols:   r.cols(),
 		Rows:   []TableRow{{Name: "TL (CG-square)", Values: withMean(row)}},
 	}, nil
-}
-
-func (r *Runner) motivationPair() (lb, tl []*RunResult, err error) {
-	lbPol := core.Baseline()
-	tlPol, err := core.PolicyByName("CG-square")
-	if err != nil {
-		return nil, nil, err
-	}
-	for _, alias := range r.Opt.aliases() {
-		a, err := r.run(alias, lbPol, false)
-		if err != nil {
-			return nil, nil, err
-		}
-		b, err := r.run(alias, tlPol, false)
-		if err != nil {
-			return nil, nil, err
-		}
-		lb = append(lb, a)
-		tl = append(tl, b)
-	}
-	return lb, tl, nil
 }
 
 // ---------------------------------------------------------------------
@@ -379,19 +564,21 @@ func (r *Runner) Fig12() (*Table, error) {
 
 func (r *Runner) groupingTable(id, title, metric string, f func(res, base *RunResult) float64) (*Table, error) {
 	t := &Table{ID: id, Title: title, Metric: metric, Cols: r.cols()}
-	pols := core.GroupingPolicies()
-	for _, pol := range pols {
-		var row []float64
-		for _, alias := range r.Opt.aliases() {
+	for _, pol := range core.GroupingPolicies() {
+		pol := pol
+		row, err := r.rowCells(pol.Name, func(alias string) (float64, error) {
 			base, err := r.run(alias, core.Baseline(), false)
 			if err != nil {
-				return nil, err
+				return 0, err
 			}
 			res, err := r.run(alias, pol, false)
 			if err != nil {
-				return nil, err
+				return 0, err
 			}
-			row = append(row, f(res, base))
+			return f(res, base), nil
+		})
+		if err != nil {
+			return nil, err
 		}
 		t.Rows = append(t.Rows, TableRow{Name: pol.Name, Values: withMean(row)})
 	}
@@ -417,17 +604,19 @@ func (r *Runner) Fig13() (*Table, error) {
 		if err != nil {
 			return nil, err
 		}
-		var row []float64
-		for _, alias := range r.Opt.aliases() {
+		row, err := r.rowCells(name, func(alias string) (float64, error) {
 			base, err := r.run(alias, core.Baseline(), false)
 			if err != nil {
-				return nil, err
+				return 0, err
 			}
 			res, err := r.run(alias, pol, false)
 			if err != nil {
-				return nil, err
+				return 0, err
 			}
-			row = append(row, float64(base.Metrics.Cycles)/float64(res.Metrics.Cycles))
+			return float64(base.Metrics.Cycles) / float64(res.Metrics.Cycles), nil
+		})
+		if err != nil {
+			return nil, err
 		}
 		t.Rows = append(t.Rows, TableRow{Name: name, Values: withGeoMean(row)})
 	}
@@ -467,13 +656,26 @@ func (r *Runner) violin(id, title, metric string, f func(*RunResult) []float64) 
 	}
 	for _, alias := range r.Opt.aliases() {
 		for _, pol := range []core.Policy{core.Baseline(), cg} {
-			res, err := r.run(alias, pol, false)
-			if err != nil {
-				return nil, err
-			}
 			name := pol.Name
 			if name == "baseline" {
 				name = "FG-xshift2"
+			}
+			res, err := r.run(alias, pol, false)
+			if err != nil {
+				if !r.KeepGoing {
+					return nil, err
+				}
+				// A failed violin renders as an all-NA summary row.
+				r.recordFailure(alias, name, err)
+				nan := math.NaN()
+				t.Rows = append(t.Rows, ViolinRow{
+					Bench:  alias,
+					Config: name,
+					Summary: stats.Summary{
+						Min: nan, Q1: nan, Median: nan, Mean: nan, Q3: nan, Max: nan,
+					},
+				})
+				continue
 			}
 			t.Rows = append(t.Rows, ViolinRow{
 				Bench:   alias,
@@ -499,36 +701,40 @@ func (r *Runner) Fig16() (*Table, error) {
 		Metric: "% decrease in total L2 accesses vs non-decoupled FG-xshift2",
 		Cols:   r.cols(),
 	}
-	pols := core.Fig8Mappings()
-	for _, pol := range pols {
-		var row []float64
-		for _, alias := range r.Opt.aliases() {
+	for _, pol := range core.Fig8Mappings() {
+		pol := pol
+		row, err := r.rowCells(pol.Name, func(alias string) (float64, error) {
 			base, err := r.run(alias, core.Baseline(), false)
 			if err != nil {
-				return nil, err
+				return 0, err
 			}
 			res, err := r.run(alias, pol, false)
 			if err != nil {
-				return nil, err
+				return 0, err
 			}
-			row = append(row, pctDecrease(base.Metrics.L2Accesses(), res.Metrics.L2Accesses()))
+			return pctDecrease(base.Metrics.L2Accesses(), res.Metrics.L2Accesses()), nil
+		})
+		if err != nil {
+			return nil, err
 		}
 		t.Rows = append(t.Rows, TableRow{Name: pol.Name, Values: withMean(row)})
 	}
 	// Upper bound: one SC with a 4x L1.
-	var row []float64
-	for _, alias := range r.Opt.aliases() {
+	row, err := r.rowCells("UpperBound", func(alias string) (float64, error) {
 		base, err := r.run(alias, core.Baseline(), false)
 		if err != nil {
-			return nil, err
+			return 0, err
 		}
 		ubPol := core.Baseline()
 		ubPol.Name = "upper-bound"
 		ub, err := r.run(alias, ubPol, true)
 		if err != nil {
-			return nil, err
+			return 0, err
 		}
-		row = append(row, pctDecrease(base.Metrics.L2Accesses(), ub.Metrics.L2Accesses()))
+		return pctDecrease(base.Metrics.L2Accesses(), ub.Metrics.L2Accesses()), nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	t.Rows = append(t.Rows, TableRow{Name: "UpperBound", Values: withMean(row)})
 	return t, nil
@@ -548,17 +754,20 @@ func (r *Runner) Fig17() (*Table, error) {
 		Cols:   r.cols(),
 	}
 	for _, pol := range []core.Policy{dtexlAsHLBFlp2(), core.BaselineDecoupled()} {
-		var row []float64
-		for _, alias := range r.Opt.aliases() {
+		pol := pol
+		row, err := r.rowCells(pol.Name, func(alias string) (float64, error) {
 			base, err := r.run(alias, core.Baseline(), false)
 			if err != nil {
-				return nil, err
+				return 0, err
 			}
 			res, err := r.run(alias, pol, false)
 			if err != nil {
-				return nil, err
+				return 0, err
 			}
-			row = append(row, float64(base.Metrics.Cycles)/float64(res.Metrics.Cycles))
+			return float64(base.Metrics.Cycles) / float64(res.Metrics.Cycles), nil
+		})
+		if err != nil {
+			return nil, err
 		}
 		t.Rows = append(t.Rows, TableRow{Name: pol.Name, Values: withGeoMean(row)})
 	}
@@ -575,17 +784,20 @@ func (r *Runner) Fig18() (*Table, error) {
 		Cols:   r.cols(),
 	}
 	for _, pol := range []core.Policy{dtexlAsHLBFlp2(), core.BaselineDecoupled()} {
-		var row []float64
-		for _, alias := range r.Opt.aliases() {
+		pol := pol
+		row, err := r.rowCells(pol.Name, func(alias string) (float64, error) {
 			base, err := r.run(alias, core.Baseline(), false)
 			if err != nil {
-				return nil, err
+				return 0, err
 			}
 			res, err := r.run(alias, pol, false)
 			if err != nil {
-				return nil, err
+				return 0, err
 			}
-			row = append(row, 100*(1-res.Energy.Total()/base.Energy.Total()))
+			return 100 * (1 - res.Energy.Total()/base.Energy.Total()), nil
+		})
+		if err != nil {
+			return nil, err
 		}
 		t.Rows = append(t.Rows, TableRow{Name: pol.Name, Values: withMean(row)})
 	}

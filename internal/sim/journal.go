@@ -1,0 +1,154 @@
+package sim
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+)
+
+// journalFile is the result journal's name under the checkpoint
+// directory.
+const journalFile = "journal.jsonl"
+
+// journalRecord is one completed simulation, persisted as a single JSON
+// line: the canonical simKey and the label-independent result. The key
+// is identical to the in-memory memo key — the alias, seed, frame count
+// and the *effective* machine configuration — so replay feeds exactly
+// the cells the memo would have held.
+type journalRecord struct {
+	Key    json.RawMessage `json:"key"`
+	Result *simResult      `json:"result"`
+}
+
+// Journal is a crash-safe checkpoint of completed simulations: each
+// result is appended as one fsync'd JSON line the moment it completes,
+// and on restart the valid prefix of the file is replayed into memory so
+// a killed suite resumes from its completed cells. Replayed results are
+// bit-identical to recomputed ones (Go's float64 JSON encoding
+// round-trips exactly), so a resumed run's output matches an
+// uninterrupted run byte for byte.
+//
+// The file tolerates a SIGKILL mid-write: replay stops at the first
+// line that does not parse (the torn tail) and the affected cell is
+// simply recomputed.
+type Journal struct {
+	mu       sync.Mutex
+	f        *os.File
+	results  map[string]*simResult
+	replayed int
+	hits     uint64
+}
+
+// OpenJournal opens (creating if needed) the journal under dir and
+// replays its valid prefix.
+func OpenJournal(dir string) (*Journal, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("sim: checkpoint dir: %w", err)
+	}
+	path := filepath.Join(dir, journalFile)
+	j := &Journal{results: make(map[string]*simResult)}
+
+	if rf, err := os.Open(path); err == nil {
+		sc := bufio.NewScanner(rf)
+		sc.Buffer(make([]byte, 0, 1<<20), 64<<20) // timeline-bearing results make long lines
+		for sc.Scan() {
+			line := sc.Bytes()
+			if len(line) == 0 {
+				continue
+			}
+			var rec journalRecord
+			if err := json.Unmarshal(line, &rec); err != nil || rec.Result == nil {
+				break // torn tail from a crash mid-append; recompute from here
+			}
+			j.results[string(rec.Key)] = rec.Result
+			j.replayed++
+		}
+		rf.Close()
+	} else if !os.IsNotExist(err) {
+		return nil, fmt.Errorf("sim: checkpoint journal: %w", err)
+	}
+
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("sim: checkpoint journal: %w", err)
+	}
+	j.f = f
+	return j, nil
+}
+
+// keyBytes renders the canonical identity of a simulation. Struct-field
+// order makes json.Marshal deterministic for identical keys.
+func (j *Journal) keyBytes(key simKey) ([]byte, error) {
+	return json.Marshal(key)
+}
+
+// lookup returns the journaled result for key, if one was replayed or
+// recorded.
+func (j *Journal) lookup(key simKey) (*simResult, bool) {
+	kb, err := j.keyBytes(key)
+	if err != nil {
+		return nil, false
+	}
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	res, ok := j.results[string(kb)]
+	if ok {
+		j.hits++
+	}
+	return res, ok
+}
+
+// record appends one completed result and fsyncs it, so a kill after
+// record returns can never lose the cell. Failures are returned, not
+// fatal: a missed journal entry only costs a deterministic recompute on
+// resume.
+func (j *Journal) record(key simKey, res *simResult) error {
+	kb, err := j.keyBytes(key)
+	if err != nil {
+		return fmt.Errorf("sim: journal key: %w", err)
+	}
+	line, err := json.Marshal(journalRecord{Key: kb, Result: res})
+	if err != nil {
+		return fmt.Errorf("sim: journal record: %w", err)
+	}
+	line = append(line, '\n')
+
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.results[string(kb)] != nil {
+		return nil // already journaled (e.g. replayed then re-run)
+	}
+	if _, err := j.f.Write(line); err != nil {
+		return fmt.Errorf("sim: journal append: %w", err)
+	}
+	if err := j.f.Sync(); err != nil {
+		return fmt.Errorf("sim: journal fsync: %w", err)
+	}
+	j.results[string(kb)] = res
+	return nil
+}
+
+// Replayed reports how many completed results the journal restored on
+// open.
+func (j *Journal) Replayed() int {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.replayed
+}
+
+// Hits reports how many simulations were served from the journal.
+func (j *Journal) Hits() uint64 {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.hits
+}
+
+// Close closes the journal file.
+func (j *Journal) Close() error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.f.Close()
+}

@@ -1,0 +1,219 @@
+package sim
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	"dtexl/internal/core"
+)
+
+// journalOptions returns a small two-benchmark suite for journal tests.
+func journalOptions() Options {
+	opt := ScaledOptions(8)
+	opt.Benchmarks = []string{"TRu", "CCS"}
+	return opt
+}
+
+// TestJournalRoundTrip: results recorded by one runner are replayed into
+// the next, served as journal hits, and bit-identical to a fresh
+// recompute.
+func TestJournalRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	opt := journalOptions()
+
+	j1, err := OpenJournal(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r1 := NewRunner(opt)
+	r1.Journal = j1
+	want := map[string]*RunResult{}
+	for _, alias := range opt.aliases() {
+		res, err := r1.RunOneWith(alias, core.DTexL(), nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want[alias] = res
+	}
+	if err := j1.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	j2, err := OpenJournal(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer j2.Close()
+	if got := j2.Replayed(); got != len(want) {
+		t.Fatalf("Replayed() = %d, want %d", got, len(want))
+	}
+	r2 := NewRunner(opt)
+	r2.Journal = j2
+	for _, alias := range opt.aliases() {
+		res, err := r2.RunOneWith(alias, core.DTexL(), nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(res.Metrics, want[alias].Metrics) {
+			t.Errorf("%s: journaled metrics differ from recorded run", alias)
+		}
+		if res.Energy != want[alias].Energy {
+			t.Errorf("%s: journaled energy differs from recorded run", alias)
+		}
+	}
+	if j2.Hits() != uint64(len(want)) {
+		t.Errorf("Hits() = %d, want %d (every run served from the journal)", j2.Hits(), len(want))
+	}
+	if r2.CompletedRuns() != uint64(len(want)) {
+		t.Errorf("CompletedRuns() = %d, want %d (journal hits count as completed)", r2.CompletedRuns(), len(want))
+	}
+}
+
+// TestJournalTornTail: a journal whose final line was torn by a crash
+// mid-append replays its valid prefix and recomputes the rest.
+func TestJournalTornTail(t *testing.T) {
+	dir := t.TempDir()
+	opt := journalOptions()
+
+	j1, err := OpenJournal(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r1 := NewRunner(opt)
+	r1.Journal = j1
+	for _, alias := range opt.aliases() {
+		if _, err := r1.RunOneWith(alias, core.Baseline(), nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+	j1.Close()
+
+	// Tear the tail: chop bytes off the final record, as SIGKILL between
+	// write and fsync can leave it.
+	path := filepath.Join(dir, journalFile)
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, raw[:len(raw)-10], 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	j2, err := OpenJournal(dir)
+	if err != nil {
+		t.Fatalf("torn journal failed to open: %v", err)
+	}
+	defer j2.Close()
+	if got := j2.Replayed(); got != len(opt.aliases())-1 {
+		t.Fatalf("Replayed() = %d after torn tail, want %d", got, len(opt.aliases())-1)
+	}
+	// The torn cell recomputes; the suite still completes.
+	r2 := NewRunner(opt)
+	r2.Journal = j2
+	for _, alias := range opt.aliases() {
+		if _, err := r2.RunOneWith(alias, core.Baseline(), nil); err != nil {
+			t.Fatalf("%s: resume over torn journal failed: %v", alias, err)
+		}
+	}
+}
+
+// TestJournalGarbageTail: trailing garbage (not even JSON) is treated
+// exactly like a torn tail.
+func TestJournalGarbageTail(t *testing.T) {
+	dir := t.TempDir()
+	j1, err := OpenJournal(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opt := journalOptions()
+	r1 := NewRunner(opt)
+	r1.Journal = j1
+	if _, err := r1.RunOneWith("CCS", core.Baseline(), nil); err != nil {
+		t.Fatal(err)
+	}
+	j1.Close()
+
+	path := filepath.Join(dir, journalFile)
+	f, err := os.OpenFile(path, os.O_APPEND|os.O_WRONLY, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.WriteString("{\"key\":{\"Alias\":\"tr")
+	f.Close()
+
+	j2, err := OpenJournal(dir)
+	if err != nil {
+		t.Fatalf("garbage-tailed journal failed to open: %v", err)
+	}
+	defer j2.Close()
+	if got := j2.Replayed(); got != 1 {
+		t.Fatalf("Replayed() = %d, want 1", got)
+	}
+}
+
+// TestJournalResumeByteIdentical is the tentpole's resume acceptance: an
+// interrupted suite (journal holding only part of the results) resumed
+// under a fresh runner renders output byte-identical to an uninterrupted
+// run.
+func TestJournalResumeByteIdentical(t *testing.T) {
+	opt := journalOptions()
+
+	// Reference: uninterrupted, journal-free run.
+	ref := NewRunner(opt)
+	var want bytes.Buffer
+	if err := ref.RunExperiment("fig11", &want); err != nil {
+		t.Fatal(err)
+	}
+	var wantCSV bytes.Buffer
+	ref.CSV = true
+	if err := ref.RunExperiment("fig11", &wantCSV); err != nil {
+		t.Fatal(err)
+	}
+
+	// "Crashed" run: journal a strict subset of the needed cells, then
+	// abandon the runner (simulating SIGKILL between cells).
+	dir := t.TempDir()
+	j1, err := OpenJournal(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r1 := NewRunner(opt)
+	r1.Journal = j1
+	if _, err := r1.RunOneWith("TRu", core.Baseline(), nil); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r1.RunOneWith("TRu", core.DTexL(), nil); err != nil {
+		t.Fatal(err)
+	}
+	j1.Close()
+
+	// Resumed run: replays the journaled cells, computes the rest.
+	j2, err := OpenJournal(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer j2.Close()
+	r2 := NewRunner(opt)
+	r2.Journal = j2
+	var got bytes.Buffer
+	if err := r2.RunExperiment("fig11", &got); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got.Bytes(), want.Bytes()) {
+		t.Errorf("resumed fig11 differs from uninterrupted run:\n--- want\n%s--- got\n%s", want.String(), got.String())
+	}
+	if j2.Hits() == 0 {
+		t.Error("resumed run never hit the journal")
+	}
+	var gotCSV bytes.Buffer
+	r2.CSV = true
+	if err := r2.RunExperiment("fig11", &gotCSV); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(gotCSV.Bytes(), wantCSV.Bytes()) {
+		t.Error("resumed fig11 CSV differs from uninterrupted run")
+	}
+}

@@ -2,6 +2,7 @@ package sim
 
 import (
 	"fmt"
+	"runtime/debug"
 	"sync"
 
 	"dtexl/internal/pipeline"
@@ -33,8 +34,10 @@ func newMemo[K comparable, V any]() *memo[K, V] {
 }
 
 // do returns the memoized value for key, computing it with fn on first
-// use.
-func (m *memo[K, V]) do(key K, fn func() (V, error)) (V, error) {
+// use. A panicking fn is recovered into an error: the computing caller
+// and every waiter receive it, and the panic never escapes to kill a
+// Warm worker goroutine.
+func (m *memo[K, V]) do(key K, fn func() (V, error)) (val V, err error) {
 	m.mu.Lock()
 	if f, ok := m.flights[key]; ok {
 		m.hits++
@@ -50,8 +53,9 @@ func (m *memo[K, V]) do(key K, fn func() (V, error)) (V, error) {
 	completed := false
 	defer func() {
 		if !completed {
-			// fn panicked: give waiters a real error, not a zero value.
-			f.err = fmt.Errorf("sim: memoized computation panicked")
+			f.err = fmt.Errorf("sim: memoized computation panicked: %v\n%s", recover(), debug.Stack())
+			var zero V
+			val, err = zero, f.err
 		}
 		if f.err != nil {
 			m.mu.Lock()
@@ -119,7 +123,7 @@ func newPrepStore(budget int64) *prepStore {
 // do returns the memoized preparation for key, building it with fn on
 // first use and evicting least-recently-used preparations beyond the
 // byte budget.
-func (s *prepStore) do(key prepKey, fn func() (*pipeline.PreparedFrame, error)) (*pipeline.PreparedFrame, error) {
+func (s *prepStore) do(key prepKey, fn func() (*pipeline.PreparedFrame, error)) (prep *pipeline.PreparedFrame, err error) {
 	s.mu.Lock()
 	s.clock++
 	if e, ok := s.entries[key]; ok {
@@ -137,7 +141,10 @@ func (s *prepStore) do(key prepKey, fn func() (*pipeline.PreparedFrame, error)) 
 	completed := false
 	defer func() {
 		if !completed {
-			e.err = fmt.Errorf("sim: frame preparation panicked")
+			// Recover the panic so it cannot kill a Warm worker; waiters
+			// and the computing caller all see the error.
+			e.err = fmt.Errorf("sim: frame preparation panicked: %v\n%s", recover(), debug.Stack())
+			prep, err = nil, e.err
 		}
 		s.mu.Lock()
 		if e.err != nil {

@@ -5,6 +5,7 @@
 package sim
 
 import (
+	"context"
 	"fmt"
 	"sync/atomic"
 	"time"
@@ -120,7 +121,48 @@ func (r *Runner) RunOneWith(alias string, pol core.Policy, mutate func(*pipeline
 		frames = 1
 	}
 	key := simKey{Alias: alias, Seed: r.Opt.Seed, Frames: frames, Cfg: cfg}
+	if r.KeepGoing {
+		// A configuration that already failed fails fast: cells shared by
+		// several figures go NA from the cached error instead of re-running
+		// (the single-flight memo drops failed entries, so without this
+		// cache each figure would re-execute the doomed simulation).
+		r.failMu.Lock()
+		cached := r.failedSims[key]
+		r.failMu.Unlock()
+		if cached != nil {
+			return nil, cached
+		}
+	}
 	res, err := r.sims.do(key, func() (*simResult, error) {
+		if r.Journal != nil {
+			if sr, ok := r.Journal.lookup(key); ok {
+				atomic.AddUint64(&r.completedSims, 1)
+				if r.Progress != nil {
+					r.Progress(fmt.Sprintf("%-4s %-18s resumed from checkpoint", alias, pol.Name))
+				}
+				return sr, nil
+			}
+		}
+		ctx := r.baseCtx()
+		if r.RunTimeout > 0 {
+			var cancel context.CancelFunc
+			ctx, cancel = context.WithTimeout(ctx, r.RunTimeout)
+			defer cancel()
+		}
+		if r.Chaos.matches(alias, pol.Name) {
+			switch r.Chaos.Mode {
+			case ChaosPanic:
+				// Deliberately panic inside the memoized body: the memo layer
+				// must recover it into an error without poisoning the cache.
+				panic(fmt.Sprintf("sim: injected chaos panic for %s/%s", alias, pol.Name))
+			case ChaosError:
+				return nil, fmt.Errorf("sim: injected chaos error for %s/%s", alias, pol.Name)
+			case ChaosStall:
+				// Livelock the real executor; its watchdog converts the spin
+				// into a *pipeline.StallError with a genuine state dump.
+				ctx = pipeline.WithChaosStall(ctx)
+			}
+		}
 		t0 := time.Now()
 		scenes, err := r.scenes.Animation(prof, cfg.Width, cfg.Height, r.Opt.Seed, frames)
 		atomic.AddInt64(&r.generateNanos, int64(time.Since(t0)))
@@ -139,7 +181,7 @@ func (r *Runner) RunOneWith(alias string, pol core.Policy, mutate func(*pipeline
 				return nil, fmt.Errorf("sim: %s/%s: %w", alias, pol.Name, err)
 			}
 			t2 := time.Now()
-			m, err := pipeline.RunPrepared(prep, cfg)
+			m, err := pipeline.RunPreparedContext(ctx, prep, cfg)
 			atomic.AddInt64(&r.rasterNanos, int64(time.Since(t2)))
 			if err != nil {
 				return nil, fmt.Errorf("sim: %s/%s: %w", alias, pol.Name, err)
@@ -147,7 +189,7 @@ func (r *Runner) RunOneWith(alias string, pol core.Policy, mutate func(*pipeline
 			ms = []*pipeline.Metrics{m}
 		} else {
 			t2 := time.Now()
-			ms, err = pipeline.RunFrames(scenes, cfg)
+			ms, err = pipeline.RunFramesContext(ctx, scenes, cfg)
 			atomic.AddInt64(&r.rasterNanos, int64(time.Since(t2)))
 			if err != nil {
 				return nil, fmt.Errorf("sim: %s/%s: %w", alias, pol.Name, err)
@@ -155,12 +197,30 @@ func (r *Runner) RunOneWith(alias string, pol core.Policy, mutate func(*pipeline
 		}
 		m := aggregateMetrics(ms)
 		sr := &simResult{Metrics: m, Energy: energy.DefaultModel().Estimate(m.Events)}
+		if r.Journal != nil {
+			// Best-effort: a failed append only costs a deterministic
+			// recompute on resume, so warn and continue.
+			if jerr := r.Journal.record(key, sr); jerr != nil && r.Progress != nil {
+				r.Progress(fmt.Sprintf("warning: %v", jerr))
+			}
+		}
+		atomic.AddUint64(&r.completedSims, 1)
 		if r.Progress != nil {
 			r.Progress(fmt.Sprintf("%-4s %-18s %8.1f fps  %9d L2 accesses", alias, pol.Name, m.FPS, m.L2Accesses()))
 		}
 		return sr, nil
 	})
 	if err != nil {
+		if r.KeepGoing {
+			r.failMu.Lock()
+			if r.failedSims == nil {
+				r.failedSims = make(map[simKey]error)
+			}
+			if r.failedSims[key] == nil {
+				r.failedSims[key] = err
+			}
+			r.failMu.Unlock()
+		}
 		return nil, err
 	}
 	return &RunResult{Bench: alias, Policy: pol, Metrics: res.Metrics, Energy: res.Energy}, nil

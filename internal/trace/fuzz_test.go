@@ -1,0 +1,65 @@
+package trace
+
+import (
+	"testing"
+
+	"dtexl/internal/texture"
+)
+
+// FuzzSceneGeneratorBounds drives arbitrary profile knobs through
+// Validate and, for the accepted ones, through the scene generator at a
+// tiny resolution. The invariant: every knob combination Validate
+// accepts must generate without panicking or degenerating (no draws),
+// and everything else must be rejected by Validate up front — the
+// generator's parameter domain is exactly what Validate says it is.
+func FuzzSceneGeneratorBounds(f *testing.F) {
+	for _, p := range Profiles() {
+		f.Add(p.TextureFootprintMiB, p.Overdraw, p.Clustering, p.HorizontalBias,
+			p.MeanTriArea, p.ShaderLen[0], p.ShaderLen[1],
+			p.SamplesPerQuad[0], p.SamplesPerQuad[1], int(p.Filter),
+			p.TexelDensity, p.Reuse, p.UVJitter, p.TransparentFrac, p.Is2D)
+	}
+
+	f.Fuzz(func(t *testing.T, footprint, overdraw, clustering, hbias,
+		triArea float64, shMin, shMax, spqMin, spqMax, filter int,
+		density, reuse, jitter, transparent float64, is2D bool) {
+		p := Profile{
+			Name: "fuzz", Alias: "Fzz", Is2D: is2D,
+			TextureFootprintMiB: footprint,
+			Overdraw:            overdraw,
+			Clustering:          clustering,
+			HorizontalBias:      hbias,
+			MeanTriArea:         triArea,
+			ShaderLen:           [2]int{shMin, shMax},
+			SamplesPerQuad:      [2]int{spqMin, spqMax},
+			Filter:              texture.Filter(filter),
+			TexelDensity:        density,
+			Reuse:               reuse,
+			UVJitter:            jitter,
+			TransparentFrac:     transparent,
+		}
+		if err := p.Validate(); err != nil {
+			return // out of the generator's domain, rejected up front
+		}
+		scene := GenerateScene(p, 64, 32, 1)
+		if scene == nil {
+			t.Fatal("validated profile generated a nil scene")
+		}
+		if len(scene.Draws) == 0 {
+			t.Fatal("validated profile generated a scene with no draws")
+		}
+		if len(scene.Textures) == 0 {
+			t.Fatal("validated profile generated a scene with no textures")
+		}
+		for di, d := range scene.Draws {
+			if len(d.Indices)%3 != 0 {
+				t.Fatalf("draw %d has %d indices, not a triangle list", di, len(d.Indices))
+			}
+			for _, idx := range d.Indices {
+				if idx < 0 || idx >= len(d.Vertices) {
+					t.Fatalf("draw %d has out-of-range index %d (%d vertices)", di, idx, len(d.Vertices))
+				}
+			}
+		}
+	})
+}

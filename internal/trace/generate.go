@@ -24,6 +24,12 @@ const trianglesPerDraw = 32
 // primitives with Reuse sample from.
 const atlasSlots = 8
 
+// maxGeneratedTriangles caps one frame's foreground triangle count so a
+// hostile or fuzzed profile (tiny MeanTriArea, huge Overdraw) cannot ask
+// the generator for an effectively unbounded scene. The Table I profiles
+// sit orders of magnitude below it at full resolution.
+const maxGeneratedTriangles = 1 << 20
+
 // GenerateScene synthesizes one frame for profile p at the given screen
 // size. The same (profile, size, seed) always produces the identical
 // scene. It is frame 0 of GenerateFrame's animation.
@@ -189,7 +195,14 @@ func (g *sceneGen) emitObjects() {
 	if targetArea <= 0 {
 		return
 	}
-	numTris := int(targetArea / g.p.MeanTriArea)
+	// The !(x < cap) form also catches NaN and +Inf from degenerate
+	// profile knobs (e.g. MeanTriArea ~ 0), which a plain int conversion
+	// would turn into an implementation-defined count.
+	tris := targetArea / g.p.MeanTriArea
+	if !(tris < maxGeneratedTriangles) {
+		tris = maxGeneratedTriangles
+	}
+	numTris := int(tris)
 	if numTris < 1 {
 		numTris = 1
 	}

@@ -2,6 +2,7 @@ package trace
 
 import (
 	"fmt"
+	"math"
 
 	"dtexl/internal/texture"
 )
@@ -54,6 +55,45 @@ type Profile struct {
 	// never update the Z-Buffer, adding the paper's §II-B transparency
 	// overdraw.
 	TransparentFrac float64
+}
+
+// inRange reports min <= v <= max; NaN fails every range.
+func inRange(v, min, max float64) bool { return v >= min && v <= max }
+
+// Validate reports whether the profile's knobs are inside the ranges the
+// scene generator is defined over. The bounds are deliberately generous
+// around the Table I suite but exclude the degenerate corners a fuzzer
+// finds: NaN/Inf knobs, zero triangle areas, sample counts beyond the
+// engine's per-warp fill slots (4), and shader lengths that overflow the
+// generator's int16 instruction field.
+func (p Profile) Validate() error {
+	switch {
+	case !(p.TextureFootprintMiB > 0) || p.TextureFootprintMiB > 64:
+		return fmt.Errorf("trace: TextureFootprintMiB %v outside (0, 64]", p.TextureFootprintMiB)
+	case !inRange(p.Overdraw, 1, 16):
+		return fmt.Errorf("trace: Overdraw %v outside [1, 16]", p.Overdraw)
+	case !inRange(p.Clustering, 0, 1):
+		return fmt.Errorf("trace: Clustering %v outside [0, 1]", p.Clustering)
+	case !inRange(p.HorizontalBias, 1, 8):
+		return fmt.Errorf("trace: HorizontalBias %v outside [1, 8]", p.HorizontalBias)
+	case !(p.MeanTriArea >= 1) || math.IsInf(p.MeanTriArea, 1):
+		return fmt.Errorf("trace: MeanTriArea %v must be finite and >= 1", p.MeanTriArea)
+	case p.ShaderLen[0] <= 0 || p.ShaderLen[1] < p.ShaderLen[0] || p.ShaderLen[1] > 1024:
+		return fmt.Errorf("trace: ShaderLen %v must satisfy 0 < min <= max <= 1024", p.ShaderLen)
+	case p.SamplesPerQuad[0] < 1 || p.SamplesPerQuad[1] < p.SamplesPerQuad[0] || p.SamplesPerQuad[1] > 4:
+		return fmt.Errorf("trace: SamplesPerQuad %v must satisfy 1 <= min <= max <= 4", p.SamplesPerQuad)
+	case p.Filter != texture.Bilinear && p.Filter != texture.Trilinear && p.Filter != texture.Aniso2x:
+		return fmt.Errorf("trace: unknown texture filter %v", p.Filter)
+	case !(p.TexelDensity > 0) || p.TexelDensity > 16:
+		return fmt.Errorf("trace: TexelDensity %v outside (0, 16]", p.TexelDensity)
+	case !inRange(p.Reuse, 0, 1):
+		return fmt.Errorf("trace: Reuse %v outside [0, 1]", p.Reuse)
+	case !inRange(p.UVJitter, 0, 64):
+		return fmt.Errorf("trace: UVJitter %v outside [0, 64]", p.UVJitter)
+	case !inRange(p.TransparentFrac, 0, 1):
+		return fmt.Errorf("trace: TransparentFrac %v outside [0, 1]", p.TransparentFrac)
+	}
+	return nil
 }
 
 // Profiles returns the ten-game benchmark suite of Table I in table

@@ -1,6 +1,10 @@
 package trace
 
-import "sync"
+import (
+	"fmt"
+	"runtime/debug"
+	"sync"
+)
 
 // sceneKey identifies one generated animation: scene synthesis is a pure
 // function of these five values (GenerateFrame seeds its generator from
@@ -47,7 +51,7 @@ func NewSceneStore() *SceneStore {
 // until that generation completes rather than duplicating it. A failed
 // generation is not cached: its entry is removed before its waiters are
 // released, so a later call retries.
-func (s *SceneStore) Animation(p Profile, width, height int, seed uint64, frames int) ([]*Scene, error) {
+func (s *SceneStore) Animation(p Profile, width, height int, seed uint64, frames int) (scenes []*Scene, err error) {
 	key := sceneKey{alias: p.Alias, width: width, height: height, seed: seed, frames: frames}
 	s.mu.Lock()
 	if f, ok := s.flights[key]; ok {
@@ -62,6 +66,14 @@ func (s *SceneStore) Animation(p Profile, width, height int, seed uint64, frames
 	s.mu.Unlock()
 
 	defer func() {
+		if r := recover(); r != nil {
+			// A panicking generation must not kill the process (the call
+			// may run on a Warm worker goroutine) or hand waiters a silent
+			// (nil, nil): convert it to an error for generator and waiters
+			// alike.
+			f.err = fmt.Errorf("trace: scene generation panicked: %v\n%s", r, debug.Stack())
+			scenes, err = nil, f.err
+		}
 		if f.scenes == nil {
 			// Generation failed or panicked: drop the entry so a later
 			// call retries instead of observing a partial result.
