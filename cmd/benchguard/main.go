@@ -1,0 +1,117 @@
+// Command benchguard compares two `go test -bench` output files and
+// fails when the geometric mean of the per-benchmark ns/op ratios
+// (new/old) regresses beyond a threshold. It is the deterministic gate
+// behind the CI bench job: benchstat renders the human-readable deltas,
+// benchguard decides pass/fail.
+//
+// Each benchmark's repeated measurements (-count=N) collapse to their
+// median, which tolerates one or two noisy runs per benchmark; the
+// geomean across benchmarks tolerates a single benchmark jumping on a
+// noisy runner without letting a broad slowdown through.
+//
+// Usage:
+//
+//	benchguard -old BENCH_baseline.txt -new bench_new.txt -threshold 0.15
+//
+// Exit codes: 0 = within threshold; 1 = regression; 2 = bad input (a
+// file is unreadable, or no benchmark appears in both files).
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"math"
+	"os"
+	"regexp"
+	"sort"
+	"strconv"
+)
+
+var benchLine = regexp.MustCompile(`^(Benchmark\S+?)(?:-\d+)?\s+\d+\s+([0-9.e+]+) ns/op`)
+
+// parse reads a benchmark output file into name -> ns/op samples. The
+// trailing -N GOMAXPROCS suffix is stripped so baselines survive runner
+// core-count changes.
+func parse(path string) (map[string][]float64, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	out := make(map[string][]float64)
+	sc := bufio.NewScanner(f)
+	for sc.Scan() {
+		m := benchLine.FindStringSubmatch(sc.Text())
+		if m == nil {
+			continue
+		}
+		v, err := strconv.ParseFloat(m[2], 64)
+		if err != nil || v <= 0 {
+			continue
+		}
+		out[m[1]] = append(out[m[1]], v)
+	}
+	return out, sc.Err()
+}
+
+func median(xs []float64) float64 {
+	s := append([]float64(nil), xs...)
+	sort.Float64s(s)
+	n := len(s)
+	if n%2 == 1 {
+		return s[n/2]
+	}
+	return (s[n/2-1] + s[n/2]) / 2
+}
+
+func main() {
+	oldPath := flag.String("old", "BENCH_baseline.txt", "baseline benchmark output")
+	newPath := flag.String("new", "", "candidate benchmark output")
+	threshold := flag.Float64("threshold", 0.15, "maximum allowed geomean slowdown (0.15 = +15%)")
+	flag.Parse()
+	if *newPath == "" {
+		fmt.Fprintln(os.Stderr, "benchguard: -new is required")
+		os.Exit(2)
+	}
+	oldRuns, err := parse(*oldPath)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchguard:", err)
+		os.Exit(2)
+	}
+	newRuns, err := parse(*newPath)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchguard:", err)
+		os.Exit(2)
+	}
+
+	names := make([]string, 0, len(oldRuns))
+	for name := range oldRuns {
+		if _, ok := newRuns[name]; ok {
+			names = append(names, name)
+		}
+	}
+	sort.Strings(names)
+	if len(names) == 0 {
+		fmt.Fprintln(os.Stderr, "benchguard: no benchmark appears in both files")
+		os.Exit(2)
+	}
+
+	logSum := 0.0
+	fmt.Printf("%-50s %12s %12s %8s\n", "benchmark", "old ns/op", "new ns/op", "ratio")
+	for _, name := range names {
+		o := median(oldRuns[name])
+		n := median(newRuns[name])
+		ratio := n / o
+		logSum += math.Log(ratio)
+		fmt.Printf("%-50s %12.1f %12.1f %7.3fx\n", name, o, n, ratio)
+	}
+	geomean := math.Exp(logSum / float64(len(names)))
+	fmt.Printf("geomean ratio: %.3fx over %d benchmarks (threshold %.3fx)\n",
+		geomean, len(names), 1+*threshold)
+	if geomean > 1+*threshold {
+		fmt.Fprintf(os.Stderr, "benchguard: geomean regression %.1f%% exceeds %.1f%%\n",
+			(geomean-1)*100, *threshold*100)
+		os.Exit(1)
+	}
+}

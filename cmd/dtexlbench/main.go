@@ -26,6 +26,8 @@ import (
 	"os"
 	"os/signal"
 	"path/filepath"
+	"runtime"
+	"runtime/pprof"
 	"strings"
 	"syscall"
 
@@ -60,8 +62,38 @@ func run() int {
 		timeout  = flag.Duration("timeout", 0, "per-simulation wall-clock budget (0 = none), e.g. 5m")
 		ckptDir  = flag.String("checkpoint", "", "journal completed simulations under this directory and resume from it on restart")
 		chaosStr = flag.String("chaos", "", "fault injection spec bench/policy/mode (mode: panic, error, stall; testing only)")
+		cpuProf  = flag.String("cpuprofile", "", "write a pprof CPU profile of the whole run to this file")
+		memProf  = flag.String("memprofile", "", "write a pprof heap profile (post-run, after GC) to this file")
 	)
 	flag.Parse()
+
+	if *cpuProf != "" {
+		f, err := os.Create(*cpuProf)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "dtexlbench:", err)
+			return exitFatal
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintln(os.Stderr, "dtexlbench:", err)
+			return exitFatal
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *memProf != "" {
+		defer func() {
+			f, err := os.Create(*memProf)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "dtexlbench:", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC() // settle live-heap numbers before the snapshot
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintln(os.Stderr, "dtexlbench:", err)
+			}
+		}()
+	}
 
 	if *scale < 1 {
 		fmt.Fprintln(os.Stderr, "dtexlbench: -scale must be >= 1")

@@ -1,0 +1,42 @@
+package cache
+
+import "testing"
+
+// BenchmarkCacheAccess measures the simulator's hottest function on
+// three deterministic address streams: an in-cache working set (the
+// texture-locality common case), a thrashing stride (worst case), and a
+// mixed stream that alternates reuse with conflict fills. The streams
+// are pure functions of the iteration index so runs are reproducible.
+func BenchmarkCacheAccess(b *testing.B) {
+	newL1 := func() *Cache {
+		return New(Config{Name: "bench-l1", SizeBytes: 16 << 10, LineBytes: 64, Ways: 4, HitLatency: 1})
+	}
+	b.Run("hit-heavy", func(b *testing.B) {
+		c := newL1()
+		for i := 0; i < b.N; i++ {
+			c.Access(uint64(i%128) * 64) // 8 KiB working set, fits
+		}
+	})
+	b.Run("miss-heavy", func(b *testing.B) {
+		c := newL1()
+		for i := 0; i < b.N; i++ {
+			c.Access(uint64(i) * 4160) // 64 lines + 1 set stride, conflicts
+		}
+	})
+	b.Run("mixed", func(b *testing.B) {
+		c := newL1()
+		var x uint64 = 1
+		for i := 0; i < b.N; i++ {
+			x = x*6364136223846793005 + 1442695040888963407
+			c.Access(x >> 44 << 6) // ~1 MiB reach, partial reuse
+		}
+	})
+	b.Run("l2-8way", func(b *testing.B) {
+		c := New(Config{Name: "bench-l2", SizeBytes: 1 << 20, LineBytes: 64, Ways: 8, HitLatency: 12})
+		var x uint64 = 1
+		for i := 0; i < b.N; i++ {
+			x = x*6364136223846793005 + 1442695040888963407
+			c.Access(x >> 42 << 6) // ~4 MiB reach over a 1 MiB cache
+		}
+	})
+}

@@ -52,20 +52,34 @@ func (s Stats) HitRate() float64 {
 	return float64(s.Hits) / float64(s.Accesses)
 }
 
-type way struct {
-	tag     uint64
-	valid   bool
-	lastUse uint64
-}
+// A way packs a resident line's tag and valid bit into one word:
+// tag<<1 | 1 when valid, 0 when invalid. Tags are at most
+// addr >> (lineShift + setBits) < 2^58 for any realistic geometry, so
+// the shift cannot overflow, and no valid tag encodes to 0. One word
+// per way keeps a whole 4-way set in 32 bytes — half a cache line — and
+// turns the lookup into a single integer compare per way.
+type way = uint64
 
-// Cache is a set-associative cache with true-LRU replacement.
+// Cache is a set-associative cache with true-LRU replacement. Each set's
+// ways are kept in recency order (MRU at index 0), so a hit on the MRU
+// way — the common case under texture locality — is a pure read, the LRU
+// victim is always the tail way, and no per-way timestamp is needed.
+// Move-to-front recency lists and use-time timestamps implement the same
+// replacement policy; only the representation differs. The ways of all
+// sets live in one flat, set-major array so lookups are a single
+// bounds-checked slice plus index arithmetic, and snapshot/restore is one
+// memmove.
 type Cache struct {
 	cfg       Config
-	sets      [][]way
+	ways      []way // numSets * cfg.Ways entries, set-major, MRU-first
+	nways     int
 	setMask   uint64
 	lineShift uint
-	tick      uint64
-	stats     Stats
+	// tagShift is the width of the set-index field (popcount of setMask),
+	// precomputed at New time: Access and Contains are the simulator's
+	// hottest functions and must not rederive it per call.
+	tagShift uint
+	stats    Stats
 }
 
 // New builds a cache from cfg. It panics on invalid configuration, which
@@ -75,20 +89,17 @@ func New(cfg Config) *Cache {
 		panic(err)
 	}
 	numSets := cfg.SizeBytes / (cfg.LineBytes * cfg.Ways)
-	sets := make([][]way, numSets)
-	backing := make([]way, numSets*cfg.Ways)
-	for i := range sets {
-		sets[i], backing = backing[:cfg.Ways], backing[cfg.Ways:]
-	}
 	shift := uint(0)
 	for 1<<shift != cfg.LineBytes {
 		shift++
 	}
 	return &Cache{
 		cfg:       cfg,
-		sets:      sets,
+		ways:      make([]way, numSets*cfg.Ways),
+		nways:     cfg.Ways,
 		setMask:   uint64(numSets - 1),
 		lineShift: shift,
+		tagShift:  uint64OfBits(uint64(numSets - 1)),
 	}
 }
 
@@ -99,40 +110,45 @@ func (c *Cache) Config() Config { return c.cfg }
 func (c *Cache) Stats() Stats { return c.stats }
 
 // NumSets returns the number of sets.
-func (c *Cache) NumSets() int { return len(c.sets) }
+func (c *Cache) NumSets() int { return len(c.ways) / c.nways }
 
 // Access looks up the line containing addr, allocating it on a miss
 // (allocate-on-miss, true LRU). It returns whether the access hit.
+//
+// Invariant: within a set, valid ways form a prefix in recency order.
+// Fills insert at the front, so invalid ways can only sink toward the
+// tail and the LRU victim is always the last way.
 func (c *Cache) Access(addr uint64) bool {
-	c.tick++
 	c.stats.Accesses++
 	line := addr >> c.lineShift
-	set := c.sets[line&c.setMask]
-	tag := line >> uint64OfBits(c.setMask)
-	// Hit path.
-	for i := range set {
-		if set[i].valid && set[i].tag == tag {
-			set[i].lastUse = c.tick
+	base := int(line&c.setMask) * c.nways
+	set := c.ways[base : base+c.nways : base+c.nways]
+	want := line>>c.tagShift<<1 | 1
+	if set[0] == want {
+		c.stats.Hits++
+		return true
+	}
+	for i := 1; i < len(set); i++ {
+		if set[i] == want {
+			// Shift by hand: the spans are a few words, below memmove's
+			// break-even.
+			for j := i; j > 0; j-- {
+				set[j] = set[j-1]
+			}
+			set[0] = want
 			c.stats.Hits++
 			return true
 		}
 	}
-	// Miss: fill the LRU (or first invalid) way.
 	c.stats.Misses++
-	victim := 0
-	for i := range set {
-		if !set[i].valid {
-			victim = i
-			break
-		}
-		if set[i].lastUse < set[victim].lastUse {
-			victim = i
-		}
-	}
-	if set[victim].valid {
+	last := len(set) - 1
+	if set[last] != 0 {
 		c.stats.Evictions++
 	}
-	set[victim] = way{tag: tag, valid: true, lastUse: c.tick}
+	for j := last; j > 0; j-- {
+		set[j] = set[j-1]
+	}
+	set[0] = want
 	return false
 }
 
@@ -140,10 +156,11 @@ func (c *Cache) Access(addr uint64) bool {
 // touching LRU state or counters.
 func (c *Cache) Contains(addr uint64) bool {
 	line := addr >> c.lineShift
-	set := c.sets[line&c.setMask]
-	tag := line >> uint64OfBits(c.setMask)
+	base := int(line&c.setMask) * c.nways
+	set := c.ways[base : base+c.nways]
+	want := line>>c.tagShift<<1 | 1
 	for i := range set {
-		if set[i].valid && set[i].tag == tag {
+		if set[i] == want {
 			return true
 		}
 	}
@@ -152,26 +169,33 @@ func (c *Cache) Contains(addr uint64) bool {
 
 // Clone returns a deep copy of the cache: contents, LRU state and
 // counters of the copy evolve independently of the original afterwards.
+// The struct copy carries every derived field (tagShift included); only
+// the way array needs duplicating.
 func (c *Cache) Clone() *Cache {
 	cp := *c
-	numSets := len(c.sets)
-	cp.sets = make([][]way, numSets)
-	backing := make([]way, numSets*c.cfg.Ways)
-	for i := range cp.sets {
-		cp.sets[i], backing = backing[:c.cfg.Ways], backing[c.cfg.Ways:]
-		copy(cp.sets[i], c.sets[i])
-	}
+	cp.ways = make([]way, len(c.ways))
+	copy(cp.ways, c.ways)
 	return &cp
+}
+
+// CopyFrom overwrites c's contents, LRU state and counters with src's
+// without allocating: the restore path of a memoized front-half snapshot
+// runs once per simulation, and cloning a 1 MiB L2 there dominated the
+// executor's allocation profile. Both caches must share a configuration.
+func (c *Cache) CopyFrom(src *Cache) error {
+	if c.cfg != src.cfg {
+		return fmt.Errorf("cache: CopyFrom config mismatch (%+v vs %+v)", c.cfg, src.cfg)
+	}
+	copy(c.ways, src.ways)
+	c.stats = src.stats
+	return nil
 }
 
 // Reset invalidates all contents and zeroes the counters.
 func (c *Cache) Reset() {
-	for _, set := range c.sets {
-		for i := range set {
-			set[i] = way{}
-		}
+	for i := range c.ways {
+		c.ways[i] = 0
 	}
-	c.tick = 0
 	c.stats = Stats{}
 }
 
@@ -179,7 +203,8 @@ func (c *Cache) Reset() {
 func (c *Cache) LineBytes() int { return c.cfg.LineBytes }
 
 // uint64OfBits returns the number of set bits in a (2^k - 1) mask, i.e.
-// the index width of the set field.
+// the index width of the set field. Called once per New; the result is
+// cached in Cache.tagShift.
 func uint64OfBits(mask uint64) uint {
 	n := uint(0)
 	for mask != 0 {

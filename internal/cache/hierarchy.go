@@ -186,17 +186,26 @@ func (h *Hierarchy) SaveFront() *FrontState {
 // RestoreFront deep-copies s into h's vertex, tile, L2 and DRAM levels,
 // leaving the L1 texture caches untouched. It returns an error when h was
 // built with different front-end geometry than the hierarchy s was saved
-// from, since the snapshot would then be meaningless.
+// from, since the snapshot would then be meaningless. The copy is
+// in-place into the storage NewHierarchy already allocated — restores run
+// once per memoized simulation, and cloning the L2 there used to be a
+// leading allocation site.
 func (h *Hierarchy) RestoreFront(s *FrontState) error {
 	if h.cfg.Vertex != s.vertex.cfg || h.cfg.Tile != s.tile.cfg ||
 		h.cfg.L2 != s.l2.cfg || h.cfg.DRAM != s.dram.Config() {
 		return fmt.Errorf("cache: RestoreFront config mismatch (snapshot %v/%v/%v, hierarchy %v/%v/%v)",
 			s.vertex.cfg, s.tile.cfg, s.l2.cfg, h.cfg.Vertex, h.cfg.Tile, h.cfg.L2)
 	}
-	h.Vertex = s.vertex.Clone()
-	h.Tile = s.tile.Clone()
-	h.L2 = s.l2.Clone()
-	h.DRAM = s.dram.Clone()
+	if err := h.Vertex.CopyFrom(s.vertex); err != nil {
+		return err
+	}
+	if err := h.Tile.CopyFrom(s.tile); err != nil {
+		return err
+	}
+	if err := h.L2.CopyFrom(s.l2); err != nil {
+		return err
+	}
+	h.DRAM.CopyFrom(s.dram)
 	return nil
 }
 

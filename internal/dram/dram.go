@@ -87,6 +87,15 @@ func (m *Model) Clone() *Model {
 	return &c
 }
 
+// CopyFrom overwrites m's open-row state and counters with src's without
+// allocating. Both models must share a configuration; the snapshot
+// restore path validates that before calling.
+func (m *Model) CopyFrom(src *Model) {
+	copy(m.openRow, src.openRow)
+	copy(m.rowValid, src.rowValid)
+	m.stats = src.stats
+}
+
 // Reset closes all rows and zeroes counters.
 func (m *Model) Reset() {
 	for i := range m.rowValid {

@@ -1,0 +1,93 @@
+package pipeline
+
+import (
+	"testing"
+
+	"dtexl/internal/cache"
+	"dtexl/internal/tileorder"
+	"dtexl/internal/trace"
+)
+
+// The microbenchmarks cover the simulator's hot path layer by layer —
+// tile rasterization, the shader-core step loop, and a whole frame in
+// both barrier disciplines — on the same mid-size scene. CI compares
+// them against BENCH_baseline.txt (see .github/workflows/ci.yml).
+
+func benchScene(b *testing.B, alias string, cfg Config) *trace.Scene {
+	b.Helper()
+	p, err := trace.ProfileByAlias(alias)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return trace.GenerateScene(p, cfg.Width, cfg.Height, 1)
+}
+
+func benchConfig() Config {
+	cfg := DefaultConfig()
+	cfg.Width, cfg.Height = 490, 192 // paper resolution / 4
+	return cfg
+}
+
+// BenchmarkRasterizeTile measures the live (unprepared) raster front
+// end: tile fetch, coverage + Early-Z, footprints and the quad→SC
+// partition, on recycled tileWork storage.
+func BenchmarkRasterizeTile(b *testing.B) {
+	cfg := benchConfig()
+	scene := benchScene(b, "SWa", cfg)
+	hier := cache.NewHierarchy(cfg.Hierarchy)
+	geo := RunGeometry(scene, hier, cfg)
+	bin := BinPrimitives(geo.Primitives, hier, cfg)
+	r := newRasterizer(cfg, geo.Primitives, bin, hier)
+	tiles := tileorder.Sequence(cfg.TileOrder, cfg.TilesX(), cfg.TilesY())
+	tw := &tileWork{}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r.rasterizeTile(tw, i%len(tiles), tiles[i%len(tiles)])
+	}
+}
+
+// BenchmarkSCStep measures the shader-core scheduling loop draining a
+// synthetic miss-stream tile: admission, warp scan, exec and the fill
+// port model, without executor overhead.
+func BenchmarkSCStep(b *testing.B) {
+	cfg := DefaultConfig()
+	cfg.NumSC = 1
+	cfg.Hierarchy.NumSC = 1
+	cfg.WarpSlots = 8
+	es := &engineState{cfg: cfg, hier: cache.NewHierarchy(cfg.Hierarchy)}
+	tw := buildTileWork(256, 12, true)
+	steps := 0
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sc := &scState{id: 0}
+		sc.setInput(tw, 0)
+		for sc.pending() {
+			if !sc.step(es) {
+				b.Fatal("SC blocked")
+			}
+			steps++
+		}
+	}
+	b.ReportMetric(float64(steps)/float64(b.N), "steps/op")
+}
+
+// BenchmarkRunFrame measures one whole-frame simulation from scene to
+// metrics, in the coupled baseline and the decoupled DTexL discipline.
+func BenchmarkRunFrame(b *testing.B) {
+	for _, bc := range []struct {
+		name      string
+		decoupled bool
+	}{{"coupled", false}, {"decoupled", true}} {
+		b.Run(bc.name, func(b *testing.B) {
+			cfg := benchConfig()
+			cfg.Decoupled = bc.decoupled
+			scene := benchScene(b, "SWa", cfg)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := Run(scene, cfg); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

@@ -3,6 +3,7 @@ package pipeline
 import (
 	"context"
 	"fmt"
+	"math"
 
 	"dtexl/internal/cache"
 	"dtexl/internal/stats"
@@ -171,6 +172,19 @@ type executor struct {
 	wd                   watchdog
 	curSeq, curTX, curTY int
 
+	// pool recycles tileWork units (with their perSC and ownCov backing
+	// arrays) across tiles; perSCCapV caches the presize for their perSC
+	// lists (-1 until computed).
+	pool      []*tileWork
+	perSCCapV int
+
+	// coupled-mode per-frame scratch (see beginCoupled).
+	gates                              []int64
+	cBefore                            []uint64
+	cTimes, cQuads                     []float64
+	cTW                                *tileWork
+	cRasterPrev, cGatePrev, cFlushPrev int64
+
 	// decoupled-mode bookkeeping
 	tiles         []*tileWork
 	rasterDone    []int64
@@ -178,22 +192,77 @@ type executor struct {
 	tileFinish    []int64
 	lo, hi        int
 	lastRasterEnd int64
+	// windowGen counts decoupled window movements (lo or hi); the drive
+	// loop uses it to re-try parked SCs only when the window changed.
+	windowGen uint64
 }
 
 func newExecutor(cfg Config, hier *cache.Hierarchy, prims []Primitive, b *Binning) *executor {
 	ex := &executor{
-		cfg:    cfg,
-		hier:   hier,
-		raster: newRasterizer(cfg, prims, b, hier),
-		seq:    TileSequence(cfg),
-		tilesX: cfg.TilesX(),
+		cfg:       cfg,
+		hier:      hier,
+		raster:    newRasterizer(cfg, prims, b, hier),
+		seq:       TileSequence(cfg),
+		tilesX:    cfg.TilesX(),
+		perSCCapV: -1,
 	}
 	ex.scs = make([]*scState, cfg.NumSC)
 	for i := range ex.scs {
-		ex.scs[i] = &scState{id: i}
+		ex.scs[i] = &scState{
+			id:       i,
+			warps:    make([]warpState, 0, cfg.WarpSlots),
+			ready:    make([]int64, 0, cfg.WarpSlots),
+			fillFree: make([]int64, cfg.L1FillPorts),
+		}
 	}
 	ex.es = &engineState{cfg: cfg, hier: hier}
 	return ex
+}
+
+// perSCCap is the presize for pooled perSC quad lists: with prepared
+// covers the per-tile maximum is known up front, making steady-state
+// rasterization allocation-free.
+func (ex *executor) perSCCap() int {
+	if ex.perSCCapV >= 0 {
+		return ex.perSCCapV
+	}
+	m := 0
+	for _, c := range ex.raster.cov.pre {
+		if c != nil && len(c.quads) > m {
+			m = len(c.quads)
+		}
+	}
+	ex.perSCCapV = m
+	return m
+}
+
+// acquireTile returns a tileWork from the pool, or a fresh one with
+// presized perSC lists.
+func (ex *executor) acquireTile() *tileWork {
+	if n := len(ex.pool); n > 0 {
+		tw := ex.pool[n-1]
+		ex.pool = ex.pool[:n-1]
+		return tw
+	}
+	tw := &tileWork{perSC: make([][]int32, ex.cfg.NumSC)}
+	if c := ex.perSCCap(); c > 0 {
+		for i := range tw.perSC {
+			tw.perSC[i] = make([]int32, 0, c)
+		}
+	}
+	return tw
+}
+
+// releaseTile drops one reference and recycles the work unit when no
+// holder remains (decoupled window slot and SC input streams each hold
+// one).
+func (ex *executor) releaseTile(tw *tileWork) {
+	if tw == nil {
+		return
+	}
+	if tw.refs--; tw.refs <= 0 {
+		ex.pool = append(ex.pool, tw)
+	}
 }
 
 // tileFlushLines is the number of color-buffer cache lines per tile.
@@ -222,128 +291,178 @@ func (ex *executor) flush(tw *tileWork, bank int, lines int, at int64) int64 {
 // ---------------------------------------------------------------------
 
 func (ex *executor) runCoupled() error {
-	n := len(ex.seq)
-	gates := make([]int64, n+1) // gate[i] = when tile i's fragment work may start
-	var rasterPrev int64
-	var gatePrev int64
-	var flushPrev int64
-
-	for i, pt := range ex.seq {
-		ex.curSeq, ex.curTX, ex.curTY = i, pt.X, pt.Y
-		tw := ex.raster.rasterizeTile(i, pt)
-		ex.es.events.QuadsShaded += uint64(len(tw.quads))
-		ex.es.events.QuadsCulled += tw.culled
-		ex.es.events.FragmentsShaded += tw.fragments
-
-		// The rasterizer runs ahead of the fragment stage, bounded by the
-		// quad FIFO (FIFODepth tiles).
-		rasterStart := rasterPrev
-		if i >= ex.cfg.FIFODepth && gates[i-ex.cfg.FIFODepth] > rasterStart {
-			rasterStart = gates[i-ex.cfg.FIFODepth]
-		}
-		rasterDone := rasterStart + tw.rasterCycles
-		rasterPrev = rasterDone
-
-		gate := gatePrev
-		if i > 0 {
-			gate += ex.cfg.TileBarrierCycles
-		}
-		if rasterDone > gate {
-			gate = rasterDone
-		}
-		gates[i] = gate
-
-		// Barrier: all SCs align to the gate, then drain this tile.
-		before := make([]uint64, len(ex.scs))
-		for si, sc := range ex.scs {
-			if sc.clock < gate {
-				sc.clock = gate
-			}
-			sc.setInput(tw, gate)
-			before[si] = sc.quadsRetired
-		}
-		if err := ex.drainAll(); err != nil {
+	ex.beginCoupled()
+	for i := range ex.seq {
+		if err := ex.coupledTile(i); err != nil {
 			return err
-		}
-
-		// Per-tile imbalance metrics (Figs. 12, 14, 15).
-		times := make([]float64, len(ex.scs))
-		quads := make([]float64, len(ex.scs))
-		var maxFinish int64 = gate
-		for si, sc := range ex.scs {
-			if sc.quadsRetired > before[si] {
-				times[si] = float64(sc.lastRetire - gate)
-				if sc.lastRetire > maxFinish {
-					maxFinish = sc.lastRetire
-				}
-			}
-			quads[si] = float64(len(tw.perSC[si]))
-		}
-		if ex.cfg.NumSC > 1 {
-			ex.tileTimeDev = append(ex.tileTimeDev, stats.MeanDeviation(times))
-			ex.tileQuadDev = append(ex.tileQuadDev, stats.MeanDeviation(quads))
-		}
-		if ex.cfg.CollectTimeline {
-			tt := TileTiming{Seq: i, TX: pt.X, TY: pt.Y, Gate: gate, Finish: make([]int64, len(ex.scs))}
-			for si, sc := range ex.scs {
-				if sc.quadsRetired > before[si] {
-					tt.Finish[si] = sc.lastRetire
-				} else {
-					tt.Finish[si] = gate
-				}
-			}
-			ex.timeline = append(ex.timeline, tt)
-		}
-
-		// Whole-tile color flush. The single Color Buffer serializes the
-		// flush chain: tile t+1's flush cannot begin before tile t's
-		// completes (§III-E change #1 makes this per-bank instead). The
-		// fragment stage of the next tile is gated only by its own
-		// barrier; the quad FIFO in front of Blending absorbs the flush
-		// window.
-		flushStart := maxFinish
-		if flushPrev > flushStart {
-			flushStart = flushPrev
-		}
-		flushPrev = ex.flush(tw, 0, ex.tileFlushLines(), flushStart)
-		gatePrev = maxFinish
-		if flushPrev > ex.frameEnd {
-			ex.frameEnd = flushPrev
 		}
 	}
 	return nil
 }
 
-// drainAll advances SCs (always the one with the smallest clock) until
-// none has pending work. A blocked core or watchdog-detected livelock
-// returns a *StallError — formerly a process-killing panic — and a
-// canceled context returns its error.
-func (ex *executor) drainAll() error {
-	for {
-		if ex.wd.chaos {
-			if ex.wd.chaosTick() {
-				return ex.stallErr("coupled", "injected chaos stall")
-			}
-			continue
+// beginCoupled allocates the coupled loop's per-frame scratch once, so
+// the per-tile path (coupledTile) is allocation-free in steady state.
+func (ex *executor) beginCoupled() {
+	n := len(ex.seq)
+	ex.gates = make([]int64, n+1) // gate[i] = when tile i's fragment work may start
+	nsc := len(ex.scs)
+	ex.cBefore = make([]uint64, nsc)
+	ex.cTimes = make([]float64, nsc)
+	ex.cQuads = make([]float64, nsc)
+	if ex.cfg.NumSC > 1 {
+		ex.tileTimeDev = make([]float64, 0, n)
+		ex.tileQuadDev = make([]float64, 0, n)
+	}
+	if ex.cfg.CollectTimeline {
+		ex.timeline = make([]TileTiming, 0, n)
+	}
+	// One work unit, reused: each tile fully drains before the next.
+	ex.cTW = ex.acquireTile()
+	ex.cRasterPrev, ex.cGatePrev, ex.cFlushPrev = 0, 0, 0
+}
+
+// coupledTile rasterizes and drains the i-th tile of the walk under the
+// per-tile barrier discipline (Fig. 4).
+func (ex *executor) coupledTile(i int) error {
+	pt := ex.seq[i]
+	ex.curSeq, ex.curTX, ex.curTY = i, pt.X, pt.Y
+	tw := ex.cTW
+	ex.raster.rasterizeTile(tw, i, pt)
+	ex.es.events.QuadsShaded += uint64(len(tw.cov.quads))
+	ex.es.events.QuadsCulled += tw.cov.culled
+	ex.es.events.FragmentsShaded += tw.cov.fragments
+
+	// The rasterizer runs ahead of the fragment stage, bounded by the
+	// quad FIFO (FIFODepth tiles).
+	rasterStart := ex.cRasterPrev
+	if i >= ex.cfg.FIFODepth && ex.gates[i-ex.cfg.FIFODepth] > rasterStart {
+		rasterStart = ex.gates[i-ex.cfg.FIFODepth]
+	}
+	rasterDone := rasterStart + tw.rasterCycles
+	ex.cRasterPrev = rasterDone
+
+	gate := ex.cGatePrev
+	if i > 0 {
+		gate += ex.cfg.TileBarrierCycles
+	}
+	if rasterDone > gate {
+		gate = rasterDone
+	}
+	ex.gates[i] = gate
+
+	// Barrier: all SCs align to the gate, then drain this tile.
+	before := ex.cBefore
+	for si, sc := range ex.scs {
+		if sc.clock < gate {
+			sc.clock = gate
 		}
+		sc.setInput(tw, gate)
+		before[si] = sc.quadsRetired
+	}
+	if err := ex.drainAll(); err != nil {
+		return err
+	}
+
+	// Per-tile imbalance metrics (Figs. 12, 14, 15).
+	times := ex.cTimes
+	quads := ex.cQuads
+	var maxFinish int64 = gate
+	for si, sc := range ex.scs {
+		times[si] = 0
+		if sc.quadsRetired > before[si] {
+			times[si] = float64(sc.lastRetire - gate)
+			if sc.lastRetire > maxFinish {
+				maxFinish = sc.lastRetire
+			}
+		}
+		quads[si] = float64(len(tw.perSC[si]))
+	}
+	if ex.cfg.NumSC > 1 {
+		ex.tileTimeDev = append(ex.tileTimeDev, stats.MeanDeviation(times))
+		ex.tileQuadDev = append(ex.tileQuadDev, stats.MeanDeviation(quads))
+	}
+	if ex.cfg.CollectTimeline {
+		tt := TileTiming{Seq: i, TX: pt.X, TY: pt.Y, Gate: gate, Finish: make([]int64, len(ex.scs))}
+		for si, sc := range ex.scs {
+			if sc.quadsRetired > before[si] {
+				tt.Finish[si] = sc.lastRetire
+			} else {
+				tt.Finish[si] = gate
+			}
+		}
+		ex.timeline = append(ex.timeline, tt)
+	}
+
+	// Whole-tile color flush. The single Color Buffer serializes the
+	// flush chain: tile t+1's flush cannot begin before tile t's
+	// completes (§III-E change #1 makes this per-bank instead). The
+	// fragment stage of the next tile is gated only by its own
+	// barrier; the quad FIFO in front of Blending absorbs the flush
+	// window.
+	flushStart := maxFinish
+	if ex.cFlushPrev > flushStart {
+		flushStart = ex.cFlushPrev
+	}
+	ex.cFlushPrev = ex.flush(tw, 0, ex.tileFlushLines(), flushStart)
+	ex.cGatePrev = maxFinish
+	if ex.cFlushPrev > ex.frameEnd {
+		ex.frameEnd = ex.cFlushPrev
+	}
+	return nil
+}
+
+// drainAll advances SCs (always the one with the smallest clock, lowest
+// index on ties) until none has pending work. A blocked core or
+// watchdog-detected livelock returns a *StallError — formerly a
+// process-killing panic — and a canceled context returns its error.
+//
+// Instead of rescanning every SC per step, one scan finds the minimum
+// and runner-up (clock, index) pair, and the minimum SC is stepped
+// repeatedly while it still precedes the runner-up in that order —
+// during its steps no other SC's clock or pending state can change, so
+// the step sequence is exactly the rescan-per-step one.
+func (ex *executor) drainAll() error {
+	for ex.wd.chaos {
+		if ex.wd.chaosTick() {
+			return ex.stallErr("coupled", "injected chaos stall")
+		}
+	}
+	scs := ex.scs
+	for {
 		var best *scState
-		for _, sc := range ex.scs {
+		bestIdx := -1
+		second := int64(math.MaxInt64)
+		secondIdx := len(scs)
+		for i, sc := range scs {
 			if !sc.pending() {
 				continue
 			}
 			if best == nil || sc.clock < best.clock {
-				best = sc
+				if best != nil {
+					second, secondIdx = best.clock, bestIdx
+				}
+				best, bestIdx = sc, i
+			} else if sc.clock < second {
+				second, secondIdx = sc.clock, i
 			}
 		}
 		if best == nil {
 			return nil
 		}
-		reason, err := ex.wd.step(ex.es, best)
-		if err != nil {
-			return err
-		}
-		if reason != "" {
-			return ex.stallErr("coupled", reason)
+		for {
+			reason, err := ex.wd.step(ex.es, best)
+			if err != nil {
+				return err
+			}
+			if reason != "" {
+				return ex.stallErr("coupled", reason)
+			}
+			if !best.pending() {
+				break
+			}
+			if best.clock > second || (best.clock == second && bestIdx > secondIdx) {
+				break
+			}
 		}
 	}
 }
@@ -381,11 +500,19 @@ func (ex *executor) runDecoupled() error {
 	ex.tileRemaining = make([]int, n)
 	ex.tileFinish = make([]int64, n)
 
-	// Per-SC stream state.
-	scTile := make([]int, len(ex.scs))    // current tile index per SC
-	scFlush := make([]int64, len(ex.scs)) // completion of the SC's last bank flush
+	// Per-SC stream state. scFail[i] is the window generation at which
+	// SC i's advance last came up empty; the feed loop re-tries a parked
+	// SC only after the window moved, since a failed advance is a pure
+	// no-op until then (the drained-subtile flush happens on the first
+	// attempt, before the SC can park).
+	nsc := len(ex.scs)
+	scTile := make([]int, nsc)    // current tile index per SC
+	scFlush := make([]int64, nsc) // completion of the SC's last bank flush
+	scFail := make([]uint64, nsc)
+	const neverFailed = ^uint64(0)
 	for i := range scTile {
 		scTile[i] = -1
+		scFail[i] = neverFailed
 	}
 
 	ex.es.retire = func(sc *scState, tw *tileWork, at int64) {
@@ -405,6 +532,7 @@ func (ex *executor) runDecoupled() error {
 		if sc.inTile != nil && len(sc.inTile.perSC[sc.id]) > 0 {
 			// Bank flush of the subtile just drained (16 lines, §III-E).
 			scFlush[sc.id] = ex.flush(sc.inTile, sc.id, ex.tileFlushLines()/len(ex.scs), sc.lastRetire)
+			ex.releaseTile(sc.inTile)
 			sc.inTile = nil
 		}
 		for {
@@ -426,23 +554,29 @@ func (ex *executor) runDecoupled() error {
 			if scFlush[sc.id] > gate {
 				gate = scFlush[sc.id]
 			}
+			tw.refs++
 			sc.setInput(tw, gate)
 			return true
 		}
 	}
 
-	for {
-		if ex.wd.chaos {
-			if ex.wd.chaosTick() {
-				return ex.stallErr("decoupled", "injected chaos stall")
-			}
-			continue
+	for ex.wd.chaos {
+		if ex.wd.chaosTick() {
+			return ex.stallErr("decoupled", "injected chaos stall")
 		}
-		// Feed drained SCs.
+	}
+	scs := ex.scs
+	for {
+		// Feed drained SCs (index order — advances touch the hierarchy).
+		feedGen := ex.windowGen
 		anyPending := false
-		for _, sc := range ex.scs {
-			if !sc.pending() {
-				advance(sc)
+		for _, sc := range scs {
+			if !sc.pending() && scFail[sc.id] != ex.windowGen {
+				if advance(sc) {
+					scFail[sc.id] = neverFailed
+				} else {
+					scFail[sc.id] = ex.windowGen
+				}
 			}
 			if sc.pending() {
 				anyPending = true
@@ -467,21 +601,47 @@ func (ex *executor) runDecoupled() error {
 			}
 			continue
 		}
+		// One scan finds the minimum and runner-up (clock, index); the
+		// minimum SC then steps repeatedly while it still precedes the
+		// runner-up in that order. The batch stops as soon as the window
+		// moved — a retire may have unparked another SC, which must be
+		// fed (and may preempt) before the next step, exactly as the
+		// feed-before-every-step loop did. A feed pass that itself moved
+		// the window limits the batch to a single step for the same
+		// reason.
+		feedMoved := ex.windowGen != feedGen
 		var best *scState
-		for _, sc := range ex.scs {
+		bestIdx := -1
+		second := int64(math.MaxInt64)
+		secondIdx := nsc
+		for i, sc := range scs {
 			if !sc.pending() {
 				continue
 			}
 			if best == nil || sc.clock < best.clock {
-				best = sc
+				if best != nil {
+					second, secondIdx = best.clock, bestIdx
+				}
+				best, bestIdx = sc, i
+			} else if sc.clock < second {
+				second, secondIdx = sc.clock, i
 			}
 		}
-		reason, err := ex.wd.step(ex.es, best)
-		if err != nil {
-			return err
-		}
-		if reason != "" {
-			return ex.stallErr("decoupled", reason)
+		for {
+			gen := ex.windowGen
+			reason, err := ex.wd.step(ex.es, best)
+			if err != nil {
+				return err
+			}
+			if reason != "" {
+				return ex.stallErr("decoupled", reason)
+			}
+			if feedMoved || ex.windowGen != gen || !best.pending() {
+				break
+			}
+			if best.clock > second || (best.clock == second && bestIdx > secondIdx) {
+				break
+			}
 		}
 	}
 
@@ -508,10 +668,13 @@ func (ex *executor) extendWindow() bool {
 	progressed := false
 	for ex.hi < n && ex.hi < ex.lo+ex.cfg.FIFODepth {
 		i := ex.hi
-		tw := ex.raster.rasterizeTile(i, ex.seq[i])
-		ex.es.events.QuadsShaded += uint64(len(tw.quads))
-		ex.es.events.QuadsCulled += tw.culled
-		ex.es.events.FragmentsShaded += tw.fragments
+		tw := ex.acquireTile()
+		ex.raster.rasterizeTile(tw, i, ex.seq[i])
+		tw.refs = 1 // the window slot's reference
+		nq := len(tw.cov.quads)
+		ex.es.events.QuadsShaded += uint64(nq)
+		ex.es.events.QuadsCulled += tw.cov.culled
+		ex.es.events.FragmentsShaded += tw.cov.fragments
 
 		start := ex.lastRasterEnd
 		if i >= ex.cfg.FIFODepth && ex.tileFinish[i-ex.cfg.FIFODepth] > start {
@@ -521,22 +684,31 @@ func (ex *executor) extendWindow() bool {
 		ex.lastRasterEnd = ex.rasterDone[i]
 
 		ex.tiles[i] = tw
-		ex.tileRemaining[i] = len(tw.quads)
-		if len(tw.quads) == 0 {
+		ex.tileRemaining[i] = nq
+		if nq == 0 {
 			ex.tileFinish[i] = ex.rasterDone[i]
 		}
 		ex.hi++
 		ex.advanceLo()
 		progressed = true
 	}
+	if progressed {
+		ex.windowGen++
+	}
 	return progressed
 }
 
 // advanceLo slides the window past fully retired tiles, releasing their
-// work units.
+// work units back to the pool.
 func (ex *executor) advanceLo() {
+	moved := false
 	for ex.lo < ex.hi && ex.tileRemaining[ex.lo] == 0 {
+		ex.releaseTile(ex.tiles[ex.lo])
 		ex.tiles[ex.lo] = nil
 		ex.lo++
+		moved = true
+	}
+	if moved {
+		ex.windowGen++
 	}
 }

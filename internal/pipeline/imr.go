@@ -3,6 +3,7 @@ package pipeline
 import (
 	"context"
 	"fmt"
+	"math"
 
 	"dtexl/internal/cache"
 	"dtexl/internal/texture"
@@ -60,7 +61,12 @@ func RunIMRContext(ctx context.Context, scene *trace.Scene, cfg Config) (*Metric
 	}
 	im.scs = make([]*scState, cfg.NumSC)
 	for i := range im.scs {
-		im.scs[i] = &scState{id: i}
+		im.scs[i] = &scState{
+			id:       i,
+			warps:    make([]warpState, 0, cfg.WarpSlots),
+			ready:    make([]int64, 0, cfg.WarpSlots),
+			fillFree: make([]int64, cfg.L1FillPorts),
+		}
 	}
 	im.wd = newWatchdog(ctx, cfg)
 	if err := im.run(geo.Primitives); err != nil {
@@ -134,49 +140,69 @@ func (im *imrExecutor) run(prims []Primitive) error {
 
 	var rasterDone int64
 	seq := 0
+	// One work unit, reused: each batch fully drains before the next.
+	tw := &tileWork{perSC: make([][]int32, im.cfg.NumSC)}
 	for start := 0; start < len(prims); start += imrBatchPrims {
 		end := start + imrBatchPrims
 		if end > len(prims) {
 			end = len(prims)
 		}
 		im.curSeq = seq
-		tw := im.rasterizeBatch(seq, prims[start:end])
+		im.rasterizeBatch(tw, seq, prims[start:end])
 		seq++
 		rasterDone += tw.rasterCycles
-		im.es.events.QuadsShaded += uint64(len(tw.quads))
-		im.es.events.QuadsCulled += tw.culled
-		im.es.events.FragmentsShaded += tw.fragments
+		im.es.events.QuadsShaded += uint64(len(tw.cov.quads))
+		im.es.events.QuadsCulled += tw.cov.culled
+		im.es.events.FragmentsShaded += tw.cov.fragments
 
 		// Feed every SC its share and drain the batch (no barrier: the
 		// gate is only raster availability, and SC clocks carry over).
 		for _, sc := range im.scs {
 			sc.setInput(tw, rasterDone)
 		}
-		for {
-			if im.wd.chaos {
-				if im.wd.chaosTick() {
-					return im.stallErr("injected chaos stall")
-				}
-				continue
+		for im.wd.chaos {
+			if im.wd.chaosTick() {
+				return im.stallErr("injected chaos stall")
 			}
+		}
+		// Same min/runner-up tracker as the TBR drainAll: IMR has no
+		// retire callback, so only the stepped SC's state can change
+		// between rescans.
+		for {
 			var best *scState
-			for _, sc := range im.scs {
+			bestIdx := -1
+			second := int64(math.MaxInt64)
+			secondIdx := len(im.scs)
+			for i, sc := range im.scs {
 				if !sc.pending() {
 					continue
 				}
 				if best == nil || sc.clock < best.clock {
-					best = sc
+					if best != nil {
+						second, secondIdx = best.clock, bestIdx
+					}
+					best, bestIdx = sc, i
+				} else if sc.clock < second {
+					second, secondIdx = sc.clock, i
 				}
 			}
 			if best == nil {
 				break
 			}
-			reason, err := im.wd.step(im.es, best)
-			if err != nil {
-				return err
-			}
-			if reason != "" {
-				return im.stallErr(reason)
+			for {
+				reason, err := im.wd.step(im.es, best)
+				if err != nil {
+					return err
+				}
+				if reason != "" {
+					return im.stallErr(reason)
+				}
+				if !best.pending() {
+					break
+				}
+				if best.clock > second || (best.clock == second && bestIdx > secondIdx) {
+					break
+				}
 			}
 		}
 	}
@@ -205,9 +231,13 @@ func (im *imrExecutor) colorLineAddr(x, y int) uint64 {
 // performing the Z read-modify-write and the color write against the
 // memory-resident buffers. Their cache latencies are charged to the
 // raster/ROP pipeline.
-func (im *imrExecutor) rasterizeBatch(seq int, prims []Primitive) *tileWork {
+func (im *imrExecutor) rasterizeBatch(tw *tileWork, seq int, prims []Primitive) {
 	cfg := &im.cfg
-	tw := &tileWork{seq: seq, perSC: make([][]int32, cfg.NumSC)}
+	tw.reset(cfg.NumSC)
+	tw.seq = seq
+	cov := &tw.ownCov
+	cov.reset()
+	tw.cov = cov
 	quadsTested := 0
 	for pi := range prims {
 		p := &prims[pi]
@@ -273,7 +303,7 @@ func (im *imrExecutor) rasterizeBatch(seq int, prims []Primitive) *tileWork {
 				}
 				if !alive {
 					if !cfg.LateZ {
-						tw.culled++
+						cov.culled++
 						continue
 					}
 					alive = true
@@ -309,9 +339,9 @@ func (im *imrExecutor) rasterizeBatch(seq int, prims []Primitive) *tileWork {
 					resolveColor(cfg.RenderTarget, p, px, py, passMask)
 				}
 				if cfg.LateZ {
-					tw.fragments += uint64(popcount4(coverMask))
+					cov.fragments += uint64(popcount4(coverMask))
 				} else {
-					tw.fragments += uint64(popcount4(passMask))
+					cov.fragments += uint64(popcount4(passMask))
 				}
 
 				// Texture footprint, identical to the TBR path.
@@ -321,29 +351,29 @@ func (im *imrExecutor) rasterizeBatch(seq int, prims []Primitive) *tileWork {
 				jx, jy := quadJitter(px, py, p.ID)
 				uv.X += jx * p.UVJitter / float64(p.Tex.Width)
 				uv.Y += jy * p.UVJitter / float64(p.Tex.Height)
-				firstSpan := int32(len(tw.spans))
+				firstSpan := int32(len(cov.spans))
 				for s := 0; s < p.Shader.Samples; s++ {
 					du := float64(s*sampleUVStride) / float64(p.Tex.Width)
 					lines := sampler.Footprint(p.Tex, uv.X+du, uv.Y, p.LOD)
-					off := int32(len(tw.lines))
-					tw.lines = append(tw.lines, lines...)
-					tw.spans = append(tw.spans, span{off: off, n: int32(len(lines))})
+					off := int32(len(cov.lines))
+					cov.lines = append(cov.lines, lines...)
+					cov.spans = append(cov.spans, span{off: off, n: int32(len(lines))})
 				}
 				// Quads scatter across SCs by screen position with the
 				// fine-grained interleave (no tiles, no subtile notion).
 				sc := (qx + 2*qy) & 3 % cfg.NumSC
-				tw.perSC[sc] = append(tw.perSC[sc], int32(len(tw.quads)))
-				tw.quads = append(tw.quads, quadWork{
-					sc:        int8(sc),
+				tw.perSC[sc] = append(tw.perSC[sc], int32(len(cov.quads)))
+				cq := coverQuad{
 					samples:   int8(p.Shader.Samples),
 					instr:     int16(p.Shader.Instructions),
 					firstSpan: firstSpan,
-				})
+				}
+				cq.setSegs()
+				cov.quads = append(cov.quads, cq)
 			}
 		}
 	}
 	tw.rasterCycles += int64(float64(quadsTested) / cfg.RasterRate)
-	return tw
 }
 
 // clampBoundsToScreen clips a primitive's pixel bounds to the screen.

@@ -3,6 +3,7 @@ package pipeline
 import (
 	"context"
 	"fmt"
+	"time"
 
 	"dtexl/internal/cache"
 	"dtexl/internal/dram"
@@ -56,6 +57,11 @@ type PreparedFrame struct {
 	Geometry GeometryResult
 	// Binning is the binned Parameter Buffer (read-only).
 	Binning *Binning
+	// GeometryTime and CoverageTime split the preparation's wall time
+	// between its two halves (geometry+binning vs. per-tile coverage), so
+	// callers can attribute phase cost without a profiler.
+	GeometryTime time.Duration
+	CoverageTime time.Duration
 
 	front  *cache.FrontState
 	covers []*tileCover
@@ -80,23 +86,27 @@ func PrepareFrame(scene *trace.Scene, cfg Config) (*PreparedFrame, error) {
 		return nil, fmt.Errorf("pipeline: scene is %dx%d but config is %dx%d",
 			scene.Width, scene.Height, cfg.Width, cfg.Height)
 	}
+	t0 := time.Now()
 	hier := cache.NewHierarchy(cfg.Hierarchy)
 	geo := RunGeometry(scene, hier, cfg)
 	binning := BinPrimitives(geo.Primitives, hier, cfg)
 	p := &PreparedFrame{
-		Geometry: geo,
-		Binning:  binning,
-		front:    hier.SaveFront(),
-		key:      FrontKeyOf(cfg),
+		Geometry:     geo,
+		Binning:      binning,
+		GeometryTime: time.Since(t0),
+		front:        hier.SaveFront(),
+		key:          FrontKeyOf(cfg),
 	}
+	t1 := time.Now()
 	cov := newCoverer(cfg, geo.Primitives, binning)
 	tilesX, tilesY := cfg.TilesX(), cfg.TilesY()
 	p.covers = make([]*tileCover, tilesX*tilesY)
 	for ty := 0; ty < tilesY; ty++ {
 		for tx := 0; tx < tilesX; tx++ {
-			p.covers[ty*tilesX+tx] = cov.coverTile(tx, ty)
+			p.covers[ty*tilesX+tx] = cov.coverTile(tx, ty, nil)
 		}
 	}
+	p.CoverageTime = time.Since(t1)
 	return p, nil
 }
 

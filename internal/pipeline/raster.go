@@ -13,39 +13,51 @@ import (
 // that sample nearby but distinct texture regions.
 const sampleUVStride = 8
 
-// quadWork is one quad (2x2 fragment warp) emitted by the rasterizer
-// after Early-Z, with its SC assignment and shader workload.
-type quadWork struct {
-	sc        int8
-	samples   int8
-	instr     int16
-	firstSpan int32 // index into tileWork.spans; one span per sample
-}
-
 // span is the cache-line footprint of one texture sample.
 type span struct {
 	off int32
 	n   int32
 }
 
-// tileWork is everything the Raster Pipeline produced for one tile: the
-// surviving quads (in rasterization order), their sample footprints, and
-// the front-end timing.
+// tileWork is the per-policy work unit for one tile: the shared,
+// read-only tile coverage plus the quad→SC partition, which is the only
+// per-quad state that depends on the scheduling policy. tileWorks are
+// pooled by the executor and recycled across tiles, so holders other
+// than the executor itself (the decoupled window, an SC's input stream)
+// must hold a reference via refs.
 type tileWork struct {
 	seq    int // index in the frame's tile sequence
 	tx, ty int
-	quads  []quadWork
-	spans  []span
-	lines  []uint64
-	// perSC partitions quad indices by shader core, preserving order.
+	// cov is the policy-independent skeleton: either a shared cover from
+	// a PreparedFrame, or this work unit's own ownCov scratch.
+	cov *tileCover
+	// perSC partitions cov.quads indices by shader core, preserving
+	// rasterization order within each core's list.
 	perSC [][]int32
 	// rasterCycles is the front-end cost: tile fetch + rasterization +
 	// Early-Z, before the quads reach the shader cores.
 	rasterCycles int64
-	// culled counts quads fully rejected by Early-Z.
-	culled uint64
-	// fragments counts live SIMD lanes across all emitted quads.
-	fragments uint64
+	// refs counts holders in the decoupled executor (window slot + SC
+	// input streams); the work unit returns to the pool at zero. The
+	// coupled executor reuses a single unit and leaves refs alone.
+	refs int32
+	// ownCov is the inline coverage scratch used on the live path (no
+	// prepared covers); its slices are recycled with the work unit.
+	ownCov tileCover
+}
+
+// reset prepares a (possibly recycled) tileWork for a new tile, keeping
+// the perSC backing arrays.
+func (tw *tileWork) reset(numSC int) {
+	if tw.perSC == nil {
+		tw.perSC = make([][]int32, numSC)
+	}
+	for i := range tw.perSC {
+		tw.perSC[i] = tw.perSC[i][:0]
+	}
+	tw.cov = nil
+	tw.rasterCycles = 0
+	tw.refs = 0
 }
 
 // popcount4 counts the set bits of a 4-bit mask.
@@ -57,11 +69,20 @@ func popcount4(m uint8) int {
 // quad coordinates within the tile, shader workload and sample-footprint
 // reference. It deliberately omits the shader-core assignment, which is
 // the only per-quad field that depends on the scheduling policy.
+// seg0/segN cache segLen for stages 0 and >0 — the shader cores would
+// otherwise pay two integer divisions per executed stage.
 type coverQuad struct {
-	qx, qy    int16
-	samples   int8
-	instr     int16
-	firstSpan int32
+	qx, qy     int16
+	samples    int8
+	instr      int16
+	seg0, segN int16
+	firstSpan  int32
+}
+
+// setSegs derives the cached compute-segment lengths from instr/samples.
+func (q *coverQuad) setSegs() {
+	q.seg0 = int16(segLen(q.instr, q.samples, 0))
+	q.segN = int16(segLen(q.instr, q.samples, 1))
 }
 
 // tileCover is the policy-independent rasterization of one tile:
@@ -80,6 +101,16 @@ type tileCover struct {
 	fragments uint64
 	// quadsTested counts coverage/Early-Z tests (rasterizer throughput).
 	quadsTested int
+}
+
+// reset empties a cover for refilling, keeping the backing arrays.
+func (c *tileCover) reset() {
+	c.quads = c.quads[:0]
+	c.spans = c.spans[:0]
+	c.lines = c.lines[:0]
+	c.culled = 0
+	c.fragments = 0
+	c.quadsTested = 0
 }
 
 // coverer computes tileCovers. It owns the Z-Buffer (tile-sized, reset
@@ -111,14 +142,15 @@ func newCoverer(cfg Config, prims []Primitive, b *Binning) *coverer {
 }
 
 // cover returns the tileCover for tile (tx, ty), from the precomputed set
-// when one is installed. Precomputed covers are only installed when
-// cfg.RenderTarget is nil (the simulation paths), since coverTile also
-// resolves colors into a live render target.
-func (c *coverer) cover(tx, ty int) *tileCover {
+// when one is installed; otherwise it computes into scratch (allocating
+// a fresh cover when scratch is nil). Precomputed covers are only
+// installed when cfg.RenderTarget is nil (the simulation paths), since
+// coverTile also resolves colors into a live render target.
+func (c *coverer) cover(tx, ty int, scratch *tileCover) *tileCover {
 	if c.pre != nil {
 		return c.pre[ty*c.cfg.TilesX()+tx]
 	}
-	return c.coverTile(tx, ty)
+	return c.coverTile(tx, ty, scratch)
 }
 
 // rasterizer turns binned primitives into tileWork, tile by tile, in the
@@ -141,14 +173,17 @@ func newRasterizer(cfg Config, prims []Primitive, b *Binning, hier *cache.Hierar
 	}
 }
 
-// rasterizeTile produces the work unit for the tile at pt (the seq-th
-// tile of the walk). Must be called in tile-sequence order: the Subtile
-// assigner is stateful. The hierarchy is touched only by the tile fetch,
-// before any coverage work, so substituting a precomputed cover leaves
-// the access stream bit-identical.
-func (r *rasterizer) rasterizeTile(seq int, pt tileorder.Point) *tileWork {
+// rasterizeTile fills tw with the work unit for the tile at pt (the
+// seq-th tile of the walk). Must be called in tile-sequence order: the
+// Subtile assigner is stateful. The hierarchy is touched only by the
+// tile fetch, before any coverage work, so substituting a precomputed
+// cover leaves the access stream bit-identical. Only the quad→SC
+// partition is computed per policy; the skeleton (coverage, footprints,
+// raster cycle counts) comes from the shared cover.
+func (r *rasterizer) rasterizeTile(tw *tileWork, seq int, pt tileorder.Point) {
 	cfg := &r.cfg
-	tw := &tileWork{seq: seq, tx: pt.X, ty: pt.Y, perSC: make([][]int32, cfg.NumSC)}
+	tw.reset(cfg.NumSC)
+	tw.seq, tw.tx, tw.ty = seq, pt.X, pt.Y
 	perm := r.assigner.Next(pt)
 	qside := cfg.QuadsPerTileSide()
 
@@ -156,36 +191,31 @@ func (r *rasterizer) rasterizeTile(seq int, pt tileorder.Point) *tileWork {
 	tw.rasterCycles += r.cov.binning.FetchTileCost(pt.X, pt.Y, r.cov.prims, r.hier)
 
 	// Policy-independent coverage, then the per-policy SC assignment.
-	cov := r.cov.cover(pt.X, pt.Y)
-	tw.spans = cov.spans
-	tw.lines = cov.lines
-	tw.culled = cov.culled
-	tw.fragments = cov.fragments
-	tw.quads = make([]quadWork, len(cov.quads))
-	for i, cq := range cov.quads {
+	cov := r.cov.cover(pt.X, pt.Y, &tw.ownCov)
+	tw.cov = cov
+	for i := range cov.quads {
+		cq := &cov.quads[i]
 		sc := perm[cfg.Grouping.SubtileOf(int(cq.qx), int(cq.qy), qside, qside)] % cfg.NumSC
 		tw.perSC[sc] = append(tw.perSC[sc], int32(i))
-		tw.quads[i] = quadWork{
-			sc:        int8(sc),
-			samples:   cq.samples,
-			instr:     cq.instr,
-			firstSpan: cq.firstSpan,
-		}
 	}
 	// Rasterizer throughput plus the four parallel Early-Z units (1
 	// quad/cycle each).
 	tw.rasterCycles += int64(float64(cov.quadsTested) / cfg.RasterRate)
-	tw.rasterCycles += int64(len(tw.quads) / 4)
-	return tw
+	tw.rasterCycles += int64(len(cov.quads) / 4)
 }
 
 // coverTile computes the tile's coverage from scratch: coverage + Early-Z
 // over every binned primitive, shader workloads, and texture sample
-// footprints. When cfg.RenderTarget is set it also resolves colors, which
-// is why precomputed covers are restricted to RenderTarget == nil.
-func (c *coverer) coverTile(tx, ty int) *tileCover {
+// footprints, filled into out (or a fresh cover when out is nil). When
+// cfg.RenderTarget is set it also resolves colors, which is why
+// precomputed covers are restricted to RenderTarget == nil.
+func (c *coverer) coverTile(tx, ty int, out *tileCover) *tileCover {
 	cfg := &c.cfg
-	tw := &tileCover{}
+	tw := out
+	if tw == nil {
+		tw = &tileCover{}
+	}
+	tw.reset()
 	c.zbuf.Reset()
 
 	ts := cfg.TileSize
@@ -279,13 +309,15 @@ func (c *coverer) coverTile(tx, ty int) *tileCover {
 					tw.lines = append(tw.lines, lines...)
 					tw.spans = append(tw.spans, span{off: off, n: int32(len(lines))})
 				}
-				tw.quads = append(tw.quads, coverQuad{
+				cq := coverQuad{
 					qx:        int16(qx),
 					qy:        int16(qy),
 					samples:   int8(p.Shader.Samples),
 					instr:     int16(p.Shader.Instructions),
 					firstSpan: firstSpan,
-				})
+				}
+				cq.setSegs()
+				tw.quads = append(tw.quads, cq)
 			}
 		}
 	}

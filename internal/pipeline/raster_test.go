@@ -71,9 +71,10 @@ func TestJitterIndependentOfScheduling(t *testing.T) {
 		c.TileOrder = order
 		r := newRasterizer(c, geo.Primitives, b, cache.NewHierarchy(c.Hierarchy))
 		lines := make(map[uint64]int)
+		tw := &tileWork{}
 		for i, pt := range tileorder.Sequence(order, c.TilesX(), c.TilesY()) {
-			tw := r.rasterizeTile(i, pt)
-			for _, l := range tw.lines {
+			r.rasterizeTile(tw, i, pt)
+			for _, l := range tw.cov.lines {
 				lines[l]++
 			}
 		}
@@ -99,29 +100,35 @@ func TestRasterizeTileHonorsGroupingAndPerm(t *testing.T) {
 	geo := RunGeometry(scene, hier, cfg)
 	b := BinPrimitives(geo.Primitives, hier, cfg)
 	r := newRasterizer(cfg, geo.Primitives, b, hier)
-	tw := r.rasterizeTile(0, tileorder.Point{X: 0, Y: 0})
-	if len(tw.quads) == 0 {
+	tw := &tileWork{}
+	r.rasterizeTile(tw, 0, tileorder.Point{X: 0, Y: 0})
+	if len(tw.cov.quads) == 0 {
 		t.Fatal("no quads in tile 0")
 	}
-	// With CG-square and identity perm, every quad's SC equals its
-	// quadrant.
-	for _, q := range tw.quads {
-		if q.sc < 0 || int(q.sc) >= cfg.NumSC {
-			t.Fatalf("quad SC %d out of range", q.sc)
-		}
-	}
-	// perSC lists must partition the quads.
+	// perSC lists must partition the quads, and each quad must land on
+	// the SC its subtile's permutation entry names.
+	perm := sched.NewAssigner(cfg.Assignment, cfg.Grouping).Next(tileorder.Point{X: 0, Y: 0})
+	qside := cfg.QuadsPerTileSide()
+	seen := make([]int, len(tw.cov.quads))
 	total := 0
 	for sc, list := range tw.perSC {
 		total += len(list)
 		for _, qi := range list {
-			if int(tw.quads[qi].sc) != sc {
-				t.Fatalf("quad %d in list %d but assigned to %d", qi, sc, tw.quads[qi].sc)
+			seen[qi]++
+			cq := &tw.cov.quads[qi]
+			want := perm[cfg.Grouping.SubtileOf(int(cq.qx), int(cq.qy), qside, qside)] % cfg.NumSC
+			if want != sc {
+				t.Fatalf("quad %d in list %d but its subtile maps to SC %d", qi, sc, want)
 			}
 		}
 	}
-	if total != len(tw.quads) {
-		t.Fatalf("perSC lists cover %d of %d quads", total, len(tw.quads))
+	if total != len(tw.cov.quads) {
+		t.Fatalf("perSC lists cover %d of %d quads", total, len(tw.cov.quads))
+	}
+	for qi, n := range seen {
+		if n != 1 {
+			t.Fatalf("quad %d appears in %d perSC lists", qi, n)
+		}
 	}
 }
 
@@ -132,17 +139,18 @@ func TestSpansMatchSamples(t *testing.T) {
 	geo := RunGeometry(scene, hier, cfg)
 	b := BinPrimitives(geo.Primitives, hier, cfg)
 	r := newRasterizer(cfg, geo.Primitives, b, hier)
-	tw := r.rasterizeTile(0, tileorder.Point{X: 1, Y: 1})
-	for _, q := range tw.quads {
+	tw := &tileWork{}
+	r.rasterizeTile(tw, 0, tileorder.Point{X: 1, Y: 1})
+	for _, q := range tw.cov.quads {
 		if q.samples <= 0 {
 			t.Fatal("quad with no samples")
 		}
 		for s := int32(0); s < int32(q.samples); s++ {
-			sp := tw.spans[q.firstSpan+s]
+			sp := tw.cov.spans[q.firstSpan+s]
 			if sp.n <= 0 {
 				t.Fatal("empty sample footprint")
 			}
-			if int(sp.off+sp.n) > len(tw.lines) {
+			if int(sp.off+sp.n) > len(tw.cov.lines) {
 				t.Fatal("span exceeds line arena")
 			}
 		}
@@ -156,7 +164,8 @@ func TestRasterCostsPositive(t *testing.T) {
 	geo := RunGeometry(scene, hier, cfg)
 	b := BinPrimitives(geo.Primitives, hier, cfg)
 	r := newRasterizer(cfg, geo.Primitives, b, hier)
-	tw := r.rasterizeTile(0, tileorder.Point{X: 0, Y: 0})
+	tw := &tileWork{}
+	r.rasterizeTile(tw, 0, tileorder.Point{X: 0, Y: 0})
 	if tw.rasterCycles <= 0 {
 		t.Error("no raster cost recorded")
 	}

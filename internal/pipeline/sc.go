@@ -7,12 +7,19 @@ import (
 // warpState is one resident quad-warp in a shader core. A quad executes
 // stages 0..samples: each stage runs a slice of the ALU instructions and,
 // except for the last, issues one texture sample whose latency parks the
-// warp until the data returns.
+// warp until the data returns. The warp's ready time lives in the SC's
+// parallel `ready` array, not here: the scheduler scans ready times every
+// step, and a dense int64 array keeps that scan inside a couple of cache
+// lines instead of striding across one warpState per line.
 type warpState struct {
 	tile  *tileWork
-	quad  int32
-	stage int8  // next stage to execute (0..samples)
-	ready int64 // cycle at which the warp may issue again
+	stage int8 // next stage to execute (0..samples)
+	// samples, seg0, segN and firstSpan are copied out of the quad at
+	// admission: exec runs once per stage, and reading them here avoids
+	// chasing tile -> cover -> quad on every issue.
+	samples    int8
+	seg0, segN int16
+	firstSpan  int32
 	// prefetched marks that the quad's texture lines were fetched at
 	// admission (decoupled prefetch); fills holds each sample's fill
 	// completion time.
@@ -31,6 +38,9 @@ type scState struct {
 	clock int64
 	busy  int64 // cycles spent issuing instructions
 	warps []warpState
+	// ready[i] is the cycle warps[i] may issue again (parallel to warps;
+	// see warpState).
+	ready []int64
 	// fillFree is when each L1 fill port becomes free again. The small
 	// per-SC texture L1 has a limited number of outstanding misses
 	// (MSHRs); misses beyond that queue, so a stream with a high miss
@@ -89,42 +99,68 @@ func segLen(instr int16, samples, stage int8) int64 {
 func (sc *scState) step(e *engineState) bool {
 	// Admit as many quads as fit: warp slots are filled greedily so
 	// latency hiding is maximal.
-	for len(sc.warps) < e.cfg.WarpSlots && sc.hasInput() && sc.inGate <= sc.clock {
-		q := sc.inTile.perSC[sc.id][sc.inPos]
-		sc.inPos++
-		w := warpState{tile: sc.inTile, quad: q, ready: sc.clock}
-		if e.cfg.TexturePrefetch {
-			sc.prefetch(e, &w)
+	if sc.inTile != nil && sc.inGate <= sc.clock {
+		list := sc.inTile.perSC[sc.id]
+		cov := sc.inTile.cov
+		for len(sc.warps) < e.cfg.WarpSlots && sc.inPos < len(list) {
+			cq := &cov.quads[list[sc.inPos]]
+			sc.inPos++
+			w := warpState{
+				tile:      sc.inTile,
+				samples:   cq.samples,
+				seg0:      cq.seg0,
+				segN:      cq.segN,
+				firstSpan: cq.firstSpan,
+			}
+			if e.cfg.TexturePrefetch {
+				sc.prefetch(e, &w)
+			}
+			sc.warps = append(sc.warps, w)
+			sc.ready = append(sc.ready, sc.clock)
 		}
-		sc.warps = append(sc.warps, w)
 	}
 
 	// Pick a resident warp to issue from, per the warp-scheduling policy.
 	// The policy only arbitrates among warps that are ready *now*; the
 	// earliest-ready warp always determines how far the clock may jump.
+	ready := sc.ready
 	best := -1
-	for i := range sc.warps {
-		if best < 0 || sc.warps[i].ready < sc.warps[best].ready {
+	minReady := int64(1)<<62 - 1
+	for i, r := range ready {
+		if r < minReady {
+			minReady = r
 			best = i
 		}
 	}
 
-	if best >= 0 && sc.warps[best].ready <= sc.clock {
+	if best >= 0 && minReady <= sc.clock {
 		pick := best
 		switch e.cfg.WarpSched {
 		case WarpSchedRoundRobin:
-			n := len(sc.warps)
+			// Wraparound arithmetic instead of a modulo per probe; the
+			// single % only fires when the warp count shrank since the
+			// rotation pointer was last stored.
+			n := len(ready)
+			i := sc.rrNext
+			if i >= n {
+				i %= n
+			}
 			for off := 0; off < n; off++ {
-				i := (sc.rrNext + off) % n
-				if sc.warps[i].ready <= sc.clock {
+				if ready[i] <= sc.clock {
 					pick = i
-					sc.rrNext = (i + 1) % n
+					sc.rrNext = i + 1
+					if sc.rrNext == n {
+						sc.rrNext = 0
+					}
 					break
+				}
+				if i++; i == n {
+					i = 0
 				}
 			}
 		case WarpSchedYoungest:
-			for i := len(sc.warps) - 1; i >= 0; i-- {
-				if sc.warps[i].ready <= sc.clock {
+			for i := len(ready) - 1; i >= 0; i-- {
+				if ready[i] <= sc.clock {
 					pick = i
 					break
 				}
@@ -138,7 +174,7 @@ func (sc *scState) step(e *engineState) bool {
 	// ready or input gate opening onto a free slot).
 	next := int64(-1)
 	if best >= 0 {
-		next = sc.warps[best].ready
+		next = minReady
 	}
 	if sc.hasInput() && len(sc.warps) < e.cfg.WarpSlots && sc.inGate > sc.clock {
 		if next < 0 || sc.inGate < next {
@@ -156,13 +192,15 @@ func (sc *scState) step(e *engineState) bool {
 // remain, its next texture sample.
 func (sc *scState) exec(e *engineState, wi int) {
 	w := &sc.warps[wi]
-	q := &w.tile.quads[w.quad]
-	seg := segLen(q.instr, q.samples, w.stage)
+	seg := int64(w.segN)
+	if w.stage == 0 {
+		seg = int64(w.seg0)
+	}
 	sc.clock += seg
 	sc.busy += seg
 	e.events.ALUInstructions += uint64(seg)
 
-	if w.stage < q.samples {
+	if w.stage < w.samples {
 		var ready int64
 		if w.prefetched {
 			// Fills were issued at admission; the sample only waits for
@@ -172,11 +210,12 @@ func (sc *scState) exec(e *engineState, wi int) {
 				ready = f
 			}
 		} else {
-			sp := w.tile.spans[q.firstSpan+int32(w.stage)]
-			ready = sc.accessSample(e, w.tile, sp)
+			cov := w.tile.cov
+			sp := cov.spans[w.firstSpan+int32(w.stage)]
+			ready = sc.accessSample(e, cov, sp)
 		}
 		w.stage++
-		w.ready = ready
+		sc.ready[wi] = ready
 		return
 	}
 
@@ -186,20 +225,23 @@ func (sc *scState) exec(e *engineState, wi int) {
 	}
 	sc.quadsRetired++
 	sc.lastRetire = sc.clock
-	sc.warps[wi] = sc.warps[len(sc.warps)-1]
-	sc.warps = sc.warps[:len(sc.warps)-1]
+	last := len(sc.warps) - 1
+	sc.warps[wi] = sc.warps[last]
+	sc.warps = sc.warps[:last]
+	sc.ready[wi] = sc.ready[last]
+	sc.ready = sc.ready[:last]
 }
 
 // accessSample walks one sample's cache lines at the current clock and
 // returns when its data is complete: hits pipeline under the base
 // latency; misses queue on the SC's L1 fill ports.
-func (sc *scState) accessSample(e *engineState, tw *tileWork, sp span) int64 {
+func (sc *scState) accessSample(e *engineState, cov *tileCover, sp span) int64 {
 	if sc.fillFree == nil {
 		sc.fillFree = make([]int64, e.cfg.L1FillPorts)
 	}
 	hitLat := e.cfg.Hierarchy.L1Tex.HitLatency
 	ready := sc.clock + e.cfg.SampleOverhead + hitLat
-	for _, line := range tw.lines[sp.off : sp.off+sp.n] {
+	for _, line := range cov.lines[sp.off : sp.off+sp.n] {
 		lat, miss := e.hier.TextureAccessInfo(sc.id, line)
 		if !miss {
 			// Pipelined hit: local hits are covered by the base latency;
@@ -236,10 +278,10 @@ func (sc *scState) accessSample(e *engineState, tw *tileWork, sp span) int64 {
 // access/execute prefetching). Traffic and fill-port occupancy are
 // identical to demand fetching; only the start times move earlier.
 func (sc *scState) prefetch(e *engineState, w *warpState) {
-	q := &w.tile.quads[w.quad]
-	for s := int8(0); s < q.samples; s++ {
-		sp := w.tile.spans[q.firstSpan+int32(s)]
-		w.fills[s] = sc.accessSample(e, w.tile, sp)
+	cov := w.tile.cov
+	for s := int8(0); s < w.samples; s++ {
+		sp := cov.spans[w.firstSpan+int32(s)]
+		w.fills[s] = sc.accessSample(e, cov, sp)
 	}
 	w.prefetched = true
 }

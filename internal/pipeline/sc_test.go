@@ -11,16 +11,20 @@ import (
 // lines distinct (pure miss stream) or all the same (hit stream).
 func buildTileWork(n int, instr int16, distinctLines bool) *tileWork {
 	tw := &tileWork{perSC: make([][]int32, 1)}
+	cov := &tw.ownCov
+	tw.cov = cov
 	for i := 0; i < n; i++ {
 		line := uint64(0x100000)
 		if distinctLines {
 			line += uint64(i) * 64
 		}
-		off := int32(len(tw.lines))
-		tw.lines = append(tw.lines, line)
-		tw.spans = append(tw.spans, span{off: off, n: 1})
-		tw.perSC[0] = append(tw.perSC[0], int32(len(tw.quads)))
-		tw.quads = append(tw.quads, quadWork{sc: 0, samples: 1, instr: instr, firstSpan: int32(len(tw.spans) - 1)})
+		off := int32(len(cov.lines))
+		cov.lines = append(cov.lines, line)
+		cov.spans = append(cov.spans, span{off: off, n: 1})
+		tw.perSC[0] = append(tw.perSC[0], int32(len(cov.quads)))
+		cq := coverQuad{samples: 1, instr: instr, firstSpan: int32(len(cov.spans) - 1)}
+		cq.setSegs()
+		cov.quads = append(cov.quads, cq)
 	}
 	return tw
 }

@@ -199,9 +199,13 @@ type Runner struct {
 	// code contract.
 	completedSims uint64
 
-	// wall-clock split, in nanoseconds (atomic).
+	// wall-clock split, in nanoseconds (atomic). prepareNanos is the whole
+	// preparation (including waiting on another worker's in-flight build);
+	// geometryNanos/coverageNanos split only the actual build time.
 	generateNanos int64
 	prepareNanos  int64
+	geometryNanos int64
+	coverageNanos int64
 	rasterNanos   int64
 }
 

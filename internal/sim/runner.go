@@ -174,7 +174,14 @@ func (r *Runner) RunOneWith(alias string, pol core.Policy, mutate func(*pipeline
 			pk := prepKey{Alias: alias, Seed: r.Opt.Seed, Front: pipeline.FrontKeyOf(cfg)}
 			t1 := time.Now()
 			prep, err := r.prepStoreLazy().do(pk, func() (*pipeline.PreparedFrame, error) {
-				return pipeline.PrepareFrame(scenes[0], cfg)
+				p, perr := pipeline.PrepareFrame(scenes[0], cfg)
+				if perr == nil {
+					// Attribute the build split inside the memo body so only
+					// the worker that actually built the frame counts it.
+					atomic.AddInt64(&r.geometryNanos, int64(p.GeometryTime))
+					atomic.AddInt64(&r.coverageNanos, int64(p.CoverageTime))
+				}
+				return p, perr
 			})
 			atomic.AddInt64(&r.prepareNanos, int64(time.Since(t1)))
 			if err != nil {
@@ -256,6 +263,11 @@ type Timing struct {
 	// Prepare is time spent building (or waiting on) policy-independent
 	// front halves: geometry, binning, coverage.
 	Prepare time.Duration
+	// Geometry and Coverage split Prepare's actual build time between the
+	// geometry+binning phase and the per-tile coverage phase (excluding
+	// time spent waiting on another worker's in-flight build).
+	Geometry time.Duration
+	Coverage time.Duration
 	// Raster is time spent in per-policy raster-phase simulation.
 	Raster time.Duration
 
@@ -270,6 +282,8 @@ func (r *Runner) Timing() Timing {
 	t := Timing{
 		Generate: time.Duration(atomic.LoadInt64(&r.generateNanos)),
 		Prepare:  time.Duration(atomic.LoadInt64(&r.prepareNanos)),
+		Geometry: time.Duration(atomic.LoadInt64(&r.geometryNanos)),
+		Coverage: time.Duration(atomic.LoadInt64(&r.coverageNanos)),
 		Raster:   time.Duration(atomic.LoadInt64(&r.rasterNanos)),
 	}
 	t.SceneHits, t.SceneMisses = r.scenes.Stats()
@@ -278,13 +292,16 @@ func (r *Runner) Timing() Timing {
 	return t
 }
 
-// String renders the timing summary as the -timing flag prints it.
+// String renders the timing summary as the -timing flag prints it: one
+// line per phase (scene generation, geometry+binning, tile coverage,
+// raster simulation) so perf work can attribute wins without a profiler.
 func (t Timing) String() string {
 	return fmt.Sprintf(
-		"phase wall time: generate %v, geometry+coverage %v, raster %v\n"+
+		"phase wall time: scene generation %v, geometry+binning %v, tile coverage %v, raster %v\n"+
 			"memo hits/misses: scenes %d/%d, preparations %d/%d, simulations %d/%d",
 		t.Generate.Round(time.Millisecond),
-		t.Prepare.Round(time.Millisecond),
+		t.Geometry.Round(time.Millisecond),
+		t.Coverage.Round(time.Millisecond),
 		t.Raster.Round(time.Millisecond),
 		t.SceneHits, t.SceneMisses,
 		t.PrepHits, t.PrepMisses,
