@@ -31,8 +31,11 @@ import (
 	"strings"
 	"syscall"
 
+	"dtexl/internal/core"
 	"dtexl/internal/pipeline"
+	"dtexl/internal/pipeline/traceexport"
 	"dtexl/internal/sim"
+	"dtexl/internal/trace"
 )
 
 // Exit-code contract (see DESIGN.md "Failure model & degradation").
@@ -64,6 +67,9 @@ func run() int {
 		chaosStr = flag.String("chaos", "", "fault injection spec bench/policy/mode (mode: panic, error, stall; testing only)")
 		cpuProf  = flag.String("cpuprofile", "", "write a pprof CPU profile of the whole run to this file")
 		memProf  = flag.String("memprofile", "", "write a pprof heap profile (post-run, after GC) to this file")
+		traceOut = flag.String("trace", "", "write a Chrome/Perfetto trace of one instrumented run to this file and exit (uses the first benchmark of -benchmarks)")
+		tracePol = flag.String("trace-policy", "baseline", "policy for the -trace run (baseline, baseline-decoupled, DTexL, ...)")
+		sample   = flag.Int64("sample", 4096, "interval-sampling period in cycles for the -trace run (Config.SampleEvery; 0 disables counter tracks)")
 	)
 	flag.Parse()
 
@@ -141,6 +147,13 @@ func run() int {
 		}
 	}
 
+	if *traceOut != "" {
+		if err := runTrace(r, opt, *traceOut, *tracePol, *sample); err != nil {
+			return fatal(err)
+		}
+		return exitOK
+	}
+
 	ids := []string{*exp}
 	if *exp == "all" {
 		ids = sim.ExperimentIDs()
@@ -193,6 +206,45 @@ func fatal(err error) int {
 		fmt.Fprintln(os.Stderr, "dtexlbench: interrupted; rerun with the same -checkpoint dir to resume")
 	}
 	return exitFatal
+}
+
+// runTrace captures one instrumented simulation — interval sampling on,
+// and the coupled tile timeline when the policy is coupled — and writes
+// it as Chrome/Perfetto trace_event JSON (load in ui.perfetto.dev; one
+// trace microsecond = one simulated cycle).
+func runTrace(r *sim.Runner, opt sim.Options, out, polName string, sample int64) error {
+	pol, err := core.PolicyByName(polName)
+	if err != nil {
+		return err
+	}
+	aliases := trace.Aliases()
+	if len(opt.Benchmarks) > 0 {
+		aliases = opt.Benchmarks
+	}
+	alias := aliases[0]
+	res, err := r.RunOneWith(alias, pol, func(cfg *pipeline.Config) {
+		cfg.SampleEvery = sample
+		if !cfg.Decoupled {
+			cfg.CollectTimeline = true // tile + barrier spans need the timeline
+		}
+	})
+	if err != nil {
+		return err
+	}
+	f, err := os.Create(out)
+	if err != nil {
+		return err
+	}
+	if err := traceexport.Write(f, res.Metrics); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "dtexlbench: wrote trace of %s under %s to %s (%d tiles, %d interval samples)\n",
+		alias, pol.Name, out, len(res.Metrics.Timeline), len(res.Metrics.Intervals))
+	return nil
 }
 
 // writeSVG renders one experiment's figure into dir/<id>.svg. Simulation

@@ -91,3 +91,31 @@ func BenchmarkRunFrame(b *testing.B) {
 		})
 	}
 }
+
+// BenchmarkRunInstrumented bounds the cycle-attribution subsystem's
+// cost on a whole coupled frame. The "off" variant is the default
+// configuration (stall counters only — they ride the existing clock
+// updates); "on" adds interval sampling and the tile timeline. CI
+// compares the two medians directly (see the bench job), gating the
+// enabled-path overhead at 5%.
+func BenchmarkRunInstrumented(b *testing.B) {
+	for _, bc := range []struct {
+		name string
+		on   bool
+	}{{"off", false}, {"on", true}} {
+		b.Run(bc.name, func(b *testing.B) {
+			cfg := benchConfig()
+			if bc.on {
+				cfg.SampleEvery = 1024
+				cfg.CollectTimeline = true
+			}
+			scene := benchScene(b, "SWa", cfg)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := Run(scene, cfg); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

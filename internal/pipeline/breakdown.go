@@ -1,0 +1,106 @@
+package pipeline
+
+// Cycle-attributed stall accounting (§III-E, Fig. 17's mechanism). Every
+// shader-core cycle of the raster phase is attributed to exactly one
+// disjoint cause, so the paper's idle-time story — coupled barriers turn
+// SC time into barrier-idle, decoupled barriers turn it into useful work
+// bounded only by texture latency and raster supply — can be decomposed,
+// plotted and regression-tested instead of inferred from a lump-sum idle
+// counter.
+//
+// The taxonomy is operational: the executors advance an SC's clock in
+// exactly four ways, and each advance increments exactly one counter.
+//
+//   - Busy: cycles the SC issued ALU work (scState.exec).
+//   - TexWait: the SC had resident warps but none ready — the clock
+//     jumped to the earliest texture-fill completion (scState.step).
+//   - BarrierWait: coupled mode only — the SC waited at the inter-tile
+//     barrier for the slowest core of the previous tile plus the fixed
+//     barrier-crossing cost (executor.coupledTile's gate alignment, up
+//     to the barrier component of the gate).
+//   - QueueEmpty: the SC had no admissible quads because the rasterizer
+//     (or, decoupled, its own previous bank flush) had not produced its
+//     next stream yet — the raster-supply component of gate waits in all
+//     three executors.
+//   - DrainWait: end-of-frame — the SC finished its last quad and waited
+//     for the remaining cores and flushes to drain (frameEnd - clock).
+//
+// Conservation law, enforced by TestStallBreakdownConserved: for every
+// SC, Busy + TexWait + BarrierWait + QueueEmpty + DrainWait equals the
+// frame's raster cycles exactly, and the sum of the four wait causes
+// over all SCs equals the legacy EventCounts.SCIdleCycles bit-for-bit.
+
+// SCBreakdown attributes one shader core's raster-phase cycles to the
+// five disjoint stall causes. All counters are exact (no sampling).
+type SCBreakdown struct {
+	// Busy is cycles spent issuing ALU instructions.
+	Busy int64
+	// TexWait is cycles stalled on texture data with warps resident:
+	// L1/L2/DRAM miss latency and fill-port queueing the other warps
+	// could not hide.
+	TexWait int64
+	// BarrierWait is cycles aligned at a coupled inter-tile barrier
+	// (waiting for slower cores plus TileBarrierCycles). Structurally
+	// zero for the decoupled and IMR executors.
+	BarrierWait int64
+	// QueueEmpty is cycles with no admissible input: the rasterizer had
+	// not produced the SC's next quad stream (pipeline fill, raster-bound
+	// tiles, decoupled window stalls and bank-flush gating).
+	QueueEmpty int64
+	// DrainWait is end-of-frame cycles between the SC's last event and
+	// frame completion (other cores and posted flushes draining).
+	DrainWait int64
+}
+
+// Total is the sum of all five causes — the SC's share of RasterCycles.
+func (b SCBreakdown) Total() int64 {
+	return b.Busy + b.TexWait + b.BarrierWait + b.QueueEmpty + b.DrainWait
+}
+
+// Idle is the sum of the four wait causes — the SC's share of the legacy
+// SCIdleCycles lump.
+func (b SCBreakdown) Idle() int64 {
+	return b.TexWait + b.BarrierWait + b.QueueEmpty + b.DrainWait
+}
+
+// Add accumulates o into b (multi-frame aggregation).
+func (b *SCBreakdown) Add(o SCBreakdown) {
+	b.Busy += o.Busy
+	b.TexWait += o.TexWait
+	b.BarrierWait += o.BarrierWait
+	b.QueueEmpty += o.QueueEmpty
+	b.DrainWait += o.DrainWait
+}
+
+// scBreakdowns assembles the per-SC breakdown at frame end. frameEnd is
+// the raster phase's completion cycle; the gap between an SC's final
+// clock and it is the drain wait.
+func scBreakdowns(scs []*scState, frameEnd int64) []SCBreakdown {
+	out := make([]SCBreakdown, len(scs))
+	for i, sc := range scs {
+		drain := frameEnd - sc.clock
+		if drain < 0 {
+			// Cannot happen (frameEnd majorizes every SC clock); keep the
+			// breakdown non-negative so a future executor bug surfaces as
+			// a conservation failure, not a negative counter.
+			drain = 0
+		}
+		out[i] = SCBreakdown{
+			Busy:        sc.busy,
+			TexWait:     sc.texWait,
+			BarrierWait: sc.barrierWait,
+			QueueEmpty:  sc.queueEmpty,
+			DrainWait:   drain,
+		}
+	}
+	return out
+}
+
+// BreakdownTotals sums the per-SC breakdown over all shader cores.
+func (m *Metrics) BreakdownTotals() SCBreakdown {
+	var t SCBreakdown
+	for _, b := range m.SCBreakdown {
+		t.Add(b)
+	}
+	return t
+}

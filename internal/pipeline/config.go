@@ -109,6 +109,17 @@ type Config struct {
 	// for visualizing barrier bubbles.
 	CollectTimeline bool
 
+	// SampleEvery, when positive, snapshots per-SC occupancy, queue
+	// depth, busy-cycle deltas and L1/L2 traffic deltas into
+	// Metrics.Intervals roughly every SampleEvery cycles (at the first
+	// SC event on or after each boundary). 0 disables sampling entirely:
+	// the executors then carry a single nil pointer check per scheduling
+	// step and the simulated timing, traffic and output are untouched —
+	// the steady state stays allocation-free. Sampling never perturbs
+	// the simulation either way (it only reads state), so it is excluded
+	// from the prepared-frame memo key like WatchdogSteps.
+	SampleEvery int64
+
 	// WatchdogSteps bounds how many scheduling steps an executor may
 	// take without any SC clock advance or quad retirement before the
 	// run fails with a *StallError (livelock detection). 0 selects the
@@ -175,6 +186,8 @@ func (c Config) Validate() error {
 		return fmt.Errorf("pipeline: ClockHz must be positive")
 	case c.WatchdogSteps < 0:
 		return fmt.Errorf("pipeline: WatchdogSteps must be non-negative")
+	case c.SampleEvery < 0:
+		return fmt.Errorf("pipeline: SampleEvery must be non-negative")
 	// Out-of-range enum values would otherwise surface as panics deep in
 	// the run (e.g. tileorder.Sequence); reject them here instead.
 	case c.Grouping < sched.FGChecker || c.Grouping > sched.CGTri:
@@ -294,6 +307,19 @@ type Metrics struct {
 	// Timeline holds per-tile execution spans when CollectTimeline is set
 	// on a coupled run.
 	Timeline []TileTiming
+
+	// SCBreakdown attributes every raster-phase cycle of each shader
+	// core to one of five disjoint stall causes (see breakdown.go). For
+	// every SC, SCBreakdown[i].Total() == RasterCycles exactly, and the
+	// Idle() sum over SCs equals Events.SCIdleCycles bit-for-bit.
+	SCBreakdown []SCBreakdown
+
+	// Intervals is the periodic time series captured when
+	// Config.SampleEvery > 0 (see interval.go); nil otherwise. The ring
+	// buffer keeps the most recent maxIntervals snapshots;
+	// IntervalsDropped counts older snapshots that were overwritten.
+	Intervals        []Interval
+	IntervalsDropped int
 
 	// L1Tex and L2 and DRAM summarize the memory system.
 	L1Tex cache.Stats

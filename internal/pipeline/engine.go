@@ -105,6 +105,9 @@ func rasterFrame(ctx context.Context, cfg Config, hier *cache.Hierarchy, geo Geo
 	ex := newExecutor(cfg, hier, geo.Primitives, binning)
 	ex.raster.cov.pre = covers
 	ex.wd = newWatchdog(ctx, cfg)
+	if cfg.SampleEvery > 0 {
+		ex.es.sampler = newIntervalSampler(cfg.SampleEvery, ex.scs, hier)
+	}
 	var err error
 	if cfg.Decoupled {
 		err = ex.runDecoupled()
@@ -124,7 +127,9 @@ func rasterFrame(ctx context.Context, cfg Config, hier *cache.Hierarchy, geo Geo
 		TileTimeDeviation: ex.tileTimeDev,
 		TileQuadDeviation: ex.tileQuadDev,
 		Timeline:          ex.timeline,
+		SCBreakdown:       scBreakdowns(ex.scs, ex.frameEnd),
 	}
+	m.Intervals, m.IntervalsDropped = ex.es.sampler.drain()
 	m.Cycles = m.GeometryCycles + m.RasterCycles
 	m.FPS = cfg.ClockHz / float64(m.Cycles)
 
@@ -341,19 +346,34 @@ func (ex *executor) coupledTile(i int) error {
 	rasterDone := rasterStart + tw.rasterCycles
 	ex.cRasterPrev = rasterDone
 
+	// barGate is the barrier-release point: the slowest core of the
+	// previous tile plus the fixed crossing cost. The gate additionally
+	// waits for the rasterizer when it runs behind.
 	gate := ex.cGatePrev
 	if i > 0 {
 		gate += ex.cfg.TileBarrierCycles
 	}
+	barGate := gate
 	if rasterDone > gate {
 		gate = rasterDone
 	}
 	ex.gates[i] = gate
 
-	// Barrier: all SCs align to the gate, then drain this tile.
+	// Barrier: all SCs align to the gate, then drain this tile. The
+	// alignment is attributed per SC: cycles up to barGate are
+	// BarrierWait (waiting for slower cores and the crossing cost; for
+	// tile 0 barGate is 0, so the pipeline-fill wait is all supply);
+	// any excess up to the gate is the rasterizer running behind —
+	// QueueEmpty.
 	before := ex.cBefore
 	for si, sc := range ex.scs {
 		if sc.clock < gate {
+			bw := barGate - sc.clock
+			if bw < 0 {
+				bw = 0
+			}
+			sc.barrierWait += bw
+			sc.queueEmpty += gate - sc.clock - bw
 			sc.clock = gate
 		}
 		sc.setInput(tw, gate)

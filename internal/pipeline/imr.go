@@ -69,6 +69,9 @@ func RunIMRContext(ctx context.Context, scene *trace.Scene, cfg Config) (*Metric
 		}
 	}
 	im.wd = newWatchdog(ctx, cfg)
+	if cfg.SampleEvery > 0 {
+		im.es.sampler = newIntervalSampler(cfg.SampleEvery, im.scs, hier)
+	}
 	if err := im.run(geo.Primitives); err != nil {
 		return nil, err
 	}
@@ -79,7 +82,9 @@ func RunIMRContext(ctx context.Context, scene *trace.Scene, cfg Config) (*Metric
 		RasterCycles:   im.frameEnd,
 		PerSCQuads:     make([]uint64, cfg.NumSC),
 		PerSCBusy:      make([]int64, cfg.NumSC),
+		SCBreakdown:    scBreakdowns(im.scs, im.frameEnd),
 	}
+	m.Intervals, m.IntervalsDropped = im.es.sampler.drain()
 	m.Cycles = m.GeometryCycles + m.RasterCycles
 	m.FPS = cfg.ClockHz / float64(m.Cycles)
 	ev := &im.es.events

@@ -1,0 +1,135 @@
+package pipeline
+
+import (
+	"dtexl/internal/cache"
+)
+
+// Interval time series: when Config.SampleEvery > 0, the executors
+// snapshot scheduler and memory-system state at (roughly) periodic
+// simulated-cycle boundaries. Snapshots are taken at the first SC event
+// on or after each boundary — the executors are event-driven, so there
+// is no per-cycle tick to hook — and record only reads of existing
+// state: enabling sampling never changes the simulated timing, traffic
+// or image. The series is ring-buffered (maxIntervals) so a long frame
+// cannot grow memory without bound; the retained window is the most
+// recent one, which is where a stall under investigation usually lives.
+
+// maxIntervals bounds Metrics.Intervals: the ring keeps the most recent
+// maxIntervals snapshots and Metrics.IntervalsDropped counts the
+// overwritten remainder.
+const maxIntervals = 4096
+
+// Interval is one periodic snapshot of the raster phase. Slices are
+// indexed by SC id. Cycle is the raster-phase clock of the frame the
+// snapshot was taken in (multi-frame aggregation concatenates frames,
+// so Cycle restarts at each frame boundary).
+type Interval struct {
+	// Cycle is the clock of the SC whose event crossed the sampling
+	// boundary (>= the boundary itself).
+	Cycle int64
+	// Occupancy is resident warps per SC at the snapshot.
+	Occupancy []int32
+	// QueueDepth is un-admitted quads in each SC's current input stream.
+	QueueDepth []int32
+	// BusyDelta is per-SC busy cycles accumulated since the previous
+	// snapshot (utilization = BusyDelta / elapsed cycles).
+	BusyDelta []int64
+	// L1Tex and L2 are the traffic accumulated since the previous
+	// snapshot, aggregated over all L1 texture caches / the shared L2.
+	L1Tex cache.Stats
+	L2    cache.Stats
+}
+
+// intervalSampler drives the periodic snapshots. A nil sampler (the
+// SampleEvery == 0 default) costs the executors one pointer comparison
+// per scheduling step and nothing else.
+type intervalSampler struct {
+	every int64
+	next  int64
+	scs   []*scState
+	hier  *cache.Hierarchy
+
+	ring  []Interval
+	taken int // total snapshots, including overwritten ones
+
+	// previous-snapshot state for the delta fields. The cache baselines
+	// start at the hierarchy's state when the sampler is created (the
+	// post-geometry state), so the first interval covers raster-phase
+	// traffic only.
+	prevBusy []int64
+	prevL1   cache.Stats
+	prevL2   cache.Stats
+}
+
+func newIntervalSampler(every int64, scs []*scState, hier *cache.Hierarchy) *intervalSampler {
+	return &intervalSampler{
+		every:    every,
+		next:     every,
+		scs:      scs,
+		hier:     hier,
+		prevBusy: make([]int64, len(scs)),
+		prevL1:   hier.L1TexStats(),
+		prevL2:   hier.L2.Stats(),
+	}
+}
+
+// sample records one snapshot at clock `now` and arms the next boundary.
+// Callers fire it from the scheduling step whose event reached s.next;
+// boundaries the event jumped over collapse into this one snapshot (the
+// series is a sampling of state, not an integral, and the delta fields
+// span the whole gap regardless).
+func (s *intervalSampler) sample(now int64) {
+	var iv *Interval
+	if len(s.ring) < maxIntervals {
+		s.ring = append(s.ring, Interval{})
+		iv = &s.ring[len(s.ring)-1]
+	} else {
+		iv = &s.ring[s.taken%maxIntervals]
+	}
+	s.taken++
+
+	n := len(s.scs)
+	if iv.Occupancy == nil {
+		iv.Occupancy = make([]int32, n)
+		iv.QueueDepth = make([]int32, n)
+		iv.BusyDelta = make([]int64, n)
+	}
+	iv.Cycle = now
+	for i, sc := range s.scs {
+		iv.Occupancy[i] = int32(len(sc.warps))
+		q := 0
+		if sc.inTile != nil {
+			q = len(sc.inTile.perSC[sc.id]) - sc.inPos
+		}
+		iv.QueueDepth[i] = int32(q)
+		iv.BusyDelta[i] = sc.busy - s.prevBusy[i]
+		s.prevBusy[i] = sc.busy
+	}
+	l1 := s.hier.L1TexStats()
+	l2 := s.hier.L2.Stats()
+	iv.L1Tex = statsDelta(l1, s.prevL1)
+	iv.L2 = statsDelta(l2, s.prevL2)
+	s.prevL1, s.prevL2 = l1, l2
+
+	s.next = (now/s.every + 1) * s.every
+}
+
+// drain returns the retained snapshots in chronological order plus the
+// overwritten count. Nil-receiver safe (sampling disabled).
+func (s *intervalSampler) drain() ([]Interval, int) {
+	if s == nil || s.taken == 0 {
+		return nil, 0
+	}
+	if s.taken <= maxIntervals {
+		out := make([]Interval, len(s.ring))
+		copy(out, s.ring)
+		return out, 0
+	}
+	// The ring wrapped: the oldest retained snapshot sits at the next
+	// overwrite position.
+	out := make([]Interval, 0, maxIntervals)
+	start := s.taken % maxIntervals
+	out = append(out, s.ring[start:]...)
+	out = append(out, s.ring[:start]...)
+	return out, s.taken - maxIntervals
+}

@@ -1,0 +1,299 @@
+package pipeline
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"os"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+
+	"dtexl/internal/cache"
+	"dtexl/internal/sched"
+)
+
+var updateGolden = flag.Bool("update", false, "rewrite the golden metrics files")
+
+// TestStatsDeltaCoversAllFields guards engine.go's hand-listed statsDelta
+// against silent drift: when a field is added to cache.Stats but not to
+// statsDelta, the per-frame deltas of RunFrames (and the interval time
+// series) silently report cumulative values for it. The reflection walk
+// fails the moment the field list and the subtraction disagree.
+func TestStatsDeltaCoversAllFields(t *testing.T) {
+	var cur, prev cache.Stats
+	cv := reflect.ValueOf(&cur).Elem()
+	pv := reflect.ValueOf(&prev).Elem()
+	st := cv.Type()
+	for i := 0; i < st.NumField(); i++ {
+		if st.Field(i).Type.Kind() != reflect.Uint64 {
+			t.Fatalf("cache.Stats.%s is %s, not uint64: teach statsDelta (engine.go) and this test about it",
+				st.Field(i).Name, st.Field(i).Type)
+		}
+		cv.Field(i).SetUint(uint64(1000 * (i + 1)))
+		pv.Field(i).SetUint(uint64(i + 1))
+	}
+	d := statsDelta(cur, prev)
+	dv := reflect.ValueOf(d)
+	for i := 0; i < st.NumField(); i++ {
+		want := cv.Field(i).Uint() - pv.Field(i).Uint()
+		if got := dv.Field(i).Uint(); got != want {
+			t.Errorf("statsDelta drops cache.Stats.%s: got %d, want %d — add it to statsDelta in engine.go",
+				st.Field(i).Name, got, want)
+		}
+	}
+}
+
+// goldenConfig returns the instrumented small-scale configuration the
+// golden metrics are recorded under: timeline and interval sampling on,
+// so every observability field is exercised and present in the JSON.
+func goldenConfig() Config {
+	cfg := testConfig()
+	cfg.CollectTimeline = true
+	cfg.SampleEvery = 512
+	return cfg
+}
+
+// TestMetricsGolden locks the full Metrics struct of one (benchmark,
+// policy) per executor against checked-in golden JSON, and walks the
+// Metrics type by reflection so a newly added field that is invisible in
+// the golden (json:"-", omitempty, or a stale file) fails loudly instead
+// of drifting silently. Regenerate with `go test ./internal/pipeline
+// -run TestMetricsGolden -update` after an intentional change.
+func TestMetricsGolden(t *testing.T) {
+	cases := []struct {
+		name string
+		run  func(t *testing.T) *Metrics
+	}{
+		{"coupled", func(t *testing.T) *Metrics {
+			cfg := goldenConfig()
+			m, err := Run(testScene(t, "SWa", cfg), cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			return m
+		}},
+		{"decoupled", func(t *testing.T) *Metrics {
+			cfg := goldenConfig()
+			cfg.Decoupled = true
+			cfg.Grouping = sched.CGSquare
+			m, err := Run(testScene(t, "SWa", cfg), cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			return m
+		}},
+		{"imr", func(t *testing.T) *Metrics {
+			cfg := goldenConfig()
+			m, err := RunIMR(testScene(t, "SWa", cfg), cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			return m
+		}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			m := tc.run(t)
+			got, err := json.MarshalIndent(m, "", "  ")
+			if err != nil {
+				t.Fatal(err)
+			}
+			got = append(got, '\n')
+			path := filepath.Join("testdata", "golden_metrics_"+tc.name+".json")
+			if *updateGolden {
+				if err := os.WriteFile(path, got, 0o644); err != nil {
+					t.Fatal(err)
+				}
+				return
+			}
+			want, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatalf("%v (run with -update to record the golden)", err)
+			}
+			if !bytes.Equal(got, want) {
+				t.Errorf("%s metrics diverge from %s: simulation output changed; if intentional, rerun with -update", tc.name, path)
+			}
+		})
+	}
+
+	// Every field of the Metrics tree must be visible in at least one
+	// golden (the coupled one carries the Timeline-only fields), or the
+	// byte comparisons above cannot protect it: a field hidden by a
+	// json:"-" or omitempty tag — or simply absent from every recorded
+	// executor — would drift without failing anything.
+	t.Run("field-walk", func(t *testing.T) {
+		var union []byte
+		for _, tc := range cases {
+			b, err := os.ReadFile(filepath.Join("testdata", "golden_metrics_"+tc.name+".json"))
+			if err != nil {
+				t.Fatalf("%v (run with -update to record the golden)", err)
+			}
+			union = append(union, b...)
+		}
+		for _, field := range structFieldNames(reflect.TypeOf(Metrics{})) {
+			if !bytes.Contains(union, []byte(`"`+field+`"`)) {
+				t.Errorf("field %q of Metrics appears in no golden: marshal it and rerun with -update", field)
+			}
+		}
+	})
+}
+
+// structFieldNames walks a struct type and returns the JSON-visible
+// names of every exported field, recursing through nested structs and
+// slices/arrays of structs (but not through pointers or maps, whose
+// contents need not be populated in the golden).
+func structFieldNames(t reflect.Type) []string {
+	var names []string
+	seen := map[reflect.Type]bool{}
+	var walk func(t reflect.Type)
+	walk = func(t reflect.Type) {
+		if t.Kind() != reflect.Struct || seen[t] {
+			return
+		}
+		seen[t] = true
+		for i := 0; i < t.NumField(); i++ {
+			f := t.Field(i)
+			if !f.IsExported() {
+				continue
+			}
+			name := f.Name
+			if tag, ok := f.Tag.Lookup("json"); ok {
+				if tag == "-" {
+					continue
+				}
+				if i := strings.IndexByte(tag, ','); i >= 0 {
+					tag = tag[:i]
+				}
+				if tag != "" {
+					name = tag
+				}
+			}
+			names = append(names, name)
+			ft := f.Type
+			for ft.Kind() == reflect.Slice || ft.Kind() == reflect.Array {
+				ft = ft.Elem()
+			}
+			walk(ft)
+		}
+	}
+	walk(t)
+	return names
+}
+
+// TestStallBreakdownConservedSmall is the pipeline-local conservation
+// check (the whole-suite sweep lives in internal/sim): for each
+// executor, every SC's five causes sum to the raster cycle count
+// exactly, and their idle components reproduce Events.SCIdleCycles
+// bit-for-bit.
+func TestStallBreakdownConservedSmall(t *testing.T) {
+	cfg := testConfig()
+	scene := testScene(t, "CRa", cfg)
+	run := map[string]func() (*Metrics, error){
+		"coupled": func() (*Metrics, error) { return Run(scene, cfg) },
+		"decoupled": func() (*Metrics, error) {
+			c := cfg
+			c.Decoupled = true
+			c.Grouping = sched.CGSquare
+			return Run(scene, c)
+		},
+		"imr": func() (*Metrics, error) { return RunIMR(scene, cfg) },
+	}
+	for name, f := range run {
+		m, err := f()
+		if err != nil {
+			t.Fatal(err)
+		}
+		assertBreakdownConserved(t, name, m)
+	}
+}
+
+// assertBreakdownConserved checks the conservation law on one frame's
+// metrics. Shared with the sampling-invariance test below.
+func assertBreakdownConserved(t *testing.T, name string, m *Metrics) {
+	t.Helper()
+	if len(m.SCBreakdown) != m.Config.NumSC {
+		t.Fatalf("%s: SCBreakdown has %d entries, want NumSC=%d", name, len(m.SCBreakdown), m.Config.NumSC)
+	}
+	var idle int64
+	for i, b := range m.SCBreakdown {
+		if got := b.Total(); got != m.RasterCycles {
+			t.Errorf("%s: SC%d breakdown sums to %d, want RasterCycles=%d (%+v)",
+				name, i, got, m.RasterCycles, b)
+		}
+		if b.Busy < 0 || b.TexWait < 0 || b.BarrierWait < 0 || b.QueueEmpty < 0 || b.DrainWait < 0 {
+			t.Errorf("%s: SC%d has a negative cause: %+v", name, i, b)
+		}
+		idle += b.Idle()
+	}
+	if uint64(idle) != m.Events.SCIdleCycles {
+		t.Errorf("%s: breakdown idle sum %d != legacy SCIdleCycles %d", name, idle, m.Events.SCIdleCycles)
+	}
+	if m.Config.Decoupled {
+		if bt := m.BreakdownTotals(); bt.BarrierWait != 0 {
+			t.Errorf("%s: decoupled run reports %d barrier-wait cycles, want structural 0", name, bt.BarrierWait)
+		}
+	}
+}
+
+// TestSamplingDoesNotPerturbSimulation proves Config.SampleEvery is
+// purely observational: an instrumented run's metrics equal the
+// uninstrumented run's bit-for-bit once the observability-only fields
+// (Intervals and the config knob itself) are set aside, in all three
+// executors. It also sanity-checks the series' shape.
+func TestSamplingDoesNotPerturbSimulation(t *testing.T) {
+	cfg := testConfig()
+	scene := testScene(t, "SWa", cfg)
+	type variant struct {
+		name string
+		run  func(c Config) (*Metrics, error)
+		cfg  Config
+	}
+	dec := cfg
+	dec.Decoupled = true
+	dec.Grouping = sched.CGSquare
+	variants := []variant{
+		{"coupled", func(c Config) (*Metrics, error) { return Run(scene, c) }, cfg},
+		{"decoupled", func(c Config) (*Metrics, error) { return Run(scene, c) }, dec},
+		{"imr", func(c Config) (*Metrics, error) { return RunIMR(scene, c) }, cfg},
+	}
+	for _, v := range variants {
+		t.Run(v.name, func(t *testing.T) {
+			base, err := v.run(v.cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if base.Intervals != nil || base.IntervalsDropped != 0 {
+				t.Fatalf("uninstrumented run produced %d intervals", len(base.Intervals))
+			}
+			c := v.cfg
+			c.SampleEvery = 256
+			inst, err := v.run(c)
+			if err != nil {
+				t.Fatal(err)
+			}
+			assertBreakdownConserved(t, v.name+"/instrumented", inst)
+			if len(inst.Intervals) == 0 {
+				t.Fatal("instrumented run captured no intervals")
+			}
+			prev := int64(0)
+			for i, iv := range inst.Intervals {
+				if iv.Cycle <= prev && i > 0 {
+					t.Fatalf("interval %d at cycle %d not after previous (%d)", i, iv.Cycle, prev)
+				}
+				if len(iv.Occupancy) != c.NumSC || len(iv.QueueDepth) != c.NumSC || len(iv.BusyDelta) != c.NumSC {
+					t.Fatalf("interval %d has wrong per-SC arity", i)
+				}
+				prev = iv.Cycle
+			}
+			// Everything except the series itself (and the knob that
+			// enabled it) must match the uninstrumented run exactly.
+			inst.Intervals, inst.IntervalsDropped = nil, 0
+			inst.Config.SampleEvery = 0
+			if !reflect.DeepEqual(base, inst) {
+				t.Errorf("%s: sampling perturbed the simulation output", v.name)
+			}
+		})
+	}
+}

@@ -92,6 +92,25 @@ func TestPreparedRunsBitIdenticalWithPooling(t *testing.T) {
 		if !reflect.DeepEqual(live, memo) {
 			t.Errorf("decoupled=%v: prepared run differs from live run", decoupled)
 		}
+
+		// Instrumentation-off invariance, prepared-path half: a prepared
+		// run with interval sampling enabled must still be bit-identical
+		// to the uninstrumented live run outside the observability-only
+		// fields (the same prepared frame is reusable either way).
+		ci := c
+		ci.SampleEvery = 512
+		inst, err := RunPrepared(prep, ci)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(inst.Intervals) == 0 {
+			t.Fatalf("decoupled=%v: instrumented prepared run captured no intervals", decoupled)
+		}
+		inst.Intervals, inst.IntervalsDropped = nil, 0
+		inst.Config.SampleEvery = 0
+		if !reflect.DeepEqual(live, inst) {
+			t.Errorf("decoupled=%v: sampling perturbed the prepared run", decoupled)
+		}
 	}
 }
 
@@ -117,6 +136,13 @@ func TestCoupledSteadyStateZeroAlloc(t *testing.T) {
 	ex := newExecutor(cfg, hier, geo.Primitives, bin)
 	ex.raster.cov.pre = covers
 	ex.wd = newWatchdog(context.Background(), cfg)
+	// Instrumentation-off invariance: with the default SampleEvery == 0
+	// no sampler exists, so the only observability cost on this path is
+	// the stall counters' integer adds — which allocate nothing.
+	if cfg.SampleEvery != 0 || ex.es.sampler != nil {
+		t.Fatalf("instrumentation unexpectedly enabled by default (SampleEvery=%d, sampler=%v)",
+			cfg.SampleEvery, ex.es.sampler)
+	}
 	ex.beginCoupled()
 	if err := ex.coupledTile(0); err != nil {
 		t.Fatal(err)

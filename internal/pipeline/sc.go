@@ -37,7 +37,13 @@ type scState struct {
 	id    int
 	clock int64
 	busy  int64 // cycles spent issuing instructions
-	warps []warpState
+	// Stall attribution (see breakdown.go): every clock advance that is
+	// not busy execution lands in exactly one of these counters, so
+	// busy + texWait + barrierWait + queueEmpty == clock at all times.
+	texWait     int64 // clock jumps to the earliest texture-fill return
+	barrierWait int64 // coupled barrier alignment up to the release point
+	queueEmpty  int64 // waits for raster supply / bank-flush gates
+	warps       []warpState
 	// ready[i] is the cycle warps[i] may issue again (parallel to warps;
 	// see warpState).
 	ready []int64
@@ -167,6 +173,9 @@ func (sc *scState) step(e *engineState) bool {
 			}
 		}
 		sc.exec(e, pick)
+		if e.sampler != nil && sc.clock >= e.sampler.next {
+			e.sampler.sample(sc.clock)
+		}
 		return true
 	}
 
@@ -176,15 +185,31 @@ func (sc *scState) step(e *engineState) bool {
 	if best >= 0 {
 		next = minReady
 	}
+	fromGate := false
 	if sc.hasInput() && len(sc.warps) < e.cfg.WarpSlots && sc.inGate > sc.clock {
 		if next < 0 || sc.inGate < next {
 			next = sc.inGate
+			fromGate = true
 		}
 	}
 	if next <= sc.clock {
 		return false // blocked: executor must supply input or a new gate
 	}
+	// Attribute the jump: a wait for the input gate is raster supply (or
+	// a bank-flush gate) running behind — QueueEmpty; a wait for a
+	// resident warp's ready time is texture latency the other warps
+	// could not cover — TexWait. On a tie the SC is waiting for both;
+	// texture is the binding constraint (the gate alone opens no warp
+	// until its quads are admitted on the next step), so TexWait wins.
+	if fromGate {
+		sc.queueEmpty += next - sc.clock
+	} else {
+		sc.texWait += next - sc.clock
+	}
 	sc.clock = next
+	if e.sampler != nil && sc.clock >= e.sampler.next {
+		e.sampler.sample(sc.clock)
+	}
 	return true
 }
 
@@ -293,4 +318,8 @@ type engineState struct {
 	events EventCounts
 	// retire is invoked at each quad completion (blending bookkeeping).
 	retire func(sc *scState, tw *tileWork, at int64)
+	// sampler, when non-nil, captures the Config.SampleEvery interval
+	// time series; nil (the default) keeps the hot path at one pointer
+	// comparison per step.
+	sampler *intervalSampler
 }

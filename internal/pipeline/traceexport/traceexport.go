@@ -1,0 +1,184 @@
+// Package traceexport renders a frame's Metrics as Chrome/Perfetto
+// trace_event JSON (the "JSON Trace Event Format"), loadable in
+// ui.perfetto.dev or chrome://tracing. One simulated cycle maps to one
+// microsecond of trace time (the format's ts unit), so a span of N
+// trace-microseconds is N cycles.
+//
+// The trace carries three kinds of tracks, all under a single process:
+//
+//   - One "tiles" thread track with the frame span, a span per tile of
+//     the coupled walk ([Gate, max Finish], from Metrics.Timeline) and
+//     the barrier regions between consecutive tiles — the visual of the
+//     §II-C barrier bubbles.
+//   - One thread track per shader core with its execution span for each
+//     tile it shaded ([Gate, Finish[sc]]).
+//   - Counter tracks (warp occupancy, input-queue depth, SC utilization,
+//     L1/L2 hit rates) sampled from Metrics.Intervals when the run had
+//     Config.SampleEvery set.
+//
+// Tile/barrier tracks need a coupled run with Config.CollectTimeline;
+// counter tracks need Config.SampleEvery > 0. A Metrics without either
+// still produces a valid (if span-less) trace.
+//
+// The writer enforces the format's per-track invariants regardless of
+// input: begin/end events are balanced, durations are non-negative and
+// each track's event times are monotone (out-of-order or negative input
+// spans are clamped forward). On well-formed executor output the clamps
+// are no-ops and spans reproduce Metrics.Timeline exactly; the fuzz test
+// relies on the clamps to keep arbitrary Timeline bytes valid.
+package traceexport
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"dtexl/internal/pipeline"
+)
+
+// pid is the single trace process all tracks live under.
+const pid = 0
+
+// Event is one trace_event entry. Ph "B"/"E" delimit duration spans,
+// "C" carries counter samples, "M" is track metadata.
+type Event struct {
+	Name string         `json:"name"`
+	Ph   string         `json:"ph"`
+	Ts   int64          `json:"ts"`
+	Pid  int            `json:"pid"`
+	Tid  int            `json:"tid"`
+	Args map[string]any `json:"args,omitempty"`
+}
+
+// trace is the top-level JSON object (the "JSON Object Format" variant,
+// which tolerates trailing metadata fields).
+type trace struct {
+	TraceEvents []Event `json:"traceEvents"`
+	// DisplayTimeUnit only affects how the UI prints times.
+	DisplayTimeUnit string `json:"displayTimeUnit"`
+}
+
+// emitter accumulates events while keeping each track's span sequence
+// balanced and monotone.
+type emitter struct {
+	evs  []Event
+	last map[int]int64 // per-tid high-water mark of emitted span times
+}
+
+// span emits one B/E pair on track tid, clamped so it begins no earlier
+// than the track's previous span ended (and never before 0) and ends no
+// earlier than it begins. Returns the clamped bounds.
+func (em *emitter) span(tid int, name string, begin, end int64, args map[string]any) (int64, int64) {
+	if begin < em.last[tid] {
+		begin = em.last[tid]
+	}
+	if end < begin {
+		end = begin
+	}
+	em.last[tid] = end
+	em.evs = append(em.evs,
+		Event{Name: name, Ph: "B", Ts: begin, Pid: pid, Tid: tid, Args: args},
+		Event{Name: name, Ph: "E", Ts: end, Pid: pid, Tid: tid})
+	return begin, end
+}
+
+// meta emits a metadata event (process/thread naming).
+func (em *emitter) meta(name string, tid int, value string) {
+	em.evs = append(em.evs, Event{
+		Name: name, Ph: "M", Pid: pid, Tid: tid,
+		Args: map[string]any{"name": value},
+	})
+}
+
+// Events builds the trace event list for one frame's metrics.
+func Events(m *pipeline.Metrics) []Event {
+	nsc := m.Config.NumSC
+	if nsc <= 0 {
+		nsc = len(m.PerSCBusy)
+	}
+	tilesTid := nsc
+
+	em := &emitter{last: make(map[int]int64)}
+	em.meta("process_name", 0, "dtexl raster pipeline")
+	for sc := 0; sc < nsc; sc++ {
+		em.meta("thread_name", sc, fmt.Sprintf("SC%d", sc))
+	}
+	em.meta("thread_name", tilesTid, "tiles")
+
+	// The frame span encloses every tile span on the tiles track; its E
+	// is emitted after the children so the per-track stack nests.
+	em.evs = append(em.evs, Event{Name: "raster", Ph: "B", Ts: 0, Pid: pid, Tid: tilesTid})
+
+	prevEnd := int64(0)
+	for i := range m.Timeline {
+		tt := &m.Timeline[i]
+		maxFin := tt.Gate
+		for _, f := range tt.Finish {
+			if f > maxFin {
+				maxFin = f
+			}
+		}
+		if i > 0 && tt.Gate > prevEnd {
+			// The inter-tile barrier region: FIFO drain/refill and bank
+			// swap between the previous tile's completion and this
+			// tile's release.
+			em.span(tilesTid, "barrier", prevEnd, tt.Gate, nil)
+		}
+		name := fmt.Sprintf("tile %d (%d,%d)", tt.Seq, tt.TX, tt.TY)
+		_, prevEnd = em.span(tilesTid, name, tt.Gate, maxFin, map[string]any{
+			"seq": tt.Seq, "tx": tt.TX, "ty": tt.TY,
+		})
+		for sc, f := range tt.Finish {
+			if sc >= nsc || f <= tt.Gate {
+				continue // the SC shaded nothing in this tile
+			}
+			em.span(sc, fmt.Sprintf("tile %d", tt.Seq), tt.Gate, f, nil)
+		}
+	}
+	frameEnd := m.RasterCycles
+	if frameEnd < em.last[tilesTid] {
+		frameEnd = em.last[tilesTid]
+	}
+	em.evs = append(em.evs, Event{Name: "raster", Ph: "E", Ts: frameEnd, Pid: pid, Tid: tilesTid})
+
+	// Counter tracks from the interval time series.
+	prevCycle := int64(0)
+	for i := range m.Intervals {
+		iv := &m.Intervals[i]
+		ts := iv.Cycle
+		if ts < 0 {
+			ts = 0
+		}
+		occ := make(map[string]any, len(iv.Occupancy))
+		queue := make(map[string]any, len(iv.QueueDepth))
+		util := make(map[string]any, len(iv.BusyDelta))
+		elapsed := ts - prevCycle
+		for sc := range iv.Occupancy {
+			key := fmt.Sprintf("SC%d", sc)
+			occ[key] = iv.Occupancy[sc]
+			if sc < len(iv.QueueDepth) {
+				queue[key] = iv.QueueDepth[sc]
+			}
+			if sc < len(iv.BusyDelta) && elapsed > 0 {
+				util[key] = 100 * float64(iv.BusyDelta[sc]) / float64(elapsed)
+			}
+		}
+		em.evs = append(em.evs,
+			Event{Name: "warp occupancy", Ph: "C", Ts: ts, Pid: pid, Tid: 0, Args: occ},
+			Event{Name: "input queue", Ph: "C", Ts: ts, Pid: pid, Tid: 0, Args: queue},
+			Event{Name: "SC utilization %", Ph: "C", Ts: ts, Pid: pid, Tid: 0, Args: util},
+			Event{Name: "L1 tex hit rate %", Ph: "C", Ts: ts, Pid: pid, Tid: 0,
+				Args: map[string]any{"L1": 100 * iv.L1Tex.HitRate()}},
+			Event{Name: "L2 hit rate %", Ph: "C", Ts: ts, Pid: pid, Tid: 0,
+				Args: map[string]any{"L2": 100 * iv.L2.HitRate()}},
+		)
+		prevCycle = ts
+	}
+	return em.evs
+}
+
+// Write renders m as trace_event JSON onto w.
+func Write(w io.Writer, m *pipeline.Metrics) error {
+	enc := json.NewEncoder(w)
+	return enc.Encode(trace{TraceEvents: Events(m), DisplayTimeUnit: "ms"})
+}

@@ -1,0 +1,227 @@
+package traceexport
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"testing"
+
+	"dtexl/internal/pipeline"
+	"dtexl/internal/sched"
+	dtrace "dtexl/internal/trace"
+)
+
+// testMetrics runs one small instrumented frame (timeline + interval
+// sampling) and returns its metrics.
+func testMetrics(t *testing.T, decoupled bool) *pipeline.Metrics {
+	t.Helper()
+	cfg := pipeline.DefaultConfig()
+	cfg.Width, cfg.Height = 256, 128
+	cfg.CollectTimeline = true
+	cfg.SampleEvery = 512
+	if decoupled {
+		cfg.Decoupled = true
+		cfg.Grouping = sched.CGSquare
+	}
+	prof, err := dtrace.ProfileByAlias("SWa")
+	if err != nil {
+		t.Fatal(err)
+	}
+	scene := dtrace.GenerateScene(prof, cfg.Width, cfg.Height, 1)
+	m, err := pipeline.Run(scene, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+// validateEvents enforces the trace_event invariants the writer
+// guarantees for arbitrary input: per-track monotone timestamps,
+// balanced B/E with matching names, and no negative durations. Returns
+// the first violation.
+func validateEvents(evs []Event) error {
+	type key struct{ pid, tid int }
+	stacks := make(map[key][]Event)
+	last := make(map[key]int64)
+	for i, ev := range evs {
+		k := key{ev.Pid, ev.Tid}
+		switch ev.Ph {
+		case "B":
+			if ev.Ts < 0 {
+				return fmt.Errorf("event %d: negative B timestamp %d", i, ev.Ts)
+			}
+			if ev.Ts < last[k] {
+				return fmt.Errorf("event %d (%q): B at %d before track high-water %d", i, ev.Name, ev.Ts, last[k])
+			}
+			stacks[k] = append(stacks[k], ev)
+			last[k] = ev.Ts
+		case "E":
+			st := stacks[k]
+			if len(st) == 0 {
+				return fmt.Errorf("event %d (%q): E with no open span on track %v", i, ev.Name, k)
+			}
+			open := st[len(st)-1]
+			stacks[k] = st[:len(st)-1]
+			if open.Name != ev.Name {
+				return fmt.Errorf("event %d: E %q closes B %q", i, ev.Name, open.Name)
+			}
+			if ev.Ts < open.Ts {
+				return fmt.Errorf("event %d (%q): negative duration %d..%d", i, ev.Name, open.Ts, ev.Ts)
+			}
+			last[k] = ev.Ts
+		case "C":
+			if ev.Ts < 0 {
+				return fmt.Errorf("event %d (%q): negative counter timestamp %d", i, ev.Name, ev.Ts)
+			}
+		case "M":
+			// metadata carries no timing
+		default:
+			return fmt.Errorf("event %d: unknown phase %q", i, ev.Ph)
+		}
+	}
+	for k, st := range stacks {
+		if len(st) > 0 {
+			return fmt.Errorf("track %v: %d unbalanced B event(s), first %q", k, len(st), st[0].Name)
+		}
+	}
+	return nil
+}
+
+// TestWriteRoundTrip writes a real coupled frame, parses the JSON back
+// and checks the structural invariants plus exact agreement between the
+// emitted tile spans and Metrics.Timeline (the executor's output is
+// monotone, so the writer's defensive clamps must all be no-ops).
+func TestWriteRoundTrip(t *testing.T) {
+	m := testMetrics(t, false)
+	if len(m.Timeline) == 0 || len(m.Intervals) == 0 {
+		t.Fatalf("instrumented run produced %d tiles, %d intervals", len(m.Timeline), len(m.Intervals))
+	}
+	var buf bytes.Buffer
+	if err := Write(&buf, m); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		TraceEvents []Event `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("emitted trace does not parse: %v", err)
+	}
+	if err := validateEvents(doc.TraceEvents); err != nil {
+		t.Fatal(err)
+	}
+
+	// Tile spans on the tiles track must reproduce the timeline exactly.
+	tilesTid := m.Config.NumSC
+	type spanRec struct{ b, e int64 }
+	spans := make(map[string]spanRec)
+	var open map[string]int64 = make(map[string]int64)
+	for _, ev := range doc.TraceEvents {
+		if ev.Tid != tilesTid {
+			continue
+		}
+		switch ev.Ph {
+		case "B":
+			open[ev.Name] = ev.Ts
+		case "E":
+			spans[ev.Name] = spanRec{open[ev.Name], ev.Ts}
+		}
+	}
+	for _, tt := range m.Timeline {
+		maxFin := tt.Gate
+		for _, f := range tt.Finish {
+			if f > maxFin {
+				maxFin = f
+			}
+		}
+		name := fmt.Sprintf("tile %d (%d,%d)", tt.Seq, tt.TX, tt.TY)
+		got, ok := spans[name]
+		if !ok {
+			t.Fatalf("timeline tile %q has no span in the trace", name)
+		}
+		if got.b != tt.Gate || got.e != maxFin {
+			t.Errorf("%s: span [%d,%d] disagrees with timeline [%d,%d]", name, got.b, got.e, tt.Gate, maxFin)
+		}
+	}
+	if frame, ok := spans["raster"]; !ok || frame.b != 0 || frame.e < m.RasterCycles {
+		t.Errorf("frame span [%d,%d] does not cover [0,%d]", frame.b, frame.e, m.RasterCycles)
+	}
+
+	// Counter tracks must carry one sample per interval.
+	occ := 0
+	for _, ev := range doc.TraceEvents {
+		if ev.Ph == "C" && ev.Name == "warp occupancy" {
+			occ++
+		}
+	}
+	if occ != len(m.Intervals) {
+		t.Errorf("%d occupancy samples for %d intervals", occ, len(m.Intervals))
+	}
+}
+
+// TestWriteDecoupled covers the timeline-less shape: a decoupled run has
+// no tile spans, but the trace must still parse, balance and carry the
+// counter tracks.
+func TestWriteDecoupled(t *testing.T) {
+	m := testMetrics(t, true)
+	if len(m.Timeline) != 0 {
+		t.Fatal("decoupled run unexpectedly produced a timeline")
+	}
+	var buf bytes.Buffer
+	if err := Write(&buf, m); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		TraceEvents []Event `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatal(err)
+	}
+	if err := validateEvents(doc.TraceEvents); err != nil {
+		t.Fatal(err)
+	}
+	counters := 0
+	for _, ev := range doc.TraceEvents {
+		if ev.Ph == "C" {
+			counters++
+		}
+	}
+	if counters == 0 {
+		t.Error("decoupled trace has no counter samples")
+	}
+}
+
+// FuzzEventsValid feeds Events arbitrary (unsorted, negative,
+// inconsistent) timeline and interval values and requires the emitted
+// trace to stay structurally valid: parseable JSON, balanced B/E per
+// track, monotone timestamps, no negative durations. The writer's
+// clamps, not the input, are what is under test.
+func FuzzEventsValid(f *testing.F) {
+	f.Add(int64(100), int64(0), int64(40), int64(30), int64(50), int64(80), int64(70), int64(-5), int64(256))
+	f.Add(int64(-1), int64(-10), int64(-20), int64(5), int64(3), int64(2), int64(1), int64(0), int64(-7))
+	f.Add(int64(0), int64(0), int64(0), int64(0), int64(0), int64(0), int64(0), int64(0), int64(0))
+	f.Fuzz(func(t *testing.T, rasterCycles, g0, f0, f1, g1, f2, f3, ivCycle, busy int64) {
+		cfg := pipeline.DefaultConfig()
+		m := &pipeline.Metrics{
+			Config:       cfg,
+			RasterCycles: rasterCycles,
+			Timeline: []pipeline.TileTiming{
+				{Seq: 0, TX: 0, TY: 0, Gate: g0, Finish: []int64{f0, f1}},
+				{Seq: 1, TX: 1, TY: 0, Gate: g1, Finish: []int64{f2, f3, f2, f3}},
+			},
+			Intervals: []pipeline.Interval{
+				{Cycle: ivCycle, Occupancy: []int32{1, 2}, QueueDepth: []int32{3}, BusyDelta: []int64{busy, busy}},
+			},
+		}
+		evs := Events(m)
+		if err := validateEvents(evs); err != nil {
+			t.Fatalf("invalid trace from fuzzed timeline: %v", err)
+		}
+		var buf bytes.Buffer
+		if err := Write(&buf, m); err != nil {
+			t.Fatal(err)
+		}
+		if !json.Valid(buf.Bytes()) {
+			t.Fatal("emitted trace is not valid JSON")
+		}
+	})
+}

@@ -822,6 +822,7 @@ func ExperimentIDs() []string {
 		"fig1", "fig2", "fig11", "fig12", "fig13", "fig14", "fig15",
 		"fig16", "fig17", "fig18", "tab1", "tab2",
 		"abl-tileorder", "abl-warps", "abl-l1size", "abl-fifo", "abl-tilesize", "abl-latez", "abl-prefetch", "abl-nuca", "abl-warpsched", "bg-imr",
+		"stalls",
 	}
 }
 
@@ -879,6 +880,8 @@ func (r *Runner) RunExperiment(id string, w io.Writer) error {
 		return table(r.AblWarpSched())(w)
 	case "bg-imr":
 		return table(r.BgIMR())(w)
+	case "stalls":
+		return table(r.Stalls())(w)
 	default:
 		return fmt.Errorf("sim: unknown experiment %q (known: %s)", id, strings.Join(ExperimentIDs(), ", "))
 	}

@@ -318,6 +318,7 @@ func aggregateMetrics(ms []*pipeline.Metrics) *pipeline.Metrics {
 	agg := &pipeline.Metrics{Config: ms[0].Config}
 	agg.PerSCQuads = make([]uint64, len(ms[0].PerSCQuads))
 	agg.PerSCBusy = make([]int64, len(ms[0].PerSCBusy))
+	agg.SCBreakdown = make([]pipeline.SCBreakdown, len(ms[0].SCBreakdown))
 	for _, m := range ms {
 		agg.Cycles += m.Cycles
 		agg.GeometryCycles += m.GeometryCycles
@@ -340,6 +341,14 @@ func aggregateMetrics(ms []*pipeline.Metrics) *pipeline.Metrics {
 		}
 		agg.TileTimeDeviation = append(agg.TileTimeDeviation, m.TileTimeDeviation...)
 		agg.TileQuadDeviation = append(agg.TileQuadDeviation, m.TileQuadDeviation...)
+		// Per-SC stall causes sum across frames (conservation then holds
+		// against the summed RasterCycles); interval snapshots concatenate
+		// in frame order, each frame's Cycle axis restarting at zero.
+		for i := range agg.SCBreakdown {
+			agg.SCBreakdown[i].Add(m.SCBreakdown[i])
+		}
+		agg.Intervals = append(agg.Intervals, m.Intervals...)
+		agg.IntervalsDropped += m.IntervalsDropped
 		agg.L1Tex.Accesses += m.L1Tex.Accesses
 		agg.L1Tex.Hits += m.L1Tex.Hits
 		agg.L1Tex.Misses += m.L1Tex.Misses

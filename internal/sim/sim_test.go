@@ -316,6 +316,7 @@ func TestExperimentIDsComplete(t *testing.T) {
 		"tab1": true, "tab2": true,
 		"abl-tileorder": true, "abl-warps": true, "abl-l1size": true, "abl-fifo": true,
 		"abl-tilesize": true, "abl-latez": true, "abl-prefetch": true, "abl-nuca": true, "abl-warpsched": true, "bg-imr": true,
+		"stalls": true,
 	}
 	if len(ids) != len(want) {
 		t.Fatalf("%d experiments, want %d", len(ids), len(want))

@@ -1,0 +1,59 @@
+package sim
+
+import (
+	"dtexl/internal/core"
+	"dtexl/internal/pipeline"
+)
+
+// stallCauses orders the five disjoint cycle attributions of
+// pipeline.SCBreakdown for rendering. Every SC cycle of the raster
+// phase lands in exactly one, so each policy's five rows sum to 100%.
+var stallCauses = []struct {
+	name string
+	get  func(pipeline.SCBreakdown) int64
+}{
+	{"busy", func(b pipeline.SCBreakdown) int64 { return b.Busy }},
+	{"tex-wait", func(b pipeline.SCBreakdown) int64 { return b.TexWait }},
+	{"barrier-wait", func(b pipeline.SCBreakdown) int64 { return b.BarrierWait }},
+	{"queue-empty", func(b pipeline.SCBreakdown) int64 { return b.QueueEmpty }},
+	{"drain-wait", func(b pipeline.SCBreakdown) int64 { return b.DrainWait }},
+}
+
+// Stalls renders the stall-cause breakdown behind Fig. 17's speedup: for
+// the coupled baseline and DTexL, the share of total shader-core cycles
+// (NumSC x raster cycles) attributed to each disjoint cause. The paper's
+// §III-E claim — decoupling drives inter-tile idle "to near zero" — shows
+// up as the baseline's barrier-wait share collapsing to structural zero
+// under DTexL, partially reinvested as busy/tex-wait.
+func (r *Runner) Stalls() (*Table, error) {
+	t := &Table{
+		ID:     "stalls",
+		Title:  "Stall breakdown: where SC cycles go (coupled baseline vs DTexL)",
+		Metric: "% of total SC raster-phase cycles, by disjoint cause",
+		Cols:   r.cols(),
+	}
+	for _, pol := range []core.Policy{core.Baseline(), dtexlAsHLBFlp2()} {
+		pol := pol
+		for _, cause := range stallCauses {
+			cause := cause
+			series := pol.Name + " " + cause.name
+			row, err := r.rowCells(series, func(alias string) (float64, error) {
+				res, err := r.run(alias, pol, false)
+				if err != nil {
+					return 0, err
+				}
+				m := res.Metrics
+				denom := float64(int64(m.Config.NumSC) * m.RasterCycles)
+				if denom == 0 {
+					return 0, nil
+				}
+				return 100 * float64(cause.get(m.BreakdownTotals())) / denom, nil
+			})
+			if err != nil {
+				return nil, err
+			}
+			t.Rows = append(t.Rows, TableRow{Name: series, Values: withMean(row)})
+		}
+	}
+	return t, nil
+}

@@ -119,6 +119,8 @@ func (r *Runner) tableFor(id string) (*Table, error) {
 		return r.AblWarpSched()
 	case "bg-imr":
 		return r.BgIMR()
+	case "stalls":
+		return r.Stalls()
 	default:
 		return nil, fmt.Errorf("sim: unknown experiment %q", id)
 	}
