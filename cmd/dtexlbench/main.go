@@ -12,6 +12,9 @@
 //	dtexlbench -exp fig16 -svg plots/     # also emit an SVG figure
 //	dtexlbench -exp all -checkpoint ckpt/ # crash-safe: resumes on restart
 //	dtexlbench -exp all -keep-going       # render NA cells, don't abort
+//	dtexlbench -exp all -timeout 30m -cell-timeout 5m -keep-going
+//	                                      # bounded run: hung cells go NA,
+//	                                      # the whole run never exceeds 30m
 //
 // Exit codes: 0 = every cell simulated; 1 = fatal error (bad flags, or a
 // simulation failed without -keep-going); 2 = partial results (-keep-going
@@ -62,7 +65,8 @@ func run() int {
 		svgDir   = flag.String("svg", "", "also write each experiment as <dir>/<id>.svg")
 		timing   = flag.Bool("timing", false, "print phase wall time and memo hit counts to stderr on exit")
 		keepGo   = flag.Bool("keep-going", false, "on a failed simulation, mark its cells NA and continue (exit 2 on partial results)")
-		timeout  = flag.Duration("timeout", 0, "per-simulation wall-clock budget (0 = none), e.g. 5m")
+		timeout  = flag.Duration("timeout", 0, "whole-run wall-clock budget (0 = none); on expiry in-flight cells are cancelled, e.g. 30m")
+		cellTO   = flag.Duration("cell-timeout", 0, "per-simulation wall-clock budget (0 = none); with -keep-going a hung cell renders NA instead of aborting the run, e.g. 5m")
 		ckptDir  = flag.String("checkpoint", "", "journal completed simulations under this directory and resume from it on restart")
 		chaosStr = flag.String("chaos", "", "fault injection spec bench/policy/mode (mode: panic, error, stall; testing only)")
 		cpuProf  = flag.String("cpuprofile", "", "write a pprof CPU profile of the whole run to this file")
@@ -116,12 +120,19 @@ func run() int {
 	// journal already holds every completed cell, so a rerun resumes.
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
+	// -timeout bounds the whole run under the same cancellation path as a
+	// signal; -cell-timeout below bounds each simulation individually.
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
 
 	r := sim.NewRunner(opt)
 	r.CSV = *csv
 	r.Ctx = ctx
 	r.KeepGoing = *keepGo
-	r.RunTimeout = *timeout
+	r.RunTimeout = *cellTO
 	if *verbose {
 		r.Progress = func(line string) { fmt.Fprintln(os.Stderr, line) }
 	}
@@ -204,6 +215,9 @@ func fatal(err error) int {
 	}
 	if errors.Is(err, context.Canceled) {
 		fmt.Fprintln(os.Stderr, "dtexlbench: interrupted; rerun with the same -checkpoint dir to resume")
+	}
+	if errors.Is(err, context.DeadlineExceeded) {
+		fmt.Fprintln(os.Stderr, "dtexlbench: -timeout budget exhausted; rerun with the same -checkpoint dir to resume")
 	}
 	return exitFatal
 }

@@ -1,0 +1,154 @@
+// Command dtexld serves simulations over HTTP, hardened for overload:
+// admission control with a bounded queue, per-request deadlines that
+// reach the executor watchdogs, fidelity degradation instead of load
+// shedding for requests that opt in, and SIGTERM draining that journals
+// completed cells so a restarted server answers them from memo.
+//
+// Usage:
+//
+//	dtexld -addr :8095 -scale 4 -checkpoint ckpt/
+//	curl -XPOST localhost:8095/v1/simulate \
+//	     -d '{"benchmark":"TRu","policy":"DTexL","degradable":true}'
+//	curl localhost:8095/v1/experiments/fig16
+//
+// API (see README "Serving"):
+//
+//	POST /v1/simulate           {benchmark, policy, scale?, frames?, degradable?, timeout_ms?}
+//	GET  /v1/experiments/{name} rendered experiment table (?csv=1)
+//	GET  /healthz               liveness
+//	GET  /readyz                readiness + admission stats (503 while draining)
+//
+// Exit codes: 0 = clean start-to-drain lifecycle (including SIGTERM
+// under load, provided in-flight work finishes inside -grace); 1 =
+// fatal setup error or a drain that had to be aborted.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"log"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"runtime"
+	"syscall"
+	"time"
+
+	"dtexl/internal/serve"
+	"dtexl/internal/sim"
+)
+
+func main() {
+	os.Exit(run())
+}
+
+func run() int {
+	var (
+		addr     = flag.String("addr", "127.0.0.1:8095", "listen address")
+		scale    = flag.Int("scale", 4, "full-fidelity resolution divisor (1 = the paper's 1960x768)")
+		degScale = flag.Int("degraded-scale", 0, "overload fallback divisor for degradable requests (0 = 2x -scale)")
+		seed     = flag.Uint64("seed", 1, "scene generator seed")
+		conc     = flag.Int("concurrency", 0, "full-fidelity slots (0 = GOMAXPROCS)")
+		queue    = flag.Int("queue", 0, "bounded waiting room beyond the slots (0 = 2x concurrency)")
+		cellBudg = flag.Duration("cell-timeout", 2*time.Minute, "per-simulation wall-clock budget; also the Retry-After unit")
+		grace    = flag.Duration("grace", 30*time.Second, "drain budget after SIGTERM before in-flight executors are aborted")
+		ckptDir  = flag.String("checkpoint", "", "journal completed cells under this directory; a restarted server serves them from memo")
+		chaosStr = flag.String("chaos", "", "fault injection spec bench/policy/mode (mode: panic, error, stall; testing only)")
+		verbose  = flag.Bool("v", false, "log per-event lines")
+	)
+	flag.Parse()
+
+	logf := func(format string, args ...any) { log.Printf(format, args...) }
+	if !*verbose {
+		logf = func(format string, args ...any) {}
+	}
+
+	cfg := serve.Config{
+		Scale:         *scale,
+		DegradedScale: *degScale,
+		Seed:          *seed,
+		Concurrency:   *conc,
+		QueueDepth:    *queue,
+		CellBudget:    *cellBudg,
+		Logf:          logf,
+	}
+	if *chaosStr != "" {
+		chaos, err := sim.ParseChaos(*chaosStr)
+		if err != nil {
+			log.Printf("dtexld: %v", err)
+			return 1
+		}
+		cfg.Chaos = chaos
+		log.Printf("dtexld: fault injection active: %s", *chaosStr)
+	}
+	if *ckptDir != "" {
+		j, err := sim.OpenJournal(*ckptDir)
+		if err != nil {
+			log.Printf("dtexld: %v", err)
+			return 1
+		}
+		defer j.Close()
+		cfg.Journal = j
+		log.Printf("dtexld: journal open under %s, %d cell(s) replayed", *ckptDir, j.Replayed())
+	}
+
+	s := serve.New(cfg)
+	httpSrv := &http.Server{Addr: *addr, Handler: s.Handler()}
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		log.Printf("dtexld: %v", err)
+		return 1
+	}
+	log.Printf("dtexld: serving on %s (scale %d, %d slots, queue %d, cell budget %v)",
+		ln.Addr(), *scale, effectiveConc(*conc), *queue, *cellBudg)
+
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- httpSrv.Serve(ln) }()
+
+	sigCh := make(chan os.Signal, 1)
+	signal.Notify(sigCh, os.Interrupt, syscall.SIGTERM)
+	select {
+	case sig := <-sigCh:
+		log.Printf("dtexld: %v: draining (grace %v)", sig, *grace)
+	case err := <-serveErr:
+		log.Printf("dtexld: serve: %v", err)
+		return 1
+	}
+
+	// Drain: readiness off, new work rejected, in-flight finishes within
+	// the grace budget. Completed cells are already fsync'd in the
+	// journal, so even an aborted drain loses nothing that finished.
+	s.BeginDrain()
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), *grace)
+	defer cancel()
+	err = httpSrv.Shutdown(shutdownCtx)
+	if err != nil {
+		// Grace exhausted: abort in-flight executors via their watchdogs,
+		// then force-close connections.
+		s.Abort()
+		forceCtx, fcancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer fcancel()
+		if err2 := httpSrv.Shutdown(forceCtx); err2 != nil {
+			httpSrv.Close()
+		}
+		log.Printf("dtexld: drain aborted after grace budget: %v", err)
+		return 1
+	}
+	if err := s.AwaitIdle(shutdownCtx); err != nil && !errors.Is(err, context.Canceled) {
+		s.Abort()
+		log.Printf("dtexld: in-flight work outlived the drain: %v", err)
+		return 1
+	}
+	log.Printf("dtexld: drained cleanly")
+	return 0
+}
+
+func effectiveConc(c int) int {
+	if c < 1 {
+		return runtime.GOMAXPROCS(0)
+	}
+	return c
+}

@@ -1,0 +1,194 @@
+// Command dtexlload drives concurrent load at a dtexld service through
+// the backoff/circuit-breaker client and checks the overload contract:
+// every accepted response carries complete metrics and an honest
+// degraded label; shed requests surface as 429/503, never corruption;
+// stalls come back as structured diagnostics. It is the CI smoke's load
+// generator and doubles as a small latency harness.
+//
+// Usage:
+//
+//	dtexlload -addr http://127.0.0.1:8095 -n 32 -c 8 \
+//	          -benchmarks TRu,CCS -policies baseline,DTexL -degradable
+//
+// Exit codes: 0 = contract held (shed, degraded, stall and timeout
+// outcomes are all legal under load); 1 = contract violated (malformed
+// accepted response, internal server error, or nothing succeeded).
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"dtexl/internal/serve"
+	"dtexl/internal/serve/client"
+)
+
+type outcomes struct {
+	ok, okDegraded       atomic.Int64
+	shed, stall, timeout atomic.Int64
+	circuitOpen          atomic.Int64
+	canceled             atomic.Int64
+	violation            atomic.Int64
+}
+
+func main() {
+	os.Exit(run())
+}
+
+func run() int {
+	var (
+		addr       = flag.String("addr", "http://127.0.0.1:8095", "service base URL")
+		n          = flag.Int("n", 32, "total requests")
+		c          = flag.Int("c", 8, "concurrent workers")
+		benches    = flag.String("benchmarks", "TRu,CCS", "comma-separated benchmark aliases to cycle through")
+		policies   = flag.String("policies", "baseline,DTexL", "comma-separated policies to cycle through")
+		scale      = flag.Int("scale", 0, "request scale (0 = server default)")
+		degradable = flag.Bool("degradable", false, "mark requests degradable (opt into the overload ladder)")
+		deadline   = flag.Duration("deadline", 2*time.Minute, "per-request deadline (client side)")
+		retries    = flag.Int("retries", 3, "client retry budget per request")
+		verbose    = flag.Bool("v", false, "log each outcome")
+	)
+	flag.Parse()
+
+	cl := client.New(*addr,
+		client.WithRetries(*retries),
+		client.WithBackoff(50*time.Millisecond, 2*time.Second),
+		client.WithBreaker(5, 5*time.Second),
+	)
+	bs := strings.Split(*benches, ",")
+	ps := strings.Split(*policies, ",")
+
+	var (
+		o    outcomes
+		mu   sync.Mutex
+		lats []time.Duration
+	)
+	jobs := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < *c; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range jobs {
+				req := serve.SimRequest{
+					Benchmark:  bs[i%len(bs)],
+					Policy:     ps[(i/len(bs))%len(ps)],
+					Scale:      *scale,
+					Degradable: *degradable,
+				}
+				ctx, cancel := context.WithTimeout(context.Background(), *deadline)
+				start := time.Now()
+				res, err := cl.Simulate(ctx, req)
+				lat := time.Since(start)
+				cancel()
+				mu.Lock()
+				lats = append(lats, lat)
+				mu.Unlock()
+				record(&o, req, res, err, *verbose)
+			}
+		}()
+	}
+	for i := 0; i < *n; i++ {
+		jobs <- i
+	}
+	close(jobs)
+	wg.Wait()
+
+	fmt.Printf("dtexlload: %d requests: ok=%d degraded=%d shed=%d stall=%d timeout=%d circuit-open=%d canceled=%d violations=%d\n",
+		*n, o.ok.Load(), o.okDegraded.Load(), o.shed.Load(), o.stall.Load(),
+		o.timeout.Load(), o.circuitOpen.Load(), o.canceled.Load(), o.violation.Load())
+	if len(lats) > 0 {
+		sort.Slice(lats, func(i, j int) bool { return lats[i] < lats[j] })
+		fmt.Printf("dtexlload: latency p50=%v p95=%v p99=%v max=%v\n",
+			pct(lats, 50), pct(lats, 95), pct(lats, 99), lats[len(lats)-1])
+	}
+
+	if o.violation.Load() > 0 {
+		fmt.Println("dtexlload: FAIL: contract violations observed")
+		return 1
+	}
+	if o.ok.Load()+o.okDegraded.Load() == 0 {
+		fmt.Println("dtexlload: FAIL: no request succeeded")
+		return 1
+	}
+	return 0
+}
+
+// record classifies one request's result against the overload contract.
+func record(o *outcomes, req serve.SimRequest, res *serve.SimResponse, err error, verbose bool) {
+	logf := func(format string, args ...any) {
+		if verbose {
+			fmt.Fprintf(os.Stderr, "dtexlload: "+format+"\n", args...)
+		}
+	}
+	if err == nil {
+		// Accepted responses must be complete and honestly labeled: a
+		// missing metrics block or a silent fidelity change is corruption.
+		switch {
+		case res.Metrics == nil || res.Metrics.Cycles <= 0:
+			o.violation.Add(1)
+			logf("VIOLATION %s/%s: accepted response missing metrics", req.Benchmark, req.Policy)
+		case req.Scale != 0 && res.Scale != req.Scale && !res.Degraded:
+			o.violation.Add(1)
+			logf("VIOLATION %s/%s: scale %d served as %d without degraded label", req.Benchmark, req.Policy, req.Scale, res.Scale)
+		case res.Degraded:
+			o.okDegraded.Add(1)
+			logf("ok (degraded to scale %d) %s/%s", res.Scale, req.Benchmark, req.Policy)
+		default:
+			o.ok.Add(1)
+			logf("ok %s/%s %.1f fps", req.Benchmark, req.Policy, res.FPS)
+		}
+		return
+	}
+	var apiErr *client.APIError
+	switch {
+	case errors.Is(err, client.ErrCircuitOpen):
+		o.circuitOpen.Add(1)
+		logf("circuit open %s/%s", req.Benchmark, req.Policy)
+	case errors.As(err, &apiErr):
+		switch apiErr.Body.Kind {
+		case serve.KindOverCapacity, serve.KindDraining:
+			o.shed.Add(1)
+			logf("shed (%s) %s/%s", apiErr.Body.Kind, req.Benchmark, req.Policy)
+		case serve.KindStall:
+			o.stall.Add(1)
+			logf("stall %s/%s: %s", req.Benchmark, req.Policy, apiErr.Body.Error)
+		case serve.KindTimeout:
+			o.timeout.Add(1)
+			logf("timeout %s/%s", req.Benchmark, req.Policy)
+		case serve.KindCanceled:
+			o.canceled.Add(1)
+			logf("canceled %s/%s", req.Benchmark, req.Policy)
+		default:
+			o.violation.Add(1)
+			logf("VIOLATION %s/%s: %v", req.Benchmark, req.Policy, err)
+		}
+	case errors.Is(err, context.DeadlineExceeded) || errors.Is(err, context.Canceled):
+		o.timeout.Add(1)
+		logf("client deadline %s/%s", req.Benchmark, req.Policy)
+	default:
+		// Network-level failure: during a drain smoke the listener
+		// disappears mid-run, which is shedding, not corruption.
+		o.shed.Add(1)
+		logf("transport (%v) %s/%s", err, req.Benchmark, req.Policy)
+	}
+}
+
+func pct(sorted []time.Duration, p int) time.Duration {
+	if len(sorted) == 0 {
+		return 0
+	}
+	i := (len(sorted)*p + 99) / 100
+	if i > 0 {
+		i--
+	}
+	return sorted[i]
+}

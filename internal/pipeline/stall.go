@@ -17,12 +17,12 @@ var ErrStall = errors.New("pipeline: executor stalled")
 // SCStallState is one shader core's scheduler-visible state at the
 // moment a stall was declared, for the diagnostic dump.
 type SCStallState struct {
-	ID            int
-	Clock         int64  // local clock, cycles
-	ResidentWarps int    // warps holding a slot
-	QueuedQuads   int    // un-admitted quads in the current input stream
-	InputGate     int64  // earliest admission cycle of that input
-	Retired       uint64 // quads retired so far
+	ID            int    `json:"id"`
+	Clock         int64  `json:"clock"`          // local clock, cycles
+	ResidentWarps int    `json:"resident_warps"` // warps holding a slot
+	QueuedQuads   int    `json:"queued_quads"`   // un-admitted quads in the current input stream
+	InputGate     int64  `json:"input_gate"`     // earliest admission cycle of that input
+	Retired       uint64 `json:"retired"`        // quads retired so far
 }
 
 // StallError is the structured diagnostic an executor returns when it
@@ -30,21 +30,27 @@ type SCStallState struct {
 // engine state needed to debug the scheduling bug — the cycle, the
 // per-SC queue depths, the decoupled barrier window and the in-flight
 // tile. It unwraps to ErrStall.
+// The JSON field names are part of the serving API: the dtexld service
+// returns the dump verbatim inside structured 500 bodies, and the
+// round-trip is pinned by TestStallErrorJSONRoundTrip.
 type StallError struct {
-	Mode   string // "coupled", "decoupled" or "imr"
-	Reason string // what the watchdog observed
-	Cycle  int64  // max SC clock when the stall was declared
-	Steps  int    // scheduling steps taken without progress
+	Mode   string `json:"mode"`   // "coupled", "decoupled" or "imr"
+	Reason string `json:"reason"` // what the watchdog observed
+	Cycle  int64  `json:"cycle"`  // max SC clock when the stall was declared
+	Steps  int    `json:"steps"`  // scheduling steps taken without progress
 
 	// TileSeq/TileX/TileY locate the in-flight tile: the tile being
 	// drained (coupled), the window's oldest unretired tile (decoupled)
 	// or the primitive batch (IMR, TileX/TileY unused).
-	TileSeq, TileX, TileY int
+	TileSeq int `json:"tile_seq"`
+	TileX   int `json:"tile_x"`
+	TileY   int `json:"tile_y"`
 	// WindowLo, WindowHi is the decoupled barrier window [lo, hi)
 	// (zero for the other modes).
-	WindowLo, WindowHi int
+	WindowLo int `json:"window_lo"`
+	WindowHi int `json:"window_hi"`
 
-	SCs []SCStallState
+	SCs []SCStallState `json:"scs"`
 }
 
 // Error summarizes the stall in one line; Dump has the full state.

@@ -1,0 +1,107 @@
+package pipeline
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"reflect"
+	"testing"
+)
+
+// TestStallErrorJSONRoundTrip pins the serving contract: the dtexld
+// service returns watchdog state dumps as structured 500 bodies, so a
+// StallError must survive a JSON round-trip field for field (including
+// every per-SC record) and render the identical human dump afterwards.
+func TestStallErrorJSONRoundTrip(t *testing.T) {
+	in := &StallError{
+		Mode:    "decoupled",
+		Reason:  "no cycle progress (livelock)",
+		Cycle:   123456789,
+		Steps:   1 << 16,
+		TileSeq: 42, TileX: 6, TileY: 7,
+		WindowLo: 40, WindowHi: 48,
+		SCs: []SCStallState{
+			{ID: 0, Clock: 99, ResidentWarps: 3, QueuedQuads: 17, InputGate: 101, Retired: 4040},
+			{ID: 1, Clock: 98, ResidentWarps: 0, QueuedQuads: 0, InputGate: 0, Retired: 512},
+		},
+	}
+	raw, err := json.Marshal(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out StallError
+	if err := json.Unmarshal(raw, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(in, &out) {
+		t.Fatalf("round-trip mismatch:\n in: %+v\nout: %+v", in, out)
+	}
+	if in.Dump() != out.Dump() {
+		t.Error("state dump differs after JSON round-trip")
+	}
+	if in.Error() != out.Error() {
+		t.Error("one-line summary differs after JSON round-trip")
+	}
+}
+
+// TestStallErrorJSONFieldNames pins the wire names the service clients
+// parse — renaming a field is an API break, not a refactor.
+func TestStallErrorJSONFieldNames(t *testing.T) {
+	raw, err := json.Marshal(&StallError{SCs: []SCStallState{{}}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var m map[string]any
+	if err := json.Unmarshal(raw, &m); err != nil {
+		t.Fatal(err)
+	}
+	for _, k := range []string{"mode", "reason", "cycle", "steps", "tile_seq", "tile_x", "tile_y", "window_lo", "window_hi", "scs"} {
+		if _, ok := m[k]; !ok {
+			t.Errorf("marshaled StallError missing field %q (keys: %v)", k, keys(m))
+		}
+	}
+	sc, ok := m["scs"].([]any)
+	if !ok || len(sc) != 1 {
+		t.Fatalf("scs did not marshal as an array: %v", m["scs"])
+	}
+	scm := sc[0].(map[string]any)
+	for _, k := range []string{"id", "clock", "resident_warps", "queued_quads", "input_gate", "retired"} {
+		if _, ok := scm[k]; !ok {
+			t.Errorf("marshaled SCStallState missing field %q (keys: %v)", k, keys(scm))
+		}
+	}
+}
+
+func keys(m map[string]any) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	return out
+}
+
+// TestGenuineStallRoundTrips marshals a real watchdog-produced stall —
+// the one chaos injection raises — through JSON, as the service does.
+func TestGenuineStallRoundTrips(t *testing.T) {
+	cfg := testConfig()
+	scene := testScene(t, "TRu", cfg)
+	_, err := RunContext(WithChaosStall(context.Background()), scene, cfg)
+	if err == nil {
+		t.Fatal("chaos-stall run returned nil")
+	}
+	var se *StallError
+	if !errors.As(err, &se) {
+		t.Fatalf("err = %v, want *StallError", err)
+	}
+	raw, err := json.Marshal(se)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out StallError
+	if err := json.Unmarshal(raw, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(se, &out) {
+		t.Error("genuine stall dump not preserved by JSON round-trip")
+	}
+}

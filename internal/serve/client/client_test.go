@@ -1,0 +1,365 @@
+package client
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"dtexl/internal/serve"
+)
+
+// scriptServer answers each request from a scripted sequence of
+// (status, body) pairs, repeating the last entry when exhausted.
+type scriptStep struct {
+	status int
+	body   any
+	header map[string]string
+}
+
+func scriptServer(t *testing.T, steps []scriptStep) (*httptest.Server, *atomic.Int64) {
+	t.Helper()
+	var calls atomic.Int64
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		i := int(calls.Add(1)) - 1
+		if i >= len(steps) {
+			i = len(steps) - 1
+		}
+		st := steps[i]
+		for k, v := range st.header {
+			w.Header().Set(k, v)
+		}
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(st.status)
+		json.NewEncoder(w).Encode(st.body)
+	}))
+	t.Cleanup(srv.Close)
+	return srv, &calls
+}
+
+func okBody() serve.SimResponse {
+	return serve.SimResponse{Benchmark: "TRu", Policy: "DTexL", Scale: 8, Frames: 1, FPS: 12.5}
+}
+
+// harness wires a Client to a scripted server with a deterministic
+// clock, recorded sleeps, and jitter pinned to the top of its range.
+type harness struct {
+	cl     *Client
+	calls  *atomic.Int64
+	mu     sync.Mutex
+	slept  []time.Duration
+	nowVal time.Time
+}
+
+func newHarness(t *testing.T, steps []scriptStep, opts ...func(*Config)) *harness {
+	srv, calls := scriptServer(t, steps)
+	h := &harness{calls: calls, nowVal: time.Unix(1000, 0)}
+	h.cl = New(srv.URL, opts...)
+	h.cl.cfg.rand = func() float64 { return 1.0 } // jitter pinned: d/2 + d/2 = d
+	h.cl.cfg.now = func() time.Time { h.mu.Lock(); defer h.mu.Unlock(); return h.nowVal }
+	h.cl.cfg.sleep = func(ctx context.Context, d time.Duration) error {
+		h.mu.Lock()
+		h.slept = append(h.slept, d)
+		h.nowVal = h.nowVal.Add(d) // sleeping advances the fake clock
+		h.mu.Unlock()
+		return ctx.Err()
+	}
+	return h
+}
+
+func (h *harness) sleeps() []time.Duration {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return append([]time.Duration(nil), h.slept...)
+}
+
+func (h *harness) advance(d time.Duration) {
+	h.mu.Lock()
+	h.nowVal = h.nowVal.Add(d)
+	h.mu.Unlock()
+}
+
+func TestSimulateSuccess(t *testing.T) {
+	h := newHarness(t, []scriptStep{{status: 200, body: okBody()}})
+	res, err := h.cl.Simulate(context.Background(), serve.SimRequest{Benchmark: "TRu", Policy: "DTexL"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.FPS != 12.5 || res.Policy != "DTexL" {
+		t.Fatalf("unexpected response %+v", res)
+	}
+	if got := h.calls.Load(); got != 1 {
+		t.Fatalf("server saw %d calls, want 1", got)
+	}
+}
+
+// TestRetriesShedWithExponentialBackoff: two 429s then success. The
+// client must retry through them and the recorded sleeps must follow
+// the doubling schedule (jitter pinned to the top of its [d/2, d]
+// range, so sleeps equal the raw schedule exactly).
+func TestRetriesShedWithExponentialBackoff(t *testing.T) {
+	shed := serve.ErrorResponse{Error: "over admission capacity", Kind: serve.KindOverCapacity}
+	h := newHarness(t, []scriptStep{
+		{status: 429, body: shed},
+		{status: 429, body: shed},
+		{status: 200, body: okBody()},
+	}, WithBackoff(100*time.Millisecond, 5*time.Second))
+	res, err := h.cl.Simulate(context.Background(), serve.SimRequest{Benchmark: "TRu", Policy: "DTexL"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.FPS != 12.5 {
+		t.Fatalf("unexpected response %+v", res)
+	}
+	if got := h.calls.Load(); got != 3 {
+		t.Fatalf("server saw %d calls, want 3", got)
+	}
+	want := []time.Duration{100 * time.Millisecond, 200 * time.Millisecond}
+	got := h.sleeps()
+	if len(got) != len(want) {
+		t.Fatalf("slept %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("sleep %d = %v, want %v", i, got[i], want[i])
+		}
+	}
+}
+
+// TestJitterStaysInRange: with rand pinned low the sleep must be d/2 —
+// the bottom of the full-jitter window — never zero or above d.
+func TestJitterStaysInRange(t *testing.T) {
+	shed := serve.ErrorResponse{Error: "busy", Kind: serve.KindOverCapacity}
+	h := newHarness(t, []scriptStep{
+		{status: 429, body: shed},
+		{status: 200, body: okBody()},
+	})
+	h.cl.cfg.rand = func() float64 { return 0.0 }
+	if _, err := h.cl.Simulate(context.Background(), serve.SimRequest{Benchmark: "TRu", Policy: "DTexL"}); err != nil {
+		t.Fatal(err)
+	}
+	got := h.sleeps()
+	if len(got) != 1 || got[0] != 50*time.Millisecond {
+		t.Fatalf("slept %v, want [50ms] (bottom of jitter range for 100ms base)", got)
+	}
+}
+
+// TestRetryAfterFloorsBackoff: the server's Retry-After hint must floor
+// the backoff — a 3s hint beats a 100ms schedule slot.
+func TestRetryAfterFloorsBackoff(t *testing.T) {
+	shed := serve.ErrorResponse{Error: "busy", Kind: serve.KindOverCapacity}
+	h := newHarness(t, []scriptStep{
+		{status: 429, body: shed, header: map[string]string{"Retry-After": "3"}},
+		{status: 200, body: okBody()},
+	})
+	if _, err := h.cl.Simulate(context.Background(), serve.SimRequest{Benchmark: "TRu", Policy: "DTexL"}); err != nil {
+		t.Fatal(err)
+	}
+	got := h.sleeps()
+	if len(got) != 1 || got[0] != 3*time.Second {
+		t.Fatalf("slept %v, want [3s] (Retry-After floor)", got)
+	}
+}
+
+// TestRetryAfterBodyField: retry_after_ms in the JSON body works like
+// the header.
+func TestRetryAfterBodyField(t *testing.T) {
+	shed := serve.ErrorResponse{Error: "busy", Kind: serve.KindOverCapacity, RetryAfterMS: 1500}
+	h := newHarness(t, []scriptStep{
+		{status: 429, body: shed},
+		{status: 200, body: okBody()},
+	})
+	if _, err := h.cl.Simulate(context.Background(), serve.SimRequest{Benchmark: "TRu", Policy: "DTexL"}); err != nil {
+		t.Fatal(err)
+	}
+	got := h.sleeps()
+	if len(got) != 1 || got[0] != 1500*time.Millisecond {
+		t.Fatalf("slept %v, want [1.5s] (retry_after_ms floor)", got)
+	}
+}
+
+// TestDeadlineAwareRetryStop: when the context deadline leaves no room
+// for the next backoff, the client stops immediately and surfaces the
+// last real failure instead of sleeping into the deadline.
+func TestDeadlineAwareRetryStop(t *testing.T) {
+	shed := serve.ErrorResponse{Error: "busy", Kind: serve.KindOverCapacity, RetryAfterMS: 60_000}
+	h := newHarness(t, []scriptStep{{status: 429, body: shed}})
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+	defer cancel()
+	_, err := h.cl.Simulate(ctx, serve.SimRequest{Benchmark: "TRu", Policy: "DTexL"})
+	if err == nil {
+		t.Fatal("expected error")
+	}
+	var apiErr *APIError
+	if !errors.As(err, &apiErr) || apiErr.Body.Kind != serve.KindOverCapacity {
+		t.Fatalf("err = %v, want wrapped 429 APIError", err)
+	}
+	if got := h.calls.Load(); got != 1 {
+		t.Fatalf("server saw %d calls, want 1 (no room to retry)", got)
+	}
+	if got := h.sleeps(); len(got) != 0 {
+		t.Fatalf("client slept %v despite deadline leaving no retry room", got)
+	}
+}
+
+// TestBadRequestNotRetried: 4xx misuse is permanent — exactly one call.
+func TestBadRequestNotRetried(t *testing.T) {
+	bad := serve.ErrorResponse{Error: "unknown benchmark", Kind: serve.KindBadRequest}
+	h := newHarness(t, []scriptStep{{status: 400, body: bad}})
+	_, err := h.cl.Simulate(context.Background(), serve.SimRequest{Benchmark: "nope", Policy: "DTexL"})
+	var apiErr *APIError
+	if !errors.As(err, &apiErr) || apiErr.Status != 400 {
+		t.Fatalf("err = %v, want 400 APIError", err)
+	}
+	if got := h.calls.Load(); got != 1 {
+		t.Fatalf("server saw %d calls, want 1", got)
+	}
+}
+
+// TestRetryBudgetExhausted: a persistently shedding server consumes the
+// retry budget then fails with the last 429.
+func TestRetryBudgetExhausted(t *testing.T) {
+	shed := serve.ErrorResponse{Error: "busy", Kind: serve.KindOverCapacity}
+	h := newHarness(t, []scriptStep{{status: 429, body: shed}}, WithRetries(2))
+	_, err := h.cl.Simulate(context.Background(), serve.SimRequest{Benchmark: "TRu", Policy: "DTexL"})
+	var apiErr *APIError
+	if !errors.As(err, &apiErr) || apiErr.Status != 429 {
+		t.Fatalf("err = %v, want 429 APIError", err)
+	}
+	if got := h.calls.Load(); got != 3 {
+		t.Fatalf("server saw %d calls, want 3 (1 + 2 retries)", got)
+	}
+}
+
+// TestBreakerTripsOnConsecutiveStalls: stall responses are "sick", and
+// enough of them in a row must open the circuit so further calls fail
+// fast without touching the network.
+func TestBreakerTripsOnConsecutiveStalls(t *testing.T) {
+	stall := serve.ErrorResponse{Error: "executor stall", Kind: serve.KindStall}
+	h := newHarness(t, []scriptStep{{status: 500, body: stall}},
+		WithRetries(-1), WithBreaker(3, 10*time.Second))
+	for i := 0; i < 3; i++ {
+		_, err := h.cl.Simulate(context.Background(), serve.SimRequest{Benchmark: "TRu", Policy: "DTexL"})
+		var apiErr *APIError
+		if !errors.As(err, &apiErr) || !apiErr.IsStall() {
+			t.Fatalf("call %d: err = %v, want stall APIError", i, err)
+		}
+	}
+	if got := h.calls.Load(); got != 3 {
+		t.Fatalf("server saw %d calls, want 3", got)
+	}
+	if _, open := h.cl.State(); !open {
+		t.Fatal("breaker not open after threshold consecutive stalls")
+	}
+	_, err := h.cl.Simulate(context.Background(), serve.SimRequest{Benchmark: "TRu", Policy: "DTexL"})
+	if !errors.Is(err, ErrCircuitOpen) {
+		t.Fatalf("err = %v, want ErrCircuitOpen", err)
+	}
+	if got := h.calls.Load(); got != 3 {
+		t.Fatalf("open breaker let a request through (%d calls)", got)
+	}
+}
+
+// TestBreakerShedDoesNotTrip: 429s are "busy", not "sick" — no amount
+// of shedding opens the circuit.
+func TestBreakerShedDoesNotTrip(t *testing.T) {
+	shed := serve.ErrorResponse{Error: "busy", Kind: serve.KindOverCapacity}
+	h := newHarness(t, []scriptStep{{status: 429, body: shed}},
+		WithRetries(-1), WithBreaker(2, 10*time.Second))
+	for i := 0; i < 6; i++ {
+		if _, err := h.cl.Simulate(context.Background(), serve.SimRequest{Benchmark: "TRu", Policy: "DTexL"}); err == nil {
+			t.Fatal("expected 429")
+		}
+	}
+	if _, open := h.cl.State(); open {
+		t.Fatal("breaker opened on shed responses")
+	}
+	if got := h.calls.Load(); got != 6 {
+		t.Fatalf("server saw %d calls, want 6", got)
+	}
+}
+
+// TestBreakerHalfOpenProbeRecovers: after the cooldown one probe goes
+// through; a success closes the circuit fully.
+func TestBreakerHalfOpenProbeRecovers(t *testing.T) {
+	stall := serve.ErrorResponse{Error: "executor stall", Kind: serve.KindStall}
+	h := newHarness(t, []scriptStep{
+		{status: 500, body: stall},
+		{status: 500, body: stall},
+		{status: 200, body: okBody()}, // the probe lands here
+		{status: 200, body: okBody()},
+	}, WithRetries(-1), WithBreaker(2, 10*time.Second))
+	for i := 0; i < 2; i++ {
+		h.cl.Simulate(context.Background(), serve.SimRequest{Benchmark: "TRu", Policy: "DTexL"})
+	}
+	if _, open := h.cl.State(); !open {
+		t.Fatal("breaker should be open")
+	}
+	// Still inside the cooldown: fail fast.
+	if _, err := h.cl.Simulate(context.Background(), serve.SimRequest{Benchmark: "TRu", Policy: "DTexL"}); !errors.Is(err, ErrCircuitOpen) {
+		t.Fatalf("err = %v, want ErrCircuitOpen during cooldown", err)
+	}
+	// Past the cooldown: the probe is admitted, succeeds, and closes the
+	// circuit for everyone.
+	h.advance(11 * time.Second)
+	if _, err := h.cl.Simulate(context.Background(), serve.SimRequest{Benchmark: "TRu", Policy: "DTexL"}); err != nil {
+		t.Fatalf("probe failed: %v", err)
+	}
+	if n, open := h.cl.State(); open || n != 0 {
+		t.Fatalf("breaker state (%d, %v) after successful probe, want closed and reset", n, open)
+	}
+	if _, err := h.cl.Simulate(context.Background(), serve.SimRequest{Benchmark: "TRu", Policy: "DTexL"}); err != nil {
+		t.Fatalf("post-recovery call failed: %v", err)
+	}
+}
+
+// TestBreakerFailedProbeReopens: a probe that hits another stall slams
+// the circuit shut for a fresh cooldown.
+func TestBreakerFailedProbeReopens(t *testing.T) {
+	stall := serve.ErrorResponse{Error: "executor stall", Kind: serve.KindStall}
+	h := newHarness(t, []scriptStep{{status: 500, body: stall}},
+		WithRetries(-1), WithBreaker(2, 10*time.Second))
+	for i := 0; i < 2; i++ {
+		h.cl.Simulate(context.Background(), serve.SimRequest{Benchmark: "TRu", Policy: "DTexL"})
+	}
+	h.advance(11 * time.Second)
+	// The probe fails (server still stalling) → open again immediately.
+	h.cl.Simulate(context.Background(), serve.SimRequest{Benchmark: "TRu", Policy: "DTexL"})
+	if _, open := h.cl.State(); !open {
+		t.Fatal("breaker closed after a failed probe")
+	}
+	calls := h.calls.Load()
+	if _, err := h.cl.Simulate(context.Background(), serve.SimRequest{Benchmark: "TRu", Policy: "DTexL"}); !errors.Is(err, ErrCircuitOpen) {
+		t.Fatalf("err = %v, want ErrCircuitOpen after failed probe", err)
+	}
+	if h.calls.Load() != calls {
+		t.Fatal("request reached the server while re-opened")
+	}
+}
+
+// TestTransientNetworkErrorRetried: a dead listener is transient — the
+// client retries it (and here keeps failing, eventually surfacing the
+// transport error).
+func TestTransientNetworkErrorRetried(t *testing.T) {
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {}))
+	url := srv.URL
+	srv.Close() // nothing listening
+	cl := New(url, WithRetries(2))
+	var slept atomic.Int64
+	cl.cfg.sleep = func(ctx context.Context, d time.Duration) error { slept.Add(1); return nil }
+	_, err := cl.Simulate(context.Background(), serve.SimRequest{Benchmark: "TRu", Policy: "DTexL"})
+	if err == nil {
+		t.Fatal("expected transport error")
+	}
+	if errors.Is(err, ErrCircuitOpen) {
+		t.Fatal("transport errors must not trip the breaker")
+	}
+	if got := slept.Load(); got != 2 {
+		t.Fatalf("slept %d times, want 2 (transient errors are retried)", got)
+	}
+}

@@ -142,6 +142,40 @@ func TestKeepGoingRendersNA(t *testing.T) {
 	}
 }
 
+// TestCellTimeoutKeepGoingRendersNA: the dtexlbench -cell-timeout
+// -keep-going combination — a per-cell deadline with keep-going — must
+// render hung cells NA and finish the experiment instead of aborting.
+func TestCellTimeoutKeepGoingRendersNA(t *testing.T) {
+	r := NewRunner(faultOptions())
+	r.KeepGoing = true
+	r.RunTimeout = time.Nanosecond // every cell "hangs" past its budget
+	tab, err := r.Fig11()
+	if err != nil {
+		t.Fatalf("keep-going Fig11 aborted on cell timeouts: %v", err)
+	}
+	for _, row := range tab.Rows {
+		for i, v := range row.Values {
+			if !math.IsNaN(v) {
+				t.Errorf("row %s col %d = %v, want NaN (all cells timed out)", row.Name, i, v)
+			}
+		}
+	}
+	fails := r.Failures()
+	if len(fails) == 0 {
+		t.Fatal("timed-out run recorded no failures")
+	}
+	for _, f := range fails {
+		if !errors.Is(f.Err, context.DeadlineExceeded) {
+			t.Errorf("%s/%s failure = %v, want context.DeadlineExceeded", f.Bench, f.Series, f.Err)
+		}
+	}
+	var text bytes.Buffer
+	tab.Render(&text)
+	if !strings.Contains(text.String(), "NA") {
+		t.Error("text rendering of a timed-out table has no NA cells")
+	}
+}
+
 // TestKeepGoingFailureCached: a failed configuration is cached, so a
 // cell shared by several figures fails once instead of re-running the
 // doomed simulation per figure.

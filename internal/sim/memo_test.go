@@ -1,6 +1,7 @@
 package sim
 
 import (
+	"context"
 	"errors"
 	"sync"
 	"sync/atomic"
@@ -18,7 +19,7 @@ func TestMemoSingleFlight(t *testing.T) {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			v, err := m.do(7, func() (int, error) {
+			v, err := m.do(context.Background(), 7, func() (int, error) {
 				atomic.AddInt32(&execs, 1)
 				<-release
 				return 42, nil
@@ -40,11 +41,11 @@ func TestMemoErrorEntryRemoved(t *testing.T) {
 	boom := errors.New("boom")
 	calls := 0
 	fail := func() (int, error) { calls++; return 0, boom }
-	if _, err := m.do("k", fail); !errors.Is(err, boom) {
+	if _, err := m.do(context.Background(), "k", fail); !errors.Is(err, boom) {
 		t.Fatalf("err = %v", err)
 	}
 	// The failed flight must not be treated as a completed entry.
-	v, err := m.do("k", func() (int, error) { calls++; return 9, nil })
+	v, err := m.do(context.Background(), "k", func() (int, error) { calls++; return 9, nil })
 	if err != nil || v != 9 {
 		t.Fatalf("retry: %d, %v", v, err)
 	}
@@ -52,7 +53,7 @@ func TestMemoErrorEntryRemoved(t *testing.T) {
 		t.Fatalf("calls = %d, want 2 (error entry cached?)", calls)
 	}
 	// And the success is now memoized.
-	v, err = m.do("k", func() (int, error) { calls++; return -1, nil })
+	v, err = m.do(context.Background(), "k", func() (int, error) { calls++; return -1, nil })
 	if err != nil || v != 9 || calls != 2 {
 		t.Fatalf("memoized read: %d, %v, calls=%d", v, err, calls)
 	}
@@ -62,10 +63,10 @@ func TestMemoPanicReleasesWaiters(t *testing.T) {
 	m := newMemo[int, int]()
 	func() {
 		defer func() { recover() }()
-		m.do(1, func() (int, error) { panic("die") })
+		m.do(context.Background(), 1, func() (int, error) { panic("die") })
 	}()
 	// The entry must be gone and a retry must work.
-	v, err := m.do(1, func() (int, error) { return 5, nil })
+	v, err := m.do(context.Background(), 1, func() (int, error) { return 5, nil })
 	if err != nil || v != 5 {
 		t.Fatalf("after panic: %d, %v", v, err)
 	}

@@ -106,6 +106,19 @@ type simResult struct {
 // frames after the first run their geometry against policy-warmed
 // caches, so their front half is not policy-independent.
 func (r *Runner) RunOneWith(alias string, pol core.Policy, mutate func(*pipeline.Config)) (*RunResult, error) {
+	return r.RunOneCtx(r.baseCtx(), alias, pol, mutate)
+}
+
+// RunOneCtx is RunOneWith under a caller-supplied context — the serving
+// path. ctx bounds the whole call: it is threaded into the executors
+// (so a deadline or cancellation aborts a compute-bound run at the next
+// watchdog poll) and into every memo layer's wait (so a cancelled
+// caller stops blocking on a cell another goroutine is computing,
+// without disturbing that computation). When the computing caller
+// itself is cancelled, still-live waiters retry the cell rather than
+// inherit the foreign context error; each retry is bounded by the
+// retrier's own ctx and the Runner's per-cell RunTimeout.
+func (r *Runner) RunOneCtx(reqCtx context.Context, alias string, pol core.Policy, mutate func(*pipeline.Config)) (*RunResult, error) {
 	prof, err := trace.ProfileByAlias(alias)
 	if err != nil {
 		return nil, err
@@ -133,7 +146,7 @@ func (r *Runner) RunOneWith(alias string, pol core.Policy, mutate func(*pipeline
 			return nil, cached
 		}
 	}
-	res, err := r.sims.do(key, func() (*simResult, error) {
+	res, err := r.sims.do(reqCtx, key, func() (*simResult, error) {
 		if r.Journal != nil {
 			if sr, ok := r.Journal.lookup(key); ok {
 				atomic.AddUint64(&r.completedSims, 1)
@@ -143,7 +156,7 @@ func (r *Runner) RunOneWith(alias string, pol core.Policy, mutate func(*pipeline
 				return sr, nil
 			}
 		}
-		ctx := r.baseCtx()
+		ctx := reqCtx
 		if r.RunTimeout > 0 {
 			var cancel context.CancelFunc
 			ctx, cancel = context.WithTimeout(ctx, r.RunTimeout)
@@ -164,7 +177,7 @@ func (r *Runner) RunOneWith(alias string, pol core.Policy, mutate func(*pipeline
 			}
 		}
 		t0 := time.Now()
-		scenes, err := r.scenes.Animation(prof, cfg.Width, cfg.Height, r.Opt.Seed, frames)
+		scenes, err := r.scenes.AnimationContext(ctx, prof, cfg.Width, cfg.Height, r.Opt.Seed, frames)
 		atomic.AddInt64(&r.generateNanos, int64(time.Since(t0)))
 		if err != nil {
 			return nil, fmt.Errorf("sim: %s/%s: %w", alias, pol.Name, err)
@@ -173,7 +186,7 @@ func (r *Runner) RunOneWith(alias string, pol core.Policy, mutate func(*pipeline
 		if frames == 1 && cfg.RenderTarget == nil {
 			pk := prepKey{Alias: alias, Seed: r.Opt.Seed, Front: pipeline.FrontKeyOf(cfg)}
 			t1 := time.Now()
-			prep, err := r.prepStoreLazy().do(pk, func() (*pipeline.PreparedFrame, error) {
+			prep, err := r.prepStoreLazy().do(ctx, pk, func() (*pipeline.PreparedFrame, error) {
 				p, perr := pipeline.PrepareFrame(scenes[0], cfg)
 				if perr == nil {
 					// Attribute the build split inside the memo body so only

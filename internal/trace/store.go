@@ -1,6 +1,8 @@
 package trace
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"runtime/debug"
 	"sync"
@@ -38,53 +40,90 @@ type SceneStore struct {
 
 	hits   uint64
 	misses uint64
+
+	// gen generates one animation; it defaults to GenerateAnimation and
+	// exists so tests can substitute a gated generator to exercise the
+	// cancellable-wait path deterministically.
+	gen func(p Profile, width, height int, seed uint64, frames int) []*Scene
 }
 
 // NewSceneStore returns an empty store.
 func NewSceneStore() *SceneStore {
-	return &SceneStore{flights: make(map[sceneKey]*sceneFlight)}
+	return &SceneStore{flights: make(map[sceneKey]*sceneFlight), gen: GenerateAnimation}
 }
 
 // Animation returns the memoized animation for profile p at the given
-// resolution, seed and frame count, generating it on first use. Lookups
-// that land while another goroutine is generating the same key block
-// until that generation completes rather than duplicating it. A failed
-// generation is not cached: its entry is removed before its waiters are
-// released, so a later call retries.
-func (s *SceneStore) Animation(p Profile, width, height int, seed uint64, frames int) (scenes []*Scene, err error) {
+// resolution, seed and frame count, generating it on first use. It is
+// AnimationContext under context.Background(): the wait on another
+// goroutine's in-flight generation is not cancellable.
+func (s *SceneStore) Animation(p Profile, width, height int, seed uint64, frames int) ([]*Scene, error) {
+	return s.AnimationContext(context.Background(), p, width, height, seed, frames)
+}
+
+// AnimationContext is Animation with a cancellable wait: a caller that
+// lands while another goroutine is generating the same key blocks until
+// that generation completes or ctx ends, whichever is first. A failed
+// generation is not cached — its entry is removed before its waiters
+// are released, so a later call retries. Generation itself runs to
+// completion regardless of ctx (it is shared work other waiters may
+// still want); only the wait is cancellable.
+func (s *SceneStore) AnimationContext(ctx context.Context, p Profile, width, height int, seed uint64, frames int) (scenes []*Scene, err error) {
 	key := sceneKey{alias: p.Alias, width: width, height: height, seed: seed, frames: frames}
-	s.mu.Lock()
-	if f, ok := s.flights[key]; ok {
-		s.hits++
+	for {
+		s.mu.Lock()
+		if f, ok := s.flights[key]; ok {
+			s.hits++
+			s.mu.Unlock()
+			// A completed flight is served even under a dead context: ctx
+			// guards only the blocking wait, never a cache hit.
+			select {
+			case <-f.done:
+			default:
+				select {
+				case <-f.done:
+				case <-ctx.Done():
+					return nil, ctx.Err()
+				}
+			}
+			if f.err != nil && isCtxErr(f.err) && ctx.Err() == nil {
+				// The generating caller was cancelled under its own context
+				// while ours is live; the entry is gone, so retry.
+				continue
+			}
+			return f.scenes, f.err
+		}
+		f := &sceneFlight{done: make(chan struct{})}
+		s.flights[key] = f
+		s.misses++
 		s.mu.Unlock()
-		<-f.done
+
+		defer func() {
+			if r := recover(); r != nil {
+				// A panicking generation must not kill the process (the call
+				// may run on a Warm worker goroutine) or hand waiters a silent
+				// (nil, nil): convert it to an error for generator and waiters
+				// alike.
+				f.err = fmt.Errorf("trace: scene generation panicked: %v\n%s", r, debug.Stack())
+				scenes, err = nil, f.err
+			}
+			if f.scenes == nil {
+				// Generation failed or panicked: drop the entry so a later
+				// call retries instead of observing a partial result.
+				s.mu.Lock()
+				delete(s.flights, key)
+				s.mu.Unlock()
+			}
+			close(f.done)
+		}()
+		f.scenes = s.gen(p, width, height, seed, frames)
 		return f.scenes, f.err
 	}
-	f := &sceneFlight{done: make(chan struct{})}
-	s.flights[key] = f
-	s.misses++
-	s.mu.Unlock()
+}
 
-	defer func() {
-		if r := recover(); r != nil {
-			// A panicking generation must not kill the process (the call
-			// may run on a Warm worker goroutine) or hand waiters a silent
-			// (nil, nil): convert it to an error for generator and waiters
-			// alike.
-			f.err = fmt.Errorf("trace: scene generation panicked: %v\n%s", r, debug.Stack())
-			scenes, err = nil, f.err
-		}
-		if f.scenes == nil {
-			// Generation failed or panicked: drop the entry so a later
-			// call retries instead of observing a partial result.
-			s.mu.Lock()
-			delete(s.flights, key)
-			s.mu.Unlock()
-		}
-		close(f.done)
-	}()
-	f.scenes = GenerateAnimation(p, width, height, seed, frames)
-	return f.scenes, f.err
+// isCtxErr reports whether err is (or wraps) a context cancellation or
+// deadline error.
+func isCtxErr(err error) bool {
+	return errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded)
 }
 
 // Stats reports the store's hit/miss counters (hits include waits on an

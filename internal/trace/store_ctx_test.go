@@ -1,0 +1,88 @@
+package trace
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+)
+
+// gatedStore returns a store whose generator blocks on gate before
+// producing one real frame, so tests can hold a generation in flight
+// deterministically.
+func gatedStore(gate chan struct{}) *SceneStore {
+	s := NewSceneStore()
+	real := s.gen
+	s.gen = func(p Profile, width, height int, seed uint64, frames int) []*Scene {
+		<-gate
+		return real(p, width, height, seed, frames)
+	}
+	return s
+}
+
+// TestAnimationContextWaiterCancellable: a waiter blocked on another
+// goroutine's in-flight generation returns its context error promptly;
+// the generation itself completes and stays cached.
+func TestAnimationContextWaiterCancellable(t *testing.T) {
+	p, err := ProfileByAlias("TRu")
+	if err != nil {
+		t.Fatal(err)
+	}
+	gate := make(chan struct{})
+	s := gatedStore(gate)
+
+	genDone := make(chan error, 1)
+	go func() {
+		_, err := s.Animation(p, 245, 96, 1, 1)
+		genDone <- err
+	}()
+	// Wait until the generation is in flight (the generator is parked on
+	// the gate once the flight entry exists; poll the miss counter).
+	for {
+		if _, misses := s.Stats(); misses == 1 {
+			break
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	start := time.Now()
+	if _, err := s.AnimationContext(ctx, p, 245, 96, 1, 1); !errors.Is(err, context.Canceled) {
+		t.Fatalf("cancelled waiter returned %v, want context.Canceled", err)
+	}
+	if elapsed := time.Since(start); elapsed > time.Second {
+		t.Fatalf("cancelled waiter blocked for %v", elapsed)
+	}
+
+	close(gate)
+	if err := <-genDone; err != nil {
+		t.Fatalf("generation failed: %v", err)
+	}
+	// The completed generation is served from cache, cancellation
+	// notwithstanding.
+	scenes, err := s.AnimationContext(context.Background(), p, 245, 96, 1, 1)
+	if err != nil || len(scenes) != 1 {
+		t.Fatalf("cached read after cancel: %d scenes, %v", len(scenes), err)
+	}
+}
+
+// TestAnimationContextCompletedFlightIgnoresCtx: a key whose generation
+// already completed is served even under a cancelled context — the
+// cancellable select only guards the blocking wait, never a cache hit.
+func TestAnimationContextCompletedFlightIgnoresCtx(t *testing.T) {
+	p, err := ProfileByAlias("TRu")
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := NewSceneStore()
+	if _, err := s.Animation(p, 245, 96, 1, 1); err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	scenes, err := s.AnimationContext(ctx, p, 245, 96, 1, 1)
+	if err != nil || len(scenes) != 1 {
+		t.Fatalf("completed flight under cancelled ctx: %d scenes, %v", len(scenes), err)
+	}
+}
