@@ -1,8 +1,11 @@
 // Command dtexld serves simulations over HTTP, hardened for overload:
 // admission control with a bounded queue, per-request deadlines that
 // reach the executor watchdogs, fidelity degradation instead of load
-// shedding for requests that opt in, and SIGTERM draining that journals
-// completed cells so a restarted server answers them from memo.
+// shedding for requests that opt in, request coalescing (concurrent
+// identical requests join one in-flight simulation that survives any
+// single client's cancellation — see DESIGN.md §11), and SIGTERM
+// draining that journals completed cells so a restarted server answers
+// them from memo.
 //
 // Usage:
 //
@@ -53,6 +56,7 @@ func run() int {
 		conc     = flag.Int("concurrency", 0, "full-fidelity slots (0 = GOMAXPROCS)")
 		queue    = flag.Int("queue", 0, "bounded waiting room beyond the slots (0 = 2x concurrency)")
 		cellBudg = flag.Duration("cell-timeout", 2*time.Minute, "per-simulation wall-clock budget; also the Retry-After unit")
+		cellPar  = flag.Int("cellpar", 1, "worker goroutines inside each simulation (1 = serial, 0 = GOMAXPROCS); output is byte-identical to serial")
 		grace    = flag.Duration("grace", 30*time.Second, "drain budget after SIGTERM before in-flight executors are aborted")
 		ckptDir  = flag.String("checkpoint", "", "journal completed cells under this directory; a restarted server serves them from memo")
 		chaosStr = flag.String("chaos", "", "fault injection spec bench/policy/mode (mode: panic, error, stall; testing only)")
@@ -73,6 +77,11 @@ func run() int {
 		QueueDepth:    *queue,
 		CellBudget:    *cellBudg,
 		Logf:          logf,
+	}
+	if *cellPar == 0 {
+		cfg.Parallel = -1 // Runner semantics: negative = GOMAXPROCS
+	} else {
+		cfg.Parallel = *cellPar
 	}
 	if *chaosStr != "" {
 		chaos, err := sim.ParseChaos(*chaosStr)

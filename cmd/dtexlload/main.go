@@ -9,6 +9,9 @@
 //
 //	dtexlload -addr http://127.0.0.1:8095 -n 32 -c 8 \
 //	          -benchmarks TRu,CCS -policies baseline,DTexL -degradable
+//	dtexlload -n 16 -c 16 -identical -expect-sims 1
+//	          # coalescing demonstration: 16 concurrent identical
+//	          # requests must execute exactly one simulation
 //
 // Exit codes: 0 = contract held (shed, degraded, stall and timeout
 // outcomes are all legal under load); 1 = contract violated (malformed
@@ -17,9 +20,11 @@ package main
 
 import (
 	"context"
+	"encoding/json"
 	"errors"
 	"flag"
 	"fmt"
+	"net/http"
 	"os"
 	"sort"
 	"strings"
@@ -52,6 +57,8 @@ func run() int {
 		policies   = flag.String("policies", "baseline,DTexL", "comma-separated policies to cycle through")
 		scale      = flag.Int("scale", 0, "request scale (0 = server default)")
 		degradable = flag.Bool("degradable", false, "mark requests degradable (opt into the overload ladder)")
+		identical  = flag.Bool("identical", false, "send every request to the same (benchmark, policy) cell — the coalescing demonstration: M concurrent requests join one in-flight simulation")
+		expectSims = flag.Int("expect-sims", -1, "after the run, fail unless the server's /readyz sims_computed equals this (-1 = no check; pair with -identical against a fresh server)")
 		deadline   = flag.Duration("deadline", 2*time.Minute, "per-request deadline (client side)")
 		retries    = flag.Int("retries", 3, "client retry budget per request")
 		verbose    = flag.Bool("v", false, "log each outcome")
@@ -65,6 +72,9 @@ func run() int {
 	)
 	bs := strings.Split(*benches, ",")
 	ps := strings.Split(*policies, ",")
+	if *identical {
+		bs, ps = bs[:1], ps[:1]
+	}
 
 	var (
 		o    outcomes
@@ -111,6 +121,23 @@ func run() int {
 			pct(lats, 50), pct(lats, 95), pct(lats, 99), lats[len(lats)-1])
 	}
 
+	// The server-side coalescing picture: how many requests joined an
+	// in-flight identical run, and how many simulations actually
+	// executed. With -identical against a fresh server, sims_computed
+	// must be exactly 1 — the M→1 contract.
+	if st, err := fetchReady(*addr); err == nil {
+		fmt.Printf("dtexlload: server: coalesced=%d flights=%d sims_computed=%d served=%d\n",
+			st.Coalesced, st.FlightsStarted, st.SimsComputed, st.Served)
+		if *expectSims >= 0 && st.SimsComputed != uint64(*expectSims) {
+			fmt.Printf("dtexlload: FAIL: sims_computed=%d, want %d (coalescing or memo broken?)\n",
+				st.SimsComputed, *expectSims)
+			return 1
+		}
+	} else if *expectSims >= 0 {
+		fmt.Printf("dtexlload: FAIL: cannot verify sims_computed: %v\n", err)
+		return 1
+	}
+
 	if o.violation.Load() > 0 {
 		fmt.Println("dtexlload: FAIL: contract violations observed")
 		return 1
@@ -120,6 +147,21 @@ func run() int {
 		return 1
 	}
 	return 0
+}
+
+// fetchReady reads /readyz, decoding the body regardless of status (a
+// draining server answers 503 with the same shape).
+func fetchReady(addr string) (*serve.ReadyState, error) {
+	hres, err := http.Get(strings.TrimRight(addr, "/") + "/readyz")
+	if err != nil {
+		return nil, err
+	}
+	defer hres.Body.Close()
+	var st serve.ReadyState
+	if err := json.NewDecoder(hres.Body).Decode(&st); err != nil {
+		return nil, err
+	}
+	return &st, nil
 }
 
 // record classifies one request's result against the overload contract.

@@ -111,6 +111,37 @@ func (h *Hierarchy) TextureAccessInfo(sc int, addr uint64) (lat int64, miss bool
 	return lat + h.DRAM.Access(addr), true
 }
 
+// TextureL1Access performs only the private-L1 half of a texture read:
+// the lookup in shader core sc's own L1 texture cache. It returns the
+// L1 latency and whether the line missed (and therefore needs a shared
+// L2/DRAM fill via TextureSharedFill). It is undefined under NUCA,
+// where the L1 level is itself shared — callers must use
+// TextureAccessInfo there.
+//
+// The split exists for the parallel executors: the L1 half touches only
+// per-SC state and may run without coordination, while the shared fill
+// must be globally ordered. TextureL1Access followed (on miss) by
+// TextureSharedFill is bit-identical to TextureAccessInfo; the
+// composition is pinned by TestTextureAccessSplitComposes.
+func (h *Hierarchy) TextureL1Access(sc int, addr uint64) (lat int64, miss bool) {
+	lat = h.cfg.L1Tex.HitLatency
+	if h.L1Tex[sc].Access(addr) {
+		return lat, false
+	}
+	return lat, true
+}
+
+// TextureSharedFill performs the shared half of a texture miss — the L2
+// lookup and, on an L2 miss, the DRAM access — and returns the
+// additional latency beyond the L1 level.
+func (h *Hierarchy) TextureSharedFill(addr uint64) int64 {
+	lat := h.cfg.L2.HitLatency
+	if h.L2.Access(addr) {
+		return lat
+	}
+	return lat + h.DRAM.Access(addr)
+}
+
 // VertexAccess performs a vertex fetch through the vertex cache.
 func (h *Hierarchy) VertexAccess(addr uint64) int64 {
 	lat := h.cfg.Vertex.HitLatency

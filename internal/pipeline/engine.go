@@ -108,6 +108,18 @@ func rasterFrame(ctx context.Context, cfg Config, hier *cache.Hierarchy, geo Geo
 	if cfg.SampleEvery > 0 {
 		ex.es.sampler = newIntervalSampler(cfg.SampleEvery, ex.scs, hier)
 	}
+	if workers := parallelWorkers(ctx); workers > 1 && parallelEligible(ctx, cfg) {
+		// Live path without a PreparedFrame: build the policy-independent
+		// coverage skeletons up front on the worker pool (pure functions,
+		// identical to the serial per-tile computation). Gated on a nil
+		// RenderTarget because coverTile with a live target also resolves
+		// colors, whose blend order must follow the tile walk.
+		if covers == nil && cfg.RenderTarget == nil {
+			ex.raster.cov.pre = parallelCovers(cfg, geo.Primitives, binning, workers)
+			ex.perSCCapV = -1
+		}
+		ex.par = newParDrain(ctx, cfg, hier, cfg.NumSC)
+	}
 	var err error
 	if cfg.Decoupled {
 		err = ex.runDecoupled()
@@ -177,6 +189,11 @@ type executor struct {
 	wd                   watchdog
 	curSeq, curTX, curTY int
 
+	// par, when non-nil, runs the barrier-to-barrier drains on one
+	// worker per SC with output byte-identical to the serial loops
+	// (see parallel.go); nil keeps the executors fully serial.
+	par *parDrain
+
 	// pool recycles tileWork units (with their perSC and ownCov backing
 	// arrays) across tiles; perSCCapV caches the presize for their perSC
 	// lists (-1 until computed).
@@ -197,6 +214,12 @@ type executor struct {
 	tileFinish    []int64
 	lo, hi        int
 	lastRasterEnd int64
+	// Per-SC decoupled stream state (see runDecoupled). dFail[i] is the
+	// window generation at which SC i's advance last came up empty;
+	// neverFailed otherwise.
+	dTile  []int   // current tile index per SC
+	dFlush []int64 // completion of the SC's last bank flush
+	dFail  []uint64
 	// windowGen counts decoupled window movements (lo or hi); the drive
 	// loop uses it to re-try parked SCs only when the window changed.
 	windowGen uint64
@@ -447,6 +470,19 @@ func (ex *executor) drainAll() error {
 			return ex.stallErr("coupled", "injected chaos stall")
 		}
 	}
+	if ex.par != nil {
+		if ran, reason, err := ex.par.drain(ex.scs); ran {
+			if err != nil {
+				return err
+			}
+			if reason != "" {
+				return ex.stallErr("coupled", reason)
+			}
+			ex.par.merge(&ex.es.events)
+			return nil
+		}
+		// Fewer than two pending SCs: fall through to the serial loop.
+	}
 	scs := ex.scs
 	for {
 		var best *scState
@@ -520,19 +556,18 @@ func (ex *executor) runDecoupled() error {
 	ex.tileRemaining = make([]int, n)
 	ex.tileFinish = make([]int64, n)
 
-	// Per-SC stream state. scFail[i] is the window generation at which
+	// Per-SC stream state. dFail[i] is the window generation at which
 	// SC i's advance last came up empty; the feed loop re-tries a parked
 	// SC only after the window moved, since a failed advance is a pure
 	// no-op until then (the drained-subtile flush happens on the first
 	// attempt, before the SC can park).
 	nsc := len(ex.scs)
-	scTile := make([]int, nsc)    // current tile index per SC
-	scFlush := make([]int64, nsc) // completion of the SC's last bank flush
-	scFail := make([]uint64, nsc)
-	const neverFailed = ^uint64(0)
-	for i := range scTile {
-		scTile[i] = -1
-		scFail[i] = neverFailed
+	ex.dTile = make([]int, nsc)
+	ex.dFlush = make([]int64, nsc)
+	ex.dFail = make([]uint64, nsc)
+	for i := range ex.dTile {
+		ex.dTile[i] = -1
+		ex.dFail[i] = neverFailed
 	}
 
 	ex.es.retire = func(sc *scState, tw *tileWork, at int64) {
@@ -546,38 +581,8 @@ func (ex *executor) runDecoupled() error {
 
 	ex.extendWindow()
 
-	// advance moves sc's input to its next non-empty subtile stream,
-	// returning false when it must wait for the window.
-	advance := func(sc *scState) bool {
-		if sc.inTile != nil && len(sc.inTile.perSC[sc.id]) > 0 {
-			// Bank flush of the subtile just drained (16 lines, §III-E).
-			scFlush[sc.id] = ex.flush(sc.inTile, sc.id, ex.tileFlushLines()/len(ex.scs), sc.lastRetire)
-			ex.releaseTile(sc.inTile)
-			sc.inTile = nil
-		}
-		for {
-			next := scTile[sc.id] + 1
-			if next >= ex.hi {
-				if !ex.extendWindow() {
-					return false
-				}
-				if next >= ex.hi {
-					return false
-				}
-			}
-			scTile[sc.id] = next
-			tw := ex.tiles[next]
-			if tw == nil || len(tw.perSC[sc.id]) == 0 {
-				continue // nothing for this SC in that tile
-			}
-			gate := ex.rasterDone[next]
-			if scFlush[sc.id] > gate {
-				gate = scFlush[sc.id]
-			}
-			tw.refs++
-			sc.setInput(tw, gate)
-			return true
-		}
+	if ex.par != nil {
+		return ex.runDecoupledParallel()
 	}
 
 	for ex.wd.chaos {
@@ -591,11 +596,11 @@ func (ex *executor) runDecoupled() error {
 		feedGen := ex.windowGen
 		anyPending := false
 		for _, sc := range scs {
-			if !sc.pending() && scFail[sc.id] != ex.windowGen {
-				if advance(sc) {
-					scFail[sc.id] = neverFailed
+			if !sc.pending() && ex.dFail[sc.id] != ex.windowGen {
+				if ex.decAdvance(sc) {
+					ex.dFail[sc.id] = neverFailed
 				} else {
-					scFail[sc.id] = ex.windowGen
+					ex.dFail[sc.id] = ex.windowGen
 				}
 			}
 			if sc.pending() {
@@ -665,12 +670,58 @@ func (ex *executor) runDecoupled() error {
 		}
 	}
 
+	ex.decFrameEnd()
+	return nil
+}
+
+// neverFailed is the dFail sentinel for an SC whose last advance
+// succeeded (or that has not yet advanced).
+const neverFailed = ^uint64(0)
+
+// decAdvance moves sc's input to its next non-empty subtile stream,
+// returning false when it must wait for the window. It touches the
+// shared hierarchy (bank flush, window extension), so under the
+// parallel drain it must only run while holding the sequencer grant.
+func (ex *executor) decAdvance(sc *scState) bool {
+	if sc.inTile != nil && len(sc.inTile.perSC[sc.id]) > 0 {
+		// Bank flush of the subtile just drained (16 lines, §III-E).
+		ex.dFlush[sc.id] = ex.flush(sc.inTile, sc.id, ex.tileFlushLines()/len(ex.scs), sc.lastRetire)
+		ex.releaseTile(sc.inTile)
+		sc.inTile = nil
+	}
+	for {
+		next := ex.dTile[sc.id] + 1
+		if next >= ex.hi {
+			if !ex.extendWindow() {
+				return false
+			}
+			if next >= ex.hi {
+				return false
+			}
+		}
+		ex.dTile[sc.id] = next
+		tw := ex.tiles[next]
+		if tw == nil || len(tw.perSC[sc.id]) == 0 {
+			continue // nothing for this SC in that tile
+		}
+		gate := ex.rasterDone[next]
+		if ex.dFlush[sc.id] > gate {
+			gate = ex.dFlush[sc.id]
+		}
+		tw.refs++
+		sc.setInput(tw, gate)
+		return true
+	}
+}
+
+// decFrameEnd folds the decoupled run's completion times into frameEnd.
+func (ex *executor) decFrameEnd() {
 	for _, sc := range ex.scs {
 		if sc.clock > ex.frameEnd {
 			ex.frameEnd = sc.clock
 		}
 	}
-	for _, f := range scFlush {
+	for _, f := range ex.dFlush {
 		if f > ex.frameEnd {
 			ex.frameEnd = f
 		}
@@ -678,7 +729,6 @@ func (ex *executor) runDecoupled() error {
 	if ex.lastRasterEnd > ex.frameEnd {
 		ex.frameEnd = ex.lastRasterEnd
 	}
-	return nil
 }
 
 // extendWindow rasterizes tiles up to the FIFO bound and returns whether

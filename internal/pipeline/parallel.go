@@ -1,0 +1,743 @@
+package pipeline
+
+import (
+	"context"
+	"math"
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"dtexl/internal/cache"
+)
+
+// This file holds the intra-run parallel machinery shared by all three
+// executors: the context knob that opts a run in, the conservative
+// sequencer that reproduces the serial executors' shared-memory access
+// order exactly (making parallel output byte-identical to serial — see
+// DESIGN.md §11), the per-worker gate that routes texture traffic
+// through it, and the parallel tile-coverage builder.
+//
+// The central invariant: a shader core's *private* state (its clock,
+// warps, L1 texture cache, fill ports) evolves independently of every
+// other core between shared-memory touch points, so only the global
+// order of shared operations — L2/DRAM fills, tile-cache traffic,
+// decoupled window mutations — is observable. The serial executors
+// perform those operations in ascending (clock, SC index) order of the
+// step that issues them; the sequencer grants each worker's shared
+// operations exactly when its (clock, index) key is the global minimum,
+// reproducing that order cycle for cycle.
+
+// parallelKey flags a context with a worker count for intra-run
+// parallelism.
+type parallelKey struct{}
+
+// WithParallel returns a context under which the executors run their
+// per-SC stepping (and the prepared-frame coverage build) on up to n
+// worker goroutines. n <= 0 means GOMAXPROCS. The run's output is
+// byte-identical to the serial path, so memoized results are shared
+// freely between serial and parallel requests; Config (and therefore
+// every memo key) is deliberately untouched.
+func WithParallel(ctx context.Context, n int) context.Context {
+	if n <= 0 {
+		n = runtime.GOMAXPROCS(0)
+	}
+	return context.WithValue(ctx, parallelKey{}, n)
+}
+
+// parallelWorkers reports the worker budget carried by ctx (1 = serial).
+func parallelWorkers(ctx context.Context) int {
+	n, _ := ctx.Value(parallelKey{}).(int)
+	if n < 1 {
+		return 1
+	}
+	return n
+}
+
+// parallelEligible reports whether a run under cfg may use the parallel
+// drains. The gates are features whose state is inherently cross-SC or
+// observation-order-dependent:
+//   - NUCA makes the L1 level itself shared (every texture access is a
+//     shared operation; nothing overlaps);
+//   - interval sampling reads cross-SC state at clock thresholds;
+//   - chaos stall injection wants the serial watchdog's step accounting;
+//   - a single SC has nothing to overlap.
+func parallelEligible(ctx context.Context, cfg Config) bool {
+	return cfg.NumSC > 1 && cfg.NumSC <= 64 && // decoupled park bookkeeping is a uint64 mask
+		!cfg.Hierarchy.NUCA &&
+		cfg.SampleEvery == 0 &&
+		!chaosStallEnabled(ctx)
+}
+
+// horizonDone is the horizon of a worker with no further shared
+// operations: it never blocks anyone.
+const horizonDone = math.MaxInt64
+
+// paddedClock is a cache-line-padded atomic clock: each worker's horizon
+// lives on its own line so publishing one never invalidates another's.
+type paddedClock struct {
+	v atomic.Int64
+	_ [56]byte
+}
+
+// drainSync is the conservative sequencer. Each worker i continuously
+// publishes its horizon — the pre-step clock of the scheduling step it
+// is about to execute (or executing) — and acquire(i) blocks until
+// worker i's (horizon, index) key is the global lexicographic minimum.
+// Because each SC's step sequence and pre-step clocks are independent
+// of interleaving (given the serial shared results, which holds
+// inductively), granting shared operations in ascending key order
+// reproduces the serial executors' shared access order exactly.
+//
+// Memory ordering: horizons are sync/atomic (sequentially consistent in
+// the Go memory model), so a worker that observes every other horizon
+// above its key also observes all shared-state writes those workers made
+// before publishing — the grant transfer is a happens-before edge, which
+// is what makes plain writes to the shared hierarchy race-free.
+type drainSync struct {
+	horizons []paddedClock
+	mu       sync.Mutex
+	cond     *sync.Cond
+	// waiters counts workers inside the cond-wait slow path; publishers
+	// skip the mutex entirely while it is zero (the common case).
+	waiters atomic.Int32
+	// failed aborts the drain: set on stall, cancellation or panic, it
+	// releases every waiter and makes all subsequent grants fail fast.
+	failed atomic.Bool
+}
+
+func (d *drainSync) init(n int) {
+	d.horizons = make([]paddedClock, n)
+	d.cond = sync.NewCond(&d.mu)
+}
+
+// cleared reports whether worker i, at key, holds the minimum
+// (horizon, index) key and may touch shared state.
+func (d *drainSync) cleared(i int, key int64) bool {
+	for j := range d.horizons {
+		if j == i {
+			continue
+		}
+		h := d.horizons[j].v.Load()
+		if h < key || (h == key && j < i) {
+			return false
+		}
+	}
+	return true
+}
+
+// acquire blocks until worker i's published key is the global minimum,
+// returning false if the drain failed while waiting. Short spin first:
+// grants usually clear within a few other-worker steps.
+func (d *drainSync) acquire(i int) bool {
+	key := d.horizons[i].v.Load()
+	for spin := 0; spin < 128; spin++ {
+		if d.failed.Load() {
+			return false
+		}
+		if d.cleared(i, key) {
+			return true
+		}
+		runtime.Gosched()
+	}
+	d.mu.Lock()
+	d.waiters.Add(1)
+	for !d.cleared(i, key) && !d.failed.Load() {
+		d.cond.Wait()
+	}
+	d.waiters.Add(-1)
+	d.mu.Unlock()
+	return !d.failed.Load()
+}
+
+// publish sets worker i's horizon and wakes any slow-path waiters.
+// Publishing a higher key is the grant release. The waiter increments
+// waiters under the mutex before re-checking cleared, and both sides use
+// sequentially-consistent atomics, so a publisher that misses the
+// waiter's increment is ordered before the waiter's horizon load — the
+// waiter then sees the new horizon and never sleeps on a stale picture.
+func (d *drainSync) publish(i int, key int64) {
+	d.horizons[i].v.Store(key)
+	if d.waiters.Load() > 0 {
+		d.mu.Lock()
+		d.mu.Unlock() //nolint:staticcheck // empty section: fence against a waiter between check and Wait
+		d.cond.Broadcast()
+	}
+}
+
+// fail aborts the drain and wakes everyone.
+func (d *drainSync) fail() {
+	d.failed.Store(true)
+	d.mu.Lock()
+	d.mu.Unlock() //nolint:staticcheck // see publish
+	d.cond.Broadcast()
+}
+
+// drainGate mediates one worker's shared-state access. A worker's first
+// shared operation in a scheduling step acquires the global grant; the
+// grant then covers the rest of the step (and the post-step feed work in
+// the decoupled executor) until the worker publishes its next horizon.
+// Exclusivity persists for the whole region because horizons are
+// monotone while anyone holds a grant: the only horizon-lowering
+// operation (feeding a parked decoupled worker) is performed by the
+// grant holder itself, deferred to its release.
+type drainGate struct {
+	d       *drainSync
+	idx     int
+	hier    *cache.Hierarchy
+	held    bool
+	aborted bool
+}
+
+// enter acquires the grant for the current step region (idempotent).
+// It returns false when the drain is being torn down.
+func (g *drainGate) enter() bool {
+	if g.held {
+		return true
+	}
+	if g.aborted {
+		return false
+	}
+	if !g.d.acquire(g.idx) {
+		g.aborted = true
+		return false
+	}
+	g.held = true
+	return true
+}
+
+// textureAccess is the parallel substitute for
+// cache.Hierarchy.TextureAccessInfo: the private L1 half runs without
+// coordination, and only a miss's shared L2/DRAM fill takes the grant.
+// After an abort it returns a plausible latency without touching shared
+// state — the run's results are discarded, the SC just needs to finish
+// its step so the worker can observe the failure and exit.
+func (g *drainGate) textureAccess(sc int, addr uint64) (int64, bool) {
+	lat, miss := g.hier.TextureL1Access(sc, addr)
+	if !miss {
+		return lat, false
+	}
+	if !g.enter() {
+		return lat + g.hier.Config().L2.HitLatency, true
+	}
+	return lat + g.hier.TextureSharedFill(addr), true
+}
+
+// drainWorker is one worker's per-goroutine state: a private engineState
+// whose event counters shadow the shared ones (merged in fixed SC order
+// after the drain), the gate, a private watchdog, and the failure
+// outcome it observed.
+type drainWorker struct {
+	es     engineState
+	gate   drainGate
+	wd     watchdog
+	err    error
+	reason string
+}
+
+// parDrain runs the barrier-to-barrier SC drain of the coupled and IMR
+// executors on one goroutine per shader core. It is allocated once per
+// frame and reused across every drain (coupled runs one per tile).
+type parDrain struct {
+	d       drainSync
+	workers []drainWorker
+}
+
+func newParDrain(ctx context.Context, cfg Config, hier *cache.Hierarchy, numSC int) *parDrain {
+	p := &parDrain{workers: make([]drainWorker, numSC)}
+	p.d.init(numSC)
+	for i := range p.workers {
+		w := &p.workers[i]
+		w.gate = drainGate{d: &p.d, idx: i, hier: hier}
+		w.es = engineState{cfg: cfg, hier: hier, gate: &w.gate}
+		w.wd = watchdog{ctx: ctx, limit: cfg.watchdogLimit()}
+	}
+	return p
+}
+
+// reset prepares the sequencer for a new drain: horizons of pending SCs
+// start at their current clocks, finished SCs never block.
+func (p *parDrain) reset(scs []*scState) {
+	p.d.failed.Store(false)
+	for i := range p.workers {
+		w := &p.workers[i]
+		if scs[i].pending() {
+			p.d.horizons[i].v.Store(scs[i].clock)
+		} else {
+			p.d.horizons[i].v.Store(horizonDone)
+		}
+		w.err = nil
+		w.reason = ""
+		w.gate.held = false
+		w.gate.aborted = false
+	}
+}
+
+// drain steps every pending SC to completion concurrently. It returns
+// ran=false when fewer than two SCs have pending work — the caller then
+// uses its serial loop, whose single-SC stepping the sequencer could
+// only slow down. On ran=true, reason/err carry the first (by SC index)
+// worker failure, mirroring the serial loop's error surface.
+func (p *parDrain) drain(scs []*scState) (ran bool, reason string, err error) {
+	pending := 0
+	for _, sc := range scs {
+		if sc.pending() {
+			pending++
+		}
+	}
+	if pending <= 1 {
+		return false, "", nil
+	}
+	p.reset(scs)
+	var wg sync.WaitGroup
+	for i := range p.workers {
+		if !scs[i].pending() {
+			continue
+		}
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			p.run(i, scs[i])
+		}(i)
+	}
+	wg.Wait()
+	for i := range p.workers {
+		if w := &p.workers[i]; w.err != nil {
+			return true, "", w.err
+		}
+	}
+	for i := range p.workers {
+		if w := &p.workers[i]; w.reason != "" {
+			return true, w.reason, nil
+		}
+	}
+	return true, "", nil
+}
+
+// run is the coupled/IMR worker loop: publish the next step's key,
+// step, repeat. No feeds or retires happen during these drains (the
+// coupled executor aligns inputs before the barrier and the IMR
+// executor before the batch), so the only shared operations are texture
+// fills inside steps, all mediated by the gate.
+func (p *parDrain) run(i int, sc *scState) {
+	w := &p.workers[i]
+	d := &p.d
+	for sc.pending() {
+		if d.failed.Load() {
+			break
+		}
+		w.gate.held = false
+		d.publish(i, sc.clock)
+		reason, err := w.wd.step(&w.es, sc)
+		if err != nil {
+			w.err = err
+			d.fail()
+			break
+		}
+		if reason != "" {
+			w.reason = reason
+			d.fail()
+			break
+		}
+	}
+	d.publish(i, horizonDone)
+}
+
+// ---------------------------------------------------------------------
+// Decoupled parallel drain.
+//
+// The decoupled executor interleaves SC steps with shared bookkeeping
+// that the coupled/IMR drains never see mid-drain: quad retires move the
+// window (advanceLo), drained SCs are re-fed (decAdvance: bank flush +
+// setInput), and the window is extended (rasterizeTile). The serial
+// loop runs a feed pass over the drained SCs before every step batch;
+// a pass only does something when an SC just drained or the window
+// moved since its last failed attempt. The parallel drain reproduces
+// that order with three rules:
+//
+//  1. Every shared operation inside a step (texture fill, retire) runs
+//     under the sequencer grant at the step's (pre-step clock, index)
+//     key — exactly the serial step order.
+//  2. A worker whose step took the grant, drained its SC, or observed
+//     `armed` runs one feed pass at the end of the step, still under
+//     the same grant — the serial pass position, since the serial loop
+//     re-passes immediately after any step that changed feedability.
+//     Passes that find nothing feedable are no-ops, so extra passes
+//     never diverge from the serial schedule.
+//  3. A drained SC whose self-feed failed parks: its worker registers
+//     in parkedMask (under the grant), publishes horizonDone and
+//     sleeps. Feeding it is then some grant holder's job; the feeder
+//     defers the horizon restore and wakeup to after its whole pass so
+//     grant exclusivity is never shared. The last worker to park
+//     drives the serial loop's idle branch (extend window / watchdog)
+//     under its grant.
+//
+// `armed` flags the one case a pass leaves work behind: decAdvance can
+// extend the window mid-pass, making SCs tried earlier in that same
+// pass feedable again. The serial loop handles it by re-passing after
+// the next step; here every worker checks armed at end of step and runs
+// the pass under its grant. armed is recomputed at the end of every
+// pass, so a stale true costs a no-op pass and a momentarily stale
+// false is caught by the next sequentially-consistent load — private
+// steps in between commute with shared state either way.
+// ---------------------------------------------------------------------
+
+// decPar is the decoupled drain's park/wake state. parkedMask and the
+// executor's window state are only touched under the sequencer grant;
+// wakeFed and done are guarded by parkMu; armed is atomic.
+type decPar struct {
+	ex *executor
+	p  *parDrain
+
+	parkMu   sync.Mutex
+	parkCond *sync.Cond
+	wakeFed  []bool
+	done     bool
+
+	parkedMask uint64 // grant-guarded: workers whose SC drained and could not be re-fed
+	allMask    uint64
+	armed      atomic.Bool
+}
+
+// abort fails the drain and wakes both grant waiters and parked workers.
+func (dp *decPar) abort() {
+	dp.p.d.fail()
+	dp.parkMu.Lock()
+	dp.parkMu.Unlock() //nolint:staticcheck // fence against a parker between predicate check and Wait
+	dp.parkCond.Broadcast()
+}
+
+// finish marks the frame complete and wakes every parked worker.
+func (dp *decPar) finish() {
+	dp.parkMu.Lock()
+	dp.done = true
+	dp.parkMu.Unlock()
+	dp.parkCond.Broadcast()
+}
+
+// wakeParked restores the horizons of freshly fed workers and wakes
+// them. The caller holds the grant and must perform no further shared
+// operations: a restored horizon may be the new global minimum, at
+// which point the fed worker owns the shared state.
+func (dp *decPar) wakeParked(fed uint64) {
+	if fed == 0 {
+		return
+	}
+	dp.parkMu.Lock()
+	for j := range dp.wakeFed {
+		if fed>>uint(j)&1 == 1 {
+			dp.p.d.horizons[j].v.Store(dp.ex.scs[j].clock)
+			dp.wakeFed[j] = true
+		}
+	}
+	dp.parkMu.Unlock()
+	dp.parkCond.Broadcast()
+}
+
+// decFeedPass runs one serial-order feed pass over the parked SCs plus
+// the caller's own, under the caller's grant. Only those SCs may be
+// examined: a running worker's pending state is racy, and the invariant
+// that parking happens under a continuously-held grant makes
+// "not pending" equivalent to "in parkedMask" for every other SC.
+// Fed workers' mask bits are cleared here, but their horizons are not
+// restored — the caller wakes them via wakeParked after its last shared
+// operation. Returns the mask of other workers fed.
+func (ex *executor) decFeedPass(dp *decPar, self int) uint64 {
+	var fed uint64
+	mask := dp.parkedMask | 1<<uint(self)
+	for i, sc := range ex.scs {
+		if mask>>uint(i)&1 == 0 || sc.pending() || ex.dFail[i] == ex.windowGen {
+			continue
+		}
+		if ex.decAdvance(sc) {
+			ex.dFail[i] = neverFailed
+			if i != self {
+				fed |= 1 << uint(i)
+				dp.parkedMask &^= 1 << uint(i)
+			}
+		} else {
+			ex.dFail[i] = ex.windowGen
+		}
+	}
+	armed := false
+	for i, sc := range ex.scs {
+		if dp.parkedMask>>uint(i)&1 == 1 && !sc.pending() && ex.dFail[i] != ex.windowGen {
+			armed = true
+			break
+		}
+	}
+	dp.armed.Store(armed)
+	return fed
+}
+
+// decDriveIdle is the serial loop's nothing-pending branch, run under
+// the grant by the last worker to park: extend the window, re-pass, and
+// count idle iterations toward the watchdog until some SC is fed, the
+// frame completes, or the window stalls. Returns the mask of other
+// workers fed (the caller wakes them); if the driver's own SC was fed
+// its park bit is cleared and it resumes stepping.
+func (ex *executor) decDriveIdle(dp *decPar, self int) uint64 {
+	n := len(ex.seq)
+	w := &dp.p.workers[self]
+	var fed uint64
+	for {
+		if dp.p.d.failed.Load() {
+			return fed
+		}
+		fed |= ex.decFeedPass(dp, self)
+		if ex.scs[self].pending() {
+			dp.parkedMask &^= 1 << uint(self)
+			return fed
+		}
+		if fed != 0 {
+			return fed
+		}
+		if ex.lo >= n && ex.hi >= n {
+			dp.finish()
+			return fed
+		}
+		if ex.extendWindow() {
+			w.wd.noProgress = 0
+			continue
+		}
+		if ex.lo >= n {
+			dp.finish()
+			return fed
+		}
+		if w.wd.idleTick() {
+			w.reason = "window stalled: rasterizer cannot advance"
+			dp.abort()
+			return fed
+		}
+	}
+}
+
+// decWorker is one SC's decoupled worker loop: publish the step key,
+// step, and run the end-of-step feed pass whenever this step could have
+// changed feedability (it took the grant or drained the SC) or another
+// worker's pass left armed feed work behind.
+func (ex *executor) decWorker(dp *decPar, i int) {
+	p := dp.p
+	w := &p.workers[i]
+	sc := ex.scs[i]
+	d := &p.d
+	for {
+		if d.failed.Load() {
+			break
+		}
+		if !sc.pending() {
+			// Parked: our mask bit is set and horizonDone published (by
+			// the prologue, or by our own park below). Sleep until a
+			// feeder hands us input — it restores our horizon before
+			// setting wakeFed, so waking straight into a step is safe.
+			dp.parkMu.Lock()
+			for !dp.wakeFed[i] && !dp.done && !d.failed.Load() {
+				dp.parkCond.Wait()
+			}
+			dp.wakeFed[i] = false
+			dp.parkMu.Unlock()
+			if !sc.pending() {
+				break // done or failed
+			}
+			continue
+		}
+		w.gate.held = false
+		d.publish(i, sc.clock)
+		reason, err := w.wd.step(&w.es, sc)
+		if err != nil {
+			w.err = err
+			dp.abort()
+			break
+		}
+		if reason != "" {
+			w.reason = reason
+			dp.abort()
+			break
+		}
+		if w.gate.held || !sc.pending() || dp.armed.Load() {
+			if !w.gate.enter() {
+				break
+			}
+			fed := ex.decFeedPass(dp, i)
+			if !sc.pending() {
+				// Self-feed failed: park under the still-held grant.
+				dp.parkedMask |= 1 << uint(i)
+				if dp.parkedMask == dp.allMask {
+					fed |= ex.decDriveIdle(dp, i)
+				}
+			}
+			dp.wakeParked(fed)
+			if !sc.pending() {
+				d.publish(i, horizonDone)
+			}
+		}
+	}
+	d.publish(i, horizonDone)
+}
+
+// runDecoupledParallel drains the decoupled frame on one worker per SC
+// with output byte-identical to the serial loop in runDecoupled. The
+// serial prologue below replays the loop's feed/extend sequence until
+// some SC has work — no steps have run yet, so it is trivially
+// order-identical — and the workers take over from there.
+func (ex *executor) runDecoupledParallel() error {
+	p := ex.par
+	n := len(ex.seq)
+	nsc := len(ex.scs)
+	dp := &decPar{ex: ex, p: p}
+	dp.parkCond = sync.NewCond(&dp.parkMu)
+	dp.wakeFed = make([]bool, nsc)
+	dp.allMask = uint64(1)<<uint(nsc) - 1
+
+	for {
+		any := false
+		for _, sc := range ex.scs {
+			if !sc.pending() && ex.dFail[sc.id] != ex.windowGen {
+				if ex.decAdvance(sc) {
+					ex.dFail[sc.id] = neverFailed
+				} else {
+					ex.dFail[sc.id] = ex.windowGen
+				}
+			}
+			if sc.pending() {
+				any = true
+			}
+		}
+		if any {
+			break
+		}
+		if ex.lo >= n && ex.hi >= n {
+			ex.decFrameEnd()
+			return nil
+		}
+		if ex.extendWindow() {
+			ex.wd.noProgress = 0
+			continue
+		}
+		if ex.lo >= n {
+			ex.decFrameEnd()
+			return nil
+		}
+		if ex.wd.idleTick() {
+			return ex.stallErr("decoupled", "window stalled: rasterizer cannot advance")
+		}
+	}
+
+	p.reset(ex.scs)
+	armed := false
+	for i, sc := range ex.scs {
+		if !sc.pending() {
+			dp.parkedMask |= 1 << uint(i)
+			if ex.dFail[i] != ex.windowGen {
+				armed = true
+			}
+		}
+	}
+	dp.armed.Store(armed)
+
+	// Each worker's retire takes the grant and forwards to the shared
+	// window bookkeeping installed by runDecoupled. After an abort the
+	// retire is dropped: the step only needs to finish locally.
+	sharedRetire := ex.es.retire
+	for i := range p.workers {
+		w := &p.workers[i]
+		w.es.retire = func(sc *scState, tw *tileWork, at int64) {
+			if !w.gate.enter() {
+				return
+			}
+			sharedRetire(sc, tw, at)
+		}
+	}
+	defer func() {
+		for i := range p.workers {
+			p.workers[i].es.retire = nil
+		}
+	}()
+
+	var wg sync.WaitGroup
+	for i := 0; i < nsc; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			ex.decWorker(dp, i)
+		}(i)
+	}
+	wg.Wait()
+
+	for i := range p.workers {
+		if w := &p.workers[i]; w.err != nil {
+			return w.err
+		}
+	}
+	for i := range p.workers {
+		if w := &p.workers[i]; w.reason != "" {
+			return ex.stallErr("decoupled", w.reason)
+		}
+	}
+	p.merge(&ex.es.events)
+	ex.decFrameEnd()
+	return nil
+}
+
+// merge folds the per-worker event shadows into the shared counters in
+// fixed worker (= SC index) order. Every field is a commutative uint64
+// sum, so the result is independent of which worker counted what — the
+// fixed order is belt-and-braces for bit-identity.
+func (p *parDrain) merge(ev *EventCounts) {
+	for i := range p.workers {
+		w := &p.workers[i]
+		ev.add(&w.es.events)
+		w.es.events = EventCounts{}
+	}
+}
+
+// add accumulates o into c field by field.
+func (c *EventCounts) add(o *EventCounts) {
+	c.ALUInstructions += o.ALUInstructions
+	c.TextureSamples += o.TextureSamples
+	c.L1TexAccesses += o.L1TexAccesses
+	c.L2Accesses += o.L2Accesses
+	c.DRAMAccesses += o.DRAMAccesses
+	c.VertexFetches += o.VertexFetches
+	c.QuadsShaded += o.QuadsShaded
+	c.QuadsCulled += o.QuadsCulled
+	c.FragmentsShaded += o.FragmentsShaded
+	c.FlushedLines += o.FlushedLines
+	c.SCBusyCycles += o.SCBusyCycles
+	c.SCIdleCycles += o.SCIdleCycles
+	c.FrameCycles += o.FrameCycles
+}
+
+// parallelCovers builds every tile's policy-independent coverage
+// skeleton on `workers` goroutines. Coverage is a pure function of
+// (primitives, binning, tile) — the coverer never touches the memory
+// hierarchy — so each worker uses its own coverer (Z-buffer, samplers)
+// and writes disjoint slots; the result is identical to the serial
+// loop in PrepareFrame. Callers must ensure cfg.RenderTarget == nil
+// (coverTile with a live render target also resolves colors, whose
+// blend order must follow the tile walk).
+func parallelCovers(cfg Config, prims []Primitive, b *Binning, workers int) []*tileCover {
+	tilesX, tilesY := cfg.TilesX(), cfg.TilesY()
+	n := tilesX * tilesY
+	if workers > n {
+		workers = n
+	}
+	covers := make([]*tileCover, n)
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			cov := newCoverer(cfg, prims, b)
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				covers[i] = cov.coverTile(i%tilesX, i/tilesX, nil)
+			}
+		}()
+	}
+	wg.Wait()
+	return covers
+}

@@ -1,0 +1,122 @@
+package pipeline_test
+
+import (
+	"context"
+	"reflect"
+	"testing"
+
+	"dtexl/internal/core"
+	"dtexl/internal/pipeline"
+	"dtexl/internal/trace"
+)
+
+// TestParallelBitIdenticalPipeline pins the concurrency contract at the
+// pipeline level: a WithParallel run must produce metrics bit-identical
+// to the serial run for every executor (coupled, decoupled, IMR). The
+// sim-level TestParallelRunsBitIdentical covers the full benchmark
+// matrix; this one is the fast, pipeline-only edition that runs under
+// -race in ordinary test sweeps.
+func TestParallelBitIdenticalPipeline(t *testing.T) {
+	prof, err := trace.ProfileByAlias("TRu")
+	if err != nil {
+		t.Fatal(err)
+	}
+	const w, h = 245, 96
+	scene := trace.GenerateScene(prof, w, h, 1)
+	pctx := pipeline.WithParallel(context.Background(), 8)
+
+	pols := []core.Policy{core.Baseline(), core.BaselineDecoupled(), core.DTexL()}
+	for _, pol := range pols {
+		cfg := pipeline.DefaultConfig()
+		cfg.Width, cfg.Height = w, h
+		pol.Apply(&cfg)
+		serial, err := pipeline.Run(scene, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		par, err := pipeline.RunContext(pctx, scene, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(serial, par) {
+			t.Errorf("%s: parallel metrics differ from serial run", pol.Name)
+		}
+	}
+
+	// IMR executor.
+	cfg := pipeline.DefaultConfig()
+	cfg.Width, cfg.Height = w, h
+	serial, err := pipeline.RunIMR(scene, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	par, err := pipeline.RunIMRContext(pctx, scene, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(serial, par) {
+		t.Error("imr: parallel metrics differ from serial run")
+	}
+}
+
+// TestParallelPreparedBitIdentical verifies that a preparation built on
+// the worker pool is interchangeable with a serial one, and that a
+// parallel RunPrepared matches the serial prepared run.
+func TestParallelPreparedBitIdentical(t *testing.T) {
+	prof, err := trace.ProfileByAlias("GTr")
+	if err != nil {
+		t.Fatal(err)
+	}
+	const w, h = 245, 96
+	scene := trace.GenerateScene(prof, w, h, 1)
+	pctx := pipeline.WithParallel(context.Background(), 8)
+
+	cfg := pipeline.DefaultConfig()
+	cfg.Width, cfg.Height = w, h
+	core.DTexL().Apply(&cfg)
+
+	serialPrep, err := pipeline.PrepareFrame(scene, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	parPrep, err := pipeline.PrepareFrameContext(pctx, scene, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	want, err := pipeline.RunPrepared(serialPrep, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for name, run := range map[string]func() (*pipeline.Metrics, error){
+		"parallel-prep/serial-run":   func() (*pipeline.Metrics, error) { return pipeline.RunPrepared(parPrep, cfg) },
+		"serial-prep/parallel-run":   func() (*pipeline.Metrics, error) { return pipeline.RunPreparedContext(pctx, serialPrep, cfg) },
+		"parallel-prep/parallel-run": func() (*pipeline.Metrics, error) { return pipeline.RunPreparedContext(pctx, parPrep, cfg) },
+	} {
+		got, err := run()
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if !reflect.DeepEqual(want, got) {
+			t.Errorf("%s: metrics differ from serial prepared run", name)
+		}
+	}
+}
+
+// TestParallelCanceledContext checks that cancellation reaches the
+// parallel drains and surfaces as the context's error.
+func TestParallelCanceledContext(t *testing.T) {
+	prof, err := trace.ProfileByAlias("TRu")
+	if err != nil {
+		t.Fatal(err)
+	}
+	const w, h = 245, 96
+	scene := trace.GenerateScene(prof, w, h, 1)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	cfg := pipeline.DefaultConfig()
+	cfg.Width, cfg.Height = w, h
+	if _, err := pipeline.RunContext(pipeline.WithParallel(ctx, 8), scene, cfg); err != context.Canceled {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+}

@@ -267,7 +267,15 @@ func (sc *scState) accessSample(e *engineState, cov *tileCover, sp span) int64 {
 	hitLat := e.cfg.Hierarchy.L1Tex.HitLatency
 	ready := sc.clock + e.cfg.SampleOverhead + hitLat
 	for _, line := range cov.lines[sp.off : sp.off+sp.n] {
-		lat, miss := e.hier.TextureAccessInfo(sc.id, line)
+		var lat int64
+		var miss bool
+		if e.gate == nil {
+			lat, miss = e.hier.TextureAccessInfo(sc.id, line)
+		} else {
+			// Parallel drain: the private L1 half runs uncoordinated and
+			// only a miss's shared fill takes the sequencer grant.
+			lat, miss = e.gate.textureAccess(sc.id, line)
+		}
 		if !miss {
 			// Pipelined hit: local hits are covered by the base latency;
 			// NUCA remote hits add interconnect latency without occupying
@@ -311,7 +319,10 @@ func (sc *scState) prefetch(e *engineState, w *warpState) {
 	w.prefetched = true
 }
 
-// engineState is the shared execution context the SCs run against.
+// engineState is the shared execution context the SCs run against. The
+// serial executors use one; the parallel drains give each worker its own
+// (events become a per-worker shadow merged in fixed SC order, and gate
+// routes shared-memory traffic through the sequencer — see parallel.go).
 type engineState struct {
 	cfg    Config
 	hier   *cache.Hierarchy
@@ -322,4 +333,7 @@ type engineState struct {
 	// time series; nil (the default) keeps the hot path at one pointer
 	// comparison per step.
 	sampler *intervalSampler
+	// gate, when non-nil, marks a parallel drain: texture accesses go
+	// through it instead of hitting the hierarchy directly.
+	gate *drainGate
 }

@@ -2,8 +2,10 @@
 // memo stack over HTTP and is built to stay correct under overload.
 // Admission control bounds concurrent work (queue + slots), per-request
 // deadlines flow into the executors, degradable requests shed fidelity
-// instead of availability, and SIGTERM drains in-flight work against
-// the checkpoint journal. See DESIGN.md, "Serving & overload".
+// instead of availability, concurrent identical requests coalesce into
+// one in-flight run that survives any single client's cancellation
+// (coalesce.go, DESIGN.md §11), and SIGTERM drains in-flight work
+// against the checkpoint journal. See DESIGN.md, "Serving & overload".
 package serve
 
 import (

@@ -1,0 +1,153 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"sync/atomic"
+
+	"dtexl/internal/sim"
+)
+
+// This file is the request-coalescing layer that sits ABOVE the
+// sim.Runner memo stack (see DESIGN.md §11 for the full layer diagram).
+// The memo already single-flights identical simulations, but the
+// computing request runs the cell under its own context: if that one
+// client disconnects, the shared run dies and every waiter retries.
+// The coalescer fixes the ownership problem — concurrent requests for
+// the same cell join one flight whose run executes under a detached,
+// refcounted context cancelled only when *every* joined request has
+// left (or the server aborts). A cancelled joiner detaches without
+// disturbing the run; the last leaver tears it down so abandoned work
+// never burns an admission slot.
+
+// flightKey identifies one coalescable request: the exact response a
+// joiner would accept. Degradable requests coalesce separately from
+// non-degradable ones because their flights may legitimately resolve to
+// a different (degraded) fidelity.
+type flightKey struct {
+	benchmark  string
+	policy     string
+	scale      int
+	frames     int
+	degradable bool
+}
+
+// flightResult is everything a flight's joiners need to write their
+// responses: the simulation outcome plus the fidelity that actually ran
+// and how admission resolved.
+type flightResult struct {
+	res      *sim.RunResult
+	scale    int
+	degraded bool
+	admitErr error // admission ladder failure (over capacity / dead run context)
+	err      error // simulation failure
+}
+
+// simFlight is one shared in-flight run. done is closed exactly once,
+// after out is final; cancel tears down the run's detached context.
+type simFlight struct {
+	done   chan struct{}
+	cancel context.CancelFunc
+	refs   int // joined requests still waiting (guarded by coalescer.mu)
+	out    flightResult
+}
+
+// coalescer merges concurrent identical requests into shared flights.
+type coalescer struct {
+	mu      sync.Mutex
+	flights map[flightKey]*simFlight
+
+	joined  atomic.Int64 // requests that joined an already-in-flight run
+	started atomic.Int64 // flights actually launched
+}
+
+func newCoalescer() *coalescer {
+	return &coalescer{flights: make(map[flightKey]*simFlight)}
+}
+
+// isCtxErr mirrors the sim memo's classification: error classes a
+// joiner must not inherit from a flight whose lifetime was unrelated to
+// its own.
+func isCtxErr(err error) bool {
+	return errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded)
+}
+
+// do returns the flight result for key, launching run on a new
+// goroutine under a context derived from base on first use. Concurrent
+// callers with the same key join the one flight. The wait respects
+// ctx: a joiner whose context ends detaches with ctx's error while the
+// flight keeps running for the remaining joiners; the last leaver
+// cancels the flight's context, which aborts the run at the next
+// executor watchdog poll.
+//
+// track, when non-nil, brackets the flight goroutine (the server's
+// in-flight accounting for drains). It is registered while the caller
+// — itself tracked — is still joined, so the underlying WaitGroup never
+// touches zero early.
+func (c *coalescer) do(ctx, base context.Context, key flightKey, track func() func(), run func(context.Context) flightResult) (flightResult, error) {
+	for {
+		c.mu.Lock()
+		f, ok := c.flights[key]
+		if ok {
+			f.refs++
+			c.mu.Unlock()
+			c.joined.Add(1)
+		} else {
+			runCtx, cancel := context.WithCancel(base)
+			f = &simFlight{done: make(chan struct{}), cancel: cancel, refs: 1}
+			c.flights[key] = f
+			c.mu.Unlock()
+			c.started.Add(1)
+			var untrack func()
+			if track != nil {
+				untrack = track()
+			}
+			go func() {
+				out := run(runCtx)
+				c.mu.Lock()
+				f.out = out
+				delete(c.flights, key)
+				c.mu.Unlock()
+				close(f.done)
+				cancel()
+				if untrack != nil {
+					untrack()
+				}
+			}()
+		}
+
+		var waitErr error
+		select {
+		case <-f.done:
+		case <-ctx.Done():
+			waitErr = ctx.Err()
+		}
+		c.mu.Lock()
+		f.refs--
+		if f.refs == 0 {
+			// Last joiner gone. If the run is still going this aborts it;
+			// after completion the cancel is a no-op.
+			f.cancel()
+		}
+		c.mu.Unlock()
+		if waitErr != nil {
+			return flightResult{}, waitErr
+		}
+		ferr := f.out.err
+		if f.out.admitErr != nil {
+			// A dying flight can surface its cancellation either way:
+			// mid-run (err) or while still queued for admission (admitErr).
+			ferr = f.out.admitErr
+		}
+		if ok && ferr != nil && isCtxErr(ferr) && ctx.Err() == nil {
+			// We joined a flight that died under the shared context (its
+			// earlier joiners all left, racing our join) while our own
+			// context is live — retry on a fresh flight, mirroring the sim
+			// memo's cancelled-computer contract. First-flight creators
+			// return their error as-is, which bounds the retries.
+			continue
+		}
+		return f.out, nil
+	}
+}

@@ -57,6 +57,11 @@ type Config struct {
 	// smoke runs the service with an injected livelock to prove stalls
 	// surface as structured 500s, not process death.
 	Chaos *sim.ChaosConfig
+	// Parallel, when > 1 (or < 0 for GOMAXPROCS), runs each simulation's
+	// frame preparation and raster phase on that many worker goroutines.
+	// Output is byte-identical to the serial path (DESIGN.md §11), so
+	// the journal and memos are shared across settings. Default serial.
+	Parallel int
 	// Logf, when non-nil, receives one line per notable server event.
 	Logf func(format string, args ...any)
 }
@@ -111,6 +116,8 @@ type Server struct {
 	full     *lane // full-fidelity admission
 	degraded *lane // reduced-scale overload lane
 
+	flights *coalescer // merges concurrent identical /v1/simulate requests
+
 	mu      sync.Mutex
 	runners map[runnerKey]*sim.Runner
 	expMu   sync.Mutex // serializes experiment rendering (Runner.CSV is runner state)
@@ -134,6 +141,7 @@ func New(cfg Config) *Server {
 		// capacity.
 		full:     newLane(cfg.Concurrency, cfg.QueueDepth),
 		degraded: newLane(max(1, cfg.Concurrency/2), cfg.QueueDepth),
+		flights:  newCoalescer(),
 		runners:  make(map[runnerKey]*sim.Runner),
 	}
 }
@@ -157,6 +165,7 @@ func (s *Server) runner(scale, frames int) *sim.Runner {
 	r.PrepBudget = s.cfg.PrepBudget
 	r.Journal = s.cfg.Journal
 	r.Chaos = s.cfg.Chaos
+	r.Parallel = s.cfg.Parallel
 	s.runners[key] = r
 	return r
 }
@@ -231,24 +240,47 @@ func (s *Server) Handler() http.Handler {
 	return mux
 }
 
-// ReadyState is the /readyz body.
+// ReadyState is the /readyz body. Coalesced counts requests that joined
+// an already-in-flight identical run, FlightsStarted the runs actually
+// launched, and SimsComputed the simulations the memo stacks really
+// executed — M concurrent identical requests should move SimsComputed
+// by exactly 1 (the dtexlload -identical check).
 type ReadyState struct {
 	Status          string `json:"status"` // "ok" or "draining"
 	InFlight        int64  `json:"in_flight"`
 	Served          int64  `json:"served"`
+	Coalesced       int64  `json:"coalesced"`
+	FlightsStarted  int64  `json:"flights_started"`
+	SimsComputed    uint64 `json:"sims_computed"`
 	JournalReplayed int    `json:"journal_replayed"`
 	JournalHits     uint64 `json:"journal_hits"`
 	Full            Stats  `json:"full"`
 	Degraded        Stats  `json:"degraded"`
 }
 
+// simsComputed sums the raster-phase memo misses across the runner
+// pool: the number of simulations that actually executed (journal
+// replays and memo hits excluded).
+func (s *Server) simsComputed() uint64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var n uint64
+	for _, r := range s.runners {
+		n += r.Timing().SimMisses
+	}
+	return n
+}
+
 func (s *Server) handleReadyz(w http.ResponseWriter, _ *http.Request) {
 	st := ReadyState{
-		Status:   "ok",
-		InFlight: s.inFlight.Load(),
-		Served:   s.served.Load(),
-		Full:     s.full.statsSnapshot(),
-		Degraded: s.degraded.statsSnapshot(),
+		Status:         "ok",
+		InFlight:       s.inFlight.Load(),
+		Served:         s.served.Load(),
+		Coalesced:      s.flights.joined.Load(),
+		FlightsStarted: s.flights.started.Load(),
+		SimsComputed:   s.simsComputed(),
+		Full:           s.full.statsSnapshot(),
+		Degraded:       s.degraded.statsSnapshot(),
 	}
 	if s.cfg.Journal != nil {
 		st.JournalReplayed = s.cfg.Journal.Replayed()
@@ -299,37 +331,65 @@ func (s *Server) handleSimulate(w http.ResponseWriter, req *http.Request) {
 		defer cancel()
 	}
 
-	// Degradation ladder: full fidelity → (degradable only) reduced
-	// scale, explicitly labeled → 429 with a Retry-After estimate.
-	scale, degraded := sr.Scale, false
-	release, aerr := s.full.admit(ctx)
-	if errors.Is(aerr, ErrOverCapacity) && sr.Degradable {
-		scale, degraded = s.degradedScaleFor(sr.Scale), true
-		release, aerr = s.degraded.admit(ctx)
+	// Concurrent requests for the same cell coalesce into one flight
+	// that performs the whole admission ladder and run: M identical
+	// requests consume one slot and at most one simulation. The flight
+	// runs under a detached context derived from s.base, so cancelling
+	// this request merely detaches it — the run survives for any other
+	// joiners and is torn down only when the last one leaves.
+	start := time.Now()
+	key := flightKey{
+		benchmark:  sr.Benchmark,
+		policy:     pol.Name,
+		scale:      sr.Scale,
+		frames:     sr.Frames,
+		degradable: sr.Degradable,
 	}
-	if aerr != nil {
-		s.writeAdmitError(w, aerr)
+	track := func() func() {
+		s.inflight.Add(1)
+		return s.inflight.Done
+	}
+	out, err := s.flights.do(ctx, s.base, key, track, func(runCtx context.Context) flightResult {
+		// Degradation ladder: full fidelity → (degradable only) reduced
+		// scale, explicitly labeled → 429 with a Retry-After estimate.
+		scale, degraded := sr.Scale, false
+		release, aerr := s.full.admit(runCtx)
+		if errors.Is(aerr, ErrOverCapacity) && sr.Degradable {
+			scale, degraded = s.degradedScaleFor(sr.Scale), true
+			release, aerr = s.degraded.admit(runCtx)
+		}
+		if aerr != nil {
+			return flightResult{scale: scale, degraded: degraded, admitErr: aerr}
+		}
+		defer release()
+		res, rerr := s.runner(scale, sr.Frames).RunOneCtx(runCtx, sr.Benchmark, pol, nil)
+		return flightResult{res: res, scale: scale, degraded: degraded, err: rerr}
+	})
+	if err != nil {
+		// Our own context ended while waiting on the flight (which keeps
+		// running if anyone else is still joined).
+		s.writeAdmitError(w, err)
 		return
 	}
-	defer release()
-
-	start := time.Now()
-	res, err := s.runner(scale, sr.Frames).RunOneCtx(ctx, sr.Benchmark, pol, nil)
-	if err != nil {
-		s.writeRunError(w, err)
+	if out.admitErr != nil {
+		s.writeAdmitError(w, out.admitErr)
+		return
+	}
+	if out.err != nil {
+		s.writeRunError(w, out.err)
 		return
 	}
 	s.served.Add(1)
 	writeJSON(w, http.StatusOK, SimResponse{
 		Benchmark: sr.Benchmark,
 		Policy:    pol.Name,
-		Scale:     scale,
+		Scale:     out.scale,
 		Frames:    sr.Frames,
-		Degraded:  degraded,
+		Degraded:  out.degraded,
 		ElapsedMS: float64(time.Since(start)) / float64(time.Millisecond),
-		FPS:       res.Metrics.FPS,
-		Metrics:   res.Metrics,
-		Energy:    res.Energy,
+		FPS:       out.res.Metrics.FPS,
+		Metrics:   out.res.Metrics,
+		Energy:    out.res.Energy,
 	})
 }
 

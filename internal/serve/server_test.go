@@ -430,3 +430,174 @@ func mustPolicy(t *testing.T, name string) core.Policy {
 	}
 	return p
 }
+
+// --- request coalescing ---
+
+// TestCoalescedRequestsRunOneSimulation pins the M→1 contract: M
+// concurrent identical requests join one flight, consume one admission
+// slot, and execute exactly one simulation. The test makes the pile-up
+// deterministic by holding the lone full-lane slot until every request
+// has either created or joined the flight.
+func TestCoalescedRequestsRunOneSimulation(t *testing.T) {
+	const m = 4
+	cfg := testConfig()
+	s, ts := newTestServer(t, cfg)
+
+	release, err := s.full.admit(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	req := SimRequest{Benchmark: "TRu", Policy: "DTexL"}
+	type result struct {
+		status int
+		res    *SimResponse
+	}
+	results := make(chan result, m)
+	for i := 0; i < m; i++ {
+		go func() {
+			st, res, _, _ := post(t, ts.URL, req)
+			results <- result{st, res}
+		}()
+	}
+	// All M requests target one flightKey: the first creates the flight
+	// (parked in the admission queue), the other M-1 join it.
+	for i := 0; s.flights.joined.Load() < m-1 && i < 5000; i++ {
+		time.Sleep(time.Millisecond)
+	}
+	if got := s.flights.joined.Load(); got != m-1 {
+		t.Fatalf("coalesced joins = %d, want %d", got, m-1)
+	}
+	release()
+
+	var bodies [][]byte
+	for i := 0; i < m; i++ {
+		r := <-results
+		if r.status != http.StatusOK || r.res.Metrics == nil {
+			t.Fatalf("coalesced request %d: status %d", i, r.status)
+		}
+		b, _ := json.Marshal(r.res.Metrics)
+		bodies = append(bodies, b)
+	}
+	for i := 1; i < m; i++ {
+		if !bytes.Equal(bodies[0], bodies[i]) {
+			t.Errorf("coalesced responses diverge:\n%s\n%s", bodies[0], bodies[i])
+		}
+	}
+	if got := s.flights.started.Load(); got != 1 {
+		t.Errorf("flights started = %d, want 1", got)
+	}
+	if got := s.simsComputed(); got != 1 {
+		t.Errorf("simulations computed = %d, want 1", got)
+	}
+}
+
+// TestCoalescedRunSurvivesJoinerCancel is the cancellation regression
+// test: the request that created the flight is cancelled mid-run, and
+// the shared computation must keep going for the remaining joiner —
+// no retry, no second simulation, no poisoned memo entry.
+func TestCoalescedRunSurvivesJoinerCancel(t *testing.T) {
+	cfg := testConfig()
+	cfg.Scale = 4 // a meatier cell so "mid-run" is a real window
+	s, ts := newTestServer(t, cfg)
+
+	release, err := s.full.admit(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	body, _ := json.Marshal(SimRequest{Benchmark: "TRu", Policy: "DTexL"})
+
+	// Request A creates the flight (parked behind the held slot).
+	actx, acancel := context.WithCancel(context.Background())
+	defer acancel()
+	aerrc := make(chan error, 1)
+	go func() {
+		hreq, _ := http.NewRequestWithContext(actx, http.MethodPost, ts.URL+"/v1/simulate", bytes.NewReader(body))
+		hreq.Header.Set("Content-Type", "application/json")
+		hres, err := http.DefaultClient.Do(hreq)
+		if err == nil {
+			hres.Body.Close()
+		}
+		aerrc <- err
+	}()
+	for i := 0; s.flights.started.Load() == 0 && i < 5000; i++ {
+		time.Sleep(time.Millisecond)
+	}
+
+	// Request B joins it.
+	type result struct {
+		status int
+		res    *SimResponse
+	}
+	bres := make(chan result, 1)
+	go func() {
+		st, res, _, _ := post(t, ts.URL, SimRequest{Benchmark: "TRu", Policy: "DTexL"})
+		bres <- result{st, res}
+	}()
+	for i := 0; s.flights.joined.Load() == 0 && i < 5000; i++ {
+		time.Sleep(time.Millisecond)
+	}
+
+	// Let the flight start executing, then cancel A mid-run.
+	release()
+	for i := 0; s.full.active.Load() == 0 && i < 5000; i++ {
+		time.Sleep(time.Millisecond)
+	}
+	acancel()
+	if err := <-aerrc; err == nil {
+		t.Fatal("cancelled request A unexpectedly completed")
+	}
+
+	// B still gets the real result from the one shared run.
+	r := <-bres
+	if r.status != http.StatusOK || r.res == nil || r.res.Metrics == nil || r.res.Metrics.Cycles <= 0 {
+		t.Fatalf("joiner after creator cancel: status %d res %+v", r.status, r.res)
+	}
+	if got := s.flights.started.Load(); got != 1 {
+		t.Errorf("flights started = %d, want 1 (joiner had to retry a killed run?)", got)
+	}
+	if got := s.simsComputed(); got != 1 {
+		t.Errorf("simulations computed = %d, want 1", got)
+	}
+
+	// And the memo entry is healthy: a fresh request is a pure memo hit.
+	st, res, _, _ := post(t, ts.URL, SimRequest{Benchmark: "TRu", Policy: "DTexL"})
+	if st != http.StatusOK || res.Metrics == nil {
+		t.Fatalf("post-cancel memo-hit request: status %d", st)
+	}
+	if got := s.simsComputed(); got != 1 {
+		t.Errorf("memo recompute after cancel: simsComputed = %d, want 1", got)
+	}
+}
+
+// TestLastLeaverCancelsFlight: when every joined request abandons a
+// flight, the shared run is torn down — abandoned work must not hold an
+// admission slot — and the queue position is reclaimed.
+func TestLastLeaverCancelsFlight(t *testing.T) {
+	cfg := testConfig()
+	s, ts := newTestServer(t, cfg)
+	release, err := s.full.admit(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer release()
+
+	// The lone requester times out while its flight queues for admission.
+	status, _, eres, _ := post(t, ts.URL, SimRequest{Benchmark: "TRu", Policy: "baseline", TimeoutMS: 50})
+	if status != http.StatusGatewayTimeout || eres.Kind != KindTimeout {
+		t.Fatalf("status %d kind %q, want 504 timeout", status, eres.Kind)
+	}
+	// The abandoned flight exits and frees its queue position: the next
+	// short-deadline request parks again instead of shedding 429.
+	for i := 0; s.full.waiting.Load() != 0 && i < 5000; i++ {
+		time.Sleep(time.Millisecond)
+	}
+	status, _, eres, _ = post(t, ts.URL, SimRequest{Benchmark: "TRu", Policy: "baseline", TimeoutMS: 50})
+	if status != http.StatusGatewayTimeout {
+		t.Fatalf("second request status %d kind %q, want 504 (flight leaked its queue position?)", status, eres.Kind)
+	}
+	if got := s.simsComputed(); got != 0 {
+		t.Errorf("abandoned flights computed %d simulations, want 0", got)
+	}
+}

@@ -1,0 +1,62 @@
+package sim
+
+import (
+	"reflect"
+	"testing"
+
+	"dtexl/internal/pipeline"
+	"dtexl/internal/trace"
+)
+
+// TestParallelRunsBitIdentical is the sim-layer acceptance gate for
+// intra-run parallelism (DESIGN.md §11): for every (benchmark, policy)
+// pair the evaluation suite runs — coupled, decoupled and the IMR
+// executor — a Runner with parallel workers must produce metrics and
+// energy byte-identical to the serial Runner. CI runs this under -race
+// at GOMAXPROCS ∈ {1, 2, 8}; any ordering leak in the parallel
+// executors shows up here as a diff, and any data race under the flag.
+func TestParallelRunsBitIdentical(t *testing.T) {
+	opt := ScaledOptions(8) // full benchmark suite
+	serial := NewRunner(opt)
+	par := NewRunner(opt)
+	par.Parallel = 8
+	for _, alias := range opt.aliases() {
+		for _, pol := range suitePolicies() {
+			want, err := serial.RunOneWith(alias, pol, nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got, err := par.RunOneWith(alias, pol, nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !reflect.DeepEqual(want.Metrics, got.Metrics) {
+				t.Errorf("%s/%s: parallel metrics differ from serial run", alias, pol.Name)
+			}
+			if want.Energy != got.Energy {
+				t.Errorf("%s/%s: parallel energy differs from serial run", alias, pol.Name)
+			}
+		}
+
+		// The IMR executor runs live outside the memo layer; compare it
+		// directly on the same generated scene.
+		prof, err := trace.ProfileByAlias(alias)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cfg := pipeline.DefaultConfig()
+		cfg.Width, cfg.Height = opt.Width, opt.Height
+		scene := trace.GenerateScene(prof, cfg.Width, cfg.Height, opt.Seed)
+		wantM, err := serial.runIMR(scene, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		gotM, err := par.runIMR(scene, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(wantM, gotM) {
+			t.Errorf("%s/IMR: parallel metrics differ from serial run", alias)
+		}
+	}
+}
