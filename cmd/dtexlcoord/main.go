@@ -1,0 +1,173 @@
+// Command dtexlcoord coordinates a fleet of dtexld workers through a
+// sharded benchmark sweep: it slices the suite into leased cells,
+// hands them to registered workers, reassigns leases when heartbeats
+// lapse, lets idle workers steal from slow ones, quarantines cells
+// that exhaust their retry budget, and collects checksummed results
+// into the content-addressed shared store. When every cell has
+// settled it renders the requested experiment tables from the store —
+// byte-identical to a serial dtexlbench run.
+//
+// Usage:
+//
+//	dtexlcoord -addr :8100 -store shared/ -scale 8 \
+//	           -exps fig11,fig16,fig17 -out fleet.txt -exit-when-done
+//	dtexld -coord http://127.0.0.1:8100 -worker-name w1 &   # × N workers
+//
+// Endpoints:
+//
+//	POST /fleet/register|heartbeat|lease|complete|fail   worker protocol
+//	GET  /fleet/stats                                    sweep + worker stats
+//	GET  /healthz                                        liveness
+//
+// Exit codes: 0 = suite settled (quarantined cells, if any, are
+// reported in stats and the exit stays 0 — assert on them with
+// dtexlload -expect-quarantined); 1 = setup error or render failure.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"dtexl/internal/fleet"
+	"dtexl/internal/sim"
+)
+
+func main() {
+	os.Exit(run())
+}
+
+func run() int {
+	var (
+		addr      = flag.String("addr", "127.0.0.1:8100", "listen address")
+		storeDir  = flag.String("store", "", "shared result store directory (required)")
+		scale     = flag.Int("scale", 4, "resolution divisor for the sweep (1 = the paper's 1960x768)")
+		seed      = flag.Uint64("seed", 1, "scene generator seed")
+		frames    = flag.Int("frames", 1, "animation frames per cell")
+		benches   = flag.String("benchmarks", "", "comma-separated benchmark aliases (empty = full suite)")
+		heartbeat = flag.Duration("heartbeat", fleet.DefaultHeartbeatInterval, "heartbeat interval workers are told to use")
+		hbTimeout = flag.Duration("heartbeat-timeout", 0, "lapse after which a worker's leases are reassigned (0 = 4x -heartbeat)")
+		budget    = flag.Int("retry-budget", fleet.DefaultRetryBudget, "lease grants per cell before quarantine")
+		stealAft  = flag.Duration("steal-after", fleet.DefaultStealAfter, "lease age past which idle workers may steal the cell")
+		exps      = flag.String("exps", "", "comma-separated experiments to render from the store once the suite settles")
+		out       = flag.String("out", "", "write the rendered experiments to this file (default stdout)")
+		exitDone  = flag.Bool("exit-when-done", false, "exit once the suite settles (after rendering -exps)")
+		verbose   = flag.Bool("v", false, "log per-event lines")
+	)
+	flag.Parse()
+
+	if *storeDir == "" {
+		log.Printf("dtexlcoord: -store is required")
+		return 1
+	}
+	store, err := sim.OpenStore(*storeDir)
+	if err != nil {
+		log.Printf("dtexlcoord: %v", err)
+		return 1
+	}
+	logf := func(format string, args ...any) { log.Printf(format, args...) }
+	if !*verbose {
+		logf = func(string, ...any) {}
+	}
+	store.Logf = func(format string, args ...any) { log.Printf(format, args...) }
+
+	opt := sim.ScaledOptions(*scale)
+	opt.Seed = *seed
+	opt.Frames = *frames
+	if *benches != "" {
+		opt.Benchmarks = strings.Split(*benches, ",")
+	}
+	coord, err := fleet.NewCoordinator(fleet.CoordinatorConfig{
+		Opt:               opt,
+		Store:             store,
+		HeartbeatInterval: *heartbeat,
+		HeartbeatTimeout:  *hbTimeout,
+		RetryBudget:       *budget,
+		StealAfter:        *stealAft,
+		Logf:              logf,
+	})
+	if err != nil {
+		log.Printf("dtexlcoord: %v", err)
+		return 1
+	}
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		log.Printf("dtexlcoord: %v", err)
+		return 1
+	}
+	httpSrv := &http.Server{Handler: coord.Handler()}
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- httpSrv.Serve(ln) }()
+	log.Printf("dtexlcoord: coordinating on %s (scale %d, heartbeat %v, retry budget %d)",
+		ln.Addr(), *scale, *heartbeat, *budget)
+
+	sigCh := make(chan os.Signal, 1)
+	signal.Notify(sigCh, os.Interrupt, syscall.SIGTERM)
+
+	settled := false
+	select {
+	case <-coord.Done():
+		settled = true
+		st := coord.Stats()
+		log.Printf("dtexlcoord: suite settled: %d done, %d quarantined, %d reassigned, %d stolen, %d late, %d rejected",
+			st.Done, st.Quarantined, st.Reassigned, st.Stolen, st.LateResults, st.RejectedResults)
+	case sig := <-sigCh:
+		log.Printf("dtexlcoord: %v: shutting down", sig)
+	case err := <-serveErr:
+		log.Printf("dtexlcoord: serve: %v", err)
+		return 1
+	}
+
+	code := 0
+	if settled && *exps != "" {
+		w := os.Stdout
+		if *out != "" {
+			f, err := os.Create(*out)
+			if err != nil {
+				log.Printf("dtexlcoord: %v", err)
+				return 1
+			}
+			defer f.Close()
+			w = f
+		}
+		if err := coord.RenderExperiments(strings.Split(*exps, ","), w); err != nil {
+			log.Printf("dtexlcoord: %v", err)
+			code = 1
+		} else if *out != "" {
+			log.Printf("dtexlcoord: rendered %s to %s", *exps, *out)
+		}
+	}
+	if settled && !*exitDone && code == 0 {
+		// Stay up for stats scraping until signalled.
+		log.Printf("dtexlcoord: suite done; serving stats until signalled (use -exit-when-done to exit)")
+		select {
+		case sig := <-sigCh:
+			log.Printf("dtexlcoord: %v: shutting down", sig)
+		case err := <-serveErr:
+			log.Printf("dtexlcoord: serve: %v", err)
+			code = 1
+		}
+	}
+
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if err := httpSrv.Shutdown(shutdownCtx); err != nil {
+		httpSrv.Close()
+	}
+	if !settled && code == 0 {
+		// Interrupted mid-sweep: completed cells are durable in the store,
+		// so a restarted coordinator resumes from them.
+		st := coord.Stats()
+		fmt.Fprintf(os.Stderr, "dtexlcoord: interrupted with %d/%d cells done (resumable from the store)\n", st.Done, st.Cells)
+	}
+	return code
+}

@@ -7,6 +7,12 @@
 // draining that journals completed cells so a restarted server answers
 // them from memo.
 //
+// With -coord it instead runs as a fleet worker (DESIGN.md §12): it
+// registers with a dtexlcoord coordinator, heartbeats, pulls leased
+// suite cells, computes them through the full memo stack (L1 memo →
+// journal → shared store), and reports checksummed results. The HTTP
+// server still runs for health probes; /workerz reports worker state.
+//
 // Usage:
 //
 //	dtexld -addr :8095 -scale 4 -checkpoint ckpt/
@@ -14,22 +20,28 @@
 //	     -d '{"benchmark":"TRu","policy":"DTexL","degradable":true}'
 //	curl localhost:8095/v1/experiments/fig16
 //
+//	dtexld -coord http://127.0.0.1:8100 -worker-name w1 -store shared/
+//
 // API (see README "Serving"):
 //
 //	POST /v1/simulate           {benchmark, policy, scale?, frames?, degradable?, timeout_ms?}
 //	GET  /v1/experiments/{name} rendered experiment table (?csv=1)
 //	GET  /healthz               liveness
 //	GET  /readyz                readiness + admission stats (503 while draining)
+//	GET  /workerz               fleet worker state (404 unless -coord)
 //
 // Exit codes: 0 = clean start-to-drain lifecycle (including SIGTERM
-// under load, provided in-flight work finishes inside -grace); 1 =
-// fatal setup error or a drain that had to be aborted.
+// under load, provided in-flight work finishes inside -grace), or a
+// fleet worker that ran its suite to completion or was signalled; 1 =
+// fatal setup error, a drain that had to be aborted, or a worker that
+// lost its coordinator past the transport retry budget.
 package main
 
 import (
 	"context"
 	"errors"
 	"flag"
+	"fmt"
 	"log"
 	"net"
 	"net/http"
@@ -39,6 +51,7 @@ import (
 	"syscall"
 	"time"
 
+	"dtexl/internal/fleet"
 	"dtexl/internal/serve"
 	"dtexl/internal/sim"
 )
@@ -59,8 +72,15 @@ func run() int {
 		cellPar  = flag.Int("cellpar", 1, "worker goroutines inside each simulation (1 = serial, 0 = GOMAXPROCS); output is byte-identical to serial")
 		grace    = flag.Duration("grace", 30*time.Second, "drain budget after SIGTERM before in-flight executors are aborted")
 		ckptDir  = flag.String("checkpoint", "", "journal completed cells under this directory; a restarted server serves them from memo")
-		chaosStr = flag.String("chaos", "", "fault injection spec bench/policy/mode (mode: panic, error, stall; testing only)")
+		storeDir = flag.String("store", "", "shared content-addressed result store directory (L2 behind the journal)")
+		chaosStr = flag.String("chaos", "", "fault injection spec bench/policy/mode (mode: panic, error, stall, crash; testing only)")
 		verbose  = flag.Bool("v", false, "log per-event lines")
+
+		// Fleet worker mode (DESIGN.md §12).
+		coord     = flag.String("coord", "", "coordinator base URL; when set, run as a fleet worker instead of a standalone server")
+		name      = flag.String("worker-name", "", "worker label in coordinator stats (default: host:pid)")
+		partAfter = flag.Int("partition-after", 0, "chaos: go silent after this many completed cells (0 = off)")
+		partFor   = flag.Duration("partition-for", 5*time.Second, "chaos: how long an injected partition lasts")
 	)
 	flag.Parse()
 
@@ -101,6 +121,21 @@ func run() int {
 		defer j.Close()
 		cfg.Journal = j
 		log.Printf("dtexld: journal open under %s, %d cell(s) replayed", *ckptDir, j.Replayed())
+	}
+	if *storeDir != "" {
+		st, err := sim.OpenStore(*storeDir)
+		if err != nil {
+			log.Printf("dtexld: %v", err)
+			return 1
+		}
+		st.Logf = func(format string, args ...any) { log.Printf(format, args...) }
+		cfg.Store = st
+		n, _ := st.Len()
+		log.Printf("dtexld: shared store open under %s, %d entry(ies)", *storeDir, n)
+	}
+
+	if *coord != "" {
+		return runWorker(cfg, *addr, *coord, *name, *partAfter, *partFor)
 	}
 
 	s := serve.New(cfg)
@@ -153,6 +188,69 @@ func run() int {
 	}
 	log.Printf("dtexld: drained cleanly")
 	return 0
+}
+
+// runWorker joins the fleet at coord, keeping the HTTP server up for
+// health probes (/healthz, /readyz, /workerz) while the fleet loop
+// pulls and computes leased cells. The runner the worker builds from
+// the coordinator's suite options layers the same memo stack as the
+// serving path: L1 memo → journal → shared store → compute.
+func runWorker(cfg serve.Config, addr, coord, name string, partAfter int, partFor time.Duration) int {
+	if name == "" {
+		host, _ := os.Hostname()
+		name = fmt.Sprintf("%s:%d", host, os.Getpid())
+	}
+	w := fleet.NewWorker(fleet.WorkerConfig{
+		Coordinator: coord,
+		Name:        name,
+		NewRunner: func(opt sim.Options) *sim.Runner {
+			r := sim.NewRunner(opt)
+			r.Journal = cfg.Journal
+			r.Store = cfg.Store
+			r.Chaos = cfg.Chaos
+			r.Parallel = cfg.Parallel
+			r.RunTimeout = cfg.CellBudget
+			r.Progress = func(line string) { cfg.Logf("dtexld: %s", line) }
+			return r
+		},
+		PartitionAfter: partAfter,
+		PartitionFor:   partFor,
+		Logf:           func(format string, args ...any) { log.Printf(format, args...) },
+	})
+	cfg.FleetStatus = func() any { return w.Status() }
+
+	s := serve.New(cfg)
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		log.Printf("dtexld: %v", err)
+		return 1
+	}
+	httpSrv := &http.Server{Handler: s.Handler()}
+	go httpSrv.Serve(ln)
+	log.Printf("dtexld: worker %q joining fleet at %s (health on %s)", name, coord, ln.Addr())
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	runErr := w.Run(ctx)
+
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if err := httpSrv.Shutdown(shutdownCtx); err != nil {
+		httpSrv.Close()
+	}
+	switch {
+	case runErr == nil:
+		log.Printf("dtexld: worker %q: suite complete after %d cell(s)", name, w.Status().Completed)
+		return 0
+	case errors.Is(runErr, context.Canceled):
+		// Signalled mid-suite: clean exit; the coordinator reassigns any
+		// lease we held once the heartbeat lapses.
+		log.Printf("dtexld: worker %q: signalled; outstanding leases will be reassigned", name)
+		return 0
+	default:
+		log.Printf("dtexld: worker %q: %v", name, runErr)
+		return 1
+	}
 }
 
 func effectiveConc(c int) int {

@@ -13,9 +13,21 @@
 //	          # coalescing demonstration: 16 concurrent identical
 //	          # requests must execute exactly one simulation
 //
+// With -coord it instead audits a dtexlcoord fleet sweep (DESIGN.md
+// §12): optionally flips bytes in shared-store entries to inject
+// corruption, waits for the suite to settle, and asserts the failure
+// counters:
+//
+//	dtexlload -coord http://127.0.0.1:8100 -await-timeout 10m \
+//	          -corrupt-store shared/ -corrupt-n 2 \
+//	          -expect-quarantined 0 -expect-reassigned-min 1
+//	dtexlload -coord http://127.0.0.1:8100 -await-busy w2
+//	          # block until worker w2 holds a lease (CI kills it then)
+//
 // Exit codes: 0 = contract held (shed, degraded, stall and timeout
-// outcomes are all legal under load); 1 = contract violated (malformed
-// accepted response, internal server error, or nothing succeeded).
+// outcomes are all legal under load; fleet assertions met); 1 =
+// contract violated (malformed accepted response, internal server
+// error, nothing succeeded, or a fleet assertion failed).
 package main
 
 import (
@@ -26,12 +38,14 @@ import (
 	"fmt"
 	"net/http"
 	"os"
+	"path/filepath"
 	"sort"
 	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
 
+	"dtexl/internal/fleet"
 	"dtexl/internal/serve"
 	"dtexl/internal/serve/client"
 )
@@ -62,8 +76,21 @@ func run() int {
 		deadline   = flag.Duration("deadline", 2*time.Minute, "per-request deadline (client side)")
 		retries    = flag.Int("retries", 3, "client retry budget per request")
 		verbose    = flag.Bool("v", false, "log each outcome")
+
+		// Fleet audit mode (DESIGN.md §12).
+		coord         = flag.String("coord", "", "coordinator base URL; when set, audit a fleet sweep instead of generating load")
+		awaitTimeout  = flag.Duration("await-timeout", 10*time.Minute, "fleet: give up if the suite has not settled by then")
+		awaitBusy     = flag.String("await-busy", "", "fleet: just block until this worker holds a lease, then exit (CI kill targeting)")
+		expectQuar    = flag.Int("expect-quarantined", -1, "fleet: fail unless exactly this many cells are quarantined (-1 = no check)")
+		expectReassig = flag.Int("expect-reassigned-min", 0, "fleet: fail unless at least this many leases were reassigned")
+		corruptStore  = flag.String("corrupt-store", "", "fleet chaos: flip a byte in entries of this shared store directory before awaiting")
+		corruptN      = flag.Int("corrupt-n", 1, "fleet chaos: how many store entries to corrupt")
 	)
 	flag.Parse()
+
+	if *coord != "" {
+		return runFleetAudit(*coord, *awaitTimeout, *awaitBusy, *expectQuar, *expectReassig, *corruptStore, *corruptN, *verbose)
+	}
 
 	cl := client.New(*addr,
 		client.WithRetries(*retries),
@@ -147,6 +174,138 @@ func run() int {
 		return 1
 	}
 	return 0
+}
+
+// runFleetAudit watches a coordinator sweep. With awaitBusy it only
+// blocks until that worker holds a lease (so CI can SIGKILL it at a
+// guaranteed-interesting moment). Otherwise it optionally corrupts
+// store entries, polls /fleet/stats until the suite settles, and
+// asserts the failure counters.
+func runFleetAudit(coord string, timeout time.Duration, awaitBusy string, expectQuar, expectReassignMin int, corruptStore string, corruptN int, verbose bool) int {
+	deadline := time.Now().Add(timeout)
+	corruptPending := corruptStore != ""
+	for {
+		// Inject corruption as soon as the sweep has produced entries to
+		// corrupt — mid-run, so recomputation (not just render repair) is
+		// exercised. Best-effort: a sweep that settles first is fine; the
+		// checksum path is covered by unit tests either way.
+		if corruptPending {
+			n, err := corruptStoreEntries(corruptStore, corruptN)
+			if err != nil {
+				fmt.Printf("dtexlload: FAIL: corrupt-store: %v\n", err)
+				return 1
+			}
+			if n > 0 {
+				fmt.Printf("dtexlload: corrupted %d store entry(ies) under %s\n", n, corruptStore)
+				corruptPending = false
+			}
+		}
+		st, err := fetchFleetStats(coord)
+		if err != nil {
+			if verbose {
+				fmt.Fprintf(os.Stderr, "dtexlload: fleet stats: %v\n", err)
+			}
+		} else if awaitBusy != "" {
+			for _, w := range st.Workers {
+				if w.Name == awaitBusy && w.Live && w.ActiveLeases >= 1 {
+					fmt.Printf("dtexlload: worker %s holds %d lease(s)\n", awaitBusy, w.ActiveLeases)
+					return 0
+				}
+			}
+		} else {
+			if verbose {
+				fmt.Fprintf(os.Stderr, "dtexlload: fleet: %d/%d done, %d leased, %d quarantined, %d reassigned\n",
+					st.Done, st.Cells, st.Leased, st.Quarantined, st.Reassigned)
+			}
+			if st.SuiteDone {
+				if corruptPending {
+					fmt.Println("dtexlload: note: suite settled before any store entry existed to corrupt")
+				}
+				return checkFleetStats(st, expectQuar, expectReassignMin)
+			}
+		}
+		if time.Now().After(deadline) {
+			if awaitBusy != "" {
+				fmt.Printf("dtexlload: FAIL: worker %s never held a lease within %v\n", awaitBusy, timeout)
+			} else {
+				fmt.Printf("dtexlload: FAIL: suite did not settle within %v\n", timeout)
+			}
+			return 1
+		}
+		time.Sleep(200 * time.Millisecond)
+	}
+}
+
+// checkFleetStats asserts the post-sweep failure counters.
+func checkFleetStats(st *fleet.Stats, expectQuar, expectReassignMin int) int {
+	fmt.Printf("dtexlload: fleet settled: cells=%d done=%d quarantined=%d reassigned=%d stolen=%d rejected=%d late=%d store-primed=%d\n",
+		st.Cells, st.Done, st.Quarantined, st.Reassigned, st.Stolen, st.RejectedResults, st.LateResults, st.StorePrimed)
+	for _, r := range st.Reassignments {
+		fmt.Printf("dtexlload: reassigned %s from %s (%s)\n", r.Cell, r.Worker, r.Reason)
+	}
+	for _, q := range st.QuarantinedCells {
+		fmt.Printf("dtexlload: quarantined %s after %d attempt(s)\n", q.Cell, q.Attempts)
+	}
+	code := 0
+	if expectQuar >= 0 && st.Quarantined != expectQuar {
+		fmt.Printf("dtexlload: FAIL: quarantined=%d, want %d\n", st.Quarantined, expectQuar)
+		code = 1
+	}
+	if st.Reassigned < expectReassignMin {
+		fmt.Printf("dtexlload: FAIL: reassigned=%d, want >= %d\n", st.Reassigned, expectReassignMin)
+		code = 1
+	}
+	return code
+}
+
+// corruptStoreEntries flips one byte in the middle of up to n store
+// entries (sorted for determinism). The store's checksum must catch
+// every flip: corrupted cells are dropped and recomputed, never served.
+// Returns 0 (not an error) while the store is still empty so the audit
+// loop can retry once the sweep has produced entries.
+func corruptStoreEntries(dir string, n int) (int, error) {
+	names, err := filepath.Glob(filepath.Join(dir, "*.json"))
+	if err != nil {
+		return 0, err
+	}
+	if len(names) == 0 {
+		return 0, nil
+	}
+	sort.Strings(names)
+	if n > len(names) {
+		n = len(names)
+	}
+	for _, name := range names[:n] {
+		raw, err := os.ReadFile(name)
+		if err != nil {
+			return 0, err
+		}
+		if len(raw) == 0 {
+			continue
+		}
+		raw[len(raw)/2] ^= 0xff
+		if err := os.WriteFile(name, raw, 0o644); err != nil {
+			return 0, err
+		}
+	}
+	return n, nil
+}
+
+// fetchFleetStats reads the coordinator's /fleet/stats.
+func fetchFleetStats(coord string) (*fleet.Stats, error) {
+	hres, err := http.Get(strings.TrimRight(coord, "/") + fleet.PathStats)
+	if err != nil {
+		return nil, err
+	}
+	defer hres.Body.Close()
+	if hres.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("fleet stats: status %d", hres.StatusCode)
+	}
+	var st fleet.Stats
+	if err := json.NewDecoder(hres.Body).Decode(&st); err != nil {
+		return nil, err
+	}
+	return &st, nil
 }
 
 // fetchReady reads /readyz, decoding the body regardless of status (a

@@ -1,8 +1,9 @@
-// Package client is the retrying dtexld client: exponential backoff
-// with full jitter, deadline-aware retries, Retry-After compliance and
-// a circuit breaker that trips on consecutive stall/timeout responses —
-// the failure classes that mean the server is sick rather than merely
-// busy.
+// Package client is the retrying dtexld client: decorrelated-jitter
+// backoff, deadline-aware retries, Retry-After honored as a floor (never
+// an exact wait, so a recovering server is not hit by a synchronized
+// retry wave) and a circuit breaker that trips on consecutive
+// stall/timeout responses — the failure classes that mean the server is
+// sick rather than merely busy.
 package client
 
 import (
@@ -49,9 +50,10 @@ type Config struct {
 	// MaxRetries is how many times a retryable failure is retried beyond
 	// the first attempt (default 4; negative means never retry).
 	MaxRetries int
-	// BaseBackoff seeds the exponential schedule (default 100ms); each
-	// retry doubles it up to MaxBackoff (default 5s), then full jitter
-	// in [backoff/2, backoff] decorrelates clients.
+	// BaseBackoff seeds the decorrelated-jitter schedule (default 100ms):
+	// each wait is drawn uniformly from [base, min(3×previous, MaxBackoff)]
+	// (MaxBackoff default 5s), so retries from a fleet of clients spread
+	// out instead of pulsing in synchronized exponential waves.
 	BaseBackoff time.Duration
 	MaxBackoff  time.Duration
 	// BreakerThreshold trips the circuit after this many *consecutive*
@@ -137,6 +139,7 @@ func (c *Client) Simulate(ctx context.Context, req serve.SimRequest) (*serve.Sim
 		return nil, err
 	}
 	var last error
+	prev := c.cfg.BaseBackoff // decorrelated-jitter state: the last wait
 	for attempt := 0; ; attempt++ {
 		if err := c.breakerAllow(); err != nil {
 			if last != nil {
@@ -154,11 +157,13 @@ func (c *Client) Simulate(ctx context.Context, req serve.SimRequest) (*serve.Sim
 		if outcome == outcomePermanent || ctx.Err() != nil || attempt >= c.cfg.MaxRetries {
 			return nil, last
 		}
-		if err := c.backoff(ctx, attempt, err); err != nil {
+		d, err := c.backoff(ctx, prev, last)
+		if err != nil {
 			// The deadline leaves no room for another attempt: surface the
 			// last real failure, not the sleep's cancellation.
 			return nil, fmt.Errorf("client: deadline while backing off: %w", last)
 		}
+		prev = d
 	}
 }
 
@@ -256,29 +261,37 @@ func classify(err error) outcome {
 	return outcomeTransient // connection refused/reset, etc.
 }
 
-// backoff sleeps the exponential-with-full-jitter schedule, floored at
-// the server's Retry-After hint, but never past ctx's deadline.
-func (c *Client) backoff(ctx context.Context, attempt int, lastErr error) error {
-	d := c.cfg.BaseBackoff << attempt
-	if d > c.cfg.MaxBackoff || d <= 0 {
-		d = c.cfg.MaxBackoff
+// backoff sleeps the decorrelated-jitter schedule: a wait drawn
+// uniformly from [base, min(3×prev, max)], floored at the server's
+// Retry-After hint PLUS jitter — the hint is when the server wants
+// traffic back at the earliest, not an appointment, and adding jitter
+// on top keeps a fleet of clients from arriving as one synchronized
+// wave the moment a recovering server reopens. Never sleeps past ctx's
+// deadline. Returns the wait chosen, which seeds the next call's prev.
+func (c *Client) backoff(ctx context.Context, prev time.Duration, lastErr error) (time.Duration, error) {
+	u := c.cfg.rand()
+	hi := 3 * prev
+	if hi > c.cfg.MaxBackoff || hi <= 0 {
+		hi = c.cfg.MaxBackoff
 	}
-	// Full jitter over [d/2, d] decorrelates a retrying fleet while
-	// keeping the schedule monotone in expectation.
-	d = d/2 + time.Duration(c.cfg.rand()*float64(d/2))
+	if hi < c.cfg.BaseBackoff {
+		hi = c.cfg.BaseBackoff
+	}
+	d := c.cfg.BaseBackoff + time.Duration(u*float64(hi-c.cfg.BaseBackoff))
 	var apiErr *APIError
 	if errors.As(lastErr, &apiErr) && apiErr.Body.RetryAfterMS > 0 {
-		if ra := time.Duration(apiErr.Body.RetryAfterMS) * time.Millisecond; ra > d {
-			d = ra
+		ra := time.Duration(apiErr.Body.RetryAfterMS) * time.Millisecond
+		if floor := ra + time.Duration(u*float64(c.cfg.BaseBackoff)); floor > d {
+			d = floor
 		}
 	}
 	if dl, ok := ctx.Deadline(); ok {
 		if remain := time.Until(dl); remain <= d {
 			// No room to back off and attempt again.
-			return context.DeadlineExceeded
+			return d, context.DeadlineExceeded
 		}
 	}
-	return c.cfg.sleep(ctx, d)
+	return d, c.cfg.sleep(ctx, d)
 }
 
 // breakerAllow gates an attempt on the circuit state. While open it

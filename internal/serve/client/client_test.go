@@ -60,7 +60,7 @@ func newHarness(t *testing.T, steps []scriptStep, opts ...func(*Config)) *harnes
 	srv, calls := scriptServer(t, steps)
 	h := &harness{calls: calls, nowVal: time.Unix(1000, 0)}
 	h.cl = New(srv.URL, opts...)
-	h.cl.cfg.rand = func() float64 { return 1.0 } // jitter pinned: d/2 + d/2 = d
+	h.cl.cfg.rand = func() float64 { return 1.0 } // jitter pinned to the top of its range
 	h.cl.cfg.now = func() time.Time { h.mu.Lock(); defer h.mu.Unlock(); return h.nowVal }
 	h.cl.cfg.sleep = func(ctx context.Context, d time.Duration) error {
 		h.mu.Lock()
@@ -98,11 +98,11 @@ func TestSimulateSuccess(t *testing.T) {
 	}
 }
 
-// TestRetriesShedWithExponentialBackoff: two 429s then success. The
-// client must retry through them and the recorded sleeps must follow
-// the doubling schedule (jitter pinned to the top of its [d/2, d]
-// range, so sleeps equal the raw schedule exactly).
-func TestRetriesShedWithExponentialBackoff(t *testing.T) {
+// TestRetriesShedWithDecorrelatedBackoff: two 429s then success. The
+// client must retry through them; each sleep is drawn from
+// [base, min(3×previous, max)], so with jitter pinned to the top of the
+// range the sleeps are base+(3·base−base)=3·base, then base+(3·3·base−base).
+func TestRetriesShedWithDecorrelatedBackoff(t *testing.T) {
 	shed := serve.ErrorResponse{Error: "over admission capacity", Kind: serve.KindOverCapacity}
 	h := newHarness(t, []scriptStep{
 		{status: 429, body: shed},
@@ -119,7 +119,7 @@ func TestRetriesShedWithExponentialBackoff(t *testing.T) {
 	if got := h.calls.Load(); got != 3 {
 		t.Fatalf("server saw %d calls, want 3", got)
 	}
-	want := []time.Duration{100 * time.Millisecond, 200 * time.Millisecond}
+	want := []time.Duration{300 * time.Millisecond, 900 * time.Millisecond}
 	got := h.sleeps()
 	if len(got) != len(want) {
 		t.Fatalf("slept %v, want %v", got, want)
@@ -131,8 +131,8 @@ func TestRetriesShedWithExponentialBackoff(t *testing.T) {
 	}
 }
 
-// TestJitterStaysInRange: with rand pinned low the sleep must be d/2 —
-// the bottom of the full-jitter window — never zero or above d.
+// TestJitterStaysInRange: with rand pinned low the sleep must be the
+// base backoff — the bottom of the decorrelated window — never zero.
 func TestJitterStaysInRange(t *testing.T) {
 	shed := serve.ErrorResponse{Error: "busy", Kind: serve.KindOverCapacity}
 	h := newHarness(t, []scriptStep{
@@ -144,13 +144,15 @@ func TestJitterStaysInRange(t *testing.T) {
 		t.Fatal(err)
 	}
 	got := h.sleeps()
-	if len(got) != 1 || got[0] != 50*time.Millisecond {
-		t.Fatalf("slept %v, want [50ms] (bottom of jitter range for 100ms base)", got)
+	if len(got) != 1 || got[0] != 100*time.Millisecond {
+		t.Fatalf("slept %v, want [100ms] (bottom of jitter range = base)", got)
 	}
 }
 
-// TestRetryAfterFloorsBackoff: the server's Retry-After hint must floor
-// the backoff — a 3s hint beats a 100ms schedule slot.
+// TestRetryAfterFloorsBackoff: the server's Retry-After hint is a
+// floor, not an exact wait — the client waits the hint PLUS jitter
+// (rand pinned to 1 → hint + base), so a fleet honoring the same hint
+// does not return as one synchronized wave.
 func TestRetryAfterFloorsBackoff(t *testing.T) {
 	shed := serve.ErrorResponse{Error: "busy", Kind: serve.KindOverCapacity}
 	h := newHarness(t, []scriptStep{
@@ -161,8 +163,8 @@ func TestRetryAfterFloorsBackoff(t *testing.T) {
 		t.Fatal(err)
 	}
 	got := h.sleeps()
-	if len(got) != 1 || got[0] != 3*time.Second {
-		t.Fatalf("slept %v, want [3s] (Retry-After floor)", got)
+	if len(got) != 1 || got[0] != 3100*time.Millisecond {
+		t.Fatalf("slept %v, want [3.1s] (Retry-After floor + jittered spread)", got)
 	}
 }
 
@@ -178,8 +180,25 @@ func TestRetryAfterBodyField(t *testing.T) {
 		t.Fatal(err)
 	}
 	got := h.sleeps()
-	if len(got) != 1 || got[0] != 1500*time.Millisecond {
-		t.Fatalf("slept %v, want [1.5s] (retry_after_ms floor)", got)
+	if len(got) != 1 || got[0] != 1600*time.Millisecond {
+		t.Fatalf("slept %v, want [1.6s] (retry_after_ms floor + jittered spread)", got)
+	}
+}
+
+// TestShortRetryAfterDoesNotShrinkBackoff: a hint below the jittered
+// schedule is already satisfied — the floor never pulls the wait down.
+func TestShortRetryAfterDoesNotShrinkBackoff(t *testing.T) {
+	shed := serve.ErrorResponse{Error: "busy", Kind: serve.KindOverCapacity, RetryAfterMS: 50}
+	h := newHarness(t, []scriptStep{
+		{status: 429, body: shed},
+		{status: 200, body: okBody()},
+	})
+	if _, err := h.cl.Simulate(context.Background(), serve.SimRequest{Benchmark: "TRu", Policy: "DTexL"}); err != nil {
+		t.Fatal(err)
+	}
+	got := h.sleeps()
+	if len(got) != 1 || got[0] != 300*time.Millisecond {
+		t.Fatalf("slept %v, want [300ms] (schedule wins over a shorter hint)", got)
 	}
 }
 

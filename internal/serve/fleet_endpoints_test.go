@@ -1,0 +1,114 @@
+package serve
+
+import (
+	"encoding/json"
+	"net/http"
+	"reflect"
+	"testing"
+
+	"dtexl/internal/sim"
+)
+
+// TestWorkerzNotAWorker: /workerz on a plain server answers 404.
+func TestWorkerzNotAWorker(t *testing.T) {
+	_, ts := newTestServer(t, testConfig())
+	res, err := http.Get(ts.URL + "/workerz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer res.Body.Close()
+	if res.StatusCode != http.StatusNotFound {
+		t.Fatalf("GET /workerz = %d, want 404 without FleetStatus", res.StatusCode)
+	}
+}
+
+// TestWorkerzReportsFleetStatus: with FleetStatus wired, /workerz serves
+// the snapshot and /readyz folds it in.
+func TestWorkerzReportsFleetStatus(t *testing.T) {
+	cfg := testConfig()
+	cfg.FleetStatus = func() any {
+		return map[string]any{"name": "w-test", "completed": 7}
+	}
+	_, ts := newTestServer(t, cfg)
+
+	res, err := http.Get(ts.URL + "/workerz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer res.Body.Close()
+	if res.StatusCode != http.StatusOK {
+		t.Fatalf("GET /workerz = %d, want 200", res.StatusCode)
+	}
+	var got map[string]any
+	if err := json.NewDecoder(res.Body).Decode(&got); err != nil {
+		t.Fatal(err)
+	}
+	if got["name"] != "w-test" || got["completed"] != float64(7) {
+		t.Fatalf("workerz body = %v", got)
+	}
+
+	rres, err := http.Get(ts.URL + "/readyz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rres.Body.Close()
+	var st ReadyState
+	if err := json.NewDecoder(rres.Body).Decode(&st); err != nil {
+		t.Fatal(err)
+	}
+	fl, ok := st.Fleet.(map[string]any)
+	if !ok || fl["name"] != "w-test" {
+		t.Fatalf("readyz fleet section = %v", st.Fleet)
+	}
+}
+
+// TestServerServesFromSharedStore: a cell another process completed
+// into the shared store is served by /v1/simulate without recompute,
+// with results identical to a direct run — the serving path's L2.
+func TestServerServesFromSharedStore(t *testing.T) {
+	st, err := sim.OpenStore(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	st.Logf = t.Logf
+
+	// "Another fleet worker" completes the cell.
+	opt := sim.ScaledOptions(8)
+	opt.Seed = 1
+	opt.Frames = 1
+	r := sim.NewRunner(opt)
+	r.Store = st
+	want, err := r.RunOneWith("TRu", mustPolicy(t, "DTexL"), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	cfg := testConfig()
+	cfg.Store = st
+	_, ts := newTestServer(t, cfg)
+	code, res, eres, _ := post(t, ts.URL, SimRequest{Benchmark: "TRu", Policy: "DTexL"})
+	if code != http.StatusOK {
+		t.Fatalf("status %d: %+v", code, eres)
+	}
+	if !reflect.DeepEqual(res.Metrics, want.Metrics) || res.Energy != want.Energy {
+		t.Error("store-served response differs from the direct run")
+	}
+	stats := st.Stats()
+	if stats.Hits < 1 {
+		t.Errorf("store hits = %d, want the server lookup to hit", stats.Hits)
+	}
+
+	// And the readiness body carries the store counters.
+	rres, err := http.Get(ts.URL + "/readyz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rres.Body.Close()
+	var rs ReadyState
+	if err := json.NewDecoder(rres.Body).Decode(&rs); err != nil {
+		t.Fatal(err)
+	}
+	if rs.Store == nil || rs.Store.Hits < 1 {
+		t.Errorf("readyz store section = %+v, want hit counters", rs.Store)
+	}
+}

@@ -53,6 +53,15 @@ type Config struct {
 	// (keys embed the effective machine config, so scales never
 	// collide).
 	Journal *sim.Journal
+	// Store, when non-nil, is the fleet's shared result store, layered
+	// under the journal as L2: cells completed by any process sharing the
+	// directory are served without recompute, and cells computed here
+	// become visible to the fleet.
+	Store *sim.Store
+	// FleetStatus, when non-nil, is polled by GET /workerz and folded
+	// into /readyz — the fleet-worker view of this process (registration,
+	// completed cells, partition state).
+	FleetStatus func() any
 	// Chaos, when non-nil, injects faults into matching cells — the CI
 	// smoke runs the service with an injected livelock to prove stalls
 	// surface as structured 500s, not process death.
@@ -164,6 +173,7 @@ func (s *Server) runner(scale, frames int) *sim.Runner {
 	r.RunTimeout = s.cfg.CellBudget
 	r.PrepBudget = s.cfg.PrepBudget
 	r.Journal = s.cfg.Journal
+	r.Store = s.cfg.Store
 	r.Chaos = s.cfg.Chaos
 	r.Parallel = s.cfg.Parallel
 	s.runners[key] = r
@@ -237,7 +247,20 @@ func (s *Server) Handler() http.Handler {
 		fmt.Fprintln(w, "ok")
 	})
 	mux.HandleFunc("GET /readyz", s.handleReadyz)
+	mux.HandleFunc("GET /workerz", s.handleWorkerz)
 	return mux
+}
+
+// handleWorkerz reports the process's fleet-worker status; 404 when the
+// process is not a fleet worker.
+func (s *Server) handleWorkerz(w http.ResponseWriter, _ *http.Request) {
+	if s.cfg.FleetStatus == nil {
+		writeJSON(w, http.StatusNotFound, ErrorResponse{
+			Error: "not a fleet worker", Kind: KindBadRequest,
+		})
+		return
+	}
+	writeJSON(w, http.StatusOK, s.cfg.FleetStatus())
 }
 
 // ReadyState is the /readyz body. Coalesced counts requests that joined
@@ -256,6 +279,10 @@ type ReadyState struct {
 	JournalHits     uint64 `json:"journal_hits"`
 	Full            Stats  `json:"full"`
 	Degraded        Stats  `json:"degraded"`
+	// Store is the shared result store's counters when one is attached.
+	Store *sim.StoreStats `json:"store,omitempty"`
+	// Fleet is the fleet-worker status when this process is one.
+	Fleet any `json:"fleet,omitempty"`
 }
 
 // simsComputed sums the raster-phase memo misses across the runner
@@ -285,6 +312,13 @@ func (s *Server) handleReadyz(w http.ResponseWriter, _ *http.Request) {
 	if s.cfg.Journal != nil {
 		st.JournalReplayed = s.cfg.Journal.Replayed()
 		st.JournalHits = s.cfg.Journal.Hits()
+	}
+	if s.cfg.Store != nil {
+		ss := s.cfg.Store.Stats()
+		st.Store = &ss
+	}
+	if s.cfg.FleetStatus != nil {
+		st.Fleet = s.cfg.FleetStatus()
 	}
 	code := http.StatusOK
 	if s.draining.Load() {

@@ -19,12 +19,17 @@ const (
 	// the run livelocks deterministically until the watchdog converts it
 	// into a genuine *pipeline.StallError with a real state dump.
 	ChaosStall
+	// ChaosCrash kills the whole process (exit 137, the SIGKILL code) the
+	// moment the matching cell starts computing — a worker dying mid-lease
+	// with no cleanup, used by the fleet chaos harness.
+	ChaosCrash
 )
 
 var chaosModeNames = map[string]ChaosMode{
 	"panic": ChaosPanic,
 	"error": ChaosError,
 	"stall": ChaosStall,
+	"crash": ChaosCrash,
 }
 
 // String returns the mode's CLI spelling.
@@ -76,7 +81,7 @@ func ParseChaos(spec string) (*ChaosConfig, error) {
 	}
 	mode, ok := chaosModeNames[parts[2]]
 	if !ok {
-		return nil, fmt.Errorf("sim: unknown chaos mode %q (want panic, error or stall)", parts[2])
+		return nil, fmt.Errorf("sim: unknown chaos mode %q (want panic, error, stall or crash)", parts[2])
 	}
 	return &ChaosConfig{Bench: parts[0], Policy: parts[1], Mode: mode}, nil
 }

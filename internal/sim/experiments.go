@@ -184,6 +184,13 @@ type Runner struct {
 	// serves journaled results instead of recomputing them — the
 	// crash-safe resume path behind -checkpoint.
 	Journal *Journal
+	// Store, when non-nil, is the shared content-addressed result store
+	// (L2): lookups fall through L1 memo → Journal → Store → compute, and
+	// computed cells are recorded back so any process sharing the store —
+	// including a cold-started fleet worker — answers them without
+	// recomputing. Store entries are checksummed; a corrupt entry reads
+	// as a miss and the recompute repairs it.
+	Store *Store
 	// Chaos, when non-nil, injects a fault into the matching
 	// (benchmark, policy) cell. Fault-injection testing only.
 	Chaos *ChaosConfig
@@ -400,28 +407,17 @@ feed:
 	return firstErr
 }
 
-// WarmAll pre-runs every simulation the paper's figures need, in
-// parallel. RunExperiment calls afterwards hit the cache.
+// WarmAll pre-runs every simulation the paper's figures need — the
+// suite cells the fleet shards (SuiteCells) — in parallel.
+// RunExperiment calls afterwards hit the cache.
 func (r *Runner) WarmAll() error {
 	var jobs []runJob
-	seen := map[string]bool{}
-	add := func(alias string, pol core.Policy, ub bool) {
-		key := fmt.Sprintf("%s/%s/%v", alias, pol.Name, ub)
-		if !seen[key] {
-			seen[key] = true
-			jobs = append(jobs, runJob{alias, pol, ub})
+	for _, c := range SuiteCells(r.Opt) {
+		pol, ub, err := c.ResolvePolicy()
+		if err != nil {
+			return err
 		}
-	}
-	pols := []core.Policy{core.Baseline(), core.BaselineDecoupled(), dtexlAsHLBFlp2()}
-	pols = append(pols, core.GroupingPolicies()...)
-	pols = append(pols, core.Fig8Mappings()...)
-	for _, alias := range r.Opt.aliases() {
-		for _, pol := range pols {
-			add(alias, pol, false)
-		}
-		ub := core.Baseline()
-		ub.Name = "upper-bound"
-		add(alias, ub, true)
+		jobs = append(jobs, runJob{c.Bench, pol, ub})
 	}
 	return r.Warm(jobs)
 }

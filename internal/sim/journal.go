@@ -35,11 +35,13 @@ type journalRecord struct {
 // line that does not parse (the torn tail) and the affected cell is
 // simply recomputed.
 type Journal struct {
-	mu       sync.Mutex
-	f        *os.File
-	results  map[string]*simResult
-	replayed int
-	hits     uint64
+	mu         sync.Mutex
+	f          *os.File
+	results    map[string]*simResult
+	replayed   int
+	dropped    int
+	tornOffset int64
+	hits       uint64
 }
 
 // OpenJournal opens (creating if needed) the journal under dir and
@@ -54,19 +56,50 @@ func OpenJournal(dir string) (*Journal, error) {
 	if rf, err := os.Open(path); err == nil {
 		sc := bufio.NewScanner(rf)
 		sc.Buffer(make([]byte, 0, 1<<20), 64<<20) // timeline-bearing results make long lines
+		var offset int64
+		torn := false
 		for sc.Scan() {
 			line := sc.Bytes()
 			if len(line) == 0 {
+				offset += int64(len(line)) + 1
 				continue
 			}
 			var rec journalRecord
 			if err := json.Unmarshal(line, &rec); err != nil || rec.Result == nil {
-				break // torn tail from a crash mid-append; recompute from here
+				// Torn tail from a crash mid-append: replay stops here, and
+				// everything from this byte on is dropped and recomputed.
+				if !torn {
+					torn = true
+					j.tornOffset = offset
+				}
+				j.dropped++
+				offset += int64(len(line)) + 1
+				continue
+			}
+			if torn {
+				// A parseable record after a torn one means the damage is
+				// not a clean tail; count it as dropped too, since replay
+				// must not skip over corruption (the append offset would
+				// interleave with live lines).
+				j.dropped++
+				offset += int64(len(line)) + 1
+				continue
 			}
 			j.results[string(rec.Key)] = rec.Result
 			j.replayed++
+			offset += int64(len(line)) + 1
 		}
 		rf.Close()
+		if torn {
+			// One line, so operators can tell clean resume from data loss.
+			fmt.Fprintf(os.Stderr, "sim: journal %s: dropped %d torn record(s) from byte offset %d; affected cells will be recomputed\n",
+				path, j.dropped, j.tornOffset)
+			// Truncate the file at the torn offset so fresh appends do not
+			// land after unparseable bytes (which would tear them too).
+			if err := os.Truncate(path, j.tornOffset); err != nil {
+				return nil, fmt.Errorf("sim: checkpoint journal truncate: %w", err)
+			}
+		}
 	} else if !os.IsNotExist(err) {
 		return nil, fmt.Errorf("sim: checkpoint journal: %w", err)
 	}
@@ -79,16 +112,18 @@ func OpenJournal(dir string) (*Journal, error) {
 	return j, nil
 }
 
-// keyBytes renders the canonical identity of a simulation. Struct-field
-// order makes json.Marshal deterministic for identical keys.
-func (j *Journal) keyBytes(key simKey) ([]byte, error) {
+// simKeyBytes renders the canonical identity of a simulation — the bytes
+// the journal, the shared store's content address and the fleet protocol
+// all key on. Struct-field order makes json.Marshal deterministic for
+// identical keys.
+func simKeyBytes(key simKey) ([]byte, error) {
 	return json.Marshal(key)
 }
 
 // lookup returns the journaled result for key, if one was replayed or
 // recorded.
 func (j *Journal) lookup(key simKey) (*simResult, bool) {
-	kb, err := j.keyBytes(key)
+	kb, err := simKeyBytes(key)
 	if err != nil {
 		return nil, false
 	}
@@ -106,7 +141,7 @@ func (j *Journal) lookup(key simKey) (*simResult, bool) {
 // fatal: a missed journal entry only costs a deterministic recompute on
 // resume.
 func (j *Journal) record(key simKey, res *simResult) error {
-	kb, err := j.keyBytes(key)
+	kb, err := simKeyBytes(key)
 	if err != nil {
 		return fmt.Errorf("sim: journal key: %w", err)
 	}
@@ -137,6 +172,22 @@ func (j *Journal) Replayed() int {
 	j.mu.Lock()
 	defer j.mu.Unlock()
 	return j.replayed
+}
+
+// Dropped reports how many torn or unparseable records replay discarded
+// on open (zero for a clean resume).
+func (j *Journal) Dropped() int {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.dropped
+}
+
+// TornOffset reports the byte offset where replay stopped trusting the
+// file; meaningful only when Dropped() > 0.
+func (j *Journal) TornOffset() int64 {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.tornOffset
 }
 
 // Hits reports how many simulations were served from the journal.

@@ -110,6 +110,16 @@ func TestJournalTornTail(t *testing.T) {
 	if got := j2.Replayed(); got != len(opt.aliases())-1 {
 		t.Fatalf("Replayed() = %d after torn tail, want %d", got, len(opt.aliases())-1)
 	}
+	if got := j2.Dropped(); got != 1 {
+		t.Errorf("Dropped() = %d after torn tail, want 1", got)
+	}
+	if off := j2.TornOffset(); off <= 0 || off >= int64(len(raw)) {
+		t.Errorf("TornOffset() = %d, want inside the file (0, %d)", off, len(raw))
+	}
+	// The torn bytes are truncated away so fresh appends land cleanly.
+	if fi, err := os.Stat(path); err != nil || fi.Size() != j2.TornOffset() {
+		t.Errorf("journal size %v after reopen, want truncated to torn offset %d", fi.Size(), j2.TornOffset())
+	}
 	// The torn cell recomputes; the suite still completes.
 	r2 := NewRunner(opt)
 	r2.Journal = j2
@@ -137,6 +147,10 @@ func TestJournalGarbageTail(t *testing.T) {
 	j1.Close()
 
 	path := filepath.Join(dir, journalFile)
+	clean, err := os.Stat(path)
+	if err != nil {
+		t.Fatal(err)
+	}
 	f, err := os.OpenFile(path, os.O_APPEND|os.O_WRONLY, 0o644)
 	if err != nil {
 		t.Fatal(err)
@@ -151,6 +165,12 @@ func TestJournalGarbageTail(t *testing.T) {
 	defer j2.Close()
 	if got := j2.Replayed(); got != 1 {
 		t.Fatalf("Replayed() = %d, want 1", got)
+	}
+	if got := j2.Dropped(); got != 1 {
+		t.Errorf("Dropped() = %d, want 1", got)
+	}
+	if off := j2.TornOffset(); off != clean.Size() {
+		t.Errorf("TornOffset() = %d, want %d (end of the clean prefix)", off, clean.Size())
 	}
 }
 

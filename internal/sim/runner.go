@@ -16,6 +16,7 @@ package sim
 import (
 	"context"
 	"fmt"
+	"os"
 	"sync/atomic"
 	"time"
 
@@ -165,6 +166,17 @@ func (r *Runner) RunOneCtx(reqCtx context.Context, alias string, pol core.Policy
 				return sr, nil
 			}
 		}
+		if r.Store != nil {
+			// L2: the shared result store. Checksummed, so a corrupt entry
+			// reads as a miss and the compute below repairs it.
+			if sr, ok := r.Store.lookup(key); ok {
+				atomic.AddUint64(&r.completedSims, 1)
+				if r.Progress != nil {
+					r.Progress(fmt.Sprintf("%-4s %-18s served from shared store", alias, pol.Name))
+				}
+				return sr, nil
+			}
+		}
 		ctx := reqCtx
 		if r.RunTimeout > 0 {
 			var cancel context.CancelFunc
@@ -189,6 +201,13 @@ func (r *Runner) RunOneCtx(reqCtx context.Context, alias string, pol core.Policy
 				// Livelock the real executor; its watchdog converts the spin
 				// into a *pipeline.StallError with a genuine state dump.
 				ctx = pipeline.WithChaosStall(ctx)
+			case ChaosCrash:
+				// Die mid-cell the way SIGKILL would: no deferred cleanup, no
+				// journal/store record for the in-flight cell. The fleet chaos
+				// harness uses this to prove lease reassignment recovers the
+				// cell on another worker.
+				fmt.Fprintf(os.Stderr, "sim: injected chaos crash for %s/%s\n", alias, pol.Name)
+				os.Exit(137)
 			}
 		}
 		t0 := time.Now()
@@ -237,6 +256,13 @@ func (r *Runner) RunOneCtx(reqCtx context.Context, alias string, pol core.Policy
 			// recompute on resume, so warn and continue.
 			if jerr := r.Journal.record(key, sr); jerr != nil && r.Progress != nil {
 				r.Progress(fmt.Sprintf("warning: %v", jerr))
+			}
+		}
+		if r.Store != nil {
+			// Equally best-effort: a missed store record costs another
+			// worker a recompute, never correctness.
+			if serr := r.Store.record(key, sr); serr != nil && r.Progress != nil {
+				r.Progress(fmt.Sprintf("warning: %v", serr))
 			}
 		}
 		atomic.AddUint64(&r.completedSims, 1)

@@ -1,0 +1,298 @@
+package sim
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"reflect"
+	"sync"
+	"testing"
+
+	"dtexl/internal/core"
+)
+
+// storeOptions returns a small two-benchmark suite for store tests.
+func storeOptions() Options {
+	opt := ScaledOptions(8)
+	opt.Benchmarks = []string{"TRu", "CCS"}
+	return opt
+}
+
+// TestStoreRoundTrip: results recorded through one runner's store are
+// served to a second runner sharing the directory, bit-identical to the
+// original compute.
+func TestStoreRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	opt := storeOptions()
+
+	st1, err := OpenStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st1.Logf = t.Logf
+	r1 := NewRunner(opt)
+	r1.Store = st1
+	want := map[string]*RunResult{}
+	for _, alias := range opt.aliases() {
+		res, err := r1.RunOneWith(alias, core.DTexL(), nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want[alias] = res
+	}
+	if n, err := st1.Len(); err != nil || n != len(want) {
+		t.Fatalf("Len() = %d, %v; want %d entries on disk", n, err, len(want))
+	}
+
+	st2, err := OpenStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st2.Logf = t.Logf
+	r2 := NewRunner(opt)
+	r2.Store = st2
+	for _, alias := range opt.aliases() {
+		res, err := r2.RunOneWith(alias, core.DTexL(), nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(res.Metrics, want[alias].Metrics) {
+			t.Errorf("%s: store-served metrics differ from recorded run", alias)
+		}
+		if res.Energy != want[alias].Energy {
+			t.Errorf("%s: store-served energy differs from recorded run", alias)
+		}
+	}
+	stats := st2.Stats()
+	if stats.Hits != uint64(len(want)) || stats.Misses != 0 {
+		t.Errorf("second runner stats = %+v, want every lookup a hit", stats)
+	}
+	if r2.CompletedRuns() != uint64(len(want)) {
+		t.Errorf("CompletedRuns() = %d, want %d (store hits count as completed)", r2.CompletedRuns(), len(want))
+	}
+}
+
+// TestStoreCorruptionRoundTrip is the injected-fault acceptance for the
+// checksummed store: flip a byte in an entry, assert the checksum (or
+// envelope/key verification) rejects it as a miss, the cell recomputes —
+// concurrently, under the race detector — and the repaired entry is
+// served afterward.
+func TestStoreCorruptionRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	opt := storeOptions()
+
+	st1, err := OpenStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st1.Logf = t.Logf
+	r1 := NewRunner(opt)
+	r1.Store = st1
+	want, err := r1.RunOneWith("TRu", core.DTexL(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Flip one byte mid-entry — bit rot, or the chaos harness's injected
+	// corruption.
+	names, err := filepath.Glob(filepath.Join(dir, "*.json"))
+	if err != nil || len(names) != 1 {
+		t.Fatalf("store entries = %v, %v; want exactly one", names, err)
+	}
+	raw, err := os.ReadFile(names[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw[len(raw)/2] ^= 0xff
+	if err := os.WriteFile(names[0], raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	// A fresh runner must reject the corrupt entry, recompute, and repair
+	// it. Two concurrent callers exercise the single-flight path under
+	// -race.
+	st2, err := OpenStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st2.Logf = t.Logf
+	r2 := NewRunner(opt)
+	r2.Store = st2
+	var wg sync.WaitGroup
+	got := make([]*RunResult, 2)
+	errs := make([]error, 2)
+	for i := range got {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			got[i], errs[i] = r2.RunOneWith("TRu", core.DTexL(), nil)
+		}(i)
+	}
+	wg.Wait()
+	for i := range got {
+		if errs[i] != nil {
+			t.Fatal(errs[i])
+		}
+		if !reflect.DeepEqual(got[i].Metrics, want.Metrics) || got[i].Energy != want.Energy {
+			t.Errorf("recompute after corruption differs from original result")
+		}
+	}
+	stats := st2.Stats()
+	if stats.CorruptDropped != 1 {
+		t.Errorf("CorruptDropped = %d, want 1", stats.CorruptDropped)
+	}
+	if stats.Repaired != 1 {
+		t.Errorf("Repaired = %d, want 1 (recompute must repair the entry)", stats.Repaired)
+	}
+	if stats.Hits != 0 {
+		t.Errorf("Hits = %d, want 0 (the corrupt entry must not be served)", stats.Hits)
+	}
+
+	// The repaired entry is served to the next runner.
+	st3, err := OpenStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st3.Logf = t.Logf
+	r3 := NewRunner(opt)
+	r3.Store = st3
+	res, err := r3.RunOneWith("TRu", core.DTexL(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(res.Metrics, want.Metrics) || res.Energy != want.Energy {
+		t.Error("repaired entry differs from the original result")
+	}
+	if s := st3.Stats(); s.Hits != 1 || s.Misses != 0 || s.CorruptDropped != 0 {
+		t.Errorf("repaired-store stats = %+v, want one clean hit", s)
+	}
+}
+
+// TestStoreRejectsBadCellPayload: the fleet ingest path refuses payloads
+// that do not parse as a complete result, and the wire checksum matches
+// what MarshalCellResult computes.
+func TestStoreRejectsBadCellPayload(t *testing.T) {
+	dir := t.TempDir()
+	st, err := OpenStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st.Logf = t.Logf
+	opt := storeOptions()
+	c := CellSpec{Bench: "TRu", Policy: "baseline"}
+	if err := st.RecordCellResult(opt, c, []byte(`{"Metrics":`)); err == nil {
+		t.Error("RecordCellResult accepted a torn payload")
+	}
+	if err := st.RecordCellResult(opt, c, []byte(`{"Energy":{}}`)); err == nil {
+		t.Error("RecordCellResult accepted a payload with no metrics")
+	}
+	if st.HasCell(opt, c) {
+		t.Error("rejected payloads must not create entries")
+	}
+
+	r := NewRunner(opt)
+	res, err := r.RunCell(t.Context(), c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, sum, err := MarshalCellResult(res)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sum != ResultSum(b) {
+		t.Errorf("MarshalCellResult sum %s != ResultSum %s", sum, ResultSum(b))
+	}
+	if err := st.RecordCellResult(opt, c, b); err != nil {
+		t.Fatal(err)
+	}
+	if !st.HasCell(opt, c) {
+		t.Error("HasCell false after a valid RecordCellResult")
+	}
+}
+
+// TestSuiteCellsRenderExperimentsFromStore is the fleet's correctness
+// oracle in miniature: completing every suite cell into a shared store
+// lets a fresh runner render the experiment tables entirely from the
+// store (zero misses), byte-identical to a serial run.
+func TestSuiteCellsRenderExperimentsFromStore(t *testing.T) {
+	opt := storeOptions()
+	exps := []string{"fig11", "fig16", "fig17"}
+
+	// Serial reference.
+	ref := NewRunner(opt)
+	want := map[string]string{}
+	for _, id := range exps {
+		var buf bytes.Buffer
+		if err := ref.RunExperiment(id, &buf); err != nil {
+			t.Fatal(err)
+		}
+		want[id] = buf.String()
+	}
+
+	// "Fleet": every suite cell computed through RunCell into the store,
+	// as workers would.
+	dir := t.TempDir()
+	st1, err := OpenStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st1.Logf = t.Logf
+	r1 := NewRunner(opt)
+	r1.Store = st1
+	cells := SuiteCells(opt)
+	if len(cells) == 0 {
+		t.Fatal("SuiteCells returned no cells")
+	}
+	for _, c := range cells {
+		if _, err := r1.RunCell(t.Context(), c); err != nil {
+			t.Fatalf("%s: %v", c.ID(), err)
+		}
+		if !st1.HasCell(opt, c) {
+			t.Fatalf("%s: store has no entry after RunCell", c.ID())
+		}
+	}
+
+	// Coordinator render: a fresh runner over the same store must serve
+	// every lookup from L2 and reproduce the serial bytes exactly.
+	st2, err := OpenStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st2.Logf = t.Logf
+	r2 := NewRunner(opt)
+	r2.Store = st2
+	for _, id := range exps {
+		var buf bytes.Buffer
+		if err := r2.RunExperiment(id, &buf); err != nil {
+			t.Fatal(err)
+		}
+		if buf.String() != want[id] {
+			t.Errorf("%s rendered from store differs from serial run:\n--- want\n%s--- got\n%s", id, want[id], buf.String())
+		}
+	}
+	if s := st2.Stats(); s.Misses != 0 || s.CorruptDropped != 0 {
+		t.Errorf("store-backed render stats = %+v, want zero misses (suite cells must cover every experiment)", s)
+	}
+}
+
+// TestSuiteCellsDeterministic: the shard source is stable and unique.
+func TestSuiteCellsDeterministic(t *testing.T) {
+	opt := storeOptions()
+	a, b := SuiteCells(opt), SuiteCells(opt)
+	if !reflect.DeepEqual(a, b) {
+		t.Fatal("SuiteCells is not deterministic")
+	}
+	seen := map[string]bool{}
+	for _, c := range a {
+		if seen[c.ID()] {
+			t.Errorf("duplicate cell %s", c.ID())
+		}
+		seen[c.ID()] = true
+		if _, _, err := c.ResolvePolicy(); err != nil {
+			t.Errorf("%s: %v", c.ID(), err)
+		}
+	}
+	if _, _, err := (CellSpec{Bench: "TRu", Policy: "no-such-policy"}).ResolvePolicy(); err == nil {
+		t.Error("ResolvePolicy accepted an unknown policy label")
+	}
+}

@@ -1,0 +1,118 @@
+package sim
+
+import (
+	"context"
+	"fmt"
+
+	"dtexl/internal/core"
+	"dtexl/internal/pipeline"
+)
+
+// CellSpec names one suite cell — a (benchmark, policy) simulation — in
+// a form that serializes over the fleet wire protocol and round-trips
+// to the exact simulation the serial suite would run. Policy is the
+// figure-style label resolved by ResolvePolicy (including the suite's
+// special labels "DTexL(HLB-flp2)" and "upper-bound").
+type CellSpec struct {
+	Bench  string `json:"bench"`
+	Policy string `json:"policy"`
+	// UpperBound applies the Fig. 16 single-SC rewrite after the policy.
+	UpperBound bool `json:"upper_bound,omitempty"`
+}
+
+// ID is the cell's human-readable identity ("bench/policy"), unique
+// within a suite.
+func (c CellSpec) ID() string { return c.Bench + "/" + c.Policy }
+
+// upperBoundName is the label the suite gives the Fig. 16 single-SC
+// bound cell.
+const upperBoundName = "upper-bound"
+
+// ResolvePolicy resolves the cell's policy label, covering the named
+// core policies plus the suite's special labels. The boolean reports
+// whether the upper-bound configuration rewrite applies.
+func (c CellSpec) ResolvePolicy() (core.Policy, bool, error) {
+	if c.UpperBound {
+		if c.Policy != "" && c.Policy != upperBoundName {
+			return core.Policy{}, false, fmt.Errorf("sim: upper-bound cell with policy %q", c.Policy)
+		}
+		p := core.Baseline()
+		p.Name = upperBoundName
+		return p, true, nil
+	}
+	if c.Policy == dtexlAsHLBFlp2().Name {
+		return dtexlAsHLBFlp2(), false, nil
+	}
+	p, err := core.PolicyByName(c.Policy)
+	return p, false, err
+}
+
+// SuiteCells enumerates every simulation the paper's figures need under
+// the given options — the same set WarmAll pre-runs — as serializable
+// cells, in deterministic order. This is the unit of fleet sharding:
+// a coordinator leases these cells to workers, and completing all of
+// them lets every figure render without further simulation.
+func SuiteCells(opt Options) []CellSpec {
+	var cells []CellSpec
+	seen := map[string]bool{}
+	add := func(c CellSpec) {
+		if !seen[c.ID()] {
+			seen[c.ID()] = true
+			cells = append(cells, c)
+		}
+	}
+	pols := suitePolicyList()
+	for _, alias := range opt.aliases() {
+		for _, pol := range pols {
+			add(CellSpec{Bench: alias, Policy: pol.Name})
+		}
+		add(CellSpec{Bench: alias, Policy: upperBoundName, UpperBound: true})
+	}
+	return cells
+}
+
+// suitePolicyList is every named policy the evaluation sweeps: the three
+// reference points (with DTexL under its Fig. 17/18 label), the Fig. 6
+// groupings and the Fig. 8 subtile mappings.
+func suitePolicyList() []core.Policy {
+	pols := []core.Policy{core.Baseline(), core.BaselineDecoupled(), dtexlAsHLBFlp2()}
+	pols = append(pols, core.GroupingPolicies()...)
+	pols = append(pols, core.Fig8Mappings()...)
+	return pols
+}
+
+// cellKey builds the canonical memo/store key of a cell under opt — the
+// same key RunOneCtx derives, so a result recorded against this key is
+// found by the Runner's store lookup.
+func cellKey(opt Options, c CellSpec) (simKey, error) {
+	pol, ub, err := c.ResolvePolicy()
+	if err != nil {
+		return simKey{}, err
+	}
+	cfg := pipeline.DefaultConfig()
+	cfg.Width, cfg.Height = opt.Width, opt.Height
+	pol.Apply(&cfg)
+	if ub {
+		core.ApplyUpperBound(&cfg)
+	}
+	frames := opt.Frames
+	if frames < 1 {
+		frames = 1
+	}
+	return simKey{Alias: c.Bench, Seed: opt.Seed, Frames: frames, Cfg: cfg}, nil
+}
+
+// RunCell executes one suite cell through the Runner's full memo stack
+// (L1 memo → journal → shared store → compute) — the fleet worker's
+// entry point. Results are bit-identical to the serial suite's.
+func (r *Runner) RunCell(ctx context.Context, c CellSpec) (*RunResult, error) {
+	pol, ub, err := c.ResolvePolicy()
+	if err != nil {
+		return nil, err
+	}
+	var mutate func(*pipeline.Config)
+	if ub {
+		mutate = func(cfg *pipeline.Config) { core.ApplyUpperBound(cfg) }
+	}
+	return r.RunOneCtx(ctx, c.Bench, pol, mutate)
+}
