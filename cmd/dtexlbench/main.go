@@ -74,6 +74,8 @@ func run() int {
 		chaosStr = flag.String("chaos", "", "fault injection spec bench/policy/mode (mode: panic, error, stall; testing only)")
 		cpuProf  = flag.String("cpuprofile", "", "write a pprof CPU profile of the whole run to this file")
 		memProf  = flag.String("memprofile", "", "write a pprof heap profile (post-run, after GC) to this file")
+		mtxProf  = flag.String("mutexprofile", "", "write a pprof mutex-contention profile (post-run) to this file; samples every contended lock")
+		blkProf  = flag.String("blockprofile", "", "write a pprof goroutine-blocking profile (post-run) to this file; samples every blocking event")
 		traceOut = flag.String("trace", "", "write a Chrome/Perfetto trace of one instrumented run to this file and exit (uses the first benchmark of -benchmarks)")
 		tracePol = flag.String("trace-policy", "baseline", "policy for the -trace run (baseline, baseline-decoupled, DTexL, ...)")
 		sample   = flag.Int64("sample", 4096, "interval-sampling period in cycles for the -trace run (Config.SampleEvery; 0 disables counter tracks)")
@@ -103,6 +105,35 @@ func run() int {
 			defer f.Close()
 			runtime.GC() // settle live-heap numbers before the snapshot
 			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintln(os.Stderr, "dtexlbench:", err)
+			}
+		}()
+	}
+	// Contention profiles for tuning the sharded parallel sequencer
+	// (DESIGN.md §11): -mutexprofile shows where workers fight over
+	// locks, -blockprofile where they sit in channel/condition waits.
+	// Rate 1 records every event — fine for a profiling run, too slow
+	// to leave on by default.
+	for _, p := range []struct {
+		path, name string
+		enable     func()
+	}{
+		{*mtxProf, "mutex", func() { runtime.SetMutexProfileFraction(1) }},
+		{*blkProf, "block", func() { runtime.SetBlockProfileRate(1) }},
+	} {
+		if p.path == "" {
+			continue
+		}
+		p.enable()
+		path, name := p.path, p.name
+		defer func() {
+			f, err := os.Create(path)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "dtexlbench:", err)
+				return
+			}
+			defer f.Close()
+			if err := pprof.Lookup(name).WriteTo(f, 0); err != nil {
 				fmt.Fprintln(os.Stderr, "dtexlbench:", err)
 			}
 		}()

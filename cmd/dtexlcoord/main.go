@@ -60,6 +60,8 @@ func run() int {
 		exps      = flag.String("exps", "", "comma-separated experiments to render from the store once the suite settles")
 		out       = flag.String("out", "", "write the rendered experiments to this file (default stdout)")
 		exitDone  = flag.Bool("exit-when-done", false, "exit once the suite settles (after rendering -exps)")
+		maxBytes  = flag.Int64("store-max-bytes", 0, "GC the store oldest-first to at most this many bytes (0 = unbounded); the live sweep's entries are never evicted")
+		maxAge    = flag.Duration("store-max-age", 0, "GC store entries older than this (0 = unbounded), e.g. 168h; the live sweep's entries are never evicted")
 		verbose   = flag.Bool("v", false, "log per-event lines")
 	)
 	flag.Parse()
@@ -97,6 +99,47 @@ func run() int {
 	if err != nil {
 		log.Printf("dtexlcoord: %v", err)
 		return 1
+	}
+
+	// Size/age-bounded store GC: entries from older sweeps (different
+	// scale, seed, or code version) age out, but the live sweep's own
+	// entries are pinned so a resume scan or render never loses a result
+	// the fleet already paid for. One sweep up front reclaims space
+	// before workers start writing; a background ticker keeps a
+	// long-running coordinator bounded.
+	if *maxBytes > 0 || *maxAge > 0 {
+		pol := sim.GCPolicy{MaxBytes: *maxBytes, MaxAge: *maxAge}
+		pins, err := sim.SweepEntryNames(opt)
+		if err != nil {
+			log.Printf("dtexlcoord: store gc pins: %v", err)
+			return 1
+		}
+		gc := func() {
+			st, err := store.GC(pol, pins)
+			if err != nil {
+				log.Printf("dtexlcoord: store gc: %v", err)
+				return
+			}
+			if st.Evicted > 0 {
+				log.Printf("dtexlcoord: store gc: evicted %d/%d entries (%d bytes freed, %d kept, %d pinned)",
+					st.Evicted, st.Scanned, st.BytesFreed, st.BytesKept, st.Pinned)
+			}
+		}
+		gc()
+		ticker := time.NewTicker(time.Minute)
+		defer ticker.Stop()
+		done := make(chan struct{})
+		defer close(done)
+		go func() {
+			for {
+				select {
+				case <-ticker.C:
+					gc()
+				case <-done:
+					return
+				}
+			}
+		}()
 	}
 
 	ln, err := net.Listen("tcp", *addr)

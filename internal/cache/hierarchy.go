@@ -142,6 +142,48 @@ func (h *Hierarchy) TextureSharedFill(addr uint64) int64 {
 	return lat + h.DRAM.Access(addr)
 }
 
+// SharedStats is a per-worker shadow of the counters a sharded texture
+// fill touches. Counters are the only state a fill shares across
+// (L2 set, DRAM bank) shards, and they are commutative sums — so fills
+// on disjoint shards may run concurrently as long as each worker counts
+// into its own SharedStats, folded back with AddSharedStats.
+type SharedStats struct {
+	L2   Stats
+	DRAM dram.Stats
+}
+
+// TextureSharedFillSharded is TextureSharedFill with the counters
+// accumulated into st. The caller must hold the shard grants for
+// L2ShardOf(addr) and DRAMBankOf(addr): the fill mutates only that L2
+// set's tag/LRU state and that DRAM bank's open-row state, so fills
+// whose shard pairs are disjoint commute (DESIGN.md §11; proved by
+// FuzzShardedOrderEquivalence).
+func (h *Hierarchy) TextureSharedFillSharded(addr uint64, st *SharedStats) int64 {
+	lat := h.cfg.L2.HitLatency
+	if h.L2.AccessInto(addr, &st.L2) {
+		return lat
+	}
+	return lat + h.DRAM.AccessInto(addr, &st.DRAM)
+}
+
+// AddSharedStats folds a worker's shadow counters into the hierarchy.
+func (h *Hierarchy) AddSharedStats(st *SharedStats) {
+	h.L2.AddStats(st.L2)
+	h.DRAM.AddStats(st.DRAM)
+	*st = SharedStats{}
+}
+
+// L2ShardOf returns the L2-set shard index of addr.
+func (h *Hierarchy) L2ShardOf(addr uint64) int { return int(h.L2.SetIndex(addr)) }
+
+// DRAMBankOf returns the DRAM-bank shard index of addr.
+func (h *Hierarchy) DRAMBankOf(addr uint64) int { return h.DRAM.BankIndex(addr) }
+
+// NumL2Shards and NumDRAMShards size the parallel sequencer's shard
+// tables.
+func (h *Hierarchy) NumL2Shards() int   { return h.L2.NumSets() }
+func (h *Hierarchy) NumDRAMShards() int { return h.DRAM.NumBanks() }
+
 // VertexAccess performs a vertex fetch through the vertex cache.
 func (h *Hierarchy) VertexAccess(addr uint64) int64 {
 	lat := h.cfg.Vertex.HitLatency

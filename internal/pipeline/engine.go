@@ -118,7 +118,7 @@ func rasterFrame(ctx context.Context, cfg Config, hier *cache.Hierarchy, geo Geo
 			ex.raster.cov.pre = parallelCovers(cfg, geo.Primitives, binning, workers)
 			ex.perSCCapV = -1
 		}
-		ex.par = newParDrain(ctx, cfg, hier, cfg.NumSC)
+		ex.par = newParDrain(ctx, cfg, hier, cfg.NumSC, ex.es.sampler)
 	}
 	var err error
 	if cfg.Decoupled {

@@ -73,7 +73,7 @@ func RunIMRContext(ctx context.Context, scene *trace.Scene, cfg Config) (*Metric
 		im.es.sampler = newIntervalSampler(cfg.SampleEvery, im.scs, hier)
 	}
 	if workers := parallelWorkers(ctx); workers > 1 && parallelEligible(ctx, cfg) {
-		im.par = newParDrain(ctx, cfg, hier, cfg.NumSC)
+		im.par = newParDrain(ctx, cfg, hier, cfg.NumSC, im.es.sampler)
 	}
 	if err := im.run(geo.Primitives); err != nil {
 		return nil, err

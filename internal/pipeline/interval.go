@@ -5,131 +5,256 @@ import (
 )
 
 // Interval time series: when Config.SampleEvery > 0, the executors
-// snapshot scheduler and memory-system state at (roughly) periodic
-// simulated-cycle boundaries. Snapshots are taken at the first SC event
-// on or after each boundary — the executors are event-driven, so there
-// is no per-cycle tick to hook — and record only reads of existing
-// state: enabling sampling never changes the simulated timing, traffic
-// or image. The series is ring-buffered (maxIntervals) so a long frame
-// cannot grow memory without bound; the retained window is the most
-// recent one, which is where a stall under investigation usually lives.
+// record scheduler and memory-system state at periodic simulated-cycle
+// boundaries B_k = k*SampleEvery. The semantics are *per shader core*
+// and deterministic: each SC contributes its own state at its own first
+// scheduling event on or after B_k, and the texture-fill L2 traffic is
+// bucketed by the issuing SC's clock. Nothing in the series depends on
+// the relative progress of different SCs at observation time, which is
+// what lets the parallel drains keep sampling enabled (DESIGN.md §11):
+// every sampler write is indexed by the recording SC, so workers touch
+// disjoint state and the assembled series is bit-identical to the
+// serial run's. Sampling records only reads of existing state: enabling
+// it never changes the simulated timing, traffic or image.
+//
+// The per-SC series are ring-buffered (maxIntervals boundaries), so a
+// long frame cannot grow memory without bound; the retained window is
+// the most recent one, which is where a stall under investigation
+// usually lives.
 
-// maxIntervals bounds Metrics.Intervals: the ring keeps the most recent
-// maxIntervals snapshots and Metrics.IntervalsDropped counts the
-// overwritten remainder.
+// maxIntervals bounds Metrics.Intervals: the most recent maxIntervals
+// boundaries are retained and Metrics.IntervalsDropped counts the
+// trimmed remainder.
 const maxIntervals = 4096
 
-// Interval is one periodic snapshot of the raster phase. Slices are
-// indexed by SC id. Cycle is the raster-phase clock of the frame the
-// snapshot was taken in (multi-frame aggregation concatenates frames,
-// so Cycle restarts at each frame boundary).
+// seriesCap sizes the per-SC boundary rings: one extra slot beyond
+// maxIntervals so the delta fields of the oldest retained interval
+// still have their predecessor available.
+const seriesCap = maxIntervals + 1
+
+// Interval is one periodic record of the raster phase. Slices are
+// indexed by SC id. Cycle restarts at each frame boundary (multi-frame
+// aggregation concatenates frames).
 type Interval struct {
-	// Cycle is the clock of the SC whose event crossed the sampling
-	// boundary (>= the boundary itself).
+	// Cycle is the boundary clock itself: k*SampleEvery for the k-th
+	// interval of the frame.
 	Cycle int64
-	// Occupancy is resident warps per SC at the snapshot.
+	// Occupancy is resident warps per SC at the SC's first event on or
+	// after the boundary (its final state if it finished earlier).
 	Occupancy []int32
-	// QueueDepth is un-admitted quads in each SC's current input stream.
+	// QueueDepth is un-admitted quads in each SC's current input stream
+	// at the same per-SC observation point.
 	QueueDepth []int32
 	// BusyDelta is per-SC busy cycles accumulated since the previous
-	// snapshot (utilization = BusyDelta / elapsed cycles).
+	// boundary (utilization = BusyDelta / SampleEvery).
 	BusyDelta []int64
-	// L1Tex and L2 are the traffic accumulated since the previous
-	// snapshot, aggregated over all L1 texture caches / the shared L2.
+	// L1Tex is the traffic accumulated since the previous boundary,
+	// aggregated over all SCs' own L1 texture caches, each observed at
+	// its owner's boundary crossing.
 	L1Tex cache.Stats
-	L2    cache.Stats
+	// L2 is the *texture-fill* L2 traffic whose issuing SC clock falls
+	// in (B_{k-1}, B_k] (executor-level tile/vertex L2 traffic is not
+	// attributed to intervals; Metrics.L2 still counts everything).
+	L2 cache.Stats
 }
 
-// intervalSampler drives the periodic snapshots. A nil sampler (the
+// scSeries is one SC's boundary-crossing record: a ring, dense in the
+// boundary index k, of the SC's state at its crossing of each boundary.
+// Slot (k-1)%seriesCap holds boundary k; entries are valid for
+// k in (lastK-seriesCap, lastK]. Values are written by the SC's own
+// stepping goroutine only.
+type scSeries struct {
+	lastK int64
+	occ   []int32
+	qd    []int32
+	busy  []int64       // cumulative busy cycles at the crossing
+	l1    []cache.Stats // cumulative own-L1 traffic (since sampler creation)
+}
+
+// l2Buckets is one SC's texture-fill L2 traffic, bucketed by boundary
+// index with the same ring layout as scSeries. Written only by the SC's
+// own goroutine (in the parallel drains the deltas come from the
+// worker's private shadow stats).
+type l2Buckets struct {
+	lastK int64
+	d     []cache.Stats
+}
+
+// intervalSampler drives the periodic records. A nil sampler (the
 // SampleEvery == 0 default) costs the executors one pointer comparison
-// per scheduling step and nothing else.
+// per scheduling step and nothing else. All mutable state is indexed by
+// SC id and touched only by the goroutine stepping that SC, so one
+// sampler is shared race-free by the serial executors and every
+// parallel drain worker.
 type intervalSampler struct {
 	every int64
-	next  int64
 	scs   []*scState
 	hier  *cache.Hierarchy
 
-	ring  []Interval
-	taken int // total snapshots, including overwritten ones
+	// next[i] is SC i's next boundary clock; the step hook fires cross()
+	// when the SC's clock reaches it.
+	next []int64
 
-	// previous-snapshot state for the delta fields. The cache baselines
-	// start at the hierarchy's state when the sampler is created (the
-	// post-geometry state), so the first interval covers raster-phase
-	// traffic only.
-	prevBusy []int64
-	prevL1   cache.Stats
-	prevL2   cache.Stats
+	series []scSeries
+	fills  []l2Buckets
+	// l1Base is each SC's own-L1 stats at sampler creation (the
+	// post-geometry state), so the series covers raster-phase traffic
+	// only even when the hierarchy is reused across frames.
+	l1Base []cache.Stats
 }
 
 func newIntervalSampler(every int64, scs []*scState, hier *cache.Hierarchy) *intervalSampler {
-	return &intervalSampler{
-		every:    every,
-		next:     every,
-		scs:      scs,
-		hier:     hier,
-		prevBusy: make([]int64, len(scs)),
-		prevL1:   hier.L1TexStats(),
-		prevL2:   hier.L2.Stats(),
+	n := len(scs)
+	s := &intervalSampler{
+		every:  every,
+		scs:    scs,
+		hier:   hier,
+		next:   make([]int64, n),
+		series: make([]scSeries, n),
+		fills:  make([]l2Buckets, n),
+		l1Base: make([]cache.Stats, n),
 	}
+	for i := range scs {
+		s.next[i] = every
+		se := &s.series[i]
+		se.occ = make([]int32, seriesCap)
+		se.qd = make([]int32, seriesCap)
+		se.busy = make([]int64, seriesCap)
+		se.l1 = make([]cache.Stats, seriesCap)
+		s.fills[i].d = make([]cache.Stats, seriesCap)
+		s.l1Base[i] = hier.L1Tex[i].Stats()
+	}
+	return s
 }
 
-// sample records one snapshot at clock `now` and arms the next boundary.
-// Callers fire it from the scheduling step whose event reached s.next;
-// boundaries the event jumped over collapse into this one snapshot (the
-// series is a sampling of state, not an integral, and the delta fields
-// span the whole gap regardless).
-func (s *intervalSampler) sample(now int64) {
-	var iv *Interval
-	if len(s.ring) < maxIntervals {
-		s.ring = append(s.ring, Interval{})
-		iv = &s.ring[len(s.ring)-1]
-	} else {
-		iv = &s.ring[s.taken%maxIntervals]
+// cross records SC sc's state at every boundary its clock has reached
+// since its last crossing, and re-arms next[sc.id]. An event that jumps
+// several boundaries records the same state for each (the delta fields
+// then concentrate in the first of the group). Reads only the SC's own
+// state and its own L1 texture cache; writes only the SC's own series.
+func (s *intervalSampler) cross(sc *scState) {
+	id := sc.id
+	se := &s.series[id]
+	kEnd := sc.clock / s.every
+	occ := int32(len(sc.warps))
+	var qd int32
+	if sc.inTile != nil {
+		qd = int32(len(sc.inTile.perSC[id]) - sc.inPos)
 	}
-	s.taken++
+	l1 := statsDelta(s.hier.L1Tex[id].Stats(), s.l1Base[id])
+	k0 := se.lastK + 1
+	if kEnd-k0+1 > seriesCap {
+		// The jump skipped more boundaries than the ring holds; only the
+		// retained window needs slots.
+		k0 = kEnd - seriesCap + 1
+	}
+	for k := k0; k <= kEnd; k++ {
+		j := int((k - 1) % seriesCap)
+		se.occ[j], se.qd[j], se.busy[j], se.l1[j] = occ, qd, sc.busy, l1
+	}
+	se.lastK = kEnd
+	s.next[id] = (kEnd + 1) * s.every
+}
 
-	n := len(s.scs)
-	if iv.Occupancy == nil {
-		iv.Occupancy = make([]int32, n)
-		iv.QueueDepth = make([]int32, n)
-		iv.BusyDelta = make([]int64, n)
+// bucketFill attributes one texture sample's L2 traffic delta to the
+// interval containing the issuing clock: boundary k covers fills with
+// clock in (B_{k-1}, B_k].
+func (s *intervalSampler) bucketFill(id int, clock int64, d cache.Stats) {
+	if d.Accesses == 0 {
+		return
 	}
-	iv.Cycle = now
-	for i, sc := range s.scs {
-		iv.Occupancy[i] = int32(len(sc.warps))
-		q := 0
-		if sc.inTile != nil {
-			q = len(sc.inTile.perSC[sc.id]) - sc.inPos
+	k := (clock + s.every - 1) / s.every
+	if k < 1 {
+		k = 1
+	}
+	b := &s.fills[id]
+	if k > b.lastK {
+		k0 := b.lastK + 1
+		if k-k0+1 > seriesCap {
+			k0 = k - seriesCap + 1
 		}
-		iv.QueueDepth[i] = int32(q)
-		iv.BusyDelta[i] = sc.busy - s.prevBusy[i]
-		s.prevBusy[i] = sc.busy
+		for kk := k0; kk <= k; kk++ {
+			b.d[int((kk-1)%seriesCap)] = cache.Stats{}
+		}
+		b.lastK = k
 	}
-	l1 := s.hier.L1TexStats()
-	l2 := s.hier.L2.Stats()
-	iv.L1Tex = statsDelta(l1, s.prevL1)
-	iv.L2 = statsDelta(l2, s.prevL2)
-	s.prevL1, s.prevL2 = l1, l2
-
-	s.next = (now/s.every + 1) * s.every
+	b.d[int((k-1)%seriesCap)].Add(d)
 }
 
-// drain returns the retained snapshots in chronological order plus the
-// overwritten count. Nil-receiver safe (sampling disabled).
+// drain assembles the retained boundaries into chronological Intervals
+// plus the trimmed count. For boundaries an SC never reached (it
+// finished earlier), the SC contributes its final state, so late
+// intervals show drained cores at zero occupancy and zero deltas.
+// Nil-receiver safe (sampling disabled).
 func (s *intervalSampler) drain() ([]Interval, int) {
-	if s == nil || s.taken == 0 {
+	if s == nil {
 		return nil, 0
 	}
-	if s.taken <= maxIntervals {
-		out := make([]Interval, len(s.ring))
-		copy(out, s.ring)
-		return out, 0
+	var kMax int64
+	for i := range s.series {
+		if s.series[i].lastK > kMax {
+			kMax = s.series[i].lastK
+		}
 	}
-	// The ring wrapped: the oldest retained snapshot sits at the next
-	// overwrite position.
-	out := make([]Interval, 0, maxIntervals)
-	start := s.taken % maxIntervals
-	out = append(out, s.ring[start:]...)
-	out = append(out, s.ring[:start]...)
-	return out, s.taken - maxIntervals
+	if kMax == 0 {
+		return nil, 0
+	}
+	start := int64(1)
+	if kMax > maxIntervals {
+		start = kMax - maxIntervals + 1
+	}
+	n := len(s.scs)
+	finOcc := make([]int32, n)
+	finQd := make([]int32, n)
+	finBusy := make([]int64, n)
+	finL1 := make([]cache.Stats, n)
+	for i, sc := range s.scs {
+		finOcc[i] = int32(len(sc.warps))
+		if sc.inTile != nil {
+			finQd[i] = int32(len(sc.inTile.perSC[sc.id]) - sc.inPos)
+		}
+		finBusy[i] = sc.busy
+		finL1[i] = statsDelta(s.hier.L1Tex[i].Stats(), s.l1Base[i])
+	}
+	get := func(i int, k int64) (occ, qd int32, busy int64, l1 cache.Stats) {
+		if k <= 0 {
+			return 0, 0, 0, cache.Stats{}
+		}
+		se := &s.series[i]
+		if k > se.lastK {
+			return finOcc[i], finQd[i], finBusy[i], finL1[i]
+		}
+		j := int((k - 1) % seriesCap)
+		return se.occ[j], se.qd[j], se.busy[j], se.l1[j]
+	}
+	out := make([]Interval, 0, kMax-start+1)
+	for k := start; k <= kMax; k++ {
+		iv := Interval{
+			Cycle:      k * s.every,
+			Occupancy:  make([]int32, n),
+			QueueDepth: make([]int32, n),
+			BusyDelta:  make([]int64, n),
+		}
+		for i := range s.scs {
+			occ, qd, busy, l1 := get(i, k)
+			_, _, pbusy, pl1 := get(i, k-1)
+			iv.Occupancy[i] = occ
+			iv.QueueDepth[i] = qd
+			iv.BusyDelta[i] = busy - pbusy
+			iv.L1Tex.Add(statsDelta(l1, pl1))
+			b := &s.fills[i]
+			if k <= b.lastK && k > b.lastK-seriesCap {
+				iv.L2.Add(b.d[int((k-1)%seriesCap)])
+			}
+			if k == kMax {
+				// Fills issued past the last crossed boundary (a partial
+				// trailing interval) fold into the final row.
+				for kk := kMax + 1; kk <= b.lastK; kk++ {
+					iv.L2.Add(b.d[int((kk-1)%seriesCap)])
+				}
+			}
+		}
+		out = append(out, iv)
+	}
+	return out, int(start - 1)
 }

@@ -2,6 +2,7 @@ package pipeline
 
 import (
 	"context"
+	"errors"
 	"math"
 	"runtime"
 	"sync"
@@ -23,9 +24,19 @@ import (
 // order of shared operations — L2/DRAM fills, tile-cache traffic,
 // decoupled window mutations — is observable. The serial executors
 // perform those operations in ascending (clock, SC index) order of the
-// step that issues them; the sequencer grants each worker's shared
-// operations exactly when its (clock, index) key is the global minimum,
-// reproducing that order cycle for cycle.
+// step that issues them. The sequencer is commutativity-aware
+// (DESIGN.md §11): shared-operation *order* is established globally —
+// a worker reserves its operations when its published key is the
+// minimum — but *execution* is sharded by (L2 set, DRAM bank), since
+// fills whose shard footprints are disjoint touch disjoint tag/LRU and
+// open-row state and their counters are commutative per-worker sums.
+// Two levers keep the global minimum moving: lookahead horizons
+// (workers publish a proven lower bound on their next shared
+// operation's key — the jump target of a clock jump, the post-step
+// clock of a provably-private step — instead of the pessimistic current
+// clock), and early release (a demand fill's reservation is the last
+// shared action of its step, so the grant passes on before the fill
+// executes, overlapping fills on disjoint shards).
 
 // parallelKey flags a context with a worker count for intra-run
 // parallelism.
@@ -58,13 +69,17 @@ func parallelWorkers(ctx context.Context) int {
 // observation-order-dependent:
 //   - NUCA makes the L1 level itself shared (every texture access is a
 //     shared operation; nothing overlaps);
-//   - interval sampling reads cross-SC state at clock thresholds;
 //   - chaos stall injection wants the serial watchdog's step accounting;
 //   - a single SC has nothing to overlap.
+//
+// Interval sampling (Config.SampleEvery > 0) is deliberately *not* a
+// gate: the sampler records per-SC state at deterministic clock
+// thresholds and buckets fill traffic by issuing clock, so every worker
+// writes only its own SC's series and the assembled Metrics.Intervals
+// is bit-identical to the serial run's (see interval.go).
 func parallelEligible(ctx context.Context, cfg Config) bool {
 	return cfg.NumSC > 1 && cfg.NumSC <= 64 && // decoupled park bookkeeping is a uint64 mask
 		!cfg.Hierarchy.NUCA &&
-		cfg.SampleEvery == 0 &&
 		!chaosStallEnabled(ctx)
 }
 
@@ -172,20 +187,67 @@ func (d *drainSync) fail() {
 	d.cond.Broadcast()
 }
 
+// shardTable is the commutativity layer under the sequencer: one busy
+// flag per L2 set and per DRAM bank, plus a count of in-flight sharded
+// fill batches. Reservations are only ever taken by the worker holding
+// the global minimum key — so per-shard reservation order equals global
+// key order, no tickets needed — but execution proceeds after the grant
+// moves on, letting fills with disjoint shard footprints overlap.
+// Flag acquire/release are the happens-before edges that order two
+// fills on the *same* shard; the `active` count lets operations with an
+// unpredictable footprint (window bookkeeping, tile flushes, retires)
+// wait until every in-flight fill has drained.
+type shardTable struct {
+	l2     []atomic.Int32
+	dram   []atomic.Int32
+	active atomic.Int64
+}
+
+// acquireFlag claims one shard's busy flag. Only a grant holder calls
+// it; the flag, if set, is held by an earlier already-executing fill
+// batch that never blocks, so the spin is bounded by that batch's
+// remaining work.
+func acquireFlag(f *atomic.Int32) {
+	for spin := 0; !f.CompareAndSwap(0, 1); spin++ {
+		if spin > 64 {
+			runtime.Gosched()
+		}
+	}
+}
+
 // drainGate mediates one worker's shared-state access. A worker's first
 // shared operation in a scheduling step acquires the global grant; the
 // grant then covers the rest of the step (and the post-step feed work in
-// the decoupled executor) until the worker publishes its next horizon.
-// Exclusivity persists for the whole region because horizons are
-// monotone while anyone holds a grant: the only horizon-lowering
-// operation (feeding a parked decoupled worker) is performed by the
-// grant holder itself, deferred to its release.
+// the decoupled executor) until the worker publishes its next horizon —
+// unless the operation was a demand fill batch, which releases the
+// grant early after reserving its shards (sharedFills). Exclusivity
+// persists for the whole region because horizons are monotone while
+// anyone holds a grant: the only horizon-lowering operation (feeding a
+// parked decoupled worker) is performed by the grant holder itself,
+// deferred to its release.
 type drainGate struct {
 	d       *drainSync
 	idx     int
 	hier    *cache.Hierarchy
+	shards  *shardTable
 	held    bool
 	aborted bool
+	// entered records that the gate was taken at any point in the
+	// current scheduling step, even if an early release (sharedFills)
+	// already cleared held — it feeds the plan-divergence assertion and
+	// the decoupled end-of-step feed decision.
+	entered bool
+
+	// shared is the worker's shadow of the L2/DRAM counters its sharded
+	// fills touch — the only cross-shard state a fill mutates, and a
+	// commutative sum (cache.Stats.Add), folded back by parDrain.merge.
+	shared cache.SharedStats
+
+	// Per-batch scratch for accessSampleGated (reused across steps).
+	lineMiss  []bool
+	missLines []uint64
+	missLats  []int64
+	resSets   []int32
 }
 
 // enter acquires the grant for the current step region (idempotent).
@@ -202,24 +264,155 @@ func (g *drainGate) enter() bool {
 		return false
 	}
 	g.held = true
+	g.entered = true
 	return true
 }
 
-// textureAccess is the parallel substitute for
-// cache.Hierarchy.TextureAccessInfo: the private L1 half runs without
-// coordination, and only a miss's shared L2/DRAM fill takes the grant.
-// After an abort it returns a plausible latency without touching shared
-// state — the run's results are discarded, the SC just needs to finish
-// its step so the worker can observe the failure and exit.
-func (g *drainGate) textureAccess(sc int, addr uint64) (int64, bool) {
-	lat, miss := g.hier.TextureL1Access(sc, addr)
-	if !miss {
-		return lat, false
-	}
+// enterExclusive acquires the grant and additionally waits for every
+// in-flight sharded fill batch to drain. Operations whose shard
+// footprint is unpredictable — decoupled retires, feed passes, window
+// extension, tile flushes — conflict with any shard, so they run only
+// at active == 0. No new batch can start while the caller holds the
+// grant (reservations require it), so the wait is bounded by the
+// batches already executing, which never block.
+func (g *drainGate) enterExclusive() bool {
 	if !g.enter() {
-		return lat + g.hier.Config().L2.HitLatency, true
+		return false
 	}
-	return lat + g.hier.TextureSharedFill(addr), true
+	for spin := 0; g.shards.active.Load() != 0; spin++ {
+		if spin > 64 {
+			runtime.Gosched()
+		}
+	}
+	return true
+}
+
+// sharedFills performs the shared half of the misses collected in
+// g.missLines, appending each fill's L2/DRAM latency to g.missLats:
+// take the grant, reserve every distinct (L2 set, DRAM bank) the lines
+// map to, then — for a demand batch, whose reservation is provably the
+// last shared action of its scheduling step — publish the post-step
+// clock and release the grant *before* executing the fills. The next
+// worker in key order proceeds immediately and its fills overlap these
+// wherever the shard reservations are disjoint; same-shard fills
+// serialize on the busy flags in reservation (= serial key) order, so
+// every fill sees exactly the tag/LRU and open-row state it would have
+// seen serially. Counters go to the worker's shadow (g.shared).
+//
+// Returns false when the drain is being torn down; the caller then
+// substitutes plausible latencies, since the run's results are
+// discarded anyway.
+func (g *drainGate) sharedFills(now int64, demand bool) bool {
+	if !g.enter() {
+		return false
+	}
+	t := g.shards
+	g.resSets = g.resSets[:0]
+	var banks uint64
+	for _, line := range g.missLines {
+		s := int32(g.hier.L2ShardOf(line))
+		dup := false
+		for _, r := range g.resSets {
+			if r == s {
+				dup = true
+				break
+			}
+		}
+		if !dup {
+			acquireFlag(&t.l2[s])
+			g.resSets = append(g.resSets, s)
+		}
+		b := g.hier.DRAMBankOf(line)
+		if banks>>uint(b)&1 == 0 {
+			acquireFlag(&t.dram[b])
+			banks |= 1 << uint(b)
+		}
+	}
+	t.active.Add(1)
+	if demand {
+		g.held = false
+		g.d.publish(g.idx, now)
+	}
+	for _, line := range g.missLines {
+		g.missLats = append(g.missLats, g.hier.TextureSharedFillSharded(line, &g.shared))
+	}
+	for _, s := range g.resSets {
+		t.l2[s].Store(0)
+	}
+	for b := 0; banks != 0; b++ {
+		if banks>>uint(b)&1 == 1 {
+			t.dram[b].Store(0)
+			banks &^= 1 << uint(b)
+		}
+	}
+	t.active.Add(-1)
+	return true
+}
+
+// accessSampleGated is accessSample's parallel-drain body: the span's
+// private L1 lookups run uncoordinated first (they touch only this
+// SC's L1), the misses' shared fills go through the sharded gate as
+// one batch, and the fill-port bookkeeping replays in original line
+// order. The reordering is invisible: L1 state and L2/DRAM state are
+// disjoint, per-line L1 order and per-line fill order are both
+// preserved, and the port logic consumes the same (hit/miss, latency)
+// sequence the serial interleaving produces.
+func (sc *scState) accessSampleGated(e *engineState, cov *tileCover, sp span, demand bool) int64 {
+	g := e.gate
+	if sc.fillFree == nil {
+		sc.fillFree = make([]int64, e.cfg.L1FillPorts)
+	}
+	hitLat := e.cfg.Hierarchy.L1Tex.HitLatency
+	lines := cov.lines[sp.off : sp.off+sp.n]
+	g.lineMiss = g.lineMiss[:0]
+	g.missLines = g.missLines[:0]
+	g.missLats = g.missLats[:0]
+	for _, line := range lines {
+		_, miss := e.hier.TextureL1Access(sc.id, line)
+		g.lineMiss = append(g.lineMiss, miss)
+		if miss {
+			g.missLines = append(g.missLines, line)
+		}
+	}
+	if len(g.missLines) > 0 {
+		l2Before := g.shared.L2
+		if !g.sharedFills(sc.clock, demand) {
+			for range g.missLines {
+				g.missLats = append(g.missLats, e.cfg.Hierarchy.L2.HitLatency)
+			}
+		}
+		if e.sampler != nil {
+			e.sampler.bucketFill(sc.id, sc.clock, statsDelta(g.shared.L2, l2Before))
+		}
+	}
+	ready := sc.clock + e.cfg.SampleOverhead + hitLat
+	mi := 0
+	for li := range lines {
+		if !g.lineMiss[li] {
+			// Pipelined L1 hit: covered by the base latency (NUCA, where
+			// hits can cost more, is not parallel-eligible).
+			continue
+		}
+		lat := hitLat + g.missLats[mi]
+		mi++
+		port := 0
+		for p := 1; p < len(sc.fillFree); p++ {
+			if sc.fillFree[p] < sc.fillFree[port] {
+				port = p
+			}
+		}
+		start := sc.clock
+		if sc.fillFree[port] > start {
+			start = sc.fillFree[port]
+		}
+		sc.fillFree[port] = start + lat
+		if sc.fillFree[port] > ready {
+			ready = sc.fillFree[port]
+		}
+	}
+	e.events.L1TexAccesses += uint64(sp.n)
+	e.events.TextureSamples++
+	return ready
 }
 
 // drainWorker is one worker's per-goroutine state: a private engineState
@@ -239,16 +432,19 @@ type drainWorker struct {
 // frame and reused across every drain (coupled runs one per tile).
 type parDrain struct {
 	d       drainSync
+	shards  shardTable
 	workers []drainWorker
 }
 
-func newParDrain(ctx context.Context, cfg Config, hier *cache.Hierarchy, numSC int) *parDrain {
+func newParDrain(ctx context.Context, cfg Config, hier *cache.Hierarchy, numSC int, sampler *intervalSampler) *parDrain {
 	p := &parDrain{workers: make([]drainWorker, numSC)}
 	p.d.init(numSC)
+	p.shards.l2 = make([]atomic.Int32, hier.NumL2Shards())
+	p.shards.dram = make([]atomic.Int32, hier.NumDRAMShards())
 	for i := range p.workers {
 		w := &p.workers[i]
-		w.gate = drainGate{d: &p.d, idx: i, hier: hier}
-		w.es = engineState{cfg: cfg, hier: hier, gate: &w.gate}
+		w.gate = drainGate{d: &p.d, idx: i, hier: hier, shards: &p.shards}
+		w.es = engineState{cfg: cfg, hier: hier, gate: &w.gate, sampler: sampler}
 		w.wd = watchdog{ctx: ctx, limit: cfg.watchdogLimit()}
 	}
 	return p
@@ -268,6 +464,7 @@ func (p *parDrain) reset(scs []*scState) {
 		w.err = nil
 		w.reason = ""
 		w.gate.held = false
+		w.gate.entered = false
 		w.gate.aborted = false
 	}
 }
@@ -313,9 +510,15 @@ func (p *parDrain) drain(scs []*scState) (ran bool, reason string, err error) {
 	return true, "", nil
 }
 
-// run is the coupled/IMR worker loop: publish the next step's key,
-// step, repeat. No feeds or retires happen during these drains (the
-// coupled executor aligns inputs before the barrier and the IMR
+// errPlanDiverged reports the invariant the lookahead rests on: a step
+// plan() declared shared-free must not touch the gate. It fails the
+// drain loudly (the run errors out and its results are discarded)
+// instead of silently corrupting the shared-order replay.
+var errPlanDiverged = errors.New("pipeline: internal: private-planned step performed a shared operation")
+
+// run is the coupled/IMR worker loop: publish the next step's lookahead
+// horizon, step, repeat. No feeds or retires happen during these drains
+// (the coupled executor aligns inputs before the barrier and the IMR
 // executor before the batch), so the only shared operations are texture
 // fills inside steps, all mediated by the gate.
 func (p *parDrain) run(i int, sc *scState) {
@@ -326,8 +529,13 @@ func (p *parDrain) run(i int, sc *scState) {
 			break
 		}
 		w.gate.held = false
-		d.publish(i, sc.clock)
+		w.gate.entered = false
+		h, priv := sc.plan(&w.es)
+		d.publish(i, h)
 		reason, err := w.wd.step(&w.es, sc)
+		if priv && w.gate.entered {
+			err = errPlanDiverged
+		}
 		if err != nil {
 			w.err = err
 			d.fail()
@@ -541,8 +749,15 @@ func (ex *executor) decWorker(dp *decPar, i int) {
 			continue
 		}
 		w.gate.held = false
-		d.publish(i, sc.clock)
+		w.gate.entered = false
+		h, priv := sc.plan(&w.es)
+		d.publish(i, h)
 		reason, err := w.wd.step(&w.es, sc)
+		if priv && w.gate.entered {
+			w.err = errPlanDiverged
+			dp.abort()
+			break
+		}
 		if err != nil {
 			w.err = err
 			dp.abort()
@@ -553,8 +768,15 @@ func (ex *executor) decWorker(dp *decPar, i int) {
 			dp.abort()
 			break
 		}
+		// Run the end-of-step feed pass when this step could have changed
+		// feedability (it held the grant through a retire or prefetch, or
+		// it drained the SC) or another worker's pass left armed feed work
+		// behind. A demand fill batch released the grant early (held is
+		// false again) and cannot change feedability, so it skips the
+		// pass unless armed — and its gate entry ordered it after any
+		// armed store, so the flag is never stale for it.
 		if w.gate.held || !sc.pending() || dp.armed.Load() {
-			if !w.gate.enter() {
+			if !w.gate.enterExclusive() {
 				break
 			}
 			fed := ex.decFeedPass(dp, i)
@@ -641,7 +863,10 @@ func (ex *executor) runDecoupledParallel() error {
 	for i := range p.workers {
 		w := &p.workers[i]
 		w.es.retire = func(sc *scState, tw *tileWork, at int64) {
-			if !w.gate.enter() {
+			// Retires mutate the decoupled window and flush through the
+			// tile cache — an unpredictable shard footprint — so they wait
+			// out every in-flight sharded fill besides taking the grant.
+			if !w.gate.enterExclusive() {
 				return
 			}
 			sharedRetire(sc, tw, at)
@@ -678,15 +903,18 @@ func (ex *executor) runDecoupledParallel() error {
 	return nil
 }
 
-// merge folds the per-worker event shadows into the shared counters in
-// fixed worker (= SC index) order. Every field is a commutative uint64
-// sum, so the result is independent of which worker counted what — the
-// fixed order is belt-and-braces for bit-identity.
+// merge folds the per-worker event shadows into the shared counters and
+// the per-worker L2/DRAM stat shadows into the hierarchy, in fixed
+// worker (= SC index) order. Every field is a commutative sum (proved
+// for the cache/DRAM side by TestStatsCommutative), so the result is
+// independent of which worker counted what — the fixed order is
+// belt-and-braces for bit-identity.
 func (p *parDrain) merge(ev *EventCounts) {
 	for i := range p.workers {
 		w := &p.workers[i]
 		ev.add(&w.es.events)
 		w.es.events = EventCounts{}
+		w.gate.hier.AddSharedStats(&w.gate.shared)
 	}
 }
 

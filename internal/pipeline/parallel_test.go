@@ -59,6 +59,75 @@ func TestParallelBitIdenticalPipeline(t *testing.T) {
 	}
 }
 
+// TestParallelSampledBitIdentical pins the sampler half of the
+// concurrency contract: with SampleEvery > 0 (now parallel-eligible,
+// DESIGN.md §11) the parallel run's full Metrics — including the
+// Intervals time series — must be bit-identical to the serial run's
+// for every executor. The non-empty check keeps the comparison from
+// passing vacuously if sampling were silently disabled again.
+func TestParallelSampledBitIdentical(t *testing.T) {
+	prof, err := trace.ProfileByAlias("TRu")
+	if err != nil {
+		t.Fatal(err)
+	}
+	const w, h = 245, 96
+	scene := trace.GenerateScene(prof, w, h, 1)
+	pctx := pipeline.WithParallel(context.Background(), 8)
+
+	type variant struct {
+		name   string
+		apply  func(*pipeline.Config)
+		serial func(cfg pipeline.Config) (*pipeline.Metrics, error)
+		par    func(cfg pipeline.Config) (*pipeline.Metrics, error)
+	}
+	var runs []variant
+	for _, pol := range []core.Policy{core.Baseline(), core.BaselineDecoupled(), core.DTexL()} {
+		pol := pol
+		runs = append(runs, variant{
+			name:  pol.Name,
+			apply: func(cfg *pipeline.Config) { pol.Apply(cfg) },
+			serial: func(cfg pipeline.Config) (*pipeline.Metrics, error) {
+				return pipeline.Run(scene, cfg)
+			},
+			par: func(cfg pipeline.Config) (*pipeline.Metrics, error) {
+				return pipeline.RunContext(pctx, scene, cfg)
+			},
+		})
+	}
+	runs = append(runs, variant{
+		name: "imr",
+		serial: func(cfg pipeline.Config) (*pipeline.Metrics, error) {
+			return pipeline.RunIMR(scene, cfg)
+		},
+		par: func(cfg pipeline.Config) (*pipeline.Metrics, error) {
+			return pipeline.RunIMRContext(pctx, scene, cfg)
+		},
+	})
+
+	for _, r := range runs {
+		cfg := pipeline.DefaultConfig()
+		cfg.Width, cfg.Height = w, h
+		if r.apply != nil {
+			r.apply(&cfg)
+		}
+		cfg.SampleEvery = 256
+		serial, err := r.serial(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(serial.Intervals) == 0 {
+			t.Fatalf("%s: serial run recorded no intervals; sampled bit-identity check is vacuous", r.name)
+		}
+		par, err := r.par(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(serial, par) {
+			t.Errorf("%s: sampled parallel metrics (incl. Intervals) differ from serial run", r.name)
+		}
+	}
+}
+
 // TestParallelPreparedBitIdentical verifies that a preparation built on
 // the worker pool is interchangeable with a serial one, and that a
 // parallel RunPrepared matches the serial prepared run.

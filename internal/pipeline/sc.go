@@ -140,41 +140,11 @@ func (sc *scState) step(e *engineState) bool {
 	}
 
 	if best >= 0 && minReady <= sc.clock {
-		pick := best
-		switch e.cfg.WarpSched {
-		case WarpSchedRoundRobin:
-			// Wraparound arithmetic instead of a modulo per probe; the
-			// single % only fires when the warp count shrank since the
-			// rotation pointer was last stored.
-			n := len(ready)
-			i := sc.rrNext
-			if i >= n {
-				i %= n
-			}
-			for off := 0; off < n; off++ {
-				if ready[i] <= sc.clock {
-					pick = i
-					sc.rrNext = i + 1
-					if sc.rrNext == n {
-						sc.rrNext = 0
-					}
-					break
-				}
-				if i++; i == n {
-					i = 0
-				}
-			}
-		case WarpSchedYoungest:
-			for i := len(ready) - 1; i >= 0; i-- {
-				if ready[i] <= sc.clock {
-					pick = i
-					break
-				}
-			}
-		}
+		pick, rrNext := sc.schedule(e, best, minReady)
+		sc.rrNext = rrNext
 		sc.exec(e, pick)
-		if e.sampler != nil && sc.clock >= e.sampler.next {
-			e.sampler.sample(sc.clock)
+		if e.sampler != nil && sc.clock >= e.sampler.next[sc.id] {
+			e.sampler.cross(sc)
 		}
 		return true
 	}
@@ -207,10 +177,128 @@ func (sc *scState) step(e *engineState) bool {
 		sc.texWait += next - sc.clock
 	}
 	sc.clock = next
-	if e.sampler != nil && sc.clock >= e.sampler.next {
-		e.sampler.sample(sc.clock)
+	if e.sampler != nil && sc.clock >= e.sampler.next[sc.id] {
+		e.sampler.cross(sc)
 	}
 	return true
+}
+
+// schedule picks the warp to issue per the warp-scheduling policy among
+// the warps whose ready time is at or before the clock; best/minReady
+// come from the caller's scan of sc.ready. It mutates nothing — the
+// round-robin rotation pointer to store on issue is returned instead —
+// so the parallel planner (plan) shares the exact pick logic with step.
+// The two must never diverge: the worker loops assert after every step
+// that a private-planned step performed no shared operation.
+func (sc *scState) schedule(e *engineState, best int, minReady int64) (pick, rrNext int) {
+	pick, rrNext = best, sc.rrNext
+	ready := sc.ready
+	switch e.cfg.WarpSched {
+	case WarpSchedRoundRobin:
+		// Wraparound arithmetic instead of a modulo per probe; the
+		// single % only fires when the warp count shrank since the
+		// rotation pointer was last stored.
+		n := len(ready)
+		i := sc.rrNext
+		if i >= n {
+			i %= n
+		}
+		for off := 0; off < n; off++ {
+			if ready[i] <= sc.clock {
+				pick = i
+				rrNext = i + 1
+				if rrNext == n {
+					rrNext = 0
+				}
+				break
+			}
+			if i++; i == n {
+				i = 0
+			}
+		}
+	case WarpSchedYoungest:
+		for i := len(ready) - 1; i >= 0; i-- {
+			if ready[i] <= sc.clock {
+				pick = i
+				break
+			}
+		}
+	}
+	return pick, rrNext
+}
+
+// plan computes, without mutating anything, a conservative lower bound
+// on the key of sc's next *shared* operation — its lookahead horizon —
+// and whether the upcoming scheduling step is provably free of shared
+// operations. The parallel workers publish the horizon before stepping
+// (DESIGN.md §11): a jump step publishes its jump target (the SC cannot
+// act at all before then), and a provably-private execute step
+// publishes the post-step clock, so peers with smaller keys proceed
+// instead of waiting on this SC's pessimistic current clock.
+//
+// Privacy proofs, case by case:
+//   - admission possible: pessimistic. Prefetch fills are shared, and
+//     even without prefetch the admitted warps change the pick below.
+//   - prefetched warp, stage < samples: exec touches only the warp's
+//     recorded fill times — private.
+//   - demand warp whose whole span is resident in the SC's own L1:
+//     exec performs pure L1 hits (no insertion, no shared fill) —
+//     private. Contains does not touch LRU state, and only this SC
+//     mutates its L1, so the probe cannot go stale before the step.
+//   - retire step: shared only when a retire hook is installed (the
+//     decoupled executor's window bookkeeping); the coupled and IMR
+//     drains retire locally.
+func (sc *scState) plan(e *engineState) (horizon int64, private bool) {
+	if sc.inTile != nil && sc.inGate <= sc.clock &&
+		sc.hasInput() && len(sc.warps) < e.cfg.WarpSlots {
+		return sc.clock, false
+	}
+	best := -1
+	minReady := int64(1)<<62 - 1
+	for i, r := range sc.ready {
+		if r < minReady {
+			minReady = r
+			best = i
+		}
+	}
+	if best >= 0 && minReady <= sc.clock {
+		pick, _ := sc.schedule(e, best, minReady)
+		w := &sc.warps[pick]
+		seg := int64(w.segN)
+		if w.stage == 0 {
+			seg = int64(w.seg0)
+		}
+		if w.stage < w.samples {
+			if w.prefetched {
+				return sc.clock + seg, true
+			}
+			cov := w.tile.cov
+			sp := cov.spans[w.firstSpan+int32(w.stage)]
+			for _, line := range cov.lines[sp.off : sp.off+sp.n] {
+				if !e.hier.L1Tex[sc.id].Contains(line) {
+					return sc.clock, false
+				}
+			}
+			return sc.clock + seg, true
+		}
+		if e.retire != nil {
+			return sc.clock, false
+		}
+		return sc.clock + seg, true
+	}
+	next := int64(-1)
+	if best >= 0 {
+		next = minReady
+	}
+	if sc.hasInput() && len(sc.warps) < e.cfg.WarpSlots && sc.inGate > sc.clock {
+		if next < 0 || sc.inGate < next {
+			next = sc.inGate
+		}
+	}
+	if next <= sc.clock {
+		return sc.clock, false // blocked: the watchdog deals with it
+	}
+	return next, true
 }
 
 // exec runs one stage of warp w: its compute segment and, if stages
@@ -237,7 +325,7 @@ func (sc *scState) exec(e *engineState, wi int) {
 		} else {
 			cov := w.tile.cov
 			sp := cov.spans[w.firstSpan+int32(w.stage)]
-			ready = sc.accessSample(e, cov, sp)
+			ready = sc.accessSample(e, cov, sp, true)
 		}
 		w.stage++
 		sc.ready[wi] = ready
@@ -259,23 +347,27 @@ func (sc *scState) exec(e *engineState, wi int) {
 
 // accessSample walks one sample's cache lines at the current clock and
 // returns when its data is complete: hits pipeline under the base
-// latency; misses queue on the SC's L1 fill ports.
-func (sc *scState) accessSample(e *engineState, cov *tileCover, sp span) int64 {
+// latency; misses queue on the SC's L1 fill ports. demand distinguishes
+// exec's demand fetch — the final action of its scheduling step — from
+// admission-time prefetching, which may be followed by more shared
+// fills in the same step; the parallel gate uses the distinction to
+// release the sequencer grant early (see drainGate.sharedFills).
+func (sc *scState) accessSample(e *engineState, cov *tileCover, sp span, demand bool) int64 {
+	if e.gate != nil {
+		// Parallel drain: batch the span through the sharded gate.
+		return sc.accessSampleGated(e, cov, sp, demand)
+	}
 	if sc.fillFree == nil {
 		sc.fillFree = make([]int64, e.cfg.L1FillPorts)
+	}
+	var l2Before cache.Stats
+	if e.sampler != nil {
+		l2Before = e.hier.L2.Stats()
 	}
 	hitLat := e.cfg.Hierarchy.L1Tex.HitLatency
 	ready := sc.clock + e.cfg.SampleOverhead + hitLat
 	for _, line := range cov.lines[sp.off : sp.off+sp.n] {
-		var lat int64
-		var miss bool
-		if e.gate == nil {
-			lat, miss = e.hier.TextureAccessInfo(sc.id, line)
-		} else {
-			// Parallel drain: the private L1 half runs uncoordinated and
-			// only a miss's shared fill takes the sequencer grant.
-			lat, miss = e.gate.textureAccess(sc.id, line)
-		}
+		lat, miss := e.hier.TextureAccessInfo(sc.id, line)
 		if !miss {
 			// Pipelined hit: local hits are covered by the base latency;
 			// NUCA remote hits add interconnect latency without occupying
@@ -301,6 +393,9 @@ func (sc *scState) accessSample(e *engineState, cov *tileCover, sp span) int64 {
 			ready = sc.fillFree[port]
 		}
 	}
+	if e.sampler != nil {
+		e.sampler.bucketFill(sc.id, sc.clock, statsDelta(e.hier.L2.Stats(), l2Before))
+	}
 	e.events.L1TexAccesses += uint64(sp.n)
 	e.events.TextureSamples++
 	return ready
@@ -314,7 +409,7 @@ func (sc *scState) prefetch(e *engineState, w *warpState) {
 	cov := w.tile.cov
 	for s := int8(0); s < w.samples; s++ {
 		sp := cov.spans[w.firstSpan+int32(s)]
-		w.fills[s] = sc.accessSample(e, cov, sp)
+		w.fills[s] = sc.accessSample(e, cov, sp, false)
 	}
 	w.prefetched = true
 }

@@ -10,7 +10,10 @@ import (
 	"log"
 	"os"
 	"path/filepath"
+	"sort"
+	"strings"
 	"sync"
+	"time"
 )
 
 // Store is the content-addressed shared result store — the multi-process
@@ -280,6 +283,115 @@ func (s *Store) Len() (int, error) {
 		return 0, err
 	}
 	return len(names), nil
+}
+
+// GCPolicy bounds the store's disk footprint. Zero fields are
+// unbounded: the zero policy makes GC a no-op scan.
+type GCPolicy struct {
+	// MaxBytes evicts oldest-first until the entries total at most this
+	// many bytes (pinned entries are never evicted and still count
+	// toward the total).
+	MaxBytes int64
+	// MaxAge evicts entries whose file modification time is older than
+	// this, regardless of the size budget.
+	MaxAge time.Duration
+}
+
+// GCStats reports one GC sweep.
+type GCStats struct {
+	Scanned    int   // entries examined
+	Evicted    int   // entries removed
+	Pinned     int   // entries spared by the pin set
+	BytesFreed int64 // total size of evicted entries
+	BytesKept  int64 // total size of surviving entries
+}
+
+// SweepEntryNames returns the entry names (content addresses) of every
+// cell in the suite sweep described by opt — the pin set a coordinator
+// passes to GC so that a live sweep's results are never evicted out
+// from under it (see TestStoreGCKeepsLiveSweep).
+func SweepEntryNames(opt Options) (map[string]bool, error) {
+	pins := make(map[string]bool)
+	for _, c := range SuiteCells(opt) {
+		key, err := cellKey(opt, c)
+		if err != nil {
+			return nil, err
+		}
+		kb, err := simKeyBytes(key)
+		if err != nil {
+			return nil, err
+		}
+		pins[entryName(kb)] = true
+	}
+	return pins, nil
+}
+
+// GC removes entries to enforce pol, never touching entries named in
+// pinned. Eviction is oldest-modification-first, so under a size bound
+// the least recently written results go first; a concurrent writer can
+// re-record any evicted entry (eviction only costs a deterministic
+// recompute, exactly like a corruption drop). Stale temp files from
+// crashed writers are also reaped. Safe to run while lookups and
+// records proceed: lookup holds no entry open across the remove, and
+// a lost race simply reads as a miss.
+func (s *Store) GC(pol GCPolicy, pinned map[string]bool) (GCStats, error) {
+	var st GCStats
+	ents, err := os.ReadDir(s.dir)
+	if err != nil {
+		return st, fmt.Errorf("sim: store gc: %w", err)
+	}
+	type entry struct {
+		name string // content address (no .json)
+		size int64
+		mod  time.Time
+	}
+	var live []entry
+	now := time.Now()
+	for _, de := range ents {
+		fn := de.Name()
+		info, err := de.Info()
+		if err != nil {
+			continue // raced with a concurrent remove/rename
+		}
+		if strings.HasPrefix(fn, ".tmp-") {
+			// A writer holds its temp file only for one write+rename;
+			// anything this old is an orphan from a crashed process.
+			if now.Sub(info.ModTime()) > time.Hour {
+				os.Remove(filepath.Join(s.dir, fn))
+			}
+			continue
+		}
+		name, ok := strings.CutSuffix(fn, ".json")
+		if !ok {
+			continue
+		}
+		live = append(live, entry{name: name, size: info.Size(), mod: info.ModTime()})
+	}
+	st.Scanned = len(live)
+	sort.Slice(live, func(i, j int) bool { return live[i].mod.Before(live[j].mod) })
+	var total int64
+	for _, e := range live {
+		total += e.size
+	}
+	evict := func(e entry) {
+		os.Remove(s.path(e.name))
+		st.Evicted++
+		st.BytesFreed += e.size
+		total -= e.size
+	}
+	for _, e := range live {
+		if pinned[e.name] {
+			st.Pinned++
+			continue
+		}
+		tooOld := pol.MaxAge > 0 && now.Sub(e.mod) > pol.MaxAge
+		overBudget := pol.MaxBytes > 0 && total > pol.MaxBytes
+		if tooOld || overBudget {
+			evict(e)
+		}
+	}
+	st.BytesKept = total
+	return st, nil
 }
 
 // MarshalCellResult renders a completed run as the fleet's wire payload:

@@ -1,0 +1,222 @@
+package sim
+
+import (
+	"os"
+	"path/filepath"
+	"sort"
+	"testing"
+	"time"
+
+	"dtexl/internal/core"
+)
+
+// gcPayload computes one real cell result and returns its wire payload,
+// reused as the stored bytes for every synthetic entry in the GC tests
+// (the store only requires that the payload parses).
+func gcPayload(t *testing.T, opt Options) []byte {
+	t.Helper()
+	r := NewRunner(opt)
+	res, err := r.RunCell(t.Context(), CellSpec{Bench: "TRu", Policy: core.Baseline().Name})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, _, err := MarshalCellResult(res)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return b
+}
+
+// backdate rewinds the mtime of every entry named in names.
+func backdate(t *testing.T, dir string, names map[string]bool, to time.Time) {
+	t.Helper()
+	for name := range names {
+		p := filepath.Join(dir, name+".json")
+		if err := os.Chtimes(p, to, to); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+// TestStoreGCKeepsLiveSweep is the satellite acceptance for store GC:
+// even under maximum pressure (a size budget smaller than any single
+// entry AND an age bound every entry violates), a sweep's pinned
+// entries survive while everything else is reclaimed — GC can never
+// evict a result the live sweep still needs.
+func TestStoreGCKeepsLiveSweep(t *testing.T) {
+	dir := t.TempDir()
+	st, err := OpenStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st.Logf = t.Logf
+	opt := storeOptions()
+	payload := gcPayload(t, opt)
+
+	live := SuiteCells(opt)
+	for _, c := range live {
+		if err := st.RecordCellResult(opt, c, payload); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// A finished sweep from another seed: same suite shape, disjoint keys.
+	oldOpt := opt
+	oldOpt.Seed = 99
+	stale := SuiteCells(oldOpt)
+	for _, c := range stale {
+		if err := st.RecordCellResult(oldOpt, c, payload); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// Cells are content-addressed by their label-independent key, so
+	// distinct cells may share an entry; count unique names, not cells.
+	pins, err := SweepEntryNames(opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stalePins, err := SweepEntryNames(oldOpt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Make every entry (live and stale) violate the age bound too.
+	all := make(map[string]bool, len(pins)+len(stalePins))
+	for n := range pins {
+		all[n] = true
+	}
+	for n := range stalePins {
+		all[n] = true
+	}
+	if len(all) != len(pins)+len(stalePins) {
+		t.Fatalf("live and stale sweeps share entries (%d unique of %d+%d)", len(all), len(pins), len(stalePins))
+	}
+	backdate(t, dir, all, time.Now().Add(-48*time.Hour))
+
+	gs, err := st.GC(GCPolicy{MaxBytes: 1, MaxAge: 24 * time.Hour}, pins)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gs.Scanned != len(all) {
+		t.Errorf("Scanned = %d, want %d", gs.Scanned, len(all))
+	}
+	if gs.Evicted != len(stalePins) || gs.Pinned != len(pins) {
+		t.Errorf("gc = %+v, want %d evicted and %d pinned", gs, len(stalePins), len(pins))
+	}
+	for _, c := range live {
+		if !st.HasCell(opt, c) {
+			t.Errorf("live sweep cell %s evicted by GC", c.ID())
+		}
+	}
+	for _, c := range stale {
+		if st.HasCell(oldOpt, c) {
+			t.Errorf("stale cell %s survived GC", c.ID())
+		}
+	}
+}
+
+// TestStoreGCBounds checks the two bounds separately: MaxAge evicts
+// exactly the backdated entries, and MaxBytes evicts oldest-first only
+// until the store fits the budget.
+func TestStoreGCBounds(t *testing.T) {
+	dir := t.TempDir()
+	st, err := OpenStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st.Logf = t.Logf
+	opt := storeOptions()
+	payload := gcPayload(t, opt)
+
+	cells := SuiteCells(opt)
+	for _, c := range cells {
+		if err := st.RecordCellResult(opt, c, payload); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Distinct cells may share a content address; all counting below is
+	// in unique entries.
+	names, err := SweepEntryNames(opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(names) < 4 {
+		t.Fatalf("suite too small for the test: %d unique entries", len(names))
+	}
+	// Backdate two entries past the age bound.
+	oldNames := make(map[string]bool)
+	for n := range names {
+		if len(oldNames) == 2 {
+			break
+		}
+		oldNames[n] = true
+	}
+	backdate(t, dir, oldNames, time.Now().Add(-2*time.Hour))
+
+	gs, err := st.GC(GCPolicy{MaxAge: time.Hour}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gs.Evicted != 2 {
+		t.Fatalf("age gc evicted %d, want 2", gs.Evicted)
+	}
+	n, err := st.Len()
+	if err != nil || n != len(names)-2 {
+		t.Fatalf("Len() = %d, %v; want %d", n, err, len(names)-2)
+	}
+
+	// Size bound: a budget of roughly half the store. Entry sizes vary
+	// (key bytes differ per cell), so predict the oldest-first eviction
+	// set from the actual directory listing and check GC matches it.
+	type ent struct {
+		path string
+		size int64
+		mod  time.Time
+	}
+	var ents []ent
+	var total int64
+	des, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, de := range des {
+		info, err := de.Info()
+		if err != nil {
+			t.Fatal(err)
+		}
+		ents = append(ents, ent{filepath.Join(dir, de.Name()), info.Size(), info.ModTime()})
+		total += info.Size()
+	}
+	sort.Slice(ents, func(i, j int) bool { return ents[i].mod.Before(ents[j].mod) })
+	budget := total / 2
+	wantEvict := map[string]bool{}
+	run := total
+	for _, e := range ents {
+		if run <= budget {
+			break
+		}
+		wantEvict[e.path] = true
+		run -= e.size
+	}
+	gs, err = st.GC(GCPolicy{MaxBytes: budget}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gs.BytesKept > budget {
+		t.Errorf("size gc left %d bytes, budget %d", gs.BytesKept, budget)
+	}
+	if gs.Evicted != len(wantEvict) {
+		t.Errorf("size gc evicted %d of %d, want %d (oldest-first)", gs.Evicted, n, len(wantEvict))
+	}
+	for _, e := range ents {
+		_, statErr := os.Stat(e.path)
+		gone := os.IsNotExist(statErr)
+		if gone != wantEvict[e.path] {
+			t.Errorf("entry %s: evicted=%v, want %v", filepath.Base(e.path), gone, wantEvict[e.path])
+		}
+	}
+	// The zero policy is a no-op.
+	gs, err = st.GC(GCPolicy{}, nil)
+	if err != nil || gs.Evicted != 0 {
+		t.Errorf("zero-policy gc = %+v, %v; want no evictions", gs, err)
+	}
+}
