@@ -11,80 +11,33 @@
 //
 // Usage:
 //
-//	benchguard -old BENCH_baseline.txt -new bench_new.txt -threshold 0.15
+//	benchguard -old BENCH_baseline.txt -new bench_new.txt -threshold 0.15 [-json report.json]
+//
+// -json additionally writes the comparison as a perfdb.Report — the
+// machine-readable artifact the continuous-perf service ingests
+// (`dtexlperf ingest`); its exact shape is locked by this command's
+// golden-file test.
 //
 // Exit codes: 0 = within threshold; 1 = regression; 2 = bad input (a
 // file is unreadable, or no benchmark appears in both files).
 package main
 
 import (
-	"bufio"
+	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"math"
 	"os"
-	"regexp"
 	"sort"
-	"strconv"
+
+	"dtexl/internal/perfdb"
+	"dtexl/internal/stats"
 )
 
-var benchLine = regexp.MustCompile(`^(Benchmark\S+?)(?:-\d+)?\s+\d+\s+([0-9.e+]+) ns/op`)
-
-// parse reads a benchmark output file into name -> ns/op samples. The
-// trailing -N GOMAXPROCS suffix is stripped so baselines survive runner
-// core-count changes.
-func parse(path string) (map[string][]float64, error) {
-	f, err := os.Open(path)
-	if err != nil {
-		return nil, err
-	}
-	defer f.Close()
-	out := make(map[string][]float64)
-	sc := bufio.NewScanner(f)
-	for sc.Scan() {
-		m := benchLine.FindStringSubmatch(sc.Text())
-		if m == nil {
-			continue
-		}
-		v, err := strconv.ParseFloat(m[2], 64)
-		if err != nil || v <= 0 {
-			continue
-		}
-		out[m[1]] = append(out[m[1]], v)
-	}
-	return out, sc.Err()
-}
-
-func median(xs []float64) float64 {
-	s := append([]float64(nil), xs...)
-	sort.Float64s(s)
-	n := len(s)
-	if n%2 == 1 {
-		return s[n/2]
-	}
-	return (s[n/2-1] + s[n/2]) / 2
-}
-
-func main() {
-	oldPath := flag.String("old", "BENCH_baseline.txt", "baseline benchmark output")
-	newPath := flag.String("new", "", "candidate benchmark output")
-	threshold := flag.Float64("threshold", 0.15, "maximum allowed geomean slowdown (0.15 = +15%)")
-	flag.Parse()
-	if *newPath == "" {
-		fmt.Fprintln(os.Stderr, "benchguard: -new is required")
-		os.Exit(2)
-	}
-	oldRuns, err := parse(*oldPath)
-	if err != nil {
-		fmt.Fprintln(os.Stderr, "benchguard:", err)
-		os.Exit(2)
-	}
-	newRuns, err := parse(*newPath)
-	if err != nil {
-		fmt.Fprintln(os.Stderr, "benchguard:", err)
-		os.Exit(2)
-	}
-
+// buildReport compares two parsed bench runs over their common
+// benchmarks. Pure: the testable core of the command.
+func buildReport(oldName, newName string, oldRuns, newRuns map[string][]float64, threshold float64) (*perfdb.Report, error) {
 	names := make([]string, 0, len(oldRuns))
 	for name := range oldRuns {
 		if _, ok := newRuns[name]; ok {
@@ -93,25 +46,101 @@ func main() {
 	}
 	sort.Strings(names)
 	if len(names) == 0 {
-		fmt.Fprintln(os.Stderr, "benchguard: no benchmark appears in both files")
+		return nil, fmt.Errorf("no benchmark appears in both files")
+	}
+
+	rep := &perfdb.Report{Old: oldName, New: newName, Threshold: threshold}
+	logSum := 0.0
+	for _, name := range names {
+		o := stats.Median(oldRuns[name])
+		n := stats.Median(newRuns[name])
+		ratio := n / o
+		logSum += math.Log(ratio)
+		rep.Benchmarks = append(rep.Benchmarks, perfdb.BenchmarkReport{
+			Name:       name,
+			OldNsPerOp: o,
+			NewNsPerOp: n,
+			Ratio:      ratio,
+			OldSamples: oldRuns[name],
+			NewSamples: newRuns[name],
+		})
+	}
+	rep.GeomeanRatio = math.Exp(logSum / float64(len(names)))
+	rep.Pass = rep.GeomeanRatio <= 1+threshold
+	return rep, nil
+}
+
+// render prints the human-readable table the CI log shows.
+func render(w io.Writer, rep *perfdb.Report) {
+	fmt.Fprintf(w, "%-50s %12s %12s %8s\n", "benchmark", "old ns/op", "new ns/op", "ratio")
+	for _, b := range rep.Benchmarks {
+		fmt.Fprintf(w, "%-50s %12.1f %12.1f %7.3fx\n", b.Name, b.OldNsPerOp, b.NewNsPerOp, b.Ratio)
+	}
+	fmt.Fprintf(w, "geomean ratio: %.3fx over %d benchmarks (threshold %.3fx)\n",
+		rep.GeomeanRatio, len(rep.Benchmarks), 1+rep.Threshold)
+}
+
+// marshalReport renders the -json artifact: indented, trailing
+// newline, fields in struct order — the golden-file test pins these
+// bytes.
+func marshalReport(rep *perfdb.Report) ([]byte, error) {
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return nil, err
+	}
+	return append(data, '\n'), nil
+}
+
+func parseFile(path string) (map[string][]float64, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return perfdb.ParseGoBenchSamples(f)
+}
+
+func main() {
+	oldPath := flag.String("old", "BENCH_baseline.txt", "baseline benchmark output")
+	newPath := flag.String("new", "", "candidate benchmark output")
+	threshold := flag.Float64("threshold", 0.15, "maximum allowed geomean slowdown (0.15 = +15%)")
+	jsonPath := flag.String("json", "", "also write the comparison as a JSON report (ingestible by dtexlperf)")
+	flag.Parse()
+	if *newPath == "" {
+		fmt.Fprintln(os.Stderr, "benchguard: -new is required")
+		os.Exit(2)
+	}
+	oldRuns, err := parseFile(*oldPath)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchguard:", err)
+		os.Exit(2)
+	}
+	newRuns, err := parseFile(*newPath)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchguard:", err)
 		os.Exit(2)
 	}
 
-	logSum := 0.0
-	fmt.Printf("%-50s %12s %12s %8s\n", "benchmark", "old ns/op", "new ns/op", "ratio")
-	for _, name := range names {
-		o := median(oldRuns[name])
-		n := median(newRuns[name])
-		ratio := n / o
-		logSum += math.Log(ratio)
-		fmt.Printf("%-50s %12.1f %12.1f %7.3fx\n", name, o, n, ratio)
+	rep, err := buildReport(*oldPath, *newPath, oldRuns, newRuns, *threshold)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchguard:", err)
+		os.Exit(2)
 	}
-	geomean := math.Exp(logSum / float64(len(names)))
-	fmt.Printf("geomean ratio: %.3fx over %d benchmarks (threshold %.3fx)\n",
-		geomean, len(names), 1+*threshold)
-	if geomean > 1+*threshold {
+	render(os.Stdout, rep)
+	if *jsonPath != "" {
+		data, err := marshalReport(rep)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "benchguard:", err)
+			os.Exit(2)
+		}
+		if err := os.WriteFile(*jsonPath, data, 0o644); err != nil {
+			fmt.Fprintln(os.Stderr, "benchguard:", err)
+			os.Exit(2)
+		}
+	}
+	if !rep.Pass {
 		fmt.Fprintf(os.Stderr, "benchguard: geomean regression %.1f%% exceeds %.1f%%\n",
-			(geomean-1)*100, *threshold*100)
+			(rep.GeomeanRatio-1)*100, *threshold*100)
 		os.Exit(1)
 	}
 }

@@ -1,0 +1,187 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"math"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"dtexl/internal/perfdb"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files")
+
+func parseFixture(t *testing.T, name string) map[string][]float64 {
+	t.Helper()
+	runs, err := parseFile(filepath.Join("testdata", name))
+	if err != nil {
+		t.Fatalf("parse %s: %v", name, err)
+	}
+	return runs
+}
+
+func fixtureReport(t *testing.T, threshold float64) *perfdb.Report {
+	t.Helper()
+	rep, err := buildReport("testdata/bench_old.txt", "testdata/bench_new.txt",
+		parseFixture(t, "bench_old.txt"), parseFixture(t, "bench_new.txt"), threshold)
+	if err != nil {
+		t.Fatalf("buildReport: %v", err)
+	}
+	return rep
+}
+
+// TestReportJSONGolden pins the exact bytes of the -json artifact.
+// The report is a published interface: dtexlperf ingests it and the
+// CI perf-ingest job round-trips it through the perf API, so its
+// shape — field names, ordering, indentation, trailing newline — must
+// not drift silently. Regenerate with `go test ./cmd/benchguard -update`
+// and review the diff like any API change.
+func TestReportJSONGolden(t *testing.T) {
+	rep := fixtureReport(t, 0.15)
+	got, err := marshalReport(rep)
+	if err != nil {
+		t.Fatalf("marshalReport: %v", err)
+	}
+	golden := filepath.Join("testdata", "report_golden.json")
+	if *update {
+		if err := os.WriteFile(golden, got, 0o644); err != nil {
+			t.Fatalf("update golden: %v", err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("read golden (run with -update to create): %v", err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Errorf("JSON report drifted from golden.\ngot:\n%s\nwant:\n%s", got, want)
+	}
+}
+
+// TestReportGoldenIngestible guards the other half of the contract:
+// the exact golden bytes must parse back through perfdb's benchguard
+// ingester. A golden regenerated into a shape perfdb cannot read
+// fails here even though the byte comparison above passes.
+func TestReportGoldenIngestible(t *testing.T) {
+	data, err := os.ReadFile(filepath.Join("testdata", "report_golden.json"))
+	if err != nil {
+		t.Fatalf("read golden: %v", err)
+	}
+	if got := perfdb.DetectFormat(data); got != perfdb.FormatBenchguard {
+		t.Fatalf("DetectFormat on golden = %q, want %q", got, perfdb.FormatBenchguard)
+	}
+	points, err := perfdb.ParseBenchguardJSON(data, "deadbeef")
+	if err != nil {
+		t.Fatalf("ParseBenchguardJSON on golden: %v", err)
+	}
+	want := map[string]bool{
+		"BenchmarkHotLoop":         false,
+		"BenchmarkScheduler/small": false,
+		"benchguard.geomean_ratio": false,
+	}
+	for _, p := range points {
+		if _, ok := want[p.Series]; ok {
+			want[p.Series] = true
+		}
+	}
+	for series, seen := range want {
+		if !seen {
+			t.Errorf("golden report ingest lost series %q (got %d points)", series, len(points))
+		}
+	}
+}
+
+func TestBuildReportMediansAndGeomean(t *testing.T) {
+	rep := fixtureReport(t, 0.15)
+
+	// Only benchmarks present in both files are compared; each side's
+	// single-sided benchmark is dropped.
+	if len(rep.Benchmarks) != 2 {
+		t.Fatalf("got %d benchmarks, want 2 (single-sided dropped): %+v", len(rep.Benchmarks), rep.Benchmarks)
+	}
+	hot := rep.Benchmarks[0]
+	if hot.Name != "BenchmarkHotLoop" {
+		t.Fatalf("benchmarks not sorted by name: first is %q", hot.Name)
+	}
+	// Medians of the fixture samples: old {1000000,1040000,980000} ->
+	// 1000000; new {1250000,1230000,1275000} -> 1250000.
+	if hot.OldNsPerOp != 1000000 || hot.NewNsPerOp != 1250000 {
+		t.Errorf("HotLoop medians = %v/%v, want 1000000/1250000", hot.OldNsPerOp, hot.NewNsPerOp)
+	}
+	if math.Abs(hot.Ratio-1.25) > 1e-9 {
+		t.Errorf("HotLoop ratio = %v, want 1.25", hot.Ratio)
+	}
+	// Scheduler medians: old {20000,20400,19800} -> 20000; new
+	// {19000,19500,18800} -> 19000.
+	sched := rep.Benchmarks[1]
+	if math.Abs(sched.Ratio-0.95) > 1e-9 {
+		t.Errorf("Scheduler ratio = %v, want 0.95", sched.Ratio)
+	}
+	wantGeo := math.Sqrt(1.25 * 0.95)
+	if math.Abs(rep.GeomeanRatio-wantGeo) > 1e-9 {
+		t.Errorf("geomean = %v, want %v", rep.GeomeanRatio, wantGeo)
+	}
+	// geomean ≈ 1.098: passes at 15%, fails at 5%.
+	if !rep.Pass {
+		t.Errorf("Pass = false at threshold 0.15, geomean %v", rep.GeomeanRatio)
+	}
+	if strict := fixtureReport(t, 0.05); strict.Pass {
+		t.Errorf("Pass = true at threshold 0.05, geomean %v", strict.GeomeanRatio)
+	}
+}
+
+func TestBuildReportNoCommonBenchmarks(t *testing.T) {
+	_, err := buildReport("a", "b",
+		map[string][]float64{"BenchmarkA": {1}},
+		map[string][]float64{"BenchmarkB": {1}}, 0.15)
+	if err == nil {
+		t.Fatal("expected error when no benchmark appears in both files")
+	}
+}
+
+// TestReportJSONShape walks the golden as untyped JSON: even if the
+// Go struct and the golden are regenerated together, the wire names
+// the rest of the tooling greps for must survive.
+func TestReportJSONShape(t *testing.T) {
+	rep := fixtureReport(t, 0.15)
+	data, err := marshalReport(rep)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var m map[string]any
+	if err := json.Unmarshal(data, &m); err != nil {
+		t.Fatalf("report is not a JSON object: %v", err)
+	}
+	for _, key := range []string{"old", "new", "threshold", "benchmarks", "geomean_ratio", "pass"} {
+		if _, ok := m[key]; !ok {
+			t.Errorf("report missing top-level key %q", key)
+		}
+	}
+	rows, ok := m["benchmarks"].([]any)
+	if !ok || len(rows) == 0 {
+		t.Fatalf("benchmarks is %T with %v entries", m["benchmarks"], rows)
+	}
+	row, ok := rows[0].(map[string]any)
+	if !ok {
+		t.Fatalf("benchmark row is %T", rows[0])
+	}
+	for _, key := range []string{"name", "old_ns_per_op", "new_ns_per_op", "ratio", "old_samples_ns", "new_samples_ns"} {
+		if _, ok := row[key]; !ok {
+			t.Errorf("benchmark row missing key %q", key)
+		}
+	}
+}
+
+func TestRenderHumanOutput(t *testing.T) {
+	var buf bytes.Buffer
+	render(&buf, fixtureReport(t, 0.15))
+	out := buf.String()
+	for _, want := range []string{"BenchmarkHotLoop", "1.250x", "geomean ratio:", "over 2 benchmarks"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("human output missing %q:\n%s", want, out)
+		}
+	}
+}

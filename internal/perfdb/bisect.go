@@ -1,0 +1,161 @@
+package perfdb
+
+import (
+	"context"
+	"fmt"
+	"math"
+
+	"dtexl/internal/stats"
+)
+
+// The bisector pinpoints the commit that introduced a detected step:
+// given the commit range between a Change's LastGood and FirstBad —
+// or any wider range the detector's window smeared the step over — it
+// binary-searches the range, re-running only the offending
+// microbenchmark per probed commit. The narrowing itself is a pure
+// function of the measurements (testable with a scripted RunFunc); the
+// real per-commit measurement is WorktreeRunner.
+
+// RunFunc measures one benchmark at one commit and returns its metric
+// (ns/op for benchmark series). Implementations may be arbitrarily
+// noisy or flaky; the bisector medians repeated runs and retries
+// errors within its budget.
+type RunFunc func(ctx context.Context, commit, benchmark string) (float64, error)
+
+// Bisector narrows a commit range to the first bad commit.
+type Bisector struct {
+	// Run measures one (commit, benchmark). Required.
+	Run RunFunc
+	// RunsPerCommit is how many successful measurements are medianed
+	// per probed commit (default 3 — tolerates one outlier).
+	RunsPerCommit int
+	// Budget caps total Run invocations, errors included (default
+	// 15*RunsPerCommit — a 2^15-commit range at zero errors). The
+	// bisection fails rather than exceeds it.
+	Budget int
+	// Retries is how many errored runs one commit's measurement
+	// absorbs before the bisection fails (default 2).
+	Retries int
+	// Logf, when non-nil, traces each probe.
+	Logf func(format string, args ...any)
+}
+
+// Probe records one probed commit during a bisection.
+type Probe struct {
+	Commit string  `json:"commit"`
+	Median float64 `json:"median"`
+	// Bad reports the classification: the median was closer to the
+	// bad level than the good one.
+	Bad bool `json:"bad"`
+	// Runs is how many Run calls the probe consumed (errors included).
+	Runs int `json:"runs"`
+}
+
+// BisectResult is a completed bisection.
+type BisectResult struct {
+	// Culprit is the first bad commit: the one that introduced the step.
+	Culprit string `json:"culprit"`
+	// LastGood is the commit immediately before Culprit in the range.
+	LastGood string `json:"last_good"`
+	// Probes lists every probed commit in probe order.
+	Probes []Probe `json:"probes"`
+	// Measurements is the total Run calls consumed.
+	Measurements int `json:"measurements"`
+}
+
+func (b *Bisector) withDefaults() Bisector {
+	c := *b
+	if c.RunsPerCommit <= 0 {
+		c.RunsPerCommit = 3
+	}
+	if c.Budget <= 0 {
+		c.Budget = 15 * c.RunsPerCommit
+	}
+	if c.Retries < 0 {
+		c.Retries = 0
+	} else if c.Retries == 0 {
+		c.Retries = 2
+	}
+	if c.Logf == nil {
+		c.Logf = func(string, ...any) {}
+	}
+	return c
+}
+
+// Bisect binary-searches commits — ordered oldest to newest, with
+// commits[0] known to measure at the good level and the final commit
+// at the bad level — for the first commit at the bad level. good and
+// bad are the detected step's Before and After medians; a probe
+// classifies to whichever level its median is closer to, which is
+// robust to noise a fraction of the step size. The endpoints are
+// trusted (the detector established them over full windows) and are
+// not re-measured.
+func (b *Bisector) Bisect(ctx context.Context, commits []string, benchmark string, good, bad float64) (*BisectResult, error) {
+	c := b.withDefaults()
+	if c.Run == nil {
+		return nil, fmt.Errorf("perfdb: bisect: no RunFunc")
+	}
+	if len(commits) < 2 {
+		return nil, fmt.Errorf("perfdb: bisect: need at least 2 commits, got %d", len(commits))
+	}
+	if good == bad {
+		return nil, fmt.Errorf("perfdb: bisect: good and bad levels are equal (%g)", good)
+	}
+
+	res := &BisectResult{}
+	budget := c.Budget
+	lo, hi := 0, len(commits)-1 // invariant: lo good, hi bad
+	for hi-lo > 1 {
+		mid := (lo + hi) / 2
+		probe, err := c.measure(ctx, commits[mid], benchmark, good, bad, &budget)
+		if probe != nil {
+			res.Probes = append(res.Probes, *probe)
+			res.Measurements += probe.Runs
+		}
+		if err != nil {
+			return res, err
+		}
+		c.Logf("perfdb: bisect: %s -> %g (%s) range now [%d,%d]",
+			commits[mid], probe.Median, map[bool]string{true: "bad", false: "good"}[probe.Bad], lo, hi)
+		if probe.Bad {
+			hi = mid
+		} else {
+			lo = mid
+		}
+	}
+	res.Culprit = commits[hi]
+	res.LastGood = commits[lo]
+	return res, nil
+}
+
+// measure collects RunsPerCommit successful runs of one commit,
+// tolerating up to Retries errors, each call drawing down the shared
+// budget, and classifies the median against the two levels.
+func (c *Bisector) measure(ctx context.Context, commit, benchmark string, good, bad float64, budget *int) (*Probe, error) {
+	probe := &Probe{Commit: commit}
+	var values []float64
+	errorsLeft := c.Retries
+	for len(values) < c.RunsPerCommit {
+		if err := ctx.Err(); err != nil {
+			return probe, err
+		}
+		if *budget <= 0 {
+			return probe, fmt.Errorf("perfdb: bisect: measurement budget exhausted at %s (%d probes so far)", commit, probe.Runs)
+		}
+		*budget--
+		probe.Runs++
+		v, err := c.Run(ctx, commit, benchmark)
+		if err != nil {
+			if errorsLeft == 0 {
+				return probe, fmt.Errorf("perfdb: bisect: %s: retry budget exhausted: %w", commit, err)
+			}
+			errorsLeft--
+			c.Logf("perfdb: bisect: %s: run error (retrying): %v", commit, err)
+			continue
+		}
+		values = append(values, v)
+	}
+	probe.Median = stats.Median(values)
+	probe.Bad = math.Abs(probe.Median-bad) < math.Abs(probe.Median-good)
+	return probe, nil
+}

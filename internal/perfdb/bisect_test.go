@@ -1,0 +1,243 @@
+package perfdb
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"strings"
+	"testing"
+)
+
+// makeCommits builds n synthetic commit names.
+func makeCommits(n int) []string {
+	out := make([]string, n)
+	for i := range out {
+		out[i] = fmt.Sprintf("c%03d", i)
+	}
+	return out
+}
+
+// scriptedRunner measures good=100 before the culprit index and
+// bad=125 from it on, with deterministic noise of the given relative
+// amplitude. failures[commit] counts how many times that commit's
+// measurement errors before succeeding (flaky-runner script).
+type scriptedRunner struct {
+	commits  []string
+	culprit  int
+	noise    float64
+	failures map[string]int
+	rng      *rand.Rand
+	calls    int
+}
+
+func (s *scriptedRunner) run(_ context.Context, commit, _ string) (float64, error) {
+	s.calls++
+	if left := s.failures[commit]; left > 0 {
+		s.failures[commit] = left - 1
+		return 0, fmt.Errorf("scripted failure at %s", commit)
+	}
+	idx := -1
+	for i, c := range s.commits {
+		if c == commit {
+			idx = i
+			break
+		}
+	}
+	if idx < 0 {
+		return 0, fmt.Errorf("unknown commit %s", commit)
+	}
+	level := 100.0
+	if idx >= s.culprit {
+		level = 125.0
+	}
+	if s.noise > 0 {
+		level *= 1 + s.noise*(2*s.rng.Float64()-1)
+	}
+	return level, nil
+}
+
+func newScripted(n, culprit int, noise float64, seed int64) *scriptedRunner {
+	return &scriptedRunner{
+		commits:  makeCommits(n),
+		culprit:  culprit,
+		noise:    noise,
+		failures: map[string]int{},
+		rng:      rand.New(rand.NewSource(seed)),
+	}
+}
+
+// TestBisectConvergesClean: noiseless measurements converge to the
+// injected culprit for every culprit position, within the log2 probe
+// budget.
+func TestBisectConvergesClean(t *testing.T) {
+	for _, n := range []int{2, 3, 10, 33, 128} {
+		for _, culprit := range []int{1, n / 2, n - 1} {
+			if culprit < 1 {
+				continue
+			}
+			s := newScripted(n, culprit, 0, 1)
+			b := Bisector{Run: s.run, RunsPerCommit: 1}
+			res, err := b.Bisect(context.Background(), s.commits, "BenchmarkX", 100, 125)
+			if err != nil {
+				t.Fatalf("n=%d culprit=%d: %v", n, culprit, err)
+			}
+			if res.Culprit != s.commits[culprit] {
+				t.Errorf("n=%d: culprit = %s, want %s", n, res.Culprit, s.commits[culprit])
+			}
+			if res.LastGood != s.commits[culprit-1] {
+				t.Errorf("n=%d: last good = %s, want %s", n, res.LastGood, s.commits[culprit-1])
+			}
+			// Binary search probes at most ceil(log2(n)) interior commits.
+			if len(res.Probes) > 8 {
+				t.Errorf("n=%d: %d probes for a binary search", n, len(res.Probes))
+			}
+		}
+	}
+}
+
+// TestBisectConvergesNoisy: measurement noise up to ±8% of the level —
+// a third of the 25% step — must not mislead the nearest-level
+// classifier across many seeds and culprit positions.
+func TestBisectConvergesNoisy(t *testing.T) {
+	for seed := int64(0); seed < 20; seed++ {
+		culprit := 1 + int(seed)%30
+		s := newScripted(31, culprit, 0.08, seed)
+		b := Bisector{Run: s.run, RunsPerCommit: 3}
+		res, err := b.Bisect(context.Background(), s.commits, "BenchmarkX", 100, 125)
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if res.Culprit != s.commits[culprit] {
+			t.Errorf("seed %d: culprit = %s, want %s", seed, res.Culprit, s.commits[culprit])
+		}
+		if res.Measurements != s.calls {
+			t.Errorf("seed %d: Measurements = %d, runner saw %d", seed, res.Measurements, s.calls)
+		}
+	}
+}
+
+// TestBisectFlakyRunner: each probed commit errors twice before
+// succeeding; the default retry budget (2) absorbs exactly that, and
+// the probe still classifies on the successful runs.
+func TestBisectFlakyRunner(t *testing.T) {
+	s := newScripted(16, 5, 0, 1)
+	for _, c := range s.commits {
+		s.failures[c] = 2
+	}
+	b := Bisector{Run: s.run, RunsPerCommit: 1}
+	res, err := b.Bisect(context.Background(), s.commits, "BenchmarkX", 100, 125)
+	if err != nil {
+		t.Fatalf("flaky bisect: %v", err)
+	}
+	if res.Culprit != s.commits[5] {
+		t.Errorf("culprit = %s, want %s", res.Culprit, s.commits[5])
+	}
+	// Each probe consumed its 2 failures + 1 success.
+	for _, p := range res.Probes {
+		if p.Runs != 3 {
+			t.Errorf("probe %s consumed %d runs, want 3 (2 failures + 1 success)", p.Commit, p.Runs)
+		}
+	}
+}
+
+// TestBisectRetryBudgetExhausted: one commit fails more times than the
+// retry budget allows; the bisection reports the failure rather than
+// guessing, and the partial probe trail is preserved.
+func TestBisectRetryBudgetExhausted(t *testing.T) {
+	s := newScripted(16, 5, 0, 1)
+	mid := s.commits[(0+15)/2] // first probe of the search
+	s.failures[mid] = 100
+	b := Bisector{Run: s.run, RunsPerCommit: 1}
+	res, err := b.Bisect(context.Background(), s.commits, "BenchmarkX", 100, 125)
+	if err == nil {
+		t.Fatal("bisect succeeded despite a permanently failing commit")
+	}
+	if !strings.Contains(err.Error(), "retry budget") {
+		t.Errorf("error %q does not name the retry budget", err)
+	}
+	if res == nil || res.Culprit != "" {
+		t.Errorf("failed bisection must not name a culprit: %+v", res)
+	}
+	// Default Retries=2: 3 runs were spent on the failing commit.
+	if res.Measurements != 3 {
+		t.Errorf("Measurements = %d, want 3", res.Measurements)
+	}
+}
+
+// TestBisectMeasurementBudget: a budget too small for the range fails
+// with a budget error instead of looping.
+func TestBisectMeasurementBudget(t *testing.T) {
+	s := newScripted(128, 64, 0, 1)
+	b := Bisector{Run: s.run, RunsPerCommit: 3, Budget: 5}
+	_, err := b.Bisect(context.Background(), s.commits, "BenchmarkX", 100, 125)
+	if err == nil {
+		t.Fatal("bisect succeeded with a 5-run budget over 128 commits")
+	}
+	if !strings.Contains(err.Error(), "budget") {
+		t.Errorf("error %q does not name the budget", err)
+	}
+	if s.calls > 5 {
+		t.Errorf("runner saw %d calls, budget was 5", s.calls)
+	}
+}
+
+func TestBisectValidation(t *testing.T) {
+	s := newScripted(4, 2, 0, 1)
+	ctx := context.Background()
+	if _, err := (&Bisector{}).Bisect(ctx, s.commits, "B", 100, 125); err == nil {
+		t.Error("nil RunFunc accepted")
+	}
+	b := Bisector{Run: s.run}
+	if _, err := b.Bisect(ctx, s.commits[:1], "B", 100, 125); err == nil {
+		t.Error("single-commit range accepted")
+	}
+	if _, err := b.Bisect(ctx, s.commits, "B", 100, 100); err == nil {
+		t.Error("equal good/bad levels accepted")
+	}
+}
+
+// TestBisectContextCanceled: cancellation mid-search surfaces promptly
+// as the context error.
+func TestBisectContextCanceled(t *testing.T) {
+	s := newScripted(64, 30, 0, 1)
+	ctx, cancel := context.WithCancel(context.Background())
+	calls := 0
+	run := func(c context.Context, commit, bench string) (float64, error) {
+		calls++
+		if calls == 2 {
+			cancel()
+		}
+		return s.run(c, commit, bench)
+	}
+	b := Bisector{Run: run, RunsPerCommit: 5}
+	_, err := b.Bisect(ctx, s.commits, "B", 100, 125)
+	if err != context.Canceled {
+		t.Errorf("err = %v, want context.Canceled", err)
+	}
+	if calls > 2 {
+		t.Errorf("runner called %d times after cancellation", calls)
+	}
+}
+
+// TestBisectImprovementDirection: the bisector is direction-agnostic —
+// it narrows to the first commit at the *bad* level even when bad is
+// numerically lower (bisecting an unexplained improvement).
+func TestBisectImprovementDirection(t *testing.T) {
+	commits := makeCommits(20)
+	run := func(_ context.Context, commit, _ string) (float64, error) {
+		var idx int
+		fmt.Sscanf(commit, "c%d", &idx)
+		if idx >= 7 {
+			return 80, nil
+		}
+		return 100, nil
+	}
+	b := Bisector{Run: run, RunsPerCommit: 1}
+	res, err := b.Bisect(context.Background(), commits, "B", 100, 80)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Culprit != "c007" {
+		t.Errorf("culprit = %s, want c007", res.Culprit)
+	}
+}

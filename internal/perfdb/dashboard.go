@@ -1,0 +1,131 @@
+package perfdb
+
+import "net/http"
+
+// The dashboard is one dependency-free HTML page: it renders the
+// series index, charts the selected series as an inline SVG (median
+// line over commit order, sample dots, detected steps as vertical
+// markers), and lists the current regression verdicts. The flattened
+// golden-metrics series (metrics.*.Intervals.*) chart the interval-
+// sampling data the same way: their samples are the per-interval
+// values of one run.
+const dashboardHTML = `<!doctype html>
+<html>
+<head>
+<meta charset="utf-8">
+<title>dtexlperf</title>
+<style>
+  body { font: 14px/1.5 system-ui, sans-serif; margin: 1.5rem; color: #1a1a2e; }
+  h1 { font-size: 1.2rem; } h2 { font-size: 1rem; margin-top: 1.5rem; }
+  select { max-width: 100%; font: inherit; padding: 2px; }
+  svg { border: 1px solid #d5d5e0; background: #fcfcff; margin-top: .5rem; }
+  table { border-collapse: collapse; margin-top: .5rem; }
+  th, td { border: 1px solid #d5d5e0; padding: 2px 8px; text-align: left; font-size: 13px; }
+  .reg td:nth-child(4) { color: #b00020; font-weight: 600; }
+  .imp td:nth-child(4) { color: #00600f; }
+  code { background: #eef; padding: 0 3px; }
+  #meta { color: #555; font-size: 13px; }
+</style>
+</head>
+<body>
+<h1>dtexlperf — continuous perf</h1>
+<div>
+  <select id="series"></select>
+  <span id="meta"></span>
+</div>
+<svg id="chart" width="900" height="280" viewBox="0 0 900 280"></svg>
+<h2>step changes (<span id="nreg">…</span>)</h2>
+<table id="regs"><thead><tr>
+  <th>series</th><th>last good</th><th>first bad</th><th>ratio</th><th>score</th>
+</tr></thead><tbody></tbody></table>
+<script>
+const svgNS = 'http://www.w3.org/2000/svg';
+function el(tag, attrs, parent) {
+  const e = document.createElementNS(svgNS, tag);
+  for (const k in attrs) e.setAttribute(k, attrs[k]);
+  if (parent) parent.appendChild(e);
+  return e;
+}
+async function j(url) { const r = await fetch(url); if (!r.ok) throw new Error(url + ': ' + r.status); return r.json(); }
+
+let steps = [];
+async function drawSeries(name) {
+  const data = await j('/api/series?name=' + encodeURIComponent(name));
+  const pts = data.points;
+  const svg = document.getElementById('chart');
+  svg.innerHTML = '';
+  document.getElementById('meta').textContent =
+    pts.length + ' commits' + (data.unit ? ', ' + data.unit : '');
+  if (!pts.length) return;
+  const M = {l: 70, r: 15, t: 12, b: 40}, W = 900 - M.l - M.r, H = 280 - M.t - M.b;
+  let lo = Infinity, hi = -Infinity;
+  for (const p of pts) for (const s of p.samples.concat([p.median])) { lo = Math.min(lo, s); hi = Math.max(hi, s); }
+  if (lo === hi) { lo -= 1; hi += 1; }
+  const pad = 0.07 * (hi - lo); lo -= pad; hi += pad;
+  const X = i => M.l + (pts.length === 1 ? W / 2 : W * i / (pts.length - 1));
+  const Y = v => M.t + H * (1 - (v - lo) / (hi - lo));
+  el('line', {x1: M.l, y1: M.t + H, x2: M.l + W, y2: M.t + H, stroke: '#888'}, svg);
+  el('line', {x1: M.l, y1: M.t, x2: M.l, y2: M.t + H, stroke: '#888'}, svg);
+  for (let g = 0; g <= 4; g++) {
+    const v = lo + (hi - lo) * g / 4;
+    const t = el('text', {x: M.l - 6, y: Y(v) + 4, 'text-anchor': 'end', 'font-size': 11, fill: '#555'}, svg);
+    t.textContent = v.toPrecision(4);
+    el('line', {x1: M.l, y1: Y(v), x2: M.l + W, y2: Y(v), stroke: '#eee'}, svg);
+  }
+  for (const s of steps) if (s.series === name) {
+    const i = pts.findIndex(p => p.commit === s.first_bad);
+    if (i >= 0) el('line', {x1: X(i), y1: M.t, x2: X(i), y2: M.t + H,
+      stroke: s.regression ? '#b00020' : '#00600f', 'stroke-dasharray': '4 3'}, svg);
+  }
+  for (let i = 0; i < pts.length; i++)
+    for (const s of pts[i].samples)
+      el('circle', {cx: X(i), cy: Y(s), r: 1.6, fill: '#99a'}, svg);
+  el('polyline', {points: pts.map((p, i) => X(i) + ',' + Y(p.median)).join(' '),
+    fill: 'none', stroke: '#2a4b8d', 'stroke-width': 1.6}, svg);
+  const lbl = n => pts[n].commit.slice(0, 10);
+  const t0 = el('text', {x: M.l, y: 272, 'font-size': 11, fill: '#555'}, svg);
+  t0.textContent = lbl(0);
+  if (pts.length > 1) {
+    const t1 = el('text', {x: M.l + W, y: 272, 'text-anchor': 'end', 'font-size': 11, fill: '#555'}, svg);
+    t1.textContent = lbl(pts.length - 1);
+  }
+}
+async function main() {
+  const infos = await j('/api/series');
+  steps = await j('/api/regressions?all=1');
+  const sel = document.getElementById('series');
+  for (const s of infos) {
+    const o = document.createElement('option');
+    o.value = s.name;
+    o.textContent = s.name + ' (' + s.points + ')';
+    sel.appendChild(o);
+  }
+  sel.onchange = () => drawSeries(sel.value);
+  const tb = document.querySelector('#regs tbody');
+  const regs = steps.filter(s => s.regression);
+  document.getElementById('nreg').textContent =
+    regs.length + ' regressions, ' + (steps.length - regs.length) + ' improvements';
+  for (const s of steps) {
+    const tr = document.createElement('tr');
+    tr.className = s.regression ? 'reg' : 'imp';
+    for (const v of [s.series, s.last_good.slice(0, 12), s.first_bad.slice(0, 12),
+                     s.step.ratio.toFixed(3) + 'x', s.step.score.toFixed(1)]) {
+      const td = document.createElement('td');
+      td.textContent = v;
+      tr.appendChild(td);
+    }
+    tr.onclick = () => { sel.value = s.series; drawSeries(s.series); };
+    tb.appendChild(tr);
+  }
+  if (infos.length) { sel.value = infos[0].name; drawSeries(infos[0].name); }
+}
+main().catch(e => document.getElementById('meta').textContent = String(e));
+</script>
+</body>
+</html>
+`
+
+func (s *Server) handleDashboard(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "text/html; charset=utf-8")
+	w.Write([]byte(dashboardHTML))
+}

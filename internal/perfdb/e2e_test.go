@@ -1,0 +1,144 @@
+package perfdb
+
+import (
+	"context"
+	"fmt"
+	"strconv"
+	"testing"
+
+	"dtexl/internal/stats"
+)
+
+// This file is the issue's acceptance test, end to end through the
+// real ingest path: a scripted commit history with one injected 20%
+// step must be detected — exactly that benchmark, window containing
+// the true boundary — and bisected to the exact culprit commit with a
+// mocked runner; and a noise-only control history must produce zero
+// regressions.
+
+const (
+	e2eCommits = 60
+	e2eCulprit = 38 // first commit at the regressed level
+)
+
+// e2eJitter is deterministic ±1.5% "noise" with no RNG: fixed prime
+// strides fold into a repeatable but unstructured sequence.
+func e2eJitter(i, k int) float64 {
+	x := float64((i*7919+k*104729)%1000)/1000.0 - 0.5
+	return 1 + 0.03*x
+}
+
+// e2eLevel is BenchmarkHot's true level at commit i: 100 ns/op, +20%
+// from the culprit on.
+func e2eLevel(i int) float64 {
+	if i >= e2eCulprit {
+		return 120
+	}
+	return 100
+}
+
+// e2eHistory ingests the scripted history through the real gobench
+// text path — three -count repetitions per run, exactly like CI bench
+// output — and returns the commit list. withStep=false is the
+// noise-only control: both benchmarks flat.
+func e2eHistory(t *testing.T, db *DB, withStep bool) []string {
+	t.Helper()
+	commits := make([]string, e2eCommits)
+	for i := 0; i < e2eCommits; i++ {
+		commits[i] = fmt.Sprintf("sha%04d", i)
+		hot := 100.0
+		if withStep {
+			hot = e2eLevel(i)
+		}
+		text := "goos: linux\n"
+		for k := 0; k < 3; k++ {
+			text += fmt.Sprintf("BenchmarkHot-8     100  %.1f ns/op\n", hot*e2eJitter(i, k))
+			text += fmt.Sprintf("BenchmarkStable-8  100  %.1f ns/op\n", 500*e2eJitter(i, k+7))
+		}
+		text += "PASS\n"
+		if _, _, err := db.Ingest(FormatAuto, commits[i], "bench.txt", []byte(text)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return commits
+}
+
+func TestE2EStepDetectedAndBisected(t *testing.T) {
+	db, _ := openTestDB(t)
+	commits := e2eHistory(t, db, true)
+
+	// Detection: exactly one regression, on BenchmarkHot, and the
+	// (LastGood, FirstBad] window brackets the true boundary within the
+	// detector's documented ±2-commit localization.
+	regs := db.Regressions(stats.StepConfig{})
+	if len(regs) != 1 {
+		t.Fatalf("detector flagged %d regressions, want exactly 1: %+v", len(regs), regs)
+	}
+	reg := regs[0]
+	if reg.Series != "BenchmarkHot" {
+		t.Fatalf("flagged series %q, want BenchmarkHot", reg.Series)
+	}
+	var fbi int
+	fmt.Sscanf(reg.FirstBad, "sha%d", &fbi)
+	if fbi < e2eCulprit-2 || fbi > e2eCulprit+2 {
+		t.Errorf("step localized to %s, want within 2 of sha%04d", reg.FirstBad, e2eCulprit)
+	}
+	if reg.Step.Ratio < 1.15 || reg.Step.Ratio > 1.25 {
+		t.Errorf("step ratio %.3f, want ~1.2", reg.Step.Ratio)
+	}
+
+	// Bisection: widen the detector's window to a realistic uncertainty
+	// range and hand it to the bisector with a mocked runner that
+	// replays the same scripted history (fresh jitter stream — the
+	// "re-run" measures new samples, not the ingested ones).
+	lo, hi := fbi-5, fbi+5
+	if lo < 1 {
+		lo = 1
+	}
+	if hi > e2eCommits-1 {
+		hi = e2eCommits - 1
+	}
+	rng := commits[lo-1 : hi+1] // first entry good, last bad
+	runs := 0
+	runner := func(_ context.Context, commit, bench string) (float64, error) {
+		if bench != "BenchmarkHot" {
+			return 0, fmt.Errorf("bisector re-ran %q, want BenchmarkHot", bench)
+		}
+		i, err := strconv.Atoi(commit[3:])
+		if err != nil {
+			return 0, fmt.Errorf("unscripted commit %q", commit)
+		}
+		runs++
+		return e2eLevel(i) * e2eJitter(i, 100+runs), nil
+	}
+	good, bad, err := SeriesLevels(db, "BenchmarkHot", rng)
+	if err != nil {
+		t.Fatalf("SeriesLevels: %v", err)
+	}
+	b := Bisector{Run: runner, RunsPerCommit: 3}
+	res, err := b.Bisect(context.Background(), rng, "BenchmarkHot", good, bad)
+	if err != nil {
+		t.Fatalf("Bisect: %v", err)
+	}
+	if want := fmt.Sprintf("sha%04d", e2eCulprit); res.Culprit != want {
+		t.Errorf("bisector pinpointed %s, want %s (probes: %+v)", res.Culprit, want, res.Probes)
+	}
+	if res.Measurements != runs {
+		t.Errorf("result reports %d measurements, runner saw %d", res.Measurements, runs)
+	}
+}
+
+// TestE2ENoiseOnlyControl: the same pipeline over the stepless
+// history must stay silent — the detector's false-positive budget at
+// CI's default thresholds is zero.
+func TestE2ENoiseOnlyControl(t *testing.T) {
+	db, _ := openTestDB(t)
+	e2eHistory(t, db, false)
+	if regs := db.Regressions(stats.StepConfig{}); len(regs) != 0 {
+		t.Errorf("noise-only history produced %d regressions: %+v", len(regs), regs)
+	}
+	// Improvements too: nothing stepped in either direction.
+	if all := db.Detect(stats.StepConfig{}); len(all) != 0 {
+		t.Errorf("noise-only history produced %d detections: %+v", len(all), all)
+	}
+}

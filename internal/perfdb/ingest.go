@@ -1,0 +1,273 @@
+package perfdb
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// This file is the ingest boundary: parsers that turn the three bench
+// artifact formats the repo produces — `go test -bench` text, the
+// benchguard -json report, and golden-metrics JSON (a marshaled
+// pipeline.Metrics) — into Points. Every parser is pure; DB.Ingest
+// wires them to the store and keeps the raw artifact byte-for-byte.
+
+// Report is the machine-readable output of `benchguard -json`: the
+// exact shape is locked by cmd/benchguard's golden-file test, and
+// ParseBenchguardJSON ingests it. cmd/benchguard builds this struct;
+// keeping the type here makes the writer and the reader one definition.
+type Report struct {
+	Old        string            `json:"old"`
+	New        string            `json:"new"`
+	Threshold  float64           `json:"threshold"`
+	Benchmarks []BenchmarkReport `json:"benchmarks"`
+	// GeomeanRatio is the geometric mean of the per-benchmark
+	// new/old median ratios — benchguard's pass/fail statistic.
+	GeomeanRatio float64 `json:"geomean_ratio"`
+	Pass         bool    `json:"pass"`
+}
+
+// BenchmarkReport is one benchmark row of a Report. The medians are
+// what the gate compares; the raw samples ride along so ingesting a
+// report loses nothing against ingesting the bench text itself.
+type BenchmarkReport struct {
+	Name       string    `json:"name"`
+	OldNsPerOp float64   `json:"old_ns_per_op"` // median of OldSamples
+	NewNsPerOp float64   `json:"new_ns_per_op"` // median of NewSamples
+	Ratio      float64   `json:"ratio"`         // new/old medians
+	OldSamples []float64 `json:"old_samples_ns"`
+	NewSamples []float64 `json:"new_samples_ns"`
+}
+
+var benchLine = regexp.MustCompile(`^(Benchmark\S+?)(?:-\d+)?\s+\d+\s+([0-9.e+]+) ns/op`)
+
+// ParseGoBenchSamples reads `go test -bench` output into benchmark
+// name -> ns/op samples (one per -count repetition). The trailing -N
+// GOMAXPROCS suffix is stripped so series survive runner core-count
+// changes. Shared with cmd/benchguard.
+func ParseGoBenchSamples(r io.Reader) (map[string][]float64, error) {
+	out := make(map[string][]float64)
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64<<10), 4<<20)
+	for sc.Scan() {
+		m := benchLine.FindStringSubmatch(sc.Text())
+		if m == nil {
+			continue
+		}
+		v, err := strconv.ParseFloat(m[2], 64)
+		if err != nil || v <= 0 {
+			continue
+		}
+		out[m[1]] = append(out[m[1]], v)
+	}
+	return out, sc.Err()
+}
+
+// ParseGoBench turns `go test -bench` output into Points at a commit,
+// one series per benchmark, sorted by name.
+func ParseGoBench(r io.Reader, commit string) ([]Point, error) {
+	samples, err := ParseGoBenchSamples(r)
+	if err != nil {
+		return nil, fmt.Errorf("perfdb: gobench: %w", err)
+	}
+	names := make([]string, 0, len(samples))
+	for name := range samples {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	points := make([]Point, 0, len(names))
+	for _, name := range names {
+		points = append(points, Point{
+			Commit:  commit,
+			Series:  name,
+			Unit:    "ns/op",
+			Source:  "gobench",
+			Samples: samples[name],
+		})
+	}
+	return points, nil
+}
+
+// ParseBenchguardJSON turns a benchguard -json report into Points at a
+// commit: each benchmark's *new* samples (the candidate side — the old
+// side is the already-ingested baseline), plus a synthetic
+// "benchguard.geomean_ratio" series tracking the gate statistic itself.
+func ParseBenchguardJSON(data []byte, commit string) ([]Point, error) {
+	var rep Report
+	if err := json.Unmarshal(data, &rep); err != nil {
+		return nil, fmt.Errorf("perfdb: benchguard report: %w", err)
+	}
+	if len(rep.Benchmarks) == 0 {
+		return nil, fmt.Errorf("perfdb: benchguard report has no benchmarks")
+	}
+	var points []Point
+	for _, b := range rep.Benchmarks {
+		samples := b.NewSamples
+		if len(samples) == 0 && b.NewNsPerOp > 0 {
+			samples = []float64{b.NewNsPerOp}
+		}
+		if b.Name == "" || len(samples) == 0 {
+			return nil, fmt.Errorf("perfdb: benchguard report row %+v lacks name or samples", b)
+		}
+		points = append(points, Point{
+			Commit:  commit,
+			Series:  b.Name,
+			Unit:    "ns/op",
+			Source:  "benchguard",
+			Samples: samples,
+		})
+	}
+	points = append(points, Point{
+		Commit:  commit,
+		Series:  "benchguard.geomean_ratio",
+		Unit:    "ratio",
+		Source:  "benchguard",
+		Samples: []float64{rep.GeomeanRatio},
+	})
+	return points, nil
+}
+
+// ParseGoldenMetrics flattens a golden-metrics JSON document (a
+// marshaled pipeline.Metrics) into Points at a commit: every numeric
+// leaf becomes a series named by its dotted path under prefix, with
+// booleans as 0/1 and array elements aggregated into their path's
+// sample set (PerSCBusy -> one series whose samples are the per-SC
+// values; Intervals.L2.Accesses -> one series sampled across
+// intervals). The walk is generic over the JSON — not a hand-kept
+// field list — so a field added to Metrics is ingested the moment it
+// marshals; TestGoldenMetricsRoundTrip holds the ingester to that.
+func ParseGoldenMetrics(data []byte, commit, prefix string) ([]Point, error) {
+	var doc any
+	if err := json.Unmarshal(data, &doc); err != nil {
+		return nil, fmt.Errorf("perfdb: golden metrics: %w", err)
+	}
+	samples := make(map[string][]float64)
+	flattenJSON(doc, prefix, samples)
+	if len(samples) == 0 {
+		return nil, fmt.Errorf("perfdb: golden metrics: no numeric leaves under %q", prefix)
+	}
+	names := make([]string, 0, len(samples))
+	for name := range samples {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	points := make([]Point, 0, len(names))
+	for _, name := range names {
+		points = append(points, Point{
+			Commit:  commit,
+			Series:  name,
+			Source:  "metrics",
+			Samples: samples[name],
+		})
+	}
+	return points, nil
+}
+
+// flattenJSON accumulates every numeric leaf of v under its dotted
+// path. Strings and nulls carry no chartable value and are skipped;
+// array elements share their array's path.
+func flattenJSON(v any, path string, out map[string][]float64) {
+	switch t := v.(type) {
+	case float64:
+		out[path] = append(out[path], t)
+	case bool:
+		x := 0.0
+		if t {
+			x = 1
+		}
+		out[path] = append(out[path], x)
+	case map[string]any:
+		keys := make([]string, 0, len(t))
+		for k := range t {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		for _, k := range keys {
+			flattenJSON(t[k], path+"."+k, out)
+		}
+	case []any:
+		for _, e := range t {
+			flattenJSON(e, path, out)
+		}
+	}
+}
+
+// Ingest formats.
+const (
+	FormatAuto       = "auto"
+	FormatGoBench    = "gobench"
+	FormatBenchguard = "benchguard"
+	FormatMetrics    = "metrics"
+)
+
+// DetectFormat guesses an artifact's format from its content: a JSON
+// object with benchguard's report keys, a JSON object (assumed golden
+// metrics), or text containing ns/op lines.
+func DetectFormat(data []byte) string {
+	trimmed := bytes.TrimSpace(data)
+	if len(trimmed) > 0 && trimmed[0] == '{' {
+		var probe struct {
+			Benchmarks   []json.RawMessage `json:"benchmarks"`
+			GeomeanRatio *float64          `json:"geomean_ratio"`
+		}
+		if err := json.Unmarshal(trimmed, &probe); err == nil &&
+			probe.GeomeanRatio != nil && len(probe.Benchmarks) > 0 {
+			return FormatBenchguard
+		}
+		return FormatMetrics
+	}
+	if benchLine.MatchReader(bytes.NewReader(trimmed)) || bytes.Contains(trimmed, []byte(" ns/op")) {
+		return FormatGoBench
+	}
+	return ""
+}
+
+// Ingest parses one artifact (FormatAuto sniffs), stores it verbatim
+// under raw/, and appends its points at the given commit. name labels
+// the raw artifact and, for metrics documents, derives the series
+// prefix ("metrics.<basename without extension>"). Returns the raw id
+// and the number of points appended.
+func (db *DB) Ingest(format, commit, name string, data []byte) (rawID string, n int, err error) {
+	if commit == "" {
+		return "", 0, fmt.Errorf("perfdb: ingest needs a commit")
+	}
+	if format == "" || format == FormatAuto {
+		format = DetectFormat(data)
+	}
+	var points []Point
+	switch format {
+	case FormatGoBench:
+		points, err = ParseGoBench(bytes.NewReader(data), commit)
+	case FormatBenchguard:
+		points, err = ParseBenchguardJSON(data, commit)
+	case FormatMetrics:
+		base := strings.TrimSuffix(filepath.Base(name), filepath.Ext(name))
+		if base == "" || base == "." {
+			base = "metrics"
+		}
+		points, err = ParseGoldenMetrics(data, commit, "metrics."+base)
+	default:
+		return "", 0, fmt.Errorf("perfdb: cannot determine format of %q (pass -format)", name)
+	}
+	if err != nil {
+		return "", 0, err
+	}
+	if len(points) == 0 {
+		return "", 0, fmt.Errorf("perfdb: %q parsed to no points", name)
+	}
+	rawID, err = db.PutRaw(name, data)
+	if err != nil {
+		return "", 0, err
+	}
+	if err := db.Append(points); err != nil {
+		return "", 0, err
+	}
+	return rawID, len(points), nil
+}

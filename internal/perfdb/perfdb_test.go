@@ -1,0 +1,419 @@
+package perfdb
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+
+	"dtexl/internal/stats"
+)
+
+func openTestDB(t *testing.T) (*DB, string) {
+	t.Helper()
+	dir := t.TempDir()
+	db, err := Open(dir)
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	t.Cleanup(func() { db.Close() })
+	return db, dir
+}
+
+func TestDBAppendAndSeries(t *testing.T) {
+	db, _ := openTestDB(t)
+	if err := db.Append([]Point{
+		{Commit: "c1", Series: "BenchmarkA", Unit: "ns/op", Samples: []float64{100, 110, 90}},
+		{Commit: "c1", Series: "BenchmarkB", Unit: "ns/op", Samples: []float64{7}},
+		{Commit: "c2", Series: "BenchmarkA", Unit: "ns/op", Samples: []float64{105}},
+	}); err != nil {
+		t.Fatalf("Append: %v", err)
+	}
+
+	if got := db.Commits(); !reflect.DeepEqual(got, []string{"c1", "c2"}) {
+		t.Errorf("Commits = %v, want [c1 c2] (first-appearance order)", got)
+	}
+	if got := db.SeriesNames(); !reflect.DeepEqual(got, []string{"BenchmarkA", "BenchmarkB"}) {
+		t.Errorf("SeriesNames = %v", got)
+	}
+	if got := db.Unit("BenchmarkA"); got != "ns/op" {
+		t.Errorf("Unit = %q", got)
+	}
+
+	pts := db.Series("BenchmarkA")
+	if len(pts) != 2 {
+		t.Fatalf("Series(BenchmarkA) has %d points, want 2", len(pts))
+	}
+	if pts[0].Commit != "c1" || pts[0].Median != 100 || pts[0].CommitIndex != 0 {
+		t.Errorf("point 0 = %+v, want c1 median 100 index 0", pts[0])
+	}
+	if pts[1].Commit != "c2" || pts[1].Median != 105 || pts[1].CommitIndex != 1 {
+		t.Errorf("point 1 = %+v, want c2 median 105 index 1", pts[1])
+	}
+	if db.Series("nope") != nil {
+		t.Error("Series on unknown name should be nil")
+	}
+}
+
+// TestDBMergeSameCommit: a re-run of the same commit appends into the
+// same (series, commit) sample set rather than forking a new point.
+func TestDBMergeSameCommit(t *testing.T) {
+	db, _ := openTestDB(t)
+	db.Append([]Point{{Commit: "c1", Series: "B", Samples: []float64{10, 20}}})
+	db.Append([]Point{{Commit: "c1", Series: "B", Samples: []float64{30}}})
+	pts := db.Series("B")
+	if len(pts) != 1 {
+		t.Fatalf("got %d points, want 1 merged point", len(pts))
+	}
+	if !reflect.DeepEqual(pts[0].Samples, []float64{10, 20, 30}) {
+		t.Errorf("merged samples = %v", pts[0].Samples)
+	}
+	if pts[0].Median != 20 {
+		t.Errorf("merged median = %v, want 20", pts[0].Median)
+	}
+}
+
+func TestDBAppendValidation(t *testing.T) {
+	db, _ := openTestDB(t)
+	for _, p := range []Point{
+		{Series: "B", Samples: []float64{1}},
+		{Commit: "c", Samples: []float64{1}},
+		{Commit: "c", Series: "B"},
+	} {
+		if err := db.Append([]Point{p}); err == nil {
+			t.Errorf("Append(%+v) succeeded, want validation error", p)
+		}
+	}
+	// The failed batches must not have been indexed.
+	if got := db.SeriesNames(); len(got) != 0 {
+		t.Errorf("rejected points leaked into the index: %v", got)
+	}
+}
+
+// TestDBReplay: close and reopen — the replayed in-memory view matches
+// what was appended, including commit order across multiple batches.
+func TestDBReplay(t *testing.T) {
+	dir := t.TempDir()
+	db, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 5; i++ {
+		commit := fmt.Sprintf("c%02d", i)
+		if err := db.Append([]Point{
+			{Commit: commit, Series: "BenchmarkHot", Unit: "ns/op", Samples: []float64{100 + float64(i)}},
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	db.Close()
+
+	re, err := Open(dir)
+	if err != nil {
+		t.Fatalf("reopen: %v", err)
+	}
+	defer re.Close()
+	if re.Dropped() != 0 {
+		t.Errorf("Dropped = %d after clean close", re.Dropped())
+	}
+	if got := len(re.Commits()); got != 5 {
+		t.Fatalf("replayed %d commits, want 5", got)
+	}
+	pts := re.Series("BenchmarkHot")
+	for i, p := range pts {
+		if want := fmt.Sprintf("c%02d", i); p.Commit != want || p.Median != 100+float64(i) {
+			t.Errorf("replayed point %d = %+v, want %s at %v", i, p, want, 100+float64(i))
+		}
+	}
+	if got := re.Unit("BenchmarkHot"); got != "ns/op" {
+		t.Errorf("replayed unit = %q", got)
+	}
+
+	// Appends after a replay continue the same log.
+	if err := re.Append([]Point{{Commit: "c05", Series: "BenchmarkHot", Samples: []float64{105}}}); err != nil {
+		t.Fatalf("append after replay: %v", err)
+	}
+	if got := len(re.Series("BenchmarkHot")); got != 6 {
+		t.Errorf("series has %d points after post-replay append, want 6", got)
+	}
+}
+
+// TestDBTornTail: a crash mid-append leaves a torn final line; Open
+// must drop exactly that line, keep every complete point, and keep the
+// log usable for further appends.
+func TestDBTornTail(t *testing.T) {
+	dir := t.TempDir()
+	db, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	db.Append([]Point{
+		{Commit: "c1", Series: "B", Samples: []float64{1}},
+		{Commit: "c2", Series: "B", Samples: []float64{2}},
+	})
+	db.Close()
+
+	logPath := filepath.Join(dir, logFile)
+	f, err := os.OpenFile(logPath, os.O_WRONLY|os.O_APPEND, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.WriteString(`{"commit":"c3","series":"B","sam`) // torn mid-key
+	f.Close()
+
+	re, err := Open(dir)
+	if err != nil {
+		t.Fatalf("reopen with torn tail: %v", err)
+	}
+	defer re.Close()
+	if re.Dropped() != 1 {
+		t.Errorf("Dropped = %d, want 1", re.Dropped())
+	}
+	if got := len(re.Series("B")); got != 2 {
+		t.Errorf("kept %d points, want the 2 complete ones", got)
+	}
+	if err := re.Append([]Point{{Commit: "c3", Series: "B", Samples: []float64{3}}}); err != nil {
+		t.Fatalf("append after torn-tail recovery: %v", err)
+	}
+	// The re-append of the lost batch must replay cleanly next time:
+	// the torn line is mid-file now, still dropped, everything else kept.
+	re.Close()
+	re2, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer re2.Close()
+	if got := len(re2.Series("B")); got != 3 {
+		t.Errorf("after recovery cycle: %d points, want 3", got)
+	}
+}
+
+func TestRawRoundTrip(t *testing.T) {
+	db, _ := openTestDB(t)
+	data := []byte("exact\x00bytes\nwith weird \xff content")
+	id, err := db.PutRaw("bench run #1 (new).txt", data)
+	if err != nil {
+		t.Fatalf("PutRaw: %v", err)
+	}
+	if strings.ContainsAny(id, "/\\# ()") {
+		t.Errorf("raw id %q not sanitized", id)
+	}
+	got, err := db.GetRaw(id)
+	if err != nil {
+		t.Fatalf("GetRaw: %v", err)
+	}
+	if !bytes.Equal(got, data) {
+		t.Errorf("raw artifact not byte-identical: got %q want %q", got, data)
+	}
+
+	id2, _ := db.PutRaw("second", []byte("x"))
+	ids, err := db.RawIDs()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(ids, []string{id, id2}) {
+		t.Errorf("RawIDs = %v, want [%s %s]", ids, id, id2)
+	}
+}
+
+// TestGetRawRejectsTraversal: raw ids come from URLs; an id that
+// sanitization would have altered (path separators, ..) must be
+// rejected, not resolved relative to the raw directory.
+func TestGetRawRejectsTraversal(t *testing.T) {
+	db, dir := openTestDB(t)
+	secret := filepath.Join(dir, "secret")
+	os.WriteFile(secret, []byte("s3cret"), 0o644)
+	for _, id := range []string{"../secret", "..\\secret", "a/b", ""} {
+		if _, err := db.GetRaw(id); err == nil {
+			t.Errorf("GetRaw(%q) succeeded, want rejection", id)
+		}
+	}
+	// ".." itself survives sanitization (dots are legal); ensure it
+	// still cannot escape: reading it must fail as a directory.
+	if data, err := db.GetRaw(".."); err == nil {
+		t.Errorf("GetRaw(..) returned %d bytes, want error", len(data))
+	}
+}
+
+func TestIngestGoBenchText(t *testing.T) {
+	db, _ := openTestDB(t)
+	text := `goos: linux
+BenchmarkHot-8   100  1500 ns/op
+BenchmarkHot-8   100  1520 ns/op
+BenchmarkCold-8  100  9000 ns/op
+PASS
+`
+	rawID, n, err := db.Ingest(FormatAuto, "abc123", "bench.txt", []byte(text))
+	if err != nil {
+		t.Fatalf("Ingest: %v", err)
+	}
+	if n != 2 {
+		t.Errorf("ingested %d points, want 2", n)
+	}
+	pts := db.Series("BenchmarkHot")
+	if len(pts) != 1 || pts[0].Median != 1510 || !reflect.DeepEqual(pts[0].Samples, []float64{1500, 1520}) {
+		t.Errorf("BenchmarkHot = %+v", pts)
+	}
+	if got := db.Unit("BenchmarkHot"); got != "ns/op" {
+		t.Errorf("unit = %q", got)
+	}
+	raw, err := db.GetRaw(rawID)
+	if err != nil || string(raw) != text {
+		t.Errorf("raw artifact mismatch: %v, %q", err, raw)
+	}
+}
+
+func TestIngestBenchguardReport(t *testing.T) {
+	db, _ := openTestDB(t)
+	report := `{
+  "old": "a.txt", "new": "b.txt", "threshold": 0.15,
+  "benchmarks": [
+    {"name": "BenchmarkHot", "old_ns_per_op": 100, "new_ns_per_op": 120,
+     "ratio": 1.2, "old_samples_ns": [100], "new_samples_ns": [120, 118, 121]}
+  ],
+  "geomean_ratio": 1.2, "pass": false
+}`
+	_, n, err := db.Ingest(FormatAuto, "abc", "report.json", []byte(report))
+	if err != nil {
+		t.Fatalf("Ingest: %v", err)
+	}
+	if n != 2 {
+		t.Errorf("ingested %d points, want 2 (benchmark + geomean)", n)
+	}
+	if pts := db.Series("BenchmarkHot"); len(pts) != 1 || !reflect.DeepEqual(pts[0].Samples, []float64{120, 118, 121}) {
+		t.Errorf("BenchmarkHot from report = %+v (want new-side samples)", pts)
+	}
+	if pts := db.Series("benchguard.geomean_ratio"); len(pts) != 1 || pts[0].Median != 1.2 {
+		t.Errorf("geomean series = %+v", pts)
+	}
+}
+
+func TestIngestMetricsJSON(t *testing.T) {
+	db, _ := openTestDB(t)
+	doc := `{"FramesRendered": 3, "L2": {"Hits": 90, "Misses": 10},
+  "PerSCBusy": [0.5, 0.75], "Decoupled": true, "Name": "ignored", "Extra": null}`
+	_, n, err := db.Ingest(FormatAuto, "abc", "golden_metrics_decoupled.json", []byte(doc))
+	if err != nil {
+		t.Fatalf("Ingest: %v", err)
+	}
+	// FramesRendered, L2.Hits, L2.Misses, PerSCBusy, Decoupled = 5
+	// series; the string and null leaves are skipped.
+	if n != 5 {
+		t.Errorf("ingested %d points, want 5: %v", n, db.SeriesNames())
+	}
+	prefix := "metrics.golden_metrics_decoupled"
+	if pts := db.Series(prefix + ".PerSCBusy"); len(pts) != 1 || !reflect.DeepEqual(pts[0].Samples, []float64{0.5, 0.75}) {
+		t.Errorf("array leaf aggregated wrong: %+v", pts)
+	}
+	if pts := db.Series(prefix + ".Decoupled"); len(pts) != 1 || pts[0].Median != 1 {
+		t.Errorf("bool leaf = %+v, want 1", pts)
+	}
+	if pts := db.Series(prefix + ".L2.Hits"); len(pts) != 1 || pts[0].Median != 90 {
+		t.Errorf("nested leaf = %+v", pts)
+	}
+}
+
+func TestIngestErrors(t *testing.T) {
+	db, _ := openTestDB(t)
+	cases := []struct {
+		name           string
+		format, commit string
+		data           string
+	}{
+		{"no commit", FormatAuto, "", "BenchmarkX 1 5 ns/op"},
+		{"undetectable", FormatAuto, "c", "not a bench artifact"},
+		{"bad format name", "nonsense", "c", "BenchmarkX 1 5 ns/op"},
+		{"empty gobench", FormatGoBench, "c", "PASS\n"},
+		{"benchguard no rows", FormatBenchguard, "c", `{"benchmarks": [], "geomean_ratio": 1}`},
+		{"metrics no numbers", FormatMetrics, "c", `{"a": "strings only"}`},
+	}
+	for _, tc := range cases {
+		if _, _, err := db.Ingest(tc.format, tc.commit, "f", []byte(tc.data)); err == nil {
+			t.Errorf("%s: Ingest succeeded, want error", tc.name)
+		}
+	}
+	// Failed ingests must not leave raw artifacts behind points-less.
+	if ids, _ := db.RawIDs(); len(ids) != 0 {
+		t.Errorf("failed ingests stored raw artifacts: %v", ids)
+	}
+}
+
+func TestDetectFormat(t *testing.T) {
+	cases := []struct {
+		data string
+		want string
+	}{
+		{"BenchmarkX-8  100  5 ns/op", FormatGoBench},
+		{`{"benchmarks": [{"name": "B"}], "geomean_ratio": 1.0}`, FormatBenchguard},
+		{`{"FramesRendered": 3}`, FormatMetrics},
+		{"just some text", ""},
+	}
+	for _, tc := range cases {
+		if got := DetectFormat([]byte(tc.data)); got != tc.want {
+			t.Errorf("DetectFormat(%q) = %q, want %q", tc.data, got, tc.want)
+		}
+	}
+}
+
+// TestDetectMapsStepToCommitWindow: the detector output must name the
+// series-local commits either side of the boundary — the exact range
+// handed to the bisector.
+func TestDetectMapsStepToCommitWindow(t *testing.T) {
+	db, _ := openTestDB(t)
+	// 40 commits, clean 30% step at commit index 20.
+	for i := 0; i < 40; i++ {
+		v := 100.0
+		if i >= 20 {
+			v = 130
+		}
+		// Tiny deterministic ripple so MAD is nonzero.
+		v += float64(i%3) * 0.2
+		db.Append([]Point{{Commit: fmt.Sprintf("c%02d", i), Series: "BenchmarkHot", Unit: "ns/op", Samples: []float64{v}}})
+	}
+	changes := db.Detect(stats.StepConfig{})
+	if len(changes) != 1 {
+		t.Fatalf("Detect found %d changes, want 1: %+v", len(changes), changes)
+	}
+	c := changes[0]
+	if c.Series != "BenchmarkHot" || !c.Regression {
+		t.Errorf("change = %+v, want BenchmarkHot regression", c)
+	}
+	// Localization tolerance ±2 commits around the true boundary 19|20.
+	lg, fb := c.LastGood, c.FirstBad
+	var lgi, fbi int
+	fmt.Sscanf(lg, "c%d", &lgi)
+	fmt.Sscanf(fb, "c%d", &fbi)
+	if fbi != lgi+1 {
+		t.Errorf("FirstBad %s is not LastGood %s's successor", fb, lg)
+	}
+	if fbi < 18 || fbi > 22 {
+		t.Errorf("step localized to %s..%s, want near c19..c20", lg, fb)
+	}
+	if reg := db.Regressions(stats.StepConfig{}); len(reg) != 1 {
+		t.Errorf("Regressions = %d, want 1", len(reg))
+	}
+}
+
+// TestDetectImprovementNotRegression: a step down is reported by
+// Detect but filtered out of Regressions.
+func TestDetectImprovementNotRegression(t *testing.T) {
+	db, _ := openTestDB(t)
+	for i := 0; i < 40; i++ {
+		v := 130.0
+		if i >= 20 {
+			v = 100
+		}
+		v += float64(i%3) * 0.2
+		db.Append([]Point{{Commit: fmt.Sprintf("c%02d", i), Series: "B", Samples: []float64{v}}})
+	}
+	all := db.Detect(stats.StepConfig{})
+	if len(all) != 1 || all[0].Regression {
+		t.Fatalf("Detect = %+v, want one improvement", all)
+	}
+	if reg := db.Regressions(stats.StepConfig{}); len(reg) != 0 {
+		t.Errorf("Regressions reported an improvement: %+v", reg)
+	}
+}

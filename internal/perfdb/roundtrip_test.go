@@ -1,0 +1,131 @@
+package perfdb
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"testing"
+)
+
+// TestGoldenMetricsRoundTrip is the satellite guard against silent
+// metric loss: every numeric-bearing field of the real golden-metrics
+// documents (internal/pipeline's observability goldens) must surface
+// as an ingested series. The expectation is computed by an independent
+// JSON walk here — NOT by calling the ingester's own flattener — so if
+// ParseGoldenMetrics is ever rewritten around a hand-kept field list,
+// a Metrics field it forgot fails this test, i.e. fails CI.
+func TestGoldenMetricsRoundTrip(t *testing.T) {
+	goldens, err := filepath.Glob(filepath.Join("..", "pipeline", "testdata", "golden_metrics_*.json"))
+	if err != nil || len(goldens) == 0 {
+		t.Fatalf("no golden metrics documents found: %v", err)
+	}
+	for _, golden := range goldens {
+		golden := golden
+		t.Run(filepath.Base(golden), func(t *testing.T) {
+			data, err := os.ReadFile(golden)
+			if err != nil {
+				t.Fatal(err)
+			}
+			db, _ := openTestDB(t)
+			name := filepath.Base(golden)
+			if _, _, err := db.Ingest(FormatAuto, "c1", name, data); err != nil {
+				t.Fatalf("Ingest: %v", err)
+			}
+
+			prefix := "metrics." + strings.TrimSuffix(name, ".json")
+			have := make(map[string]bool)
+			for _, s := range db.SeriesNames() {
+				have[s] = true
+			}
+
+			var doc any
+			if err := json.Unmarshal(data, &doc); err != nil {
+				t.Fatal(err)
+			}
+			var missing []string
+			walkNumericPaths(doc, prefix, func(path string) {
+				if !have[path] {
+					missing = append(missing, path)
+				}
+			})
+			sort.Strings(missing)
+			if len(missing) > 0 {
+				t.Errorf("ingest lost %d numeric Metrics fields:\n  %s",
+					len(missing), strings.Join(missing, "\n  "))
+			}
+			// Sanity floor: a Metrics document is dozens of fields; an
+			// ingester that "succeeded" with a handful is broken even if
+			// the walk above somehow agreed with it.
+			if len(have) < 20 {
+				t.Errorf("only %d series ingested from %s — implausibly few", len(have), name)
+			}
+		})
+	}
+}
+
+// walkNumericPaths is this test's own notion of which dotted paths a
+// metrics document must produce: one per JSON number or bool leaf,
+// array elements sharing their array's path. Deliberately independent
+// of flattenJSON.
+func walkNumericPaths(v any, path string, visit func(string)) {
+	switch t := v.(type) {
+	case float64, bool:
+		visit(path)
+	case map[string]any:
+		for k, e := range t {
+			walkNumericPaths(e, path+"."+k, visit)
+		}
+	case []any:
+		for _, e := range t {
+			walkNumericPaths(e, path, visit)
+		}
+	}
+}
+
+// TestGoldenMetricsIntervalsCharted: the Intervals time-series data —
+// the dashboard's per-interval charts — must aggregate into series
+// with one sample per interval, not collapse to a single value.
+func TestGoldenMetricsIntervalsCharted(t *testing.T) {
+	goldens, _ := filepath.Glob(filepath.Join("..", "pipeline", "testdata", "golden_metrics_*.json"))
+	charted := false
+	for _, golden := range goldens {
+		data, err := os.ReadFile(golden)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var doc struct {
+			Intervals []any `json:"Intervals"`
+		}
+		if err := json.Unmarshal(data, &doc); err != nil || len(doc.Intervals) < 2 {
+			continue // this golden carries no interval sampling
+		}
+		db, _ := openTestDB(t)
+		name := filepath.Base(golden)
+		if _, _, err := db.Ingest(FormatAuto, "c1", name, data); err != nil {
+			t.Fatal(err)
+		}
+		prefix := "metrics." + strings.TrimSuffix(name, ".json") + ".Intervals."
+		for _, s := range db.SeriesNames() {
+			if !strings.HasPrefix(s, prefix) {
+				continue
+			}
+			charted = true
+			pts := db.Series(s)
+			if len(pts) != 1 {
+				t.Fatalf("%s: %d points, want 1 commit", s, len(pts))
+			}
+			if got := len(pts[0].Samples); got != len(doc.Intervals) {
+				// Nested arrays inside one interval can multiply samples;
+				// fewer than the interval count means data was dropped.
+				if got < len(doc.Intervals) {
+					t.Errorf("%s: %d samples for %d intervals", s, got, len(doc.Intervals))
+				}
+			}
+		}
+	}
+	if !charted {
+		t.Skip("no golden carries >=2 intervals; interval charting not exercised")
+	}
+}

@@ -1,0 +1,367 @@
+package perfdb
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"os/exec"
+	"strconv"
+	"strings"
+	"time"
+
+	"dtexl/internal/stats"
+)
+
+// Server exposes the database over HTTP: a JSON API for series,
+// regression verdicts and bisection, byte-identical raw-artifact
+// serving, remote ingest, and a small self-contained dashboard that
+// charts any series — including the interval-sampling series flattened
+// out of golden-metrics documents (metrics.*.Intervals.*).
+type Server struct {
+	cfg ServerConfig
+}
+
+// ServerConfig wires a Server.
+type ServerConfig struct {
+	// DB is the database to serve. Required.
+	DB *DB
+	// Bisect, when non-nil, enables POST /api/bisect. Usually a
+	// WorktreeRunner's Run.
+	Bisect RunFunc
+	// Repo, when set, lets /api/bisect expand a (last_good, first_bad)
+	// pair into the commit range via `git rev-list`; otherwise the
+	// request must carry the commit list itself.
+	Repo string
+	// BisectTimeout bounds one /api/bisect request (default 10m).
+	BisectTimeout time.Duration
+	// Logf, when non-nil, receives one line per notable event.
+	Logf func(format string, args ...any)
+}
+
+// NewServer builds a Server. It panics if cfg.DB is nil (a wiring bug,
+// not a runtime condition).
+func NewServer(cfg ServerConfig) *Server {
+	if cfg.DB == nil {
+		panic("perfdb: NewServer needs a DB")
+	}
+	if cfg.BisectTimeout <= 0 {
+		cfg.BisectTimeout = 10 * time.Minute
+	}
+	if cfg.Logf == nil {
+		cfg.Logf = func(string, ...any) {}
+	}
+	return &Server{cfg: cfg}
+}
+
+// Handler mounts the API:
+//
+//	GET  /                    dashboard
+//	GET  /healthz             process liveness
+//	GET  /api/commits         global commit order
+//	GET  /api/series          series index
+//	GET  /api/series?name=X   one assembled series
+//	GET  /api/regressions     step detection over every series
+//	GET  /api/raw             raw artifact ids
+//	GET  /api/raw/{id}        one artifact, byte-identical to ingest
+//	POST /api/ingest          ingest an artifact (query: commit, name, format)
+//	POST /api/bisect          bisect a regression to its culprit commit
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, _ *http.Request) {
+		w.WriteHeader(http.StatusOK)
+		fmt.Fprintln(w, "ok")
+	})
+	mux.HandleFunc("GET /{$}", s.handleDashboard)
+	mux.HandleFunc("GET /api/commits", s.handleCommits)
+	mux.HandleFunc("GET /api/series", s.handleSeries)
+	mux.HandleFunc("GET /api/regressions", s.handleRegressions)
+	mux.HandleFunc("GET /api/raw", s.handleRawList)
+	mux.HandleFunc("GET /api/raw/{id}", s.handleRawGet)
+	mux.HandleFunc("POST /api/ingest", s.handleIngest)
+	mux.HandleFunc("POST /api/bisect", s.handleBisect)
+	return mux
+}
+
+// apiError is the JSON body of every non-200.
+type apiError struct {
+	Error string `json:"error"`
+}
+
+func (s *Server) handleCommits(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, s.cfg.DB.Commits())
+}
+
+// SeriesInfo is one row of the series index.
+type SeriesInfo struct {
+	Name   string `json:"name"`
+	Unit   string `json:"unit,omitempty"`
+	Points int    `json:"points"`
+}
+
+// SeriesResponse is the body of GET /api/series?name=X.
+type SeriesResponse struct {
+	Name   string        `json:"name"`
+	Unit   string        `json:"unit,omitempty"`
+	Points []SeriesPoint `json:"points"`
+}
+
+func (s *Server) handleSeries(w http.ResponseWriter, req *http.Request) {
+	db := s.cfg.DB
+	name := req.URL.Query().Get("name")
+	if name == "" {
+		names := db.SeriesNames()
+		infos := make([]SeriesInfo, 0, len(names))
+		for _, n := range names {
+			infos = append(infos, SeriesInfo{Name: n, Unit: db.Unit(n), Points: len(db.Series(n))})
+		}
+		writeJSON(w, http.StatusOK, infos)
+		return
+	}
+	pts := db.Series(name)
+	if pts == nil {
+		writeJSON(w, http.StatusNotFound, apiError{Error: fmt.Sprintf("unknown series %q", name)})
+		return
+	}
+	writeJSON(w, http.StatusOK, SeriesResponse{Name: name, Unit: db.Unit(name), Points: pts})
+}
+
+// stepConfigFromQuery reads detector overrides (window, k, minrel)
+// from the query string, leaving zero values for the defaults.
+func stepConfigFromQuery(q map[string][]string) (stats.StepConfig, error) {
+	var cfg stats.StepConfig
+	get := func(key string) (float64, bool, error) {
+		vs := q[key]
+		if len(vs) == 0 || vs[0] == "" {
+			return 0, false, nil
+		}
+		v, err := strconv.ParseFloat(vs[0], 64)
+		if err != nil || v <= 0 {
+			return 0, false, fmt.Errorf("bad %s=%q", key, vs[0])
+		}
+		return v, true, nil
+	}
+	if v, ok, err := get("window"); err != nil {
+		return cfg, err
+	} else if ok {
+		cfg.Window = int(v)
+	}
+	if v, ok, err := get("k"); err != nil {
+		return cfg, err
+	} else if ok {
+		cfg.K = v
+	}
+	if v, ok, err := get("minrel"); err != nil {
+		return cfg, err
+	} else if ok {
+		cfg.MinRel = v
+	}
+	return cfg, nil
+}
+
+func (s *Server) handleRegressions(w http.ResponseWriter, req *http.Request) {
+	cfg, err := stepConfigFromQuery(req.URL.Query())
+	if err != nil {
+		writeJSON(w, http.StatusBadRequest, apiError{Error: err.Error()})
+		return
+	}
+	var changes []Change
+	if req.URL.Query().Get("all") == "1" {
+		changes = s.cfg.DB.Detect(cfg)
+	} else {
+		changes = s.cfg.DB.Regressions(cfg)
+	}
+	if changes == nil {
+		changes = []Change{}
+	}
+	writeJSON(w, http.StatusOK, changes)
+}
+
+func (s *Server) handleRawList(w http.ResponseWriter, _ *http.Request) {
+	ids, err := s.cfg.DB.RawIDs()
+	if err != nil {
+		writeJSON(w, http.StatusInternalServerError, apiError{Error: err.Error()})
+		return
+	}
+	writeJSON(w, http.StatusOK, ids)
+}
+
+func (s *Server) handleRawGet(w http.ResponseWriter, req *http.Request) {
+	data, err := s.cfg.DB.GetRaw(req.PathValue("id"))
+	if err != nil {
+		writeJSON(w, http.StatusNotFound, apiError{Error: err.Error()})
+		return
+	}
+	w.Header().Set("Content-Type", "application/octet-stream")
+	w.Write(data)
+}
+
+// IngestResponse is the body of POST /api/ingest.
+type IngestResponse struct {
+	RawID  string `json:"raw_id"`
+	Points int    `json:"points"`
+}
+
+func (s *Server) handleIngest(w http.ResponseWriter, req *http.Request) {
+	q := req.URL.Query()
+	commit := q.Get("commit")
+	if commit == "" {
+		writeJSON(w, http.StatusBadRequest, apiError{Error: "ingest needs ?commit="})
+		return
+	}
+	name := q.Get("name")
+	if name == "" {
+		name = "artifact"
+	}
+	format := q.Get("format")
+	data, err := io.ReadAll(http.MaxBytesReader(w, req.Body, 64<<20))
+	if err != nil {
+		writeJSON(w, http.StatusBadRequest, apiError{Error: err.Error()})
+		return
+	}
+	rawID, n, err := s.cfg.DB.Ingest(format, commit, name, data)
+	if err != nil {
+		writeJSON(w, http.StatusBadRequest, apiError{Error: err.Error()})
+		return
+	}
+	s.cfg.Logf("perfdb: ingested %s as %s (%d points) at %s", name, rawID, n, commit)
+	writeJSON(w, http.StatusOK, IngestResponse{RawID: rawID, Points: n})
+}
+
+// BisectRequest is the body of POST /api/bisect. Either Commits is the
+// full range (oldest first, first commit good, last bad), or LastGood
+// and FirstBad name the range endpoints and the server expands them
+// via `git rev-list` (requires a configured repo).
+type BisectRequest struct {
+	Benchmark string   `json:"benchmark"`
+	Commits   []string `json:"commits,omitempty"`
+	LastGood  string   `json:"last_good,omitempty"`
+	FirstBad  string   `json:"first_bad,omitempty"`
+	// Good and Bad are the step's Before/After levels. If both are
+	// zero they are taken from the ingested series at the endpoints.
+	Good float64 `json:"good,omitempty"`
+	Bad  float64 `json:"bad,omitempty"`
+	// RunsPerCommit and Budget override Bisector defaults when > 0.
+	RunsPerCommit int `json:"runs_per_commit,omitempty"`
+	Budget        int `json:"budget,omitempty"`
+}
+
+func (s *Server) handleBisect(w http.ResponseWriter, req *http.Request) {
+	if s.cfg.Bisect == nil {
+		writeJSON(w, http.StatusNotImplemented, apiError{Error: "bisection is not configured (start dtexlperf with -repo)"})
+		return
+	}
+	var br BisectRequest
+	if err := json.NewDecoder(http.MaxBytesReader(w, req.Body, 1<<20)).Decode(&br); err != nil {
+		writeJSON(w, http.StatusBadRequest, apiError{Error: "invalid JSON body: " + err.Error()})
+		return
+	}
+	if br.Benchmark == "" {
+		writeJSON(w, http.StatusBadRequest, apiError{Error: "bisect needs a benchmark"})
+		return
+	}
+	commits := br.Commits
+	if len(commits) == 0 {
+		if br.LastGood == "" || br.FirstBad == "" {
+			writeJSON(w, http.StatusBadRequest, apiError{Error: "bisect needs commits or last_good+first_bad"})
+			return
+		}
+		if s.cfg.Repo == "" {
+			writeJSON(w, http.StatusBadRequest, apiError{Error: "no repo configured: pass the commit range explicitly"})
+			return
+		}
+		var err error
+		commits, err = RevListRange(req.Context(), s.cfg.Repo, br.LastGood, br.FirstBad)
+		if err != nil {
+			writeJSON(w, http.StatusBadRequest, apiError{Error: err.Error()})
+			return
+		}
+	}
+	good, bad := br.Good, br.Bad
+	if good == 0 && bad == 0 {
+		var err error
+		good, bad, err = SeriesLevels(s.cfg.DB, br.Benchmark, commits)
+		if err != nil {
+			writeJSON(w, http.StatusBadRequest, apiError{Error: err.Error()})
+			return
+		}
+	}
+	ctx, cancel := context.WithTimeout(req.Context(), s.cfg.BisectTimeout)
+	defer cancel()
+	b := Bisector{
+		Run:           s.cfg.Bisect,
+		RunsPerCommit: br.RunsPerCommit,
+		Budget:        br.Budget,
+		Logf:          s.cfg.Logf,
+	}
+	res, err := b.Bisect(ctx, commits, br.Benchmark, good, bad)
+	if err != nil {
+		writeJSON(w, http.StatusInternalServerError, apiError{Error: err.Error()})
+		return
+	}
+	s.cfg.Logf("perfdb: bisected %s to %s (%d measurements)", br.Benchmark, res.Culprit, res.Measurements)
+	writeJSON(w, http.StatusOK, res)
+}
+
+// RevListRange expands (lastGood, firstBad] to the inclusive bisection
+// range [lastGood, ..., firstBad], oldest first, via `git rev-list`.
+func RevListRange(ctx context.Context, repo, lastGood, firstBad string) ([]string, error) {
+	cmd := exec.CommandContext(ctx, "git", "-C", repo,
+		"rev-list", "--reverse", lastGood+".."+firstBad)
+	out, err := cmd.Output()
+	if err != nil {
+		return nil, fmt.Errorf("git rev-list %s..%s: %w", lastGood, firstBad, err)
+	}
+	commits := []string{lastGood}
+	for _, line := range strings.Split(strings.TrimSpace(string(out)), "\n") {
+		if line != "" {
+			commits = append(commits, line)
+		}
+	}
+	if len(commits) < 2 {
+		return nil, fmt.Errorf("empty range %s..%s", lastGood, firstBad)
+	}
+	return commits, nil
+}
+
+// SeriesLevels derives the good/bad reference levels of a bisection
+// from the ingested series at the range endpoints.
+func SeriesLevels(db *DB, benchmark string, commits []string) (good, bad float64, err error) {
+	pts := db.Series(benchmark)
+	if pts == nil {
+		return 0, 0, fmt.Errorf("unknown series %q and no explicit good/bad levels", benchmark)
+	}
+	byCommit := make(map[string]float64, len(pts))
+	for _, p := range pts {
+		byCommit[p.Commit] = p.Median
+	}
+	var okG, okB bool
+	if good, okG = byCommit[commits[0]]; !okG {
+		return 0, 0, fmt.Errorf("series %q has no point at %s; pass explicit levels", benchmark, commits[0])
+	}
+	if bad, okB = byCommit[commits[len(commits)-1]]; !okB {
+		return 0, 0, fmt.Errorf("series %q has no point at %s; pass explicit levels", benchmark, commits[len(commits)-1])
+	}
+	return good, bad, nil
+}
+
+// ResolveBisectRange is the CLI entry point for a (good, bad) commit
+// pair: rev-list expansion plus series-derived levels in one call.
+func ResolveBisectRange(ctx context.Context, db *DB, repo, benchmark, lastGood, firstBad string) (commits []string, good, bad float64, err error) {
+	commits, err = RevListRange(ctx, repo, lastGood, firstBad)
+	if err != nil {
+		return nil, 0, 0, err
+	}
+	good, bad, err = SeriesLevels(db, benchmark, commits)
+	if err != nil {
+		return nil, 0, 0, err
+	}
+	return commits, good, bad, nil
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	json.NewEncoder(w).Encode(v)
+}

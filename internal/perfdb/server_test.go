@@ -1,0 +1,316 @@
+package perfdb
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+// newTestServer seeds a DB with a 40-commit BenchmarkHot series
+// stepping 100 -> 130 at commit 20 and returns the running test
+// server. The raw artifact of the first ingest is returned for
+// round-trip checks.
+func newTestServer(t *testing.T, cfg ServerConfig) (*httptest.Server, *DB, string, []byte) {
+	t.Helper()
+	db, _ := openTestDB(t)
+	var firstRaw string
+	var firstData []byte
+	for i := 0; i < 40; i++ {
+		v := 100.0
+		if i >= 20 {
+			v = 130
+		}
+		v += float64(i%3) * 0.2
+		text := fmt.Sprintf("BenchmarkHot-8  100  %g ns/op\n", v)
+		id, _, err := db.Ingest(FormatAuto, fmt.Sprintf("c%02d", i), "bench.txt", []byte(text))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if i == 0 {
+			firstRaw, firstData = id, []byte(text)
+		}
+	}
+	cfg.DB = db
+	ts := httptest.NewServer(NewServer(cfg).Handler())
+	t.Cleanup(ts.Close)
+	return ts, db, firstRaw, firstData
+}
+
+func getJSON(t *testing.T, url string, out any) int {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatalf("GET %s: %v", url, err)
+	}
+	defer resp.Body.Close()
+	if out != nil && resp.StatusCode == http.StatusOK {
+		if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+			t.Fatalf("GET %s: decode: %v", url, err)
+		}
+	}
+	return resp.StatusCode
+}
+
+func TestServerSeriesAPI(t *testing.T) {
+	ts, _, _, _ := newTestServer(t, ServerConfig{})
+
+	var infos []SeriesInfo
+	if code := getJSON(t, ts.URL+"/api/series", &infos); code != 200 {
+		t.Fatalf("series index: %d", code)
+	}
+	if len(infos) != 1 || infos[0].Name != "BenchmarkHot" || infos[0].Points != 40 || infos[0].Unit != "ns/op" {
+		t.Errorf("series index = %+v", infos)
+	}
+
+	var sr SeriesResponse
+	if code := getJSON(t, ts.URL+"/api/series?name=BenchmarkHot", &sr); code != 200 {
+		t.Fatalf("series get: %d", code)
+	}
+	if len(sr.Points) != 40 || sr.Points[0].Commit != "c00" || sr.Points[39].Median < 130 {
+		t.Errorf("series response = %d points, first %+v", len(sr.Points), sr.Points[0])
+	}
+
+	if code := getJSON(t, ts.URL+"/api/series?name=Nope", nil); code != 404 {
+		t.Errorf("unknown series: %d, want 404", code)
+	}
+
+	var commits []string
+	getJSON(t, ts.URL+"/api/commits", &commits)
+	if len(commits) != 40 || commits[0] != "c00" {
+		t.Errorf("commits = %d, first %q", len(commits), commits[0])
+	}
+}
+
+func TestServerRegressionsAPI(t *testing.T) {
+	ts, _, _, _ := newTestServer(t, ServerConfig{})
+	var changes []Change
+	if code := getJSON(t, ts.URL+"/api/regressions", &changes); code != 200 {
+		t.Fatalf("regressions: %d", code)
+	}
+	if len(changes) != 1 {
+		t.Fatalf("regressions = %+v, want exactly the injected step", changes)
+	}
+	c := changes[0]
+	if c.Series != "BenchmarkHot" || !c.Regression {
+		t.Errorf("change = %+v", c)
+	}
+	var fbi int
+	fmt.Sscanf(c.FirstBad, "c%d", &fbi)
+	if fbi < 18 || fbi > 22 {
+		t.Errorf("step localized to %s, want near c20", c.FirstBad)
+	}
+
+	// Absurdly high K: still 200 with an empty (not null) array.
+	resp, err := http.Get(ts.URL + "/api/regressions?k=10000&minrel=5")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if strings.TrimSpace(string(body)) != "[]" {
+		t.Errorf("no-regressions body = %q, want []", body)
+	}
+
+	if code := getJSON(t, ts.URL+"/api/regressions?window=banana", nil); code != 400 {
+		t.Errorf("bad window param: %d, want 400", code)
+	}
+}
+
+// TestServerRawByteIdentical is the contract the CI perf-ingest job
+// leans on: what was ingested is served back byte-for-byte.
+func TestServerRawByteIdentical(t *testing.T) {
+	ts, _, rawID, want := newTestServer(t, ServerConfig{})
+
+	var ids []string
+	getJSON(t, ts.URL+"/api/raw", &ids)
+	if len(ids) != 40 {
+		t.Fatalf("raw ids = %d, want 40", len(ids))
+	}
+	resp, err := http.Get(ts.URL + "/api/raw/" + rawID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if !bytes.Equal(got, want) {
+		t.Errorf("raw artifact not byte-identical:\ngot  %q\nwant %q", got, want)
+	}
+
+	if code := getJSON(t, ts.URL+"/api/raw/no-such-artifact", nil); code != 404 {
+		t.Errorf("missing artifact: %d, want 404", code)
+	}
+}
+
+func TestServerIngestAPI(t *testing.T) {
+	ts, db, _, _ := newTestServer(t, ServerConfig{})
+	body := "BenchmarkNew-8  10  42 ns/op\n"
+	resp, err := http.Post(ts.URL+"/api/ingest?commit=c99&name=push.txt", "text/plain", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var ir IngestResponse
+	json.NewDecoder(resp.Body).Decode(&ir)
+	resp.Body.Close()
+	if resp.StatusCode != 200 || ir.Points != 1 || ir.RawID == "" {
+		t.Fatalf("ingest: %d, %+v", resp.StatusCode, ir)
+	}
+	if pts := db.Series("BenchmarkNew"); len(pts) != 1 || pts[0].Median != 42 {
+		t.Errorf("ingested series = %+v", pts)
+	}
+	got, err := db.GetRaw(ir.RawID)
+	if err != nil || string(got) != body {
+		t.Errorf("pushed artifact not stored verbatim: %v %q", err, got)
+	}
+
+	// Missing commit and unparsable payloads are 400s.
+	resp, _ = http.Post(ts.URL+"/api/ingest", "text/plain", strings.NewReader(body))
+	if resp.StatusCode != 400 {
+		t.Errorf("ingest without commit: %d", resp.StatusCode)
+	}
+	resp.Body.Close()
+	resp, _ = http.Post(ts.URL+"/api/ingest?commit=c99", "text/plain", strings.NewReader("gibberish"))
+	if resp.StatusCode != 400 {
+		t.Errorf("ingest gibberish: %d", resp.StatusCode)
+	}
+	resp.Body.Close()
+}
+
+// TestServerBisectAPI drives POST /api/bisect with a scripted RunFunc
+// against the seeded series: explicit commit range, levels derived
+// from the ingested series at the endpoints.
+func TestServerBisectAPI(t *testing.T) {
+	culprit := 20
+	run := func(_ context.Context, commit, bench string) (float64, error) {
+		if bench != "BenchmarkHot" {
+			return 0, fmt.Errorf("unexpected benchmark %q", bench)
+		}
+		var idx int
+		fmt.Sscanf(commit, "c%d", &idx)
+		if idx >= culprit {
+			return 130, nil
+		}
+		return 100, nil
+	}
+	ts, _, _, _ := newTestServer(t, ServerConfig{Bisect: run})
+
+	// Range wider than the true step, endpoints good/bad; levels come
+	// from the series (Good/Bad omitted).
+	var commits []string
+	for i := 14; i <= 26; i++ {
+		commits = append(commits, fmt.Sprintf("c%02d", i))
+	}
+	reqBody, _ := json.Marshal(BisectRequest{Benchmark: "BenchmarkHot", Commits: commits})
+	resp, err := http.Post(ts.URL+"/api/bisect", "application/json", bytes.NewReader(reqBody))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var res BisectResult
+	json.NewDecoder(resp.Body).Decode(&res)
+	resp.Body.Close()
+	if resp.StatusCode != 200 {
+		t.Fatalf("bisect: %d, %+v", resp.StatusCode, res)
+	}
+	if res.Culprit != "c20" || res.LastGood != "c19" {
+		t.Errorf("bisect result = %+v, want culprit c20", res)
+	}
+	if len(res.Probes) == 0 || res.Measurements == 0 {
+		t.Errorf("probe trail missing: %+v", res)
+	}
+
+	// Validation corners.
+	for _, body := range []string{
+		`{"commits": ["c14","c26"]}`,                      // no benchmark
+		`{"benchmark": "BenchmarkHot"}`,                   // no range, no endpoints
+		`not json`,                                        // bad body
+		`{"benchmark": "Nope", "commits": ["c14","c26"]}`, // levels unavailable
+	} {
+		resp, _ := http.Post(ts.URL+"/api/bisect", "application/json", strings.NewReader(body))
+		if resp.StatusCode != 400 {
+			t.Errorf("body %q: %d, want 400", body, resp.StatusCode)
+		}
+		resp.Body.Close()
+	}
+}
+
+// TestServerBisectUnconfigured: without a RunFunc the endpoint is 501,
+// telling the operator how to enable it.
+func TestServerBisectUnconfigured(t *testing.T) {
+	ts, _, _, _ := newTestServer(t, ServerConfig{})
+	resp, err := http.Post(ts.URL+"/api/bisect", "application/json",
+		strings.NewReader(`{"benchmark": "BenchmarkHot", "commits": ["c00","c39"]}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusNotImplemented {
+		t.Errorf("unconfigured bisect: %d, want 501", resp.StatusCode)
+	}
+}
+
+func TestServerDashboardAndHealth(t *testing.T) {
+	ts, _, _, _ := newTestServer(t, ServerConfig{})
+	resp, err := http.Get(ts.URL + "/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != 200 || !strings.Contains(string(body), "dtexlperf") {
+		t.Errorf("dashboard: %d, %d bytes", resp.StatusCode, len(body))
+	}
+	if code := getJSON(t, ts.URL+"/healthz", nil); code != 200 {
+		t.Errorf("healthz: %d", code)
+	}
+	// Unknown API paths 404 rather than falling through to the page.
+	if code := getJSON(t, ts.URL+"/api/nope", nil); code != 404 {
+		t.Errorf("unknown api path: %d", code)
+	}
+}
+
+// TestRevListRange exercises the git-range expansion against a real
+// repository (shared with the worktree tests' fixture builder).
+func TestRevListRange(t *testing.T) {
+	repo, commits := gitRepo(t, 6, 3)
+	got, err := RevListRange(context.Background(), repo, commits[1], commits[4])
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := commits[1:5]
+	if len(got) != len(want) {
+		t.Fatalf("range = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("range[%d] = %s, want %s", i, got[i], want[i])
+		}
+	}
+	if _, err := RevListRange(context.Background(), repo, commits[4], commits[4]); err == nil {
+		t.Error("empty range accepted")
+	}
+}
+
+// TestSeriesLevels: endpoint medians come from the DB; absent points
+// are an error, not zeros (zeros would wreck classification).
+func TestSeriesLevels(t *testing.T) {
+	db, _ := openTestDB(t)
+	db.Append([]Point{
+		{Commit: "a", Series: "B", Samples: []float64{100}},
+		{Commit: "b", Series: "B", Samples: []float64{125}},
+	})
+	good, bad, err := SeriesLevels(db, "B", []string{"a", "x", "b"})
+	if err != nil || good != 100 || bad != 125 {
+		t.Errorf("levels = %v/%v, %v", good, bad, err)
+	}
+	if _, _, err := SeriesLevels(db, "B", []string{"missing", "b"}); err == nil {
+		t.Error("missing endpoint accepted")
+	}
+	if _, _, err := SeriesLevels(db, "Nope", []string{"a", "b"}); err == nil {
+		t.Error("unknown series accepted")
+	}
+}

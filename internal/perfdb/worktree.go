@@ -1,0 +1,153 @@
+package perfdb
+
+import (
+	"context"
+	"fmt"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"sync"
+	"sync/atomic"
+
+	"dtexl/internal/stats"
+)
+
+// WorktreeRunner is the real RunFunc behind automatic bisection: it
+// checks the probed commit out into a disposable `git worktree`,
+// measures one microbenchmark there, and tears the worktree down.
+// Concurrency is bounded (Parallel) so a bisection — or several —
+// cannot fork-bomb the host with go builds; worktrees of the same
+// repository share the host's go build cache, so per-commit rebuilds
+// only pay for the packages that actually changed.
+type WorktreeRunner struct {
+	// Repo is the git repository to check commits out of. Required.
+	Repo string
+	// Scratch is where worktrees are created (default: a fresh
+	// os.MkdirTemp directory, removed as each worktree is).
+	Scratch string
+	// Parallel bounds concurrent worktrees (default 1; values < 1
+	// mean 1).
+	Parallel int
+	// Measure measures one benchmark inside a checked-out tree. The
+	// default runs `go test -run ^$ -bench ^<benchmark>$` in dir and
+	// returns the median ns/op. Tests substitute scripted measurers.
+	Measure func(ctx context.Context, dir, benchmark string) (float64, error)
+	// BenchTime is the default Measure's -benchtime (default "0.2s").
+	BenchTime string
+	// Logf, when non-nil, traces worktree lifecycle.
+	Logf func(format string, args ...any)
+
+	initOnce sync.Once
+	sem      chan struct{}
+	seq      atomic.Int64
+	// gitMu serializes `git worktree add/remove` bookkeeping: git
+	// deletes .git/worktrees when the last worktree is removed, so a
+	// concurrent add can lose its parent directory mid-flight. Only
+	// the (fast) bookkeeping is serialized; measurements in the
+	// created trees still run in parallel.
+	gitMu sync.Mutex
+}
+
+func (w *WorktreeRunner) init() {
+	w.initOnce.Do(func() {
+		n := w.Parallel
+		if n < 1 {
+			n = 1
+		}
+		w.sem = make(chan struct{}, n)
+	})
+}
+
+// Run satisfies RunFunc: measure benchmark at commit in a fresh
+// bounded-concurrency worktree.
+func (w *WorktreeRunner) Run(ctx context.Context, commit, benchmark string) (_ float64, err error) {
+	w.init()
+	select {
+	case w.sem <- struct{}{}:
+		defer func() { <-w.sem }()
+	case <-ctx.Done():
+		return 0, ctx.Err()
+	}
+
+	scratch := w.Scratch
+	if scratch == "" {
+		scratch, err = os.MkdirTemp("", "dtexlperf-bisect-")
+		if err != nil {
+			return 0, fmt.Errorf("perfdb: worktree: %w", err)
+		}
+		defer os.RemoveAll(scratch)
+	}
+	// The sequence number keeps concurrent probes of the *same* commit
+	// (noisy-measurement retries) in distinct worktrees.
+	dir := filepath.Join(scratch, fmt.Sprintf("wt-%s-%d", sanitizeRawName(commit), w.seq.Add(1)))
+
+	w.gitMu.Lock()
+	out, err := w.git(ctx, "worktree", "add", "--detach", dir, commit)
+	w.gitMu.Unlock()
+	if err != nil {
+		return 0, fmt.Errorf("perfdb: worktree add %s: %w: %s", commit, err, strings.TrimSpace(string(out)))
+	}
+	defer func() {
+		// Removal must proceed even when ctx is already canceled.
+		w.gitMu.Lock()
+		defer w.gitMu.Unlock()
+		if out, rerr := w.git(context.Background(), "worktree", "remove", "--force", dir); rerr != nil {
+			w.logf("perfdb: worktree remove %s: %v: %s", dir, rerr, strings.TrimSpace(string(out)))
+			os.RemoveAll(dir)
+			w.git(context.Background(), "worktree", "prune")
+		}
+	}()
+
+	measure := w.Measure
+	if measure == nil {
+		measure = w.goBenchMeasure
+	}
+	w.logf("perfdb: worktree: measuring %s at %s", benchmark, commit)
+	return measure(ctx, dir, benchmark)
+}
+
+func (w *WorktreeRunner) git(ctx context.Context, args ...string) ([]byte, error) {
+	cmd := exec.CommandContext(ctx, "git", append([]string{"-C", w.Repo}, args...)...)
+	return cmd.CombinedOutput()
+}
+
+func (w *WorktreeRunner) logf(format string, args ...any) {
+	if w.Logf != nil {
+		w.Logf(format, args...)
+	}
+}
+
+// goBenchMeasure is the default Measure: one `go test -bench` run of
+// exactly the offending microbenchmark across the tree's packages,
+// parsed to the median ns/op.
+func (w *WorktreeRunner) goBenchMeasure(ctx context.Context, dir, benchmark string) (float64, error) {
+	benchTime := w.BenchTime
+	if benchTime == "" {
+		benchTime = "0.2s"
+	}
+	name := strings.TrimSuffix(benchmark, "$")
+	cmd := exec.CommandContext(ctx, "go", "test", "-run", "^$",
+		"-bench", "^"+name+"$", "-benchtime", benchTime, "-count", "1", "./...")
+	cmd.Dir = dir
+	out, err := cmd.Output()
+	if err != nil {
+		return 0, fmt.Errorf("perfdb: go test -bench %s: %w", benchmark, err)
+	}
+	samples, err := ParseGoBenchSamples(strings.NewReader(string(out)))
+	if err != nil {
+		return 0, err
+	}
+	// -bench anchors on the subtest-less name; a benchmark with
+	// sub-benchmarks reports under decorated names, so match by prefix.
+	var values []float64
+	for got, vs := range samples {
+		if got == name || strings.HasPrefix(got, name+"/") {
+			values = append(values, vs...)
+		}
+	}
+	if len(values) == 0 {
+		return 0, fmt.Errorf("perfdb: benchmark %s produced no ns/op lines", benchmark)
+	}
+	return stats.Median(values), nil
+}

@@ -1,0 +1,269 @@
+package perfdb
+
+import (
+	"context"
+	"fmt"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// gitRepo builds a real repository whose history encodes a perf
+// series: commit i writes "<value>\n" to value.txt, with a 25% step at
+// stepAt. Returns the repo dir and the commit hashes, oldest first.
+func gitRepo(t *testing.T, n, stepAt int) (string, []string) {
+	t.Helper()
+	dir := t.TempDir()
+	git := func(args ...string) string {
+		t.Helper()
+		cmd := exec.Command("git", append([]string{"-C", dir,
+			"-c", "user.name=perfdb-test", "-c", "user.email=perfdb@test",
+			"-c", "commit.gpgsign=false"}, args...)...)
+		out, err := cmd.CombinedOutput()
+		if err != nil {
+			t.Fatalf("git %v: %v: %s", args, err, out)
+		}
+		return strings.TrimSpace(string(out))
+	}
+	git("init", "-q", "-b", "main")
+	commits := make([]string, n)
+	for i := 0; i < n; i++ {
+		v := 100.0
+		if i >= stepAt {
+			v = 125
+		}
+		if err := os.WriteFile(filepath.Join(dir, "value.txt"),
+			[]byte(fmt.Sprintf("%g\n", v)), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		git("add", "value.txt")
+		git("commit", "-q", "--allow-empty", "-m", fmt.Sprintf("commit %d", i))
+		commits[i] = git("rev-parse", "HEAD")
+	}
+	return dir, commits
+}
+
+// readValueMeasure is a scripted Measure: it proves the runner checked
+// the right commit out by reading the tree's value.txt.
+func readValueMeasure(ctx context.Context, dir, _ string) (float64, error) {
+	data, err := os.ReadFile(filepath.Join(dir, "value.txt"))
+	if err != nil {
+		return 0, err
+	}
+	return strconv.ParseFloat(strings.TrimSpace(string(data)), 64)
+}
+
+// TestWorktreeRunnerChecksOutCommit: Run must measure the named
+// commit's tree, not HEAD's.
+func TestWorktreeRunnerChecksOutCommit(t *testing.T) {
+	repo, commits := gitRepo(t, 6, 3)
+	w := &WorktreeRunner{Repo: repo, Scratch: t.TempDir(), Measure: readValueMeasure}
+	for i, want := range []float64{100, 100, 100, 125, 125, 125} {
+		got, err := w.Run(context.Background(), commits[i], "BenchmarkX")
+		if err != nil {
+			t.Fatalf("Run(%s): %v", commits[i], err)
+		}
+		if got != want {
+			t.Errorf("commit %d measured %v, want %v", i, got, want)
+		}
+	}
+}
+
+// TestWorktreeRunnerCleansUp: every worktree is removed after its
+// measurement — both the directory and git's bookkeeping.
+func TestWorktreeRunnerCleansUp(t *testing.T) {
+	repo, commits := gitRepo(t, 3, 1)
+	scratch := t.TempDir()
+	w := &WorktreeRunner{Repo: repo, Scratch: scratch, Measure: readValueMeasure}
+	for _, c := range commits {
+		if _, err := w.Run(context.Background(), c, "B"); err != nil {
+			t.Fatal(err)
+		}
+	}
+	ents, err := os.ReadDir(scratch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ents) != 0 {
+		t.Errorf("scratch dir still holds %d entries after runs", len(ents))
+	}
+	out, err := exec.Command("git", "-C", repo, "worktree", "list").Output()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lines := strings.Count(strings.TrimSpace(string(out)), "\n") + 1; lines != 1 {
+		t.Errorf("git still lists %d worktrees:\n%s", lines, out)
+	}
+}
+
+// TestWorktreeRunnerCleansUpOnMeasureError: a failing measurement must
+// not leak its worktree.
+func TestWorktreeRunnerCleansUpOnMeasureError(t *testing.T) {
+	repo, commits := gitRepo(t, 2, 1)
+	scratch := t.TempDir()
+	w := &WorktreeRunner{Repo: repo, Scratch: scratch,
+		Measure: func(context.Context, string, string) (float64, error) {
+			return 0, fmt.Errorf("scripted measure failure")
+		}}
+	if _, err := w.Run(context.Background(), commits[0], "B"); err == nil {
+		t.Fatal("Run succeeded with a failing Measure")
+	}
+	if ents, _ := os.ReadDir(scratch); len(ents) != 0 {
+		t.Errorf("failed run leaked %d scratch entries", len(ents))
+	}
+}
+
+// TestWorktreeRunnerBoundedParallelism: many concurrent Runs, bound 2.
+// Run under -race in CI, this doubles as the data-race check on the
+// runner's shared state (semaphore, sequence counter).
+func TestWorktreeRunnerBoundedParallelism(t *testing.T) {
+	repo, commits := gitRepo(t, 4, 2)
+	var active, peak atomic.Int64
+	w := &WorktreeRunner{
+		Repo: repo, Scratch: t.TempDir(), Parallel: 2,
+		Measure: func(ctx context.Context, dir, bench string) (float64, error) {
+			n := active.Add(1)
+			defer active.Add(-1)
+			for {
+				p := peak.Load()
+				if n <= p || peak.CompareAndSwap(p, n) {
+					break
+				}
+			}
+			time.Sleep(20 * time.Millisecond) // hold the slot so overlap is observable
+			return readValueMeasure(ctx, dir, bench)
+		},
+	}
+	var wg sync.WaitGroup
+	errs := make(chan error, 12)
+	for i := 0; i < 12; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			got, err := w.Run(context.Background(), commits[i%len(commits)], "B")
+			if err != nil {
+				errs <- err
+				return
+			}
+			want := 100.0
+			if i%len(commits) >= 2 {
+				want = 125
+			}
+			if got != want {
+				errs <- fmt.Errorf("run %d measured %v, want %v", i, got, want)
+			}
+		}(i)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+	if p := peak.Load(); p > 2 {
+		t.Errorf("peak concurrency %d exceeds Parallel=2", p)
+	}
+	if p := peak.Load(); p < 2 {
+		t.Logf("note: peak concurrency %d (scheduler never overlapped runs)", p)
+	}
+}
+
+// TestWorktreeRunnerContextCanceled: a canceled context fails fast at
+// the semaphore instead of creating a worktree.
+func TestWorktreeRunnerContextCanceled(t *testing.T) {
+	repo, commits := gitRepo(t, 2, 1)
+	scratch := t.TempDir()
+	w := &WorktreeRunner{Repo: repo, Scratch: scratch, Parallel: 1, Measure: readValueMeasure}
+
+	release := make(chan struct{})
+	w.Measure = func(ctx context.Context, dir, bench string) (float64, error) {
+		<-release
+		return readValueMeasure(ctx, dir, bench)
+	}
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		w.Run(context.Background(), commits[0], "B")
+	}()
+	// Wait until the slot is held (the worktree dir appears).
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		if ents, _ := os.ReadDir(scratch); len(ents) > 0 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("first run never created its worktree")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := w.Run(ctx, commits[1], "B"); err != context.Canceled {
+		t.Errorf("err = %v, want context.Canceled", err)
+	}
+	close(release)
+	<-done
+}
+
+// TestWorktreeRunnerBadCommit: an unknown commit surfaces git's error.
+func TestWorktreeRunnerBadCommit(t *testing.T) {
+	repo, _ := gitRepo(t, 2, 1)
+	w := &WorktreeRunner{Repo: repo, Scratch: t.TempDir(), Measure: readValueMeasure}
+	if _, err := w.Run(context.Background(), "0000000000000000000000000000000000000000", "B"); err == nil {
+		t.Fatal("Run succeeded on a nonexistent commit")
+	}
+}
+
+// TestWorktreeRunnerGoBenchMeasure exercises the default Measure
+// end-to-end: a real `go test -bench` inside the worktree of a tiny
+// module committed to a temp repo. Skipped in -short runs (it pays a
+// compile).
+func TestWorktreeRunnerGoBenchMeasure(t *testing.T) {
+	if testing.Short() {
+		t.Skip("compiles a module; skipped in -short")
+	}
+	dir := t.TempDir()
+	git := func(args ...string) string {
+		t.Helper()
+		cmd := exec.Command("git", append([]string{"-C", dir,
+			"-c", "user.name=t", "-c", "user.email=t@t"}, args...)...)
+		out, err := cmd.CombinedOutput()
+		if err != nil {
+			t.Fatalf("git %v: %v: %s", args, err, out)
+		}
+		return strings.TrimSpace(string(out))
+	}
+	git("init", "-q", "-b", "main")
+	os.WriteFile(filepath.Join(dir, "go.mod"), []byte("module tmpbench\n\ngo 1.22\n"), 0o644)
+	os.WriteFile(filepath.Join(dir, "bench_test.go"), []byte(`package tmpbench
+
+import "testing"
+
+func BenchmarkTiny(b *testing.B) {
+	s := 0
+	for i := 0; i < b.N; i++ {
+		s += i
+	}
+	_ = s
+}
+`), 0o644)
+	git("add", "-A")
+	git("commit", "-q", "-m", "bench module")
+	commit := git("rev-parse", "HEAD")
+
+	w := &WorktreeRunner{Repo: dir, Scratch: t.TempDir(), BenchTime: "10x"}
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Minute)
+	defer cancel()
+	got, err := w.Run(ctx, commit, "BenchmarkTiny")
+	if err != nil {
+		t.Fatalf("goBenchMeasure: %v", err)
+	}
+	if got <= 0 {
+		t.Errorf("measured %v ns/op, want > 0", got)
+	}
+}

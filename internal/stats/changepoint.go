@@ -1,0 +1,247 @@
+package stats
+
+import (
+	"math"
+	"sort"
+)
+
+// This file holds the step-change (changepoint) detector behind the
+// continuous-perf service (internal/perfdb, DESIGN.md §13). The input
+// is a per-commit series of benchmark measurements (already collapsed
+// to medians-of-runs by the caller); the output is the set of sharp
+// level shifts — the signature of a regression or an optimization
+// landing at one commit — with slow drift and pure noise rejected.
+//
+// The test is windowed and rank-based: at every candidate boundary i
+// the medians of the Window points on each side are compared, and the
+// gap is normalized by the pooled median absolute deviation (MAD) of
+// the two windows. Every threshold is relative or MAD-normalized, so
+// detection is invariant under constant positive scaling of the series
+// (ns/op vs µs/op must not change verdicts); the property is pinned by
+// TestDetectStepsScaleInvariant.
+
+// Median returns the median of xs (0 for empty input). The input is
+// not modified.
+func Median(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	s := append([]float64(nil), xs...)
+	sort.Float64s(s)
+	if n := len(s); n%2 == 1 {
+		return s[n/2]
+	} else {
+		return (s[n/2-1] + s[n/2]) / 2
+	}
+}
+
+// MAD returns the median absolute deviation of xs around its median —
+// the robust noise scale the step detector normalizes by. Unscaled
+// (no 1.4826 Gaussian-consistency factor): the detector's K threshold
+// absorbs the constant.
+func MAD(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	m := Median(xs)
+	res := make([]float64, len(xs))
+	for i, x := range xs {
+		res[i] = math.Abs(x - m)
+	}
+	return Median(res)
+}
+
+// StepConfig tunes DetectSteps. The zero value selects the defaults
+// below, which target benchmark time series: medians of repeated runs
+// with a few percent of run-to-run noise, where a defended regression
+// is a level shift of 5% or more.
+type StepConfig struct {
+	// Window is the number of points compared on each side of a
+	// candidate boundary (default 10, minimum 2). Series shorter than
+	// 2*Window yield no detections.
+	Window int
+	// K is the significance threshold in pooled-MAD multiples: the
+	// window medians must differ by at least K*MAD (default 6 —
+	// calibrated so that 500 pure-noise series of 200 points at up to
+	// 5% relative noise produce zero detections, while a 20% step over
+	// 3% noise is found >98% of the time; see changepoint_test.go).
+	K float64
+	// MinRel is the minimum relative level shift |after/before - 1|
+	// (default 0.05): a shift can be many MADs in a near-noiseless
+	// series and still be too small to care about.
+	MinRel float64
+	// DriftGuard rejects slow drift (default 2). Two ratios must both
+	// exceed it: the median gap over the summed within-window
+	// half-trends, and — where the series is long enough to measure it
+	// — the gap at the candidate over the larger of the gaps one full
+	// window to each side (peakedness). A pure linear ramp scores
+	// exactly 1 on both ratios regardless of slope, so any guard above
+	// 1 rejects it; a sharp step has flat half-windows and
+	// noise-floor neighbor gaps, and passes easily.
+	DriftGuard float64
+}
+
+func (c StepConfig) withDefaults() StepConfig {
+	if c.Window == 0 {
+		c.Window = 10
+	}
+	if c.Window < 2 {
+		c.Window = 2
+	}
+	if c.K == 0 {
+		c.K = 6
+	}
+	if c.MinRel == 0 {
+		c.MinRel = 0.05
+	}
+	if c.DriftGuard == 0 {
+		c.DriftGuard = 2
+	}
+	return c
+}
+
+// Step is one detected level shift.
+type Step struct {
+	// Index is the first point of the new regime: xs[Index-1] is the
+	// last point at the old level, xs[Index] the first at the new one.
+	Index int `json:"index"`
+	// Before and After are the window medians on each side of Index.
+	Before float64 `json:"before"`
+	After  float64 `json:"after"`
+	// Ratio is After/Before (>1: the series went up — a regression for
+	// time-like series; <1: an improvement). 0 when Before is 0.
+	Ratio float64 `json:"ratio"`
+	// Score is the MAD-normalized significance of the shift at Index.
+	Score float64 `json:"score"`
+}
+
+// DetectSteps scans xs for sharp level shifts and returns them in
+// index order, at most one per Window-sized neighborhood (contiguous
+// flagged boundaries cluster to their maximum-score member). Pure
+// noise and slow drift return nil; see StepConfig for the knobs.
+func DetectSteps(xs []float64, cfg StepConfig) []Step {
+	cfg = cfg.withDefaults()
+	w := cfg.Window
+	if len(xs) < 2*w {
+		return nil
+	}
+
+	// Window medians and gaps at every candidate boundary, computed up
+	// front so the peakedness guard can compare a candidate's gap with
+	// its neighbors' without recomputation.
+	lo, hi := w, len(xs)-w
+	mbs := make([]float64, hi-lo+1)
+	mas := make([]float64, hi-lo+1)
+	gaps := make([]float64, hi-lo+1)
+	for i := lo; i <= hi; i++ {
+		mbs[i-lo] = Median(xs[i-w : i])
+		mas[i-lo] = Median(xs[i : i+w])
+		gaps[i-lo] = math.Abs(mas[i-lo] - mbs[i-lo])
+	}
+
+	type cand struct {
+		idx    int
+		before float64
+		after  float64
+		score  float64
+	}
+	var flagged []cand
+	res := make([]float64, 0, 2*w) // pooled residual scratch
+	for i := lo; i <= hi; i++ {
+		before, after := xs[i-w:i], xs[i:i+w]
+		mb, ma, gap := mbs[i-lo], mas[i-lo], gaps[i-lo]
+
+		// Relative size of the shift; scale-invariant even at mb == 0.
+		var rel float64
+		switch {
+		case mb != 0:
+			rel = gap / math.Abs(mb)
+		case gap != 0:
+			rel = math.Inf(1)
+		}
+		if rel < cfg.MinRel {
+			continue
+		}
+
+		// Significance: gap in pooled-MAD multiples. The |mb|-relative
+		// floor keeps the score finite (and scale-invariant) when a
+		// noiseless series would otherwise divide by zero.
+		res = res[:0]
+		for _, x := range before {
+			res = append(res, math.Abs(x-mb))
+		}
+		for _, x := range after {
+			res = append(res, math.Abs(x-ma))
+		}
+		mad := Median(res)
+		score := gap / (mad + 1e-9*math.Abs(mb) + math.SmallestNonzeroFloat64)
+		if score < cfg.K {
+			continue
+		}
+
+		// Drift guard 1 (sharpness): the gap must dominate the trend
+		// *inside* each window (median of its younger half minus its
+		// older half). This also rejects boundaries offset from a true
+		// step by nearly half a window, localizing the detection.
+		h := w / 2
+		tb := math.Abs(Median(before[h:]) - Median(before[:h]))
+		ta := math.Abs(Median(after[h:]) - Median(after[:h]))
+		if gap <= cfg.DriftGuard*(tb+ta) {
+			continue
+		}
+
+		// Drift guard 2 (peakedness): a ramp has the same median gap
+		// at every boundary, a step only at the boundary itself — the
+		// gap must dominate the gap one full window to each side.
+		peak := 0.0
+		if i-w >= lo {
+			peak = gaps[i-w-lo]
+		}
+		if i+w <= hi && gaps[i+w-lo] > peak {
+			peak = gaps[i+w-lo]
+		}
+		if gap <= cfg.DriftGuard*peak {
+			continue
+		}
+
+		flagged = append(flagged, cand{idx: i, before: mb, after: ma, score: score})
+	}
+
+	// Cluster: boundaries within one window of each other describe the
+	// same shift; keep the sharpest. Exact score ties (noiseless
+	// series, where boundaries adjacent to the true step tie) break to
+	// the middle tied index, which is the step itself by symmetry.
+	var out []Step
+	for s := 0; s < len(flagged); {
+		e := s + 1
+		for e < len(flagged) && flagged[e].idx-flagged[e-1].idx < w {
+			e++
+		}
+		best := flagged[s].score
+		for _, c := range flagged[s+1 : e] {
+			if c.score > best {
+				best = c.score
+			}
+		}
+		var tied []cand
+		for _, c := range flagged[s:e] {
+			if c.score >= best*(1-1e-12) {
+				tied = append(tied, c)
+			}
+		}
+		pick := tied[len(tied)/2]
+		ratio := 0.0
+		if pick.before != 0 {
+			ratio = pick.after / pick.before
+		}
+		out = append(out, Step{
+			Index:  pick.idx,
+			Before: pick.before,
+			After:  pick.after,
+			Ratio:  ratio,
+			Score:  pick.score,
+		})
+		s = e
+	}
+	return out
+}

@@ -1,0 +1,242 @@
+package stats
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// stepSeries builds a deterministic synthetic benchmark series of n
+// points at level base, multiplied by (1+mag) from index offset on
+// (offset < 0: no step), with multiplicative Gaussian noise of the
+// given fraction.
+func stepSeries(n, offset int, base, mag, noise float64, seed int64) []float64 {
+	rng := rand.New(rand.NewSource(seed))
+	xs := make([]float64, n)
+	for i := range xs {
+		level := base
+		if offset >= 0 && i >= offset {
+			level = base * (1 + mag)
+		}
+		xs[i] = level * (1 + noise*rng.NormFloat64())
+	}
+	return xs
+}
+
+// driftSeries ramps linearly from base to base*(1+total) over n points,
+// with multiplicative noise.
+func driftSeries(n int, base, total, noise float64, seed int64) []float64 {
+	rng := rand.New(rand.NewSource(seed))
+	xs := make([]float64, n)
+	for i := range xs {
+		level := base * (1 + total*float64(i)/float64(n-1))
+		xs[i] = level * (1 + noise*rng.NormFloat64())
+	}
+	return xs
+}
+
+func TestMedian(t *testing.T) {
+	cases := []struct {
+		in   []float64
+		want float64
+	}{
+		{nil, 0},
+		{[]float64{7}, 7},
+		{[]float64{3, 1}, 2},
+		{[]float64{9, 1, 5}, 5},
+		{[]float64{4, 1, 3, 2}, 2.5},
+	}
+	for _, tc := range cases {
+		if got := Median(tc.in); got != tc.want {
+			t.Errorf("Median(%v) = %v, want %v", tc.in, got, tc.want)
+		}
+	}
+	// Median must not mutate its input.
+	in := []float64{3, 1, 2}
+	Median(in)
+	if in[0] != 3 || in[1] != 1 || in[2] != 2 {
+		t.Errorf("Median mutated its input: %v", in)
+	}
+}
+
+func TestMAD(t *testing.T) {
+	if got := MAD([]float64{1, 1, 1, 1}); got != 0 {
+		t.Errorf("MAD of constant series = %v, want 0", got)
+	}
+	// {1,2,3,4,5}: median 3, residuals {2,1,0,1,2}, MAD 1.
+	if got := MAD([]float64{1, 2, 3, 4, 5}); got != 1 {
+		t.Errorf("MAD = %v, want 1", got)
+	}
+	if got := MAD(nil); got != 0 {
+		t.Errorf("MAD(nil) = %v, want 0", got)
+	}
+}
+
+// TestDetectStepsInjected is the core battery: synthetic series with a
+// step of known offset and magnitude, across noise levels, directions
+// and positions, must yield exactly one detection at (or adjacent to)
+// the injected offset with the right ratio.
+func TestDetectStepsInjected(t *testing.T) {
+	cases := []struct {
+		name   string
+		n, off int
+		mag    float64
+		noise  float64
+	}{
+		{"clean-20pct", 80, 40, 0.20, 0},
+		{"noisy1-20pct", 80, 40, 0.20, 0.01},
+		{"noisy3-20pct", 80, 40, 0.20, 0.03},
+		{"noisy3-50pct", 80, 40, 0.50, 0.03},
+		{"noisy1-10pct", 80, 40, 0.10, 0.01},
+		{"improvement-20pct", 80, 40, -0.20, 0.02},
+		{"early-step", 100, 20, 0.25, 0.02},
+		{"late-step", 100, 80, 0.25, 0.02},
+		{"large-2x", 60, 30, 1.00, 0.03},
+	}
+	for ci, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			xs := stepSeries(tc.n, tc.off, 100, tc.mag, tc.noise, int64(1000+ci))
+			steps := DetectSteps(xs, StepConfig{})
+			if len(steps) != 1 {
+				t.Fatalf("got %d steps (%+v), want exactly 1", len(steps), steps)
+			}
+			s := steps[0]
+			if d := s.Index - tc.off; d < -2 || d > 2 {
+				t.Errorf("step at index %d, want %d (±2)", s.Index, tc.off)
+			}
+			wantRatio := 1 + tc.mag
+			if math.Abs(s.Ratio-wantRatio) > 0.05*wantRatio {
+				t.Errorf("ratio %.3f, want %.3f (±5%%)", s.Ratio, wantRatio)
+			}
+			up := tc.mag > 0
+			if (s.Ratio > 1) != up {
+				t.Errorf("step direction wrong: ratio %.3f for magnitude %+.2f", s.Ratio, tc.mag)
+			}
+		})
+	}
+}
+
+// TestDetectStepsNoiseOnly asserts a zero false-positive count at the
+// default thresholds over pure-noise series of several amplitudes and
+// seeds — the budget DESIGN.md §13 promises.
+func TestDetectStepsNoiseOnly(t *testing.T) {
+	for _, noise := range []float64{0, 0.01, 0.03, 0.05} {
+		for seed := int64(0); seed < 20; seed++ {
+			xs := stepSeries(200, -1, 100, 0, noise, 7000+seed)
+			if steps := DetectSteps(xs, StepConfig{}); len(steps) != 0 {
+				t.Errorf("noise=%.2f seed=%d: false positive %+v", noise, seed, steps)
+			}
+		}
+	}
+}
+
+// TestDetectStepsDrift asserts slow monotone drift — even a doubling,
+// as long as it accrues gradually — is not reported as a step.
+func TestDetectStepsDrift(t *testing.T) {
+	for _, total := range []float64{0.30, 0.60, 1.00} {
+		for _, noise := range []float64{0, 0.01} {
+			xs := driftSeries(120, 100, total, noise, int64(9000+int(total*100)))
+			if steps := DetectSteps(xs, StepConfig{}); len(steps) != 0 {
+				t.Errorf("drift total=%.0f%% noise=%.2f: flagged %+v", total*100, noise, steps)
+			}
+		}
+	}
+}
+
+// TestDetectStepsTwoSteps checks independent shifts far apart are both
+// found, in order.
+func TestDetectStepsTwoSteps(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	xs := make([]float64, 120)
+	for i := range xs {
+		level := 100.0
+		if i >= 40 {
+			level = 125
+		}
+		if i >= 90 {
+			level = 100
+		}
+		xs[i] = level * (1 + 0.02*rng.NormFloat64())
+	}
+	steps := DetectSteps(xs, StepConfig{})
+	if len(steps) != 2 {
+		t.Fatalf("got %d steps (%+v), want 2", len(steps), steps)
+	}
+	if d := steps[0].Index - 40; d < -2 || d > 2 {
+		t.Errorf("first step at %d, want 40 (±2)", steps[0].Index)
+	}
+	if d := steps[1].Index - 90; d < -2 || d > 2 {
+		t.Errorf("second step at %d, want 90 (±2)", steps[1].Index)
+	}
+	if steps[0].Ratio < 1 || steps[1].Ratio > 1 {
+		t.Errorf("directions wrong: %+v", steps)
+	}
+}
+
+// TestDetectStepsScaleInvariant is the property test: multiplying a
+// series by any positive constant must not change what is detected —
+// same indices, same scores (within float tolerance), scaled levels.
+// This is what makes the detector unit-agnostic (ns/op vs ms/op).
+func TestDetectStepsScaleInvariant(t *testing.T) {
+	series := [][]float64{
+		stepSeries(80, 40, 100, 0.20, 0.03, 1),
+		stepSeries(80, -1, 100, 0, 0.03, 2),
+		driftSeries(120, 100, 0.60, 0.01, 3),
+		stepSeries(100, 25, 3e-7, 0.30, 0.02, 4), // sub-microsecond units
+	}
+	for si, xs := range series {
+		ref := DetectSteps(xs, StepConfig{})
+		for _, c := range []float64{1e-6, 0.5, 3, 1e6} {
+			scaled := make([]float64, len(xs))
+			for i, x := range xs {
+				scaled[i] = c * x
+			}
+			got := DetectSteps(scaled, StepConfig{})
+			if len(got) != len(ref) {
+				t.Fatalf("series %d scale %g: %d steps, want %d", si, c, len(got), len(ref))
+			}
+			for i := range got {
+				if got[i].Index != ref[i].Index {
+					t.Errorf("series %d scale %g: index %d, want %d", si, c, got[i].Index, ref[i].Index)
+				}
+				if relDiff(got[i].Score, ref[i].Score) > 1e-6 {
+					t.Errorf("series %d scale %g: score %g, want %g", si, c, got[i].Score, ref[i].Score)
+				}
+				if relDiff(got[i].Ratio, ref[i].Ratio) > 1e-9 {
+					t.Errorf("series %d scale %g: ratio %g, want %g", si, c, got[i].Ratio, ref[i].Ratio)
+				}
+				if relDiff(got[i].Before, c*ref[i].Before) > 1e-9 {
+					t.Errorf("series %d scale %g: before %g, want %g", si, c, got[i].Before, c*ref[i].Before)
+				}
+			}
+		}
+	}
+}
+
+func relDiff(a, b float64) float64 {
+	if a == b {
+		return 0
+	}
+	return math.Abs(a-b) / math.Max(math.Abs(a), math.Abs(b))
+}
+
+// TestDetectStepsShortSeries: series shorter than two windows cannot
+// support the test and must return nil rather than panic.
+func TestDetectStepsShortSeries(t *testing.T) {
+	for n := 0; n < 20; n++ {
+		xs := stepSeries(n, n/2, 100, 0.5, 0, 1)
+		if steps := DetectSteps(xs, StepConfig{}); steps != nil {
+			t.Errorf("n=%d: got %+v, want nil", n, steps)
+		}
+	}
+}
+
+func ExampleDetectSteps() {
+	xs := stepSeries(60, 30, 100, 0.25, 0, 1)
+	for _, s := range DetectSteps(xs, StepConfig{}) {
+		fmt.Printf("step at %d: %.0f -> %.0f (%.2fx)\n", s.Index, s.Before, s.After, s.Ratio)
+	}
+	// Output:
+	// step at 30: 100 -> 125 (1.25x)
+}
