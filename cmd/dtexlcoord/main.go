@@ -7,17 +7,32 @@
 // settled it renders the requested experiment tables from the store —
 // byte-identical to a serial dtexlbench run.
 //
+// The coordinator is highly available: it periodically snapshots its
+// authoritative state (leases, retry budgets, quarantine decisions,
+// counters) into the store directory, and a second dtexlcoord started
+// with -standby against the same store watches the epoch lease. When
+// the primary dies, the standby fences the old epoch, replays the
+// snapshot plus the store's completed results, and takes over;
+// workers re-register with their in-flight lease tokens and no cell
+// is double-counted or lost.
+//
 // Usage:
 //
 //	dtexlcoord -addr :8100 -store shared/ -scale 8 \
 //	           -exps fig11,fig16,fig17 -out fleet.txt -exit-when-done
-//	dtexld -coord http://127.0.0.1:8100 -worker-name w1 &   # × N workers
+//	dtexlcoord -addr :8101 -store shared/ -scale 8 -standby &  # hot standby
+//	dtexld -coords http://127.0.0.1:8100,http://127.0.0.1:8101 &  # × N workers
 //
 // Endpoints:
 //
 //	POST /fleet/register|heartbeat|lease|complete|fail   worker protocol
 //	GET  /fleet/stats                                    sweep + worker stats
 //	GET  /healthz                                        liveness
+//
+// With -auth-token (or -auth-token-file) every mutating endpoint
+// demands the bearer token; GETs and /healthz stay open for probes
+// and dashboards. -tls-cert/-tls-key serve HTTPS; -tls-client-ca
+// additionally demands client certificates (mTLS).
 //
 // Exit codes: 0 = suite settled (quarantined cells, if any, are
 // reported in stats and the exit stays 0 — assert on them with
@@ -38,6 +53,7 @@ import (
 	"time"
 
 	"dtexl/internal/fleet"
+	"dtexl/internal/netauth"
 	"dtexl/internal/sim"
 )
 
@@ -62,12 +78,29 @@ func run() int {
 		exitDone  = flag.Bool("exit-when-done", false, "exit once the suite settles (after rendering -exps)")
 		maxBytes  = flag.Int64("store-max-bytes", 0, "GC the store oldest-first to at most this many bytes (0 = unbounded); the live sweep's entries are never evicted")
 		maxAge    = flag.Duration("store-max-age", 0, "GC store entries older than this (0 = unbounded), e.g. 168h; the live sweep's entries are never evicted")
+		nodeID    = flag.String("node-id", "", "name for this coordinator in the epoch lease and stats (default host-pid)")
+		standby   = flag.Bool("standby", false, "start as a hot standby: serve 503 and watch the epoch lease, taking over only when the primary's lease goes stale")
+		leaseIvl  = flag.Duration("lease-interval", fleet.DefaultLeaseInterval, "epoch lease renewal (primary) and poll (standby) cadence")
+		leaseTmo  = flag.Duration("lease-timeout", 0, "epoch lease staleness bound past which a standby seizes the epoch (0 = 4x -lease-interval)")
+		snapIvl   = flag.Duration("snapshot-interval", fleet.DefaultSnapshotInterval, "cadence of fsync'd state snapshots into the store directory")
 		verbose   = flag.Bool("v", false, "log per-event lines")
 	)
+	var auth netauth.Flags
+	auth.Register(flag.CommandLine)
 	flag.Parse()
 
 	if *storeDir == "" {
 		log.Printf("dtexlcoord: -store is required")
+		return 1
+	}
+	token, err := auth.Token()
+	if err != nil {
+		log.Printf("dtexlcoord: %v", err)
+		return 1
+	}
+	tlsCfg, err := auth.ServerTLS()
+	if err != nil {
+		log.Printf("dtexlcoord: %v", err)
 		return 1
 	}
 	store, err := sim.OpenStore(*storeDir)
@@ -81,25 +114,46 @@ func run() int {
 	}
 	store.Logf = func(format string, args ...any) { log.Printf(format, args...) }
 
+	node := *nodeID
+	if node == "" {
+		host, _ := os.Hostname()
+		if host == "" {
+			host = "coord"
+		}
+		node = fmt.Sprintf("%s-%d", host, os.Getpid())
+	}
+
 	opt := sim.ScaledOptions(*scale)
 	opt.Seed = *seed
 	opt.Frames = *frames
 	if *benches != "" {
 		opt.Benchmarks = strings.Split(*benches, ",")
 	}
-	coord, err := fleet.NewCoordinator(fleet.CoordinatorConfig{
-		Opt:               opt,
-		Store:             store,
-		HeartbeatInterval: *heartbeat,
-		HeartbeatTimeout:  *hbTimeout,
-		RetryBudget:       *budget,
-		StealAfter:        *stealAft,
-		Logf:              logf,
+	ha, err := fleet.NewHA(fleet.HAConfig{
+		Coordinator: fleet.CoordinatorConfig{
+			Opt:               opt,
+			Store:             store,
+			HeartbeatInterval: *heartbeat,
+			HeartbeatTimeout:  *hbTimeout,
+			RetryBudget:       *budget,
+			StealAfter:        *stealAft,
+			Logf:              logf,
+		},
+		NodeID:           node,
+		Standby:          *standby,
+		LeaseInterval:    *leaseIvl,
+		LeaseTimeout:     *leaseTmo,
+		SnapshotInterval: *snapIvl,
+		Logf:             func(format string, args ...any) { log.Printf(format, args...) },
 	})
 	if err != nil {
 		log.Printf("dtexlcoord: %v", err)
 		return 1
 	}
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	runErr := make(chan error, 1)
+	go func() { runErr <- ha.Run(ctx) }()
 
 	// Size/age-bounded store GC: entries from older sweeps (different
 	// scale, seed, or code version) age out, but the live sweep's own
@@ -147,26 +201,39 @@ func run() int {
 		log.Printf("dtexlcoord: %v", err)
 		return 1
 	}
-	httpSrv := &http.Server{Handler: coord.Handler()}
+	// Mutations demand the bearer token (when configured); stats GETs and
+	// the health probe stay open so dashboards and load balancers work
+	// without secrets.
+	handler := netauth.Middleware(token, netauth.Or(netauth.OpenPaths("/healthz"), netauth.OpenReadOnly), ha.Handler())
+	httpSrv := &http.Server{Handler: handler, TLSConfig: tlsCfg}
 	serveErr := make(chan error, 1)
-	go func() { serveErr <- httpSrv.Serve(ln) }()
-	log.Printf("dtexlcoord: coordinating on %s (scale %d, heartbeat %v, retry budget %d)",
-		ln.Addr(), *scale, *heartbeat, *budget)
+	go func() { serveErr <- netauth.Serve(httpSrv, ln, tlsCfg) }()
+	role := "primary"
+	if *standby {
+		role = "standby"
+	}
+	log.Printf("dtexlcoord: %s %q on %s://%s (scale %d, heartbeat %v, retry budget %d, auth %v)",
+		role, node, netauth.URLScheme(tlsCfg), ln.Addr(), *scale, *heartbeat, *budget, token != "")
 
 	sigCh := make(chan os.Signal, 1)
 	signal.Notify(sigCh, os.Interrupt, syscall.SIGTERM)
 
 	settled := false
 	select {
-	case <-coord.Done():
+	case <-ha.Done():
 		settled = true
-		st := coord.Stats()
-		log.Printf("dtexlcoord: suite settled: %d done, %d quarantined, %d reassigned, %d stolen, %d late, %d rejected",
-			st.Done, st.Quarantined, st.Reassigned, st.Stolen, st.LateResults, st.RejectedResults)
+		if coord := ha.Coordinator(); coord != nil {
+			st := coord.Stats()
+			log.Printf("dtexlcoord: suite settled (epoch %d): %d done, %d quarantined, %d reassigned, %d stolen, %d late, %d rejected",
+				st.Epoch, st.Done, st.Quarantined, st.Reassigned, st.Stolen, st.LateResults, st.RejectedResults)
+		}
 	case sig := <-sigCh:
 		log.Printf("dtexlcoord: %v: shutting down", sig)
 	case err := <-serveErr:
 		log.Printf("dtexlcoord: serve: %v", err)
+		return 1
+	case err := <-runErr:
+		log.Printf("dtexlcoord: ha: %v", err)
 		return 1
 	}
 
@@ -182,7 +249,7 @@ func run() int {
 			defer f.Close()
 			w = f
 		}
-		if err := coord.RenderExperiments(strings.Split(*exps, ","), w); err != nil {
+		if err := ha.Coordinator().RenderExperiments(strings.Split(*exps, ","), w); err != nil {
 			log.Printf("dtexlcoord: %v", err)
 			code = 1
 		} else if *out != "" {
@@ -201,16 +268,26 @@ func run() int {
 		}
 	}
 
-	shutdownCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
-	defer cancel()
+	// Cancel the HA loop first: the primary takes a final snapshot on
+	// the way out so a successor resumes from the freshest state.
+	cancel()
+	select {
+	case <-runErr:
+	case <-time.After(5 * time.Second):
+	}
+	shutdownCtx, scancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer scancel()
 	if err := httpSrv.Shutdown(shutdownCtx); err != nil {
 		httpSrv.Close()
 	}
 	if !settled && code == 0 {
-		// Interrupted mid-sweep: completed cells are durable in the store,
-		// so a restarted coordinator resumes from them.
-		st := coord.Stats()
-		fmt.Fprintf(os.Stderr, "dtexlcoord: interrupted with %d/%d cells done (resumable from the store)\n", st.Done, st.Cells)
+		// Interrupted mid-sweep: completed cells are durable in the store
+		// and the final snapshot preserves lease/budget state, so a
+		// restarted or standby coordinator resumes where this one stopped.
+		if coord := ha.Coordinator(); coord != nil {
+			st := coord.Stats()
+			fmt.Fprintf(os.Stderr, "dtexlcoord: interrupted with %d/%d cells done (resumable from the store)\n", st.Done, st.Cells)
+		}
 	}
 	return code
 }

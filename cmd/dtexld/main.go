@@ -21,6 +21,8 @@
 //	curl localhost:8095/v1/experiments/fig16
 //
 //	dtexld -coord http://127.0.0.1:8100 -worker-name w1 -store shared/
+//	dtexld -coords https://c1:8100,https://c2:8101 -tls-ca tls.crt \
+//	       -auth-token-file tok -store shared/     # HA fleet over TLS
 //
 // API (see README "Serving"):
 //
@@ -39,6 +41,7 @@ package main
 
 import (
 	"context"
+	"crypto/tls"
 	"errors"
 	"flag"
 	"fmt"
@@ -48,10 +51,12 @@ import (
 	"os"
 	"os/signal"
 	"runtime"
+	"strings"
 	"syscall"
 	"time"
 
 	"dtexl/internal/fleet"
+	"dtexl/internal/netauth"
 	"dtexl/internal/serve"
 	"dtexl/internal/sim"
 )
@@ -78,11 +83,25 @@ func run() int {
 
 		// Fleet worker mode (DESIGN.md §12).
 		coord     = flag.String("coord", "", "coordinator base URL; when set, run as a fleet worker instead of a standalone server")
+		coords    = flag.String("coords", "", "comma-separated ordered coordinator endpoints for HA fleets; the worker rotates on failure (may combine with -coord, which goes first)")
 		name      = flag.String("worker-name", "", "worker label in coordinator stats (default: host:pid)")
 		partAfter = flag.Int("partition-after", 0, "chaos: go silent after this many completed cells (0 = off)")
 		partFor   = flag.Duration("partition-for", 5*time.Second, "chaos: how long an injected partition lasts")
 	)
+	var auth netauth.Flags
+	auth.Register(flag.CommandLine)
 	flag.Parse()
+
+	token, err := auth.Token()
+	if err != nil {
+		log.Printf("dtexld: %v", err)
+		return 1
+	}
+	tlsCfg, err := auth.ServerTLS()
+	if err != nil {
+		log.Printf("dtexld: %v", err)
+		return 1
+	}
 
 	logf := func(format string, args ...any) { log.Printf(format, args...) }
 	if !*verbose {
@@ -96,6 +115,7 @@ func run() int {
 		Concurrency:   *conc,
 		QueueDepth:    *queue,
 		CellBudget:    *cellBudg,
+		AuthToken:     token,
 		Logf:          logf,
 	}
 	if *cellPar == 0 {
@@ -134,23 +154,32 @@ func run() int {
 		log.Printf("dtexld: shared store open under %s, %d entry(ies)", *storeDir, n)
 	}
 
-	if *coord != "" {
-		return runWorker(cfg, *addr, *coord, *name, *partAfter, *partFor)
+	if *coord != "" || *coords != "" {
+		client, err := auth.Client(5 * time.Minute)
+		if err != nil {
+			log.Printf("dtexld: %v", err)
+			return 1
+		}
+		var endpoints []string
+		if *coords != "" {
+			endpoints = strings.Split(*coords, ",")
+		}
+		return runWorker(cfg, tlsCfg, client, *addr, *coord, endpoints, *name, *partAfter, *partFor)
 	}
 
 	s := serve.New(cfg)
-	httpSrv := &http.Server{Addr: *addr, Handler: s.Handler()}
+	httpSrv := &http.Server{Addr: *addr, Handler: s.Handler(), TLSConfig: tlsCfg}
 
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {
 		log.Printf("dtexld: %v", err)
 		return 1
 	}
-	log.Printf("dtexld: serving on %s (scale %d, %d slots, queue %d, cell budget %v)",
-		ln.Addr(), *scale, effectiveConc(*conc), *queue, *cellBudg)
+	log.Printf("dtexld: serving on %s://%s (scale %d, %d slots, queue %d, cell budget %v, auth %v)",
+		netauth.URLScheme(tlsCfg), ln.Addr(), *scale, effectiveConc(*conc), *queue, *cellBudg, token != "")
 
 	serveErr := make(chan error, 1)
-	go func() { serveErr <- httpSrv.Serve(ln) }()
+	go func() { serveErr <- netauth.Serve(httpSrv, ln, tlsCfg) }()
 
 	sigCh := make(chan os.Signal, 1)
 	signal.Notify(sigCh, os.Interrupt, syscall.SIGTERM)
@@ -195,14 +224,16 @@ func run() int {
 // pulls and computes leased cells. The runner the worker builds from
 // the coordinator's suite options layers the same memo stack as the
 // serving path: L1 memo → journal → shared store → compute.
-func runWorker(cfg serve.Config, addr, coord, name string, partAfter int, partFor time.Duration) int {
+func runWorker(cfg serve.Config, tlsCfg *tls.Config, client *http.Client, addr, coord string, coords []string, name string, partAfter int, partFor time.Duration) int {
 	if name == "" {
 		host, _ := os.Hostname()
 		name = fmt.Sprintf("%s:%d", host, os.Getpid())
 	}
 	w := fleet.NewWorker(fleet.WorkerConfig{
-		Coordinator: coord,
-		Name:        name,
+		Coordinator:  coord,
+		Coordinators: coords,
+		Client:       client,
+		Name:         name,
 		NewRunner: func(opt sim.Options) *sim.Runner {
 			r := sim.NewRunner(opt)
 			r.Journal = cfg.Journal
@@ -225,9 +256,13 @@ func runWorker(cfg serve.Config, addr, coord, name string, partAfter int, partFo
 		log.Printf("dtexld: %v", err)
 		return 1
 	}
-	httpSrv := &http.Server{Handler: s.Handler()}
-	go httpSrv.Serve(ln)
-	log.Printf("dtexld: worker %q joining fleet at %s (health on %s)", name, coord, ln.Addr())
+	httpSrv := &http.Server{Handler: s.Handler(), TLSConfig: tlsCfg}
+	go netauth.Serve(httpSrv, ln, tlsCfg)
+	targets := coords
+	if coord != "" {
+		targets = append([]string{coord}, coords...)
+	}
+	log.Printf("dtexld: worker %q joining fleet at %s (health on %s)", name, strings.Join(targets, ","), ln.Addr())
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()

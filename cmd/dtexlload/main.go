@@ -46,6 +46,7 @@ import (
 	"time"
 
 	"dtexl/internal/fleet"
+	"dtexl/internal/netauth"
 	"dtexl/internal/serve"
 	"dtexl/internal/serve/client"
 )
@@ -85,14 +86,26 @@ func run() int {
 		expectReassig = flag.Int("expect-reassigned-min", 0, "fleet: fail unless at least this many leases were reassigned")
 		corruptStore  = flag.String("corrupt-store", "", "fleet chaos: flip a byte in entries of this shared store directory before awaiting")
 		corruptN      = flag.Int("corrupt-n", 1, "fleet chaos: how many store entries to corrupt")
+		expectEpoch   = flag.Int("expect-epoch-min", 0, "fleet: fail unless the coordinator's epoch is at least this (HA failover assertion)")
 	)
+	var auth netauth.Flags
+	auth.Register(flag.CommandLine)
 	flag.Parse()
 
+	// One authenticated client serves both modes: bearer token injected
+	// by the transport, TLS roots from the -tls-* flags.
+	hc, err := auth.Client(2 * time.Minute)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "dtexlload: %v\n", err)
+		return 1
+	}
+
 	if *coord != "" {
-		return runFleetAudit(*coord, *awaitTimeout, *awaitBusy, *expectQuar, *expectReassig, *corruptStore, *corruptN, *verbose)
+		return runFleetAudit(hc, *coord, *awaitTimeout, *awaitBusy, *expectQuar, *expectReassig, *expectEpoch, *corruptStore, *corruptN, *verbose)
 	}
 
 	cl := client.New(*addr,
+		client.WithHTTP(hc),
 		client.WithRetries(*retries),
 		client.WithBackoff(50*time.Millisecond, 2*time.Second),
 		client.WithBreaker(5, 5*time.Second),
@@ -152,7 +165,7 @@ func run() int {
 	// in-flight identical run, and how many simulations actually
 	// executed. With -identical against a fresh server, sims_computed
 	// must be exactly 1 — the M→1 contract.
-	if st, err := fetchReady(*addr); err == nil {
+	if st, err := fetchReady(hc, *addr); err == nil {
 		fmt.Printf("dtexlload: server: coalesced=%d flights=%d sims_computed=%d served=%d\n",
 			st.Coalesced, st.FlightsStarted, st.SimsComputed, st.Served)
 		if *expectSims >= 0 && st.SimsComputed != uint64(*expectSims) {
@@ -181,7 +194,7 @@ func run() int {
 // guaranteed-interesting moment). Otherwise it optionally corrupts
 // store entries, polls /fleet/stats until the suite settles, and
 // asserts the failure counters.
-func runFleetAudit(coord string, timeout time.Duration, awaitBusy string, expectQuar, expectReassignMin int, corruptStore string, corruptN int, verbose bool) int {
+func runFleetAudit(hc *http.Client, coord string, timeout time.Duration, awaitBusy string, expectQuar, expectReassignMin, expectEpochMin int, corruptStore string, corruptN int, verbose bool) int {
 	deadline := time.Now().Add(timeout)
 	corruptPending := corruptStore != ""
 	for {
@@ -200,7 +213,7 @@ func runFleetAudit(coord string, timeout time.Duration, awaitBusy string, expect
 				corruptPending = false
 			}
 		}
-		st, err := fetchFleetStats(coord)
+		st, err := fetchFleetStats(hc, coord)
 		if err != nil {
 			if verbose {
 				fmt.Fprintf(os.Stderr, "dtexlload: fleet stats: %v\n", err)
@@ -221,7 +234,7 @@ func runFleetAudit(coord string, timeout time.Duration, awaitBusy string, expect
 				if corruptPending {
 					fmt.Println("dtexlload: note: suite settled before any store entry existed to corrupt")
 				}
-				return checkFleetStats(st, expectQuar, expectReassignMin)
+				return checkFleetStats(st, expectQuar, expectReassignMin, expectEpochMin)
 			}
 		}
 		if time.Now().After(deadline) {
@@ -237,9 +250,9 @@ func runFleetAudit(coord string, timeout time.Duration, awaitBusy string, expect
 }
 
 // checkFleetStats asserts the post-sweep failure counters.
-func checkFleetStats(st *fleet.Stats, expectQuar, expectReassignMin int) int {
-	fmt.Printf("dtexlload: fleet settled: cells=%d done=%d quarantined=%d reassigned=%d stolen=%d rejected=%d late=%d store-primed=%d\n",
-		st.Cells, st.Done, st.Quarantined, st.Reassigned, st.Stolen, st.RejectedResults, st.LateResults, st.StorePrimed)
+func checkFleetStats(st *fleet.Stats, expectQuar, expectReassignMin, expectEpochMin int) int {
+	fmt.Printf("dtexlload: fleet settled: node=%s epoch=%d cells=%d done=%d quarantined=%d reassigned=%d stolen=%d rejected=%d late=%d store-primed=%d\n",
+		st.NodeID, st.Epoch, st.Cells, st.Done, st.Quarantined, st.Reassigned, st.Stolen, st.RejectedResults, st.LateResults, st.StorePrimed)
 	for _, r := range st.Reassignments {
 		fmt.Printf("dtexlload: reassigned %s from %s (%s)\n", r.Cell, r.Worker, r.Reason)
 	}
@@ -253,6 +266,10 @@ func checkFleetStats(st *fleet.Stats, expectQuar, expectReassignMin int) int {
 	}
 	if st.Reassigned < expectReassignMin {
 		fmt.Printf("dtexlload: FAIL: reassigned=%d, want >= %d\n", st.Reassigned, expectReassignMin)
+		code = 1
+	}
+	if st.Epoch < uint64(expectEpochMin) {
+		fmt.Printf("dtexlload: FAIL: epoch=%d, want >= %d (no failover happened?)\n", st.Epoch, expectEpochMin)
 		code = 1
 	}
 	return code
@@ -292,8 +309,8 @@ func corruptStoreEntries(dir string, n int) (int, error) {
 }
 
 // fetchFleetStats reads the coordinator's /fleet/stats.
-func fetchFleetStats(coord string) (*fleet.Stats, error) {
-	hres, err := http.Get(strings.TrimRight(coord, "/") + fleet.PathStats)
+func fetchFleetStats(hc *http.Client, coord string) (*fleet.Stats, error) {
+	hres, err := hc.Get(strings.TrimRight(coord, "/") + fleet.PathStats)
 	if err != nil {
 		return nil, err
 	}
@@ -310,8 +327,8 @@ func fetchFleetStats(coord string) (*fleet.Stats, error) {
 
 // fetchReady reads /readyz, decoding the body regardless of status (a
 // draining server answers 503 with the same shape).
-func fetchReady(addr string) (*serve.ReadyState, error) {
-	hres, err := http.Get(strings.TrimRight(addr, "/") + "/readyz")
+func fetchReady(hc *http.Client, addr string) (*serve.ReadyState, error) {
+	hres, err := hc.Get(strings.TrimRight(addr, "/") + "/readyz")
 	if err != nil {
 		return nil, err
 	}

@@ -22,6 +22,7 @@ import (
 	"context"
 	"flag"
 	"fmt"
+	"net"
 	"net/http"
 	"os"
 	"os/signal"
@@ -29,6 +30,7 @@ import (
 	"syscall"
 	"time"
 
+	"dtexl/internal/netauth"
 	"dtexl/internal/perfdb"
 	"dtexl/internal/stats"
 )
@@ -152,19 +154,38 @@ func cmdServe(db *perfdb.DB, args []string, logf func(string, ...any)) int {
 	repo := fs.String("repo", "", "git repository for /api/bisect worktrees (empty: bisection over HTTP needs explicit commit lists and is run elsewhere)")
 	par := fs.Int("par", 1, "max concurrent bisection worktrees")
 	benchTime := fs.String("benchtime", "0.2s", "-benchtime per bisection measurement")
+	var auth netauth.Flags
+	auth.Register(fs)
 	fs.Parse(args)
 
-	cfg := perfdb.ServerConfig{DB: db, Repo: *repo, Logf: logf}
+	token, err := auth.Token()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "dtexlperf serve:", err)
+		return 1
+	}
+	tlsCfg, err := auth.ServerTLS()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "dtexlperf serve:", err)
+		return 1
+	}
+	// The token gates POST /api/ingest and /api/bisect; the dashboard and
+	// every read API stay open — the chart is for people, writes are CI's.
+	cfg := perfdb.ServerConfig{DB: db, Repo: *repo, AuthToken: token, Logf: logf}
 	if *repo != "" {
 		wt := &perfdb.WorktreeRunner{
 			Repo: *repo, Parallel: *par, BenchTime: *benchTime, Logf: logf,
 		}
 		cfg.Bisect = wt.Run
 	}
-	srv := &http.Server{Addr: *addr, Handler: perfdb.NewServer(cfg).Handler()}
+	srv := &http.Server{Addr: *addr, Handler: perfdb.NewServer(cfg).Handler(), TLSConfig: tlsCfg}
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "dtexlperf serve:", err)
+		return 1
+	}
 	errc := make(chan error, 1)
-	go func() { errc <- srv.ListenAndServe() }()
-	fmt.Fprintf(os.Stderr, "dtexlperf: serving on http://%s\n", *addr)
+	go func() { errc <- netauth.Serve(srv, ln, tlsCfg) }()
+	fmt.Fprintf(os.Stderr, "dtexlperf: serving on %s://%s (ingest auth %v)\n", netauth.URLScheme(tlsCfg), ln.Addr(), token != "")
 
 	sigc := make(chan os.Signal, 1)
 	signal.Notify(sigc, syscall.SIGINT, syscall.SIGTERM)

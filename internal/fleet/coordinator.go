@@ -33,6 +33,19 @@ type CoordinatorConfig struct {
 	// StealAfter is the lease age past which an idle worker may steal
 	// (double-lease) the cell; default 2m.
 	StealAfter time.Duration
+	// Epoch is this coordinator's fencing epoch under HA. Grants and
+	// heartbeats carrying a different non-zero epoch are rejected as
+	// stale; completions and failure reports are accepted at any epoch
+	// (results are checksummed and idempotent). Zero means epochs are
+	// not enforced (single-coordinator deployments).
+	Epoch uint64
+	// NodeID labels this coordinator process in stats and snapshots.
+	NodeID string
+	// Resume, when non-nil, replays a snapshot from a previous epoch:
+	// retry budgets, quarantine decisions, failure counters and in-flight
+	// leases. Completions always come from the store scan, which outranks
+	// the snapshot.
+	Resume *SnapshotState
 	// Logf, when non-nil, receives one line per fleet event.
 	Logf func(format string, args ...any)
 
@@ -149,10 +162,27 @@ func NewCoordinator(cfg CoordinatorConfig) (*Coordinator, error) {
 	if len(c.cells) == 0 {
 		return nil, fmt.Errorf("fleet: suite has no cells")
 	}
-	c.cfg.Logf("fleet: coordinator up: %d cells (%d primed from store), heartbeat %v (timeout %v), retry budget %d, steal after %v",
-		len(c.cells), c.primed, cfg.HeartbeatInterval, cfg.HeartbeatTimeout, cfg.RetryBudget, cfg.StealAfter)
+	c.cfg.Logf("fleet: coordinator up (epoch %d): %d cells (%d primed from store), heartbeat %v (timeout %v), retry budget %d, steal after %v",
+		cfg.Epoch, len(c.cells), c.primed, cfg.HeartbeatInterval, cfg.HeartbeatTimeout, cfg.RetryBudget, cfg.StealAfter)
+	if cfg.Resume != nil {
+		c.mu.Lock()
+		c.restoreLocked(cfg.Resume, cfg.now())
+		c.mu.Unlock()
+	}
+	c.mu.Lock()
 	c.checkDoneLocked()
+	c.mu.Unlock()
 	return c, nil
+}
+
+// Epoch returns the coordinator's fencing epoch.
+func (c *Coordinator) Epoch() uint64 { return c.cfg.Epoch }
+
+// staleEpoch reports whether a request's epoch is from a fenced-off
+// coordinator generation. Zero (legacy, or pre-registration) is never
+// stale; neither is anything when this coordinator runs without epochs.
+func (c *Coordinator) staleEpoch(epoch uint64) bool {
+	return c.cfg.Epoch != 0 && epoch != 0 && epoch != c.cfg.Epoch
 }
 
 // Done is closed once every cell has settled (completed or
@@ -243,7 +273,13 @@ func shardOf(cellID string, n int) int {
 }
 
 // register admits a worker and hands it the suite contract.
-func (c *Coordinator) register(name string) RegisterResponse {
+// Registration is always accepted, whatever epoch the worker last saw —
+// it is exactly how a worker crosses a failover. Held leases that still
+// exist (typically restored from a snapshot under the worker's previous
+// ID) are transferred to the new identity with their lease tokens and
+// retry accounting intact: resuming in-flight work across an epoch
+// never charges the cell's retry budget.
+func (c *Coordinator) register(req RegisterRequest) RegisterResponse {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	now := c.cfg.now()
@@ -251,50 +287,76 @@ func (c *Coordinator) register(name string) RegisterResponse {
 	c.seq++
 	w := &workerState{
 		id:       fmt.Sprintf("w%d", c.seq),
-		name:     name,
+		name:     req.Name,
 		lastBeat: now,
 		leases:   make(map[string]*lease),
 	}
 	c.workers[w.id] = w
-	c.cfg.Logf("fleet: worker %s registered as %s", name, w.id)
-	return RegisterResponse{
+	resp := RegisterResponse{
 		WorkerID:            w.id,
+		Epoch:               c.cfg.Epoch,
 		HeartbeatIntervalMS: c.cfg.HeartbeatInterval.Milliseconds(),
 		Options:             c.cfg.Opt,
 	}
+	for _, h := range req.Held {
+		l := c.leases[h.LeaseID]
+		if l == nil || l.cell.spec.ID() != h.Cell.ID() {
+			continue // lease already settled or reassigned; worker's report will land late
+		}
+		if ow := c.workers[l.worker]; ow != nil {
+			delete(ow.leases, l.id)
+		}
+		l.worker = w.id
+		w.leases[l.id] = l
+		resp.Resumed = append(resp.Resumed, l.id)
+		c.cfg.Logf("fleet: worker %s resumes lease %s on cell %s across re-registration", w.id, l.id, l.cell.spec.ID())
+	}
+	c.cfg.Logf("fleet: worker %s registered as %s (epoch %d, %d lease(s) resumed)", req.Name, w.id, c.cfg.Epoch, len(resp.Resumed))
+	return resp
 }
 
-// heartbeat renews liveness; false means the worker is unknown or
-// already written off and must re-register.
-func (c *Coordinator) heartbeat(workerID string) bool {
+// heartbeat renews liveness. ok=false means the worker is unknown or
+// already written off and must re-register; stale=true means the
+// request carried a fenced-off epoch.
+func (c *Coordinator) heartbeat(workerID string, epoch uint64) (ok, stale bool) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	if c.staleEpoch(epoch) {
+		return false, true
+	}
 	now := c.cfg.now()
 	c.expireLocked(now)
 	w := c.workers[workerID]
 	if w == nil || w.gone {
-		return false
+		return false, false
 	}
 	w.lastBeat = now
-	return true
+	return true, false
 }
 
 // lease grants one cell to the worker: a pending cell from its shard if
 // any, any pending cell otherwise, and failing that a steal of the
-// oldest over-age lease. ok=false means the worker must re-register.
-func (c *Coordinator) lease(workerID string) (LeaseResponse, bool) {
+// oldest over-age lease. ok=false means the worker must re-register;
+// stale=true means the grant was refused because the request carried a
+// fenced-off epoch (grants are never issued across epochs — that is the
+// fencing rule that keeps a partitioned old primary's workers from
+// double-leasing cells).
+func (c *Coordinator) lease(workerID string, epoch uint64) (resp LeaseResponse, ok, stale bool) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	if c.staleEpoch(epoch) {
+		return LeaseResponse{}, false, true
+	}
 	now := c.cfg.now()
 	c.expireLocked(now)
 	w := c.workers[workerID]
 	if w == nil || w.gone {
-		return LeaseResponse{}, false
+		return LeaseResponse{}, false, false
 	}
 	w.lastBeat = now // asking for work proves liveness
 
 	if c.settled == len(c.cells) {
-		return LeaseResponse{Done: true}, true
+		return LeaseResponse{Done: true}, true, false
 	}
 
 	live := c.liveWorkersLocked()
@@ -333,7 +395,7 @@ func (c *Coordinator) lease(workerID string) (LeaseResponse, bool) {
 			}
 		}
 		if victim == nil {
-			return LeaseResponse{Idle: true, RetryMS: c.cfg.HeartbeatInterval.Milliseconds()}, true
+			return LeaseResponse{Idle: true, RetryMS: c.cfg.HeartbeatInterval.Milliseconds()}, true, false
 		}
 		pick, stolen = victim.cell, true
 	}
@@ -351,7 +413,7 @@ func (c *Coordinator) lease(workerID string) (LeaseResponse, bool) {
 		pick.attempts++
 		c.cfg.Logf("fleet: worker %s leases cell %s (lease %s, attempt %d)", workerID, pick.spec.ID(), l.id, pick.attempts)
 	}
-	return LeaseResponse{LeaseID: l.id, Cell: pick.spec, Stolen: stolen}, true
+	return LeaseResponse{LeaseID: l.id, Cell: pick.spec, Stolen: stolen}, true, false
 }
 
 // complete admits one result. The checksum and payload are verified
@@ -444,6 +506,8 @@ func (c *Coordinator) Stats() Stats {
 	now := c.cfg.now()
 	c.expireLocked(now)
 	st := Stats{
+		Epoch:           c.cfg.Epoch,
+		NodeID:          c.cfg.NodeID,
 		Cells:           len(c.cells),
 		StorePrimed:     c.primed,
 		Reassigned:      c.reassigned,
@@ -515,14 +579,19 @@ func (c *Coordinator) Handler() http.Handler {
 		if !decodeJSON(w, r, &req) {
 			return
 		}
-		writeJSON(w, http.StatusOK, c.register(req.Name))
+		writeJSON(w, http.StatusOK, c.register(req))
 	})
 	mux.HandleFunc("POST "+PathHeartbeat, func(w http.ResponseWriter, r *http.Request) {
 		var req HeartbeatRequest
 		if !decodeJSON(w, r, &req) {
 			return
 		}
-		if !c.heartbeat(req.WorkerID) {
+		ok, stale := c.heartbeat(req.WorkerID, req.Epoch)
+		if stale {
+			http.Error(w, "stale epoch; re-register", http.StatusConflict)
+			return
+		}
+		if !ok {
 			http.Error(w, "unknown worker; re-register", http.StatusGone)
 			return
 		}
@@ -533,7 +602,11 @@ func (c *Coordinator) Handler() http.Handler {
 		if !decodeJSON(w, r, &req) {
 			return
 		}
-		resp, ok := c.lease(req.WorkerID)
+		resp, ok, stale := c.lease(req.WorkerID, req.Epoch)
+		if stale {
+			http.Error(w, "stale epoch; re-register", http.StatusConflict)
+			return
+		}
 		if !ok {
 			http.Error(w, "unknown worker; re-register", http.StatusGone)
 			return

@@ -31,30 +31,52 @@ const (
 )
 
 // RegisterRequest announces a worker. Names are labels, not identities:
-// re-registering after a partition yields a fresh worker ID.
+// re-registering after a partition or failover yields a fresh worker ID.
+// Held carries the worker's in-flight leases so a registration across a
+// coordinator epoch can resume them (lease-token continuity) instead of
+// burning retry budget on work that is still running.
 type RegisterRequest struct {
-	Name string `json:"name"`
+	Name string      `json:"name"`
+	Held []HeldLease `json:"held,omitempty"`
+}
+
+// HeldLease is one in-flight lease a re-registering worker presents for
+// adoption.
+type HeldLease struct {
+	LeaseID string       `json:"lease_id"`
+	Cell    sim.CellSpec `json:"cell"`
+	// Epoch is the coordinator epoch that granted the lease; informative
+	// only — adoption matches on lease ID + cell.
+	Epoch uint64 `json:"epoch,omitempty"`
 }
 
 // RegisterResponse hands the worker its identity and the suite contract:
-// the exact simulation options every cell key derives from, and the
-// heartbeat interval the coordinator expects.
+// the exact simulation options every cell key derives from, the
+// heartbeat interval the coordinator expects, and the coordinator's
+// fencing epoch the worker must echo on heartbeats and lease requests.
+// Resumed lists the held lease IDs the coordinator adopted.
 type RegisterResponse struct {
 	WorkerID            string      `json:"worker_id"`
+	Epoch               uint64      `json:"epoch,omitempty"`
+	Resumed             []string    `json:"resumed,omitempty"`
 	HeartbeatIntervalMS int64       `json:"heartbeat_interval_ms"`
 	Options             sim.Options `json:"options"`
 }
 
 // HeartbeatRequest renews a worker's liveness. A 410 response means the
-// coordinator has written the worker off (heartbeat lapse); the worker
-// must re-register before taking more work.
+// coordinator has written the worker off (heartbeat lapse); a 409 means
+// the epoch is stale (a failover happened). Either way the worker must
+// re-register before taking more work.
 type HeartbeatRequest struct {
 	WorkerID string `json:"worker_id"`
+	Epoch    uint64 `json:"epoch,omitempty"`
 }
 
-// LeaseRequest asks for one cell of work.
+// LeaseRequest asks for one cell of work. A stale epoch is refused with
+// 409: grants never cross epochs.
 type LeaseRequest struct {
 	WorkerID string `json:"worker_id"`
+	Epoch    uint64 `json:"epoch,omitempty"`
 }
 
 // LeaseResponse is the coordinator's answer to a lease request: exactly
@@ -100,6 +122,11 @@ type FailRequest struct {
 
 // Stats is the GET /fleet/stats body: the live picture of the sweep.
 type Stats struct {
+	// Epoch and NodeID identify which coordinator generation is
+	// answering — the CI failover check asserts the epoch bumped.
+	Epoch  uint64 `json:"epoch,omitempty"`
+	NodeID string `json:"node_id,omitempty"`
+
 	// Cell accounting. Done includes StorePrimed; Cells = Done + Pending +
 	// Leased + Quarantined.
 	Cells       int `json:"cells"`

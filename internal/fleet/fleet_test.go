@@ -139,8 +139,8 @@ func TestHeartbeatLapseReassignment(t *testing.T) {
 
 	// The doomed worker: registers, grabs one lease, never heartbeats,
 	// never reports — a SIGKILL mid-cell as the coordinator sees it.
-	dead := c.register("doomed")
-	grant, ok := c.lease(dead.WorkerID)
+	dead := c.register(RegisterRequest{Name: "doomed"})
+	grant, ok, _ := c.lease(dead.WorkerID, 0)
 	if !ok || grant.LeaseID == "" {
 		t.Fatalf("doomed worker got no lease: %+v", grant)
 	}
@@ -197,8 +197,8 @@ func TestWorkStealing(t *testing.T) {
 	})
 
 	// The slow worker: holds one lease forever while heartbeating.
-	slow := c.register("slow")
-	grant, ok := c.lease(slow.WorkerID)
+	slow := c.register(RegisterRequest{Name: "slow"})
+	grant, ok, _ := c.lease(slow.WorkerID, 0)
 	if !ok || grant.LeaseID == "" {
 		t.Fatalf("slow worker got no lease: %+v", grant)
 	}
@@ -212,7 +212,7 @@ func TestWorkStealing(t *testing.T) {
 			case <-stopBeat:
 				return
 			case <-tick.C:
-				c.heartbeat(slow.WorkerID)
+				c.heartbeat(slow.WorkerID, 0)
 			}
 		}
 	}()
@@ -307,8 +307,8 @@ func TestRetryBudgetQuarantine(t *testing.T) {
 func TestCorruptResultRejected(t *testing.T) {
 	opt := fleetOptions()
 	c, _ := newTestCoordinator(t, CoordinatorConfig{Opt: opt})
-	reg := c.register("flaky")
-	grant, ok := c.lease(reg.WorkerID)
+	reg := c.register(RegisterRequest{Name: "flaky"})
+	grant, ok, _ := c.lease(reg.WorkerID, 0)
 	if !ok {
 		t.Fatal("no lease")
 	}
@@ -334,7 +334,7 @@ func TestCorruptResultRejected(t *testing.T) {
 		t.Error("corrupt result reached the store")
 	}
 	// The rejection released the lease; the same worker retries cleanly.
-	grant2, ok := c.lease(reg.WorkerID)
+	grant2, ok, _ := c.lease(reg.WorkerID, 0)
 	if !ok || grant2.Cell.ID() != grant.Cell.ID() {
 		t.Fatalf("retry lease = %+v, want the same cell back", grant2)
 	}

@@ -1,0 +1,115 @@
+package netauth
+
+import (
+	"crypto/tls"
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"strings"
+	"time"
+)
+
+// Flags is the uniform auth/TLS flag surface every networked command
+// registers. One deployment shares one token and one CA, so a process
+// that is both a server (its own API) and a client (dialing the
+// coordinator) uses the same flag values for both roles:
+//
+//	-auth-token / -auth-token-file   shared bearer token
+//	-tls-cert / -tls-key             this process's certificate
+//	-tls-ca                          trust bundle for servers it dials
+//	-tls-client-ca                   require client certs signed by this (mTLS)
+//	-tls-insecure                    skip server verification (testing)
+type Flags struct {
+	TokenFlag string
+	TokenFile string
+	Cert      string
+	Key       string
+	CA        string
+	ClientCA  string
+	Insecure  bool
+}
+
+// Register installs the flags on fs.
+func (f *Flags) Register(fs *flag.FlagSet) {
+	fs.StringVar(&f.TokenFlag, "auth-token", "", "shared bearer token; when set, write endpoints require it")
+	fs.StringVar(&f.TokenFile, "auth-token-file", "", "read the bearer token from this file (trailing whitespace stripped; overrides -auth-token)")
+	fs.StringVar(&f.Cert, "tls-cert", "", "PEM certificate for this process (serve TLS; also presented as the client certificate under mTLS)")
+	fs.StringVar(&f.Key, "tls-key", "", "PEM private key matching -tls-cert")
+	fs.StringVar(&f.CA, "tls-ca", "", "PEM trust bundle for verifying servers this process dials (empty = system roots)")
+	fs.StringVar(&f.ClientCA, "tls-client-ca", "", "PEM bundle; when set, clients must present a certificate signed by it (mTLS)")
+	fs.BoolVar(&f.Insecure, "tls-insecure", false, "skip server certificate verification (testing only)")
+}
+
+// Token resolves the bearer token: the token file wins over the inline
+// flag; both empty means auth off.
+func (f *Flags) Token() (string, error) {
+	if f.TokenFile != "" {
+		b, err := os.ReadFile(f.TokenFile)
+		if err != nil {
+			return "", fmt.Errorf("netauth: -auth-token-file: %w", err)
+		}
+		tok := strings.TrimRight(string(b), " \t\r\n")
+		if tok == "" {
+			return "", fmt.Errorf("netauth: -auth-token-file %s is empty", f.TokenFile)
+		}
+		return tok, nil
+	}
+	return f.TokenFlag, nil
+}
+
+// ServerTLS resolves the serve-side TLS config (nil when TLS is off).
+func (f *Flags) ServerTLS() (*tls.Config, error) {
+	return ServerTLS(f.Cert, f.Key, f.ClientCA)
+}
+
+// ClientTLS resolves the dial-side TLS config (nil when default
+// transport verification suffices).
+func (f *Flags) ClientTLS() (*tls.Config, error) {
+	return ClientTLS(f.CA, f.Cert, f.Key, f.Insecure)
+}
+
+// Client builds an *http.Client carrying the token and dial-side TLS
+// config; timeout <= 0 means no client timeout.
+func (f *Flags) Client(timeout time.Duration) (*http.Client, error) {
+	tok, err := f.Token()
+	if err != nil {
+		return nil, err
+	}
+	tlsCfg, err := f.ClientTLS()
+	if err != nil {
+		return nil, err
+	}
+	var base http.RoundTripper
+	if tlsCfg != nil {
+		t := http.DefaultTransport.(*http.Transport).Clone()
+		t.TLSClientConfig = tlsCfg
+		base = t
+	}
+	c := &http.Client{Transport: &Transport{Token: tok, Base: base}}
+	if timeout > 0 {
+		c.Timeout = timeout
+	}
+	return c, nil
+}
+
+// Serve runs srv on ln, upgrading to TLS when tlsCfg is non-nil. The
+// cert and key already live inside tlsCfg, so ServeTLS gets empty
+// paths.
+func Serve(srv *http.Server, ln net.Listener, tlsCfg *tls.Config) error {
+	if tlsCfg != nil {
+		srv.TLSConfig = tlsCfg
+		return srv.ServeTLS(ln, "", "")
+	}
+	return srv.Serve(ln)
+}
+
+// URLScheme returns the scheme a client should use against a server
+// configured with tlsCfg — a convenience for log lines.
+func URLScheme(tlsCfg *tls.Config) string {
+	if tlsCfg != nil {
+		return "https"
+	}
+	return "http"
+}

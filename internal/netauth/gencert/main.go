@@ -1,0 +1,35 @@
+// Command gencert writes a self-signed TLS certificate/key pair for
+// local and CI deployments of the dtexl services. The certificate is
+// its own CA, so the emitted cert.pem is also the -tls-ca bundle
+// clients verify against:
+//
+//	go run ./internal/netauth/gencert -cert tls.crt -key tls.key \
+//	       -hosts 127.0.0.1,localhost
+//	dtexlcoord -tls-cert tls.crt -tls-key tls.key ...
+//	dtexld     -tls-ca tls.crt ...
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"dtexl/internal/netauth"
+)
+
+func main() {
+	var (
+		cert  = flag.String("cert", "tls.crt", "output certificate path (PEM)")
+		key   = flag.String("key", "tls.key", "output private key path (PEM, mode 0600)")
+		hosts = flag.String("hosts", "127.0.0.1,localhost", "comma-separated DNS names and IPs the cert is valid for")
+		valid = flag.Duration("valid-for", 24*time.Hour, "certificate lifetime")
+	)
+	flag.Parse()
+	if err := netauth.WriteSelfSigned(*cert, *key, strings.Split(*hosts, ","), *valid); err != nil {
+		fmt.Fprintln(os.Stderr, "gencert:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("gencert: wrote %s and %s for %s\n", *cert, *key, *hosts)
+}

@@ -1,0 +1,64 @@
+package perfdb
+
+import (
+	"net/http"
+	"strings"
+	"testing"
+)
+
+// TestAuthGatesWrites: with AuthToken set, POST /api/ingest and
+// POST /api/bisect demand the bearer token while every read — the
+// dashboard, series, regressions, raw artifacts, health — stays open.
+func TestAuthGatesWrites(t *testing.T) {
+	const token = "perf-secret"
+	ts, _, firstRaw, _ := newTestServer(t, ServerConfig{AuthToken: token, Logf: t.Logf})
+
+	for _, path := range []string{"/", "/healthz", "/api/commits", "/api/series", "/api/regressions", "/api/raw", "/api/raw/" + firstRaw} {
+		if got := getJSON(t, ts.URL+path, nil); got != http.StatusOK {
+			t.Errorf("GET %s with auth on = %d, want 200 (reads stay open)", path, got)
+		}
+	}
+
+	body := "BenchmarkHot-8  100  99 ns/op\n"
+	req, _ := http.NewRequest(http.MethodPost, ts.URL+"/api/ingest?commit=c99&name=bench.txt", strings.NewReader(body))
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusUnauthorized {
+		t.Fatalf("unauthenticated ingest = %d, want 401", resp.StatusCode)
+	}
+
+	req, _ = http.NewRequest(http.MethodPost, ts.URL+"/api/ingest?commit=c99&name=bench.txt", strings.NewReader(body))
+	req.Header.Set("Authorization", "Bearer wrong")
+	resp, err = http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusUnauthorized {
+		t.Fatalf("wrong-token ingest = %d, want 401", resp.StatusCode)
+	}
+
+	req, _ = http.NewRequest(http.MethodPost, ts.URL+"/api/ingest?commit=c99&name=bench.txt", strings.NewReader(body))
+	req.Header.Set("Authorization", "Bearer "+token)
+	resp, err = http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("tokened ingest = %d, want 200", resp.StatusCode)
+	}
+
+	req, _ = http.NewRequest(http.MethodPost, ts.URL+"/api/bisect", strings.NewReader(`{}`))
+	resp, err = http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusUnauthorized {
+		t.Fatalf("unauthenticated bisect = %d, want 401", resp.StatusCode)
+	}
+}

@@ -11,6 +11,7 @@ import (
 	"strings"
 	"time"
 
+	"dtexl/internal/netauth"
 	"dtexl/internal/stats"
 )
 
@@ -36,6 +37,11 @@ type ServerConfig struct {
 	Repo string
 	// BisectTimeout bounds one /api/bisect request (default 10m).
 	BisectTimeout time.Duration
+	// AuthToken, when set, gates the write endpoints (POST /api/ingest,
+	// POST /api/bisect) behind bearer-token auth. Reads — the dashboard,
+	// series, regressions, raw artifacts — stay open: the service is a
+	// chart people look at, but only CI may feed it.
+	AuthToken string
 	// Logf, when non-nil, receives one line per notable event.
 	Logf func(format string, args ...any)
 }
@@ -81,7 +87,7 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /api/raw/{id}", s.handleRawGet)
 	mux.HandleFunc("POST /api/ingest", s.handleIngest)
 	mux.HandleFunc("POST /api/bisect", s.handleBisect)
-	return mux
+	return netauth.Middleware(s.cfg.AuthToken, netauth.OpenReadOnly, mux)
 }
 
 // apiError is the JSON body of every non-200.

@@ -1,0 +1,81 @@
+package serve
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"testing"
+)
+
+// TestAuthTokenGatesSimulate: with AuthToken set, /v1/simulate demands the
+// bearer token while the health probes (/healthz, /readyz, /workerz) stay
+// open so load balancers and orchestrators keep working without secrets.
+func TestAuthTokenGatesSimulate(t *testing.T) {
+	const token = "serve-secret"
+	cfg := testConfig()
+	cfg.AuthToken = token
+	_, ts := newTestServer(t, cfg)
+
+	for _, path := range []string{"/healthz", "/readyz", "/workerz"} {
+		res, err := http.Get(ts.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res.Body.Close()
+		if res.StatusCode == http.StatusUnauthorized {
+			t.Errorf("GET %s = 401, want probe to stay open", path)
+		}
+	}
+
+	body, _ := json.Marshal(SimRequest{Benchmark: "TRu", Policy: "baseline"})
+	res, err := http.Post(ts.URL+"/v1/simulate", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer res.Body.Close()
+	if res.StatusCode != http.StatusUnauthorized {
+		t.Fatalf("unauthenticated simulate = %d, want 401", res.StatusCode)
+	}
+	var eres struct {
+		Kind string `json:"kind"`
+	}
+	if err := json.NewDecoder(res.Body).Decode(&eres); err != nil {
+		t.Fatalf("401 body undecodable: %v", err)
+	}
+	if eres.Kind != "unauthenticated" {
+		t.Fatalf("401 kind = %q, want unauthenticated", eres.Kind)
+	}
+
+	// Wrong token is rejected just like no token.
+	req, _ := http.NewRequest(http.MethodPost, ts.URL+"/v1/simulate", bytes.NewReader(body))
+	req.Header.Set("Content-Type", "application/json")
+	req.Header.Set("Authorization", "Bearer wrong")
+	wres, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wres.Body.Close()
+	if wres.StatusCode != http.StatusUnauthorized {
+		t.Fatalf("wrong-token simulate = %d, want 401", wres.StatusCode)
+	}
+
+	// The right token gets a real simulation.
+	req, _ = http.NewRequest(http.MethodPost, ts.URL+"/v1/simulate", bytes.NewReader(body))
+	req.Header.Set("Content-Type", "application/json")
+	req.Header.Set("Authorization", "Bearer "+token)
+	ores, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ores.Body.Close()
+	if ores.StatusCode != http.StatusOK {
+		t.Fatalf("tokened simulate = %d, want 200", ores.StatusCode)
+	}
+	var out SimResponse
+	if err := json.NewDecoder(ores.Body).Decode(&out); err != nil {
+		t.Fatalf("bad 200 body: %v", err)
+	}
+	if out.Metrics == nil {
+		t.Fatal("tokened simulate returned no metrics")
+	}
+}

@@ -1,0 +1,53 @@
+package client
+
+import (
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+
+	"dtexl/internal/serve"
+)
+
+// TestWithTokenAuthorizesRequests: WithToken threads the bearer token
+// through both Simulate and Ready, and a server that demands it sees it.
+func TestWithTokenAuthorizesRequests(t *testing.T) {
+	const token = "client-secret"
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.Header.Get("Authorization") != "Bearer "+token {
+			w.Header().Set("Content-Type", "application/json")
+			w.WriteHeader(http.StatusUnauthorized)
+			json.NewEncoder(w).Encode(serve.ErrorResponse{Error: "unauthenticated", Kind: "unauthenticated"})
+			return
+		}
+		switch r.URL.Path {
+		case "/readyz":
+			json.NewEncoder(w).Encode(serve.ReadyState{Status: "ok"})
+		case "/v1/simulate":
+			json.NewEncoder(w).Encode(serve.SimResponse{Benchmark: "TRu", Policy: "baseline"})
+		default:
+			http.NotFound(w, r)
+		}
+	}))
+	defer ts.Close()
+
+	// Without the token the client's first attempt is rejected and the
+	// unauthenticated kind is permanent — no retry storm.
+	bare := New(ts.URL, func(c *Config) { c.MaxRetries = 3 })
+	if _, err := bare.Simulate(context.Background(), serve.SimRequest{Benchmark: "TRu", Policy: "baseline"}); err == nil {
+		t.Fatal("tokenless Simulate succeeded against an auth-requiring server")
+	}
+
+	c := New(ts.URL, WithToken(token))
+	if _, _, err := c.Ready(context.Background()); err != nil {
+		t.Fatalf("tokened Ready: %v", err)
+	}
+	out, err := c.Simulate(context.Background(), serve.SimRequest{Benchmark: "TRu", Policy: "baseline"})
+	if err != nil {
+		t.Fatalf("tokened Simulate: %v", err)
+	}
+	if out.Benchmark != "TRu" {
+		t.Fatalf("tokened Simulate benchmark = %q, want TRu", out.Benchmark)
+	}
+}

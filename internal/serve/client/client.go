@@ -47,6 +47,9 @@ type Config struct {
 	BaseURL string
 	// HTTP is the underlying transport (default http.DefaultClient).
 	HTTP *http.Client
+	// Token, when set, is sent as "Authorization: Bearer <token>" on
+	// every request — required when the server runs with -auth-token.
+	Token string
 	// MaxRetries is how many times a retryable failure is retried beyond
 	// the first attempt (default 4; negative means never retry).
 	MaxRetries int
@@ -173,6 +176,7 @@ func (c *Client) Ready(ctx context.Context) (*serve.ReadyState, int, error) {
 	if err != nil {
 		return nil, 0, err
 	}
+	c.authorize(hreq)
 	hres, err := c.cfg.HTTP.Do(hreq)
 	if err != nil {
 		return nil, 0, err
@@ -192,6 +196,7 @@ func (c *Client) once(ctx context.Context, body []byte) (*serve.SimResponse, err
 		return nil, err
 	}
 	hreq.Header.Set("Content-Type", "application/json")
+	c.authorize(hreq)
 	hres, err := c.cfg.HTTP.Do(hreq)
 	if err != nil {
 		return nil, err
@@ -349,6 +354,16 @@ func (c *Client) State() (consecutiveFailures int, open bool) {
 
 // WithHTTP sets the transport.
 func WithHTTP(h *http.Client) func(*Config) { return func(c *Config) { c.HTTP = h } }
+
+// WithToken sends the bearer token on every request.
+func WithToken(tok string) func(*Config) { return func(c *Config) { c.Token = tok } }
+
+// authorize attaches the bearer token, when configured.
+func (c *Client) authorize(req *http.Request) {
+	if c.cfg.Token != "" {
+		req.Header.Set("Authorization", "Bearer "+c.cfg.Token)
+	}
+}
 
 // WithRetries sets the retry budget.
 func WithRetries(n int) func(*Config) { return func(c *Config) { c.MaxRetries = n } }

@@ -15,6 +15,7 @@ import (
 
 	"dtexl/internal/core"
 	"dtexl/internal/energy"
+	"dtexl/internal/netauth"
 	"dtexl/internal/pipeline"
 	"dtexl/internal/sim"
 	"dtexl/internal/trace"
@@ -71,6 +72,10 @@ type Config struct {
 	// Output is byte-identical to the serial path (DESIGN.md §11), so
 	// the journal and memos are shared across settings. Default serial.
 	Parallel int
+	// AuthToken, when set, gates the /v1/* API behind bearer-token auth.
+	// Health probes (/healthz, /readyz, /workerz) stay open — orchestrator
+	// liveness checks cannot carry secrets.
+	AuthToken string
 	// Logf, when non-nil, receives one line per notable server event.
 	Logf func(format string, args ...any)
 }
@@ -248,7 +253,8 @@ func (s *Server) Handler() http.Handler {
 	})
 	mux.HandleFunc("GET /readyz", s.handleReadyz)
 	mux.HandleFunc("GET /workerz", s.handleWorkerz)
-	return mux
+	return netauth.Middleware(s.cfg.AuthToken,
+		netauth.OpenPaths("/healthz", "/readyz", "/workerz"), mux)
 }
 
 // handleWorkerz reports the process's fleet-worker status; 404 when the
